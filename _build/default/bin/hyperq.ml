@@ -1,0 +1,236 @@
+(* The hyperq command-line driver: an interactive (or scripted) Teradata
+   session against the virtualized backend — the closest offline analogue to
+   pointing bteq at Hyper-Q (paper §7.2).
+
+   Usage:
+     hyperq repl                          interactive session
+     hyperq run -e "SEL ..."              one statement
+     hyperq script FILE.sql               run a ;-separated script
+     hyperq translate --target nimbus -e "SEL ..."   print target SQL only
+     hyperq targets                       list modeled target profiles
+     hyperq tpch --sf 0.005               load TPC-H and drop into the repl *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+module Session = Hyperq_core.Session
+module Capability = Hyperq_transform.Capability
+
+let render_outcome ?(verbose = false) (o : Pipeline.outcome) =
+  if o.Pipeline.out_schema <> [] then begin
+    let widths =
+      List.map
+        (fun (name, _) -> max 8 (String.length name))
+        o.Pipeline.out_schema
+    in
+    let header =
+      String.concat " | "
+        (List.map2
+           (fun (name, _) w -> Printf.sprintf "%-*s" w name)
+           o.Pipeline.out_schema widths)
+    in
+    print_endline header;
+    print_endline (String.make (String.length header) '-');
+    List.iter
+      (fun (row : Value.t array) ->
+        print_endline
+          (String.concat " | "
+             (List.map2
+                (fun w v -> Printf.sprintf "%-*s" w (Value.to_string v))
+                widths (Array.to_list row))))
+      o.Pipeline.out_rows
+  end;
+  Printf.printf "-- %s: %d row(s)" o.Pipeline.out_activity o.Pipeline.out_count;
+  if verbose then begin
+    let t = o.Pipeline.out_timings in
+    Printf.printf "  [translate %.2f ms, execute %.2f ms, convert %.2f ms]"
+      (t.Pipeline.translate_s *. 1000.)
+      (t.Pipeline.execute_s *. 1000.)
+      (t.Pipeline.convert_s *. 1000.);
+    if o.Pipeline.out_sql <> [] then
+      Printf.printf "\n-- sent to backend: %s" (String.concat " ;; " o.Pipeline.out_sql)
+  end;
+  print_newline ();
+  List.iter (Printf.printf "-- emulation: %s\n") o.Pipeline.out_emulation_trace
+
+let exec_one pipeline session verbose sql =
+  match
+    Sql_error.protect (fun () -> Pipeline.run_sql pipeline ~session sql)
+  with
+  | Ok o -> render_outcome ~verbose o
+  | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e)
+
+let repl pipeline verbose =
+  let session = Session.create () in
+  Printf.printf
+    "hyperq interactive session #%d — Teradata dialect in, statements end with ;\n"
+    session.Session.session_id;
+  print_endline "type \\q to quit, \\timing to toggle timing output";
+  let timing = ref verbose in
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "hyperq> " else "   ...> ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\q" -> ()
+    | "\\timing" ->
+        timing := not !timing;
+        Printf.printf "timing %s\n" (if !timing then "on" else "off");
+        loop ()
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' then begin
+          Buffer.clear buffer;
+          List.iter
+            (fun stmt ->
+              let stmt = String.trim stmt in
+              if stmt <> "" then exec_one pipeline session !timing stmt)
+            (String.split_on_char ';' text)
+        end;
+        loop ()
+  in
+  loop ();
+  Pipeline.end_session pipeline session
+
+open Cmdliner
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print timings and backend SQL.")
+
+let sql_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "e"; "execute" ] ~docv:"SQL" ~doc:"Statement to run.")
+
+let target_arg =
+  Arg.(
+    value
+    & opt string "ansi-engine"
+    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target profile name.")
+
+let repl_cmd =
+  let run verbose =
+    let pipeline = Pipeline.create () in
+    repl pipeline verbose
+  in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive Teradata session against the engine")
+    Term.(const run $ verbose_arg)
+
+let run_cmd =
+  let run verbose sql =
+    let pipeline = Pipeline.create () in
+    exec_one pipeline (Session.create ()) verbose sql
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one statement")
+    Term.(const run $ verbose_arg $ sql_arg)
+
+let script_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.sql")
+  in
+  let run verbose file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    let pipeline = Pipeline.create () in
+    let session = Session.create () in
+    (match
+       Sql_error.protect (fun () ->
+           Hyperq_sqlparser.Parser.parse_many
+             ~dialect:Hyperq_sqlparser.Dialect.Teradata text)
+     with
+    | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e)
+    | Ok asts ->
+        List.iter
+          (fun ast ->
+            match
+              Sql_error.protect (fun () ->
+                  Pipeline.run_statement_ast pipeline ~session ~sql_text:text ast)
+            with
+            | Ok o -> render_outcome ~verbose o
+            | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e))
+          asts);
+    Pipeline.end_session pipeline session
+  in
+  Cmd.v (Cmd.info "script" ~doc:"Run a ;-separated SQL script file")
+    Term.(const run $ verbose_arg $ file_arg)
+
+let translate_cmd =
+  let ddl_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "ddl" ] ~docv:"FILE.sql"
+          ~doc:"Schema script run through the pipeline before translating.")
+  in
+  let run target ddl sql =
+    match Capability.find target with
+    | None ->
+        Printf.eprintf "unknown target %s; try: %s\n" target
+          (String.concat ", "
+             (List.map (fun c -> c.Capability.name) Capability.all_targets));
+        exit 1
+    | Some cap -> (
+        let pipeline = Pipeline.create () in
+        (match ddl with
+        | None -> ()
+        | Some file -> (
+            let ic = open_in file in
+            let n = in_channel_length ic in
+            let text = really_input_string ic n in
+            close_in ic;
+            match
+              Sql_error.protect (fun () ->
+                  ignore (Pipeline.run_script pipeline text))
+            with
+            | Ok () -> ()
+            | Error e ->
+                Printf.eprintf "!! schema script failed: %s\n"
+                  (Sql_error.to_string e);
+                exit 1));
+        match
+          Sql_error.protect (fun () -> Pipeline.translate pipeline ~cap sql)
+        with
+        | Ok out -> print_endline out
+        | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e))
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Translate a Teradata statement for a target (no execution). Use \
+             --ddl to prime the catalog with a schema script first.")
+    Term.(const run $ target_arg $ ddl_arg $ sql_arg)
+
+let targets_cmd =
+  let run () =
+    List.iter
+      (fun c -> Printf.printf "%s\n" c.Capability.name)
+      Capability.all_targets
+  in
+  Cmd.v (Cmd.info "targets" ~doc:"List modeled target profiles") Term.(const run $ const ())
+
+let tpch_cmd =
+  let sf_arg =
+    Arg.(value & opt float 0.005 & info [ "sf" ] ~docv:"SF" ~doc:"Scale factor.")
+  in
+  let run verbose sf =
+    let pipeline = Pipeline.create () in
+    Printf.printf "loading TPC-H at SF %.3f...\n%!" sf;
+    let _ = Hyperq_workload.Tpch.setup ~sf pipeline in
+    List.iter
+      (fun (n, c) -> Printf.printf "  %-9s %7d rows\n" n c)
+      (Hyperq_workload.Tpch.row_counts pipeline);
+    repl pipeline verbose
+  in
+  Cmd.v (Cmd.info "tpch" ~doc:"Load TPC-H through Hyper-Q and start a repl")
+    Term.(const run $ verbose_arg $ sf_arg)
+
+let () =
+  let doc = "Adaptive Data Virtualization: Teradata applications on a different backend" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "hyperq" ~version:"1.0.0" ~doc)
+          [ repl_cmd; run_cmd; script_cmd; translate_cmd; targets_cmd; tpch_cmd ]))

@@ -1,0 +1,1 @@
+examples/multi_target.ml: Hyperq_core Hyperq_sqlvalue Hyperq_transform List Printf Sql_error

@@ -1,0 +1,1 @@
+examples/recursive_emulation.ml: Array Hyperq_core Hyperq_sqlvalue Hyperq_transform List Printf String Value

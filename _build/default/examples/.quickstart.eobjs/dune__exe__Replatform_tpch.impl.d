@@ -1,0 +1,1 @@
+examples/replatform_tpch.ml: Array Hyperq_core Hyperq_sqlvalue Hyperq_workload List Printf Sql_error Sys

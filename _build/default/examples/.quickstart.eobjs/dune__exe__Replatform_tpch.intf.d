@@ -1,0 +1,1 @@
+examples/replatform_tpch.mli:

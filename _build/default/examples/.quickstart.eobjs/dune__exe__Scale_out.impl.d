@@ -1,0 +1,1 @@
+examples/scale_out.ml: Array Hyperq_core Hyperq_sqlvalue List Printf Value

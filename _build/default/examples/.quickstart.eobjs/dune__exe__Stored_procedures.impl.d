@@ -1,0 +1,1 @@
+examples/stored_procedures.ml: Array Hyperq_core Hyperq_sqlvalue List Printf String Value

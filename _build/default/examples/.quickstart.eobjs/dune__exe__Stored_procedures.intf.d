@@ -1,0 +1,1 @@
+examples/stored_procedures.mli:

@@ -1,0 +1,1 @@
+examples/wire_proxy.ml: Array Hyperq_core Hyperq_sqlvalue List Printf Thread Value

@@ -1,0 +1,36 @@
+(* One frontend, N backends (paper §4: "Once system A is supported, Hyper-Q
+   can run A applications against all supported backend systems", and the
+   Appendix B.4 use case of evaluating candidate targets side by side):
+   the same Teradata query is translated for every modeled target profile,
+   showing which rewrites each target needs.
+
+   Run: dune exec examples/multi_target.exe *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+module Capability = Hyperq_transform.Capability
+
+let query =
+  {|SEL TOP 5 STORE, SUM(AMOUNT) AS TOTAL
+FROM SALES
+WHERE SALES_DATE > 1140101
+GROUP BY 1
+QUALIFY RANK(SUM(AMOUNT) DESC) <= 5
+ORDER BY TOTAL DESC;|}
+
+let () =
+  let pipeline = Pipeline.create () in
+  ignore
+    (Pipeline.run_sql pipeline
+       "CREATE TABLE SALES (AMOUNT DECIMAL(12,2), SALES_DATE DATE, STORE INTEGER)");
+  print_endline "=== Source (Teradata) ===";
+  print_endline query;
+  List.iter
+    (fun cap ->
+      Printf.printf "\n=== Target: %s ===\n" cap.Capability.name;
+      match
+        Sql_error.protect (fun () -> Pipeline.translate pipeline ~cap query)
+      with
+      | Ok sql -> print_endline sql
+      | Error e -> Printf.printf "(requires emulation: %s)\n" (Sql_error.to_string e))
+    Capability.all_targets

@@ -1,0 +1,53 @@
+(* The "complete drop-in replace" use case (paper Appendix B.1): a Teradata
+   analytics workload — DDL plus the 22 TPC-H queries in the Teradata
+   dialect — runs unchanged against the engine playing the cloud data
+   warehouse, with per-query overhead breakdown.
+
+   Run: dune exec examples/replatform_tpch.exe [-- SF]  (default SF 0.005) *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+module Tpch = Hyperq_workload.Tpch
+module Q = Hyperq_workload.Tpch_queries
+
+let () =
+  let sf =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.005
+  in
+  let pipeline = Pipeline.create () in
+  Printf.printf "Loading TPC-H at SF %.3f through Hyper-Q...\n%!" sf;
+  let _ = Tpch.setup ~sf pipeline in
+  List.iter
+    (fun (n, c) -> Printf.printf "  %-9s %7d rows\n" n c)
+    (Tpch.row_counts pipeline);
+  Printf.printf "\n%-4s %8s %10s %12s %12s %9s\n" "Q" "rows" "total(ms)"
+    "translate(ms)" "execute(ms)" "ovh%";
+  let tot_tr = ref 0. and tot_ex = ref 0. and tot_cv = ref 0. in
+  List.iter
+    (fun (name, sql) ->
+      match Sql_error.protect (fun () -> Pipeline.run_sql pipeline sql) with
+      | Ok o ->
+          let t = o.Pipeline.out_timings in
+          tot_tr := !tot_tr +. t.Pipeline.translate_s;
+          tot_ex := !tot_ex +. t.Pipeline.execute_s;
+          tot_cv := !tot_cv +. t.Pipeline.convert_s;
+          let total = t.Pipeline.translate_s +. t.Pipeline.execute_s +. t.Pipeline.convert_s in
+          Printf.printf "%-4s %8d %10.1f %12.2f %12.1f %8.2f%%\n%!" name
+            o.Pipeline.out_count (total *. 1000.)
+            (t.Pipeline.translate_s *. 1000.)
+            (t.Pipeline.execute_s *. 1000.)
+            (100. *. (t.Pipeline.translate_s +. t.Pipeline.convert_s) /. (max total 1e-9))
+      | Error e -> Printf.printf "%-4s FAILED: %s\n%!" name (Sql_error.to_string e))
+    Q.all;
+  let total = !tot_tr +. !tot_ex +. !tot_cv in
+  Printf.printf
+    "\nTotal: translate %.1f ms (%.2f%%), execute %.1f ms (%.2f%%), convert %.1f ms (%.2f%%)\n"
+    (!tot_tr *. 1000.)
+    (100. *. !tot_tr /. total)
+    (!tot_ex *. 1000.)
+    (100. *. !tot_ex /. total)
+    (!tot_cv *. 1000.)
+    (100. *. !tot_cv /. total);
+  Printf.printf
+    "Hyper-Q overhead (translate + convert): %.2f%% of end-to-end time\n"
+    (100. *. (!tot_tr +. !tot_cv) /. total)

@@ -1,0 +1,57 @@
+(* Stored-procedure emulation (paper §6): "emulation of stored procedures
+   inside Hyper-Q requires only maintaining the execution state (e.g.,
+   variable scopes) and driving the procedure execution by breaking its
+   control flow into multiple SQL requests."
+
+   A Teradata-style procedure with DECLARE/WHILE/IF runs against a backend
+   that has no procedural SQL at all: every variable lives in the middle
+   tier and every expression/statement becomes an individual translated
+   request.
+
+   Run: dune exec examples/stored_procedures.exe *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+
+let () =
+  let pipeline = Pipeline.create () in
+  let run sql = Pipeline.run_sql pipeline sql in
+  ignore
+    (run
+       "CREATE TABLE ACCOUNTS (ACCT_ID INTEGER, BALANCE DECIMAL(12,2), TIER \
+        VARCHAR(10))");
+  List.iter
+    (fun (id, b) ->
+      ignore (run (Printf.sprintf "INS ACCOUNTS (%d, %s, 'standard')" id b)))
+    [ (1, "120.00"); (2, "1500.00"); (3, "80.00"); (4, "9800.00") ];
+
+  print_endline "=== CREATE PROCEDURE (stored in the virtual catalog) ===";
+  ignore
+    (run
+       {|CREATE PROCEDURE APPLY_INTEREST (IN RATE DECIMAL(6,4), IN ROUNDS INTEGER)
+         BEGIN
+           DECLARE I INTEGER DEFAULT 0;
+           DECLARE RICH INTEGER;
+           WHILE :I < :ROUNDS DO
+             UPD ACCOUNTS SET BALANCE = BALANCE * (1 + :RATE);
+             SET I = :I + 1;
+           END WHILE;
+           SET RICH = (SEL COUNT(*) FROM ACCOUNTS WHERE BALANCE > 10000);
+           IF :RICH > 0 THEN
+             UPD ACCOUNTS SET TIER = 'premium' WHERE BALANCE > 10000;
+           END IF;
+           SEL ACCT_ID, BALANCE, TIER FROM ACCOUNTS ORDER BY ACCT_ID;
+         END|});
+
+  print_endline "=== CALL APPLY_INTEREST(0.05, 3) ===";
+  let o = run "CALL APPLY_INTEREST(0.05, 3)" in
+  Printf.printf "%-8s %-12s %s\n" "ACCT_ID" "BALANCE" "TIER";
+  List.iter
+    (fun (row : Value.t array) ->
+      Printf.printf "%-8s %-12s %s\n" (Value.to_string row.(0))
+        (Value.to_string row.(1)) (Value.to_string row.(2)))
+    o.Pipeline.out_rows;
+  Printf.printf "\nemulation trace: %s\n"
+    (String.concat "; " o.Pipeline.out_emulation_trace);
+  Printf.printf "requests sent to the backend for this one CALL: %d\n"
+    (List.length o.Pipeline.out_sql)

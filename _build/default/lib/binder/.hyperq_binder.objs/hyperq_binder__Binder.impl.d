@@ -1,0 +1,1 @@
+lib/binder/binder.ml: Ast Builtins Decimal Dialect Dtype Hyperq_catalog Hyperq_sqlparser Hyperq_sqlvalue Hyperq_xtra Int64 Interval List Option Printf Sql_date Sql_error String Value

@@ -1,0 +1,1 @@
+lib/binder/builtins.ml: Dtype Hashtbl Hyperq_sqlvalue Hyperq_xtra List

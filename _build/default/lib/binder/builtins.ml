@@ -1,0 +1,109 @@
+(** Built-in function normalization.
+
+    The paper notes that "names of otherwise standard features can be dealt
+    with in the system specific serializer (e.g. int8 vs bigint, or dateadd
+    vs add_date)" (§5). We normalize every dialect spelling to one canonical
+    name at bind time; serializers map canonical names back to the target
+    spelling, and the engine implements the canonical set. *)
+
+open Hyperq_sqlvalue
+
+(* dialect spelling -> canonical name *)
+let canonical_name = function
+  | "CHARS" | "CHARACTERS" | "CHAR_LENGTH" | "CHARACTER_LENGTH" | "LENGTH"
+  | "LEN" ->
+      "CHARACTER_LENGTH"
+  | "SUBSTR" | "SUBSTRING" -> "SUBSTRING"
+  | "INDEX" | "POSITION" -> "POSITION"
+  | "OREPLACE" | "REPLACE" -> "REPLACE"
+  | "NVL" | "COALESCE" -> "COALESCE"
+  | "UID" | "USER" | "SESSION_USER" | "CURRENT_USER" -> "CURRENT_USER"
+  | "DATEADD" | "ADD_DATE" -> "ADD_DAYS"
+  | n -> n
+
+type kind =
+  | Scalar of (Dtype.t list -> Dtype.t)
+      (** result type from argument types *)
+  | Aggregate of Hyperq_xtra.Xtra.agg_func
+  | Window_rank of Hyperq_xtra.Xtra.window_func
+
+let numeric_result tys =
+  match tys with
+  | [ t ] when Dtype.is_numeric t -> t
+  | [ t; _ ] when Dtype.is_numeric t -> t
+  | _ -> Dtype.Float
+
+let common_result tys =
+  match tys with
+  | [] -> Dtype.Unknown
+  | t :: rest ->
+      List.fold_left
+        (fun acc ty ->
+          match Dtype.common_super acc ty with Some t -> t | None -> acc)
+        t rest
+
+let varchar_result _ = Dtype.varchar ()
+let int_result _ = Dtype.Int
+let float_result _ = Dtype.Float
+let date_result _ = Dtype.Date
+
+(* canonical name -> (kind, min arity, max arity; -1 = unbounded) *)
+let table : (string, kind * int * int) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  let add name kind lo hi = Hashtbl.replace table name (kind, lo, hi) in
+  add "CHARACTER_LENGTH" (Scalar int_result) 1 1;
+  add "SUBSTRING" (Scalar varchar_result) 2 3;
+  add "UPPER" (Scalar varchar_result) 1 1;
+  add "LOWER" (Scalar varchar_result) 1 1;
+  add "TRIM" (Scalar varchar_result) 1 2;
+  add "LTRIM" (Scalar varchar_result) 1 2;
+  add "RTRIM" (Scalar varchar_result) 1 2;
+  add "REVERSE" (Scalar varchar_result) 1 1;
+  add "POSITION" (Scalar int_result) 2 2;
+  add "REPLACE" (Scalar varchar_result) 3 3;
+  add "COALESCE" (Scalar common_result) 1 (-1);
+  add "NULLIF"
+    (Scalar (function t :: _ -> t | [] -> Dtype.Unknown))
+    2 2;
+  add "ABS" (Scalar numeric_result) 1 1;
+  add "ROUND" (Scalar numeric_result) 1 2;
+  add "TRUNC" (Scalar numeric_result) 1 2;
+  add "FLOOR" (Scalar numeric_result) 1 1;
+  add "CEILING" (Scalar numeric_result) 1 1;
+  add "SQRT" (Scalar float_result) 1 1;
+  add "EXP" (Scalar float_result) 1 1;
+  add "LN" (Scalar float_result) 1 1;
+  add "LOG" (Scalar float_result) 1 1;
+  add "POWER" (Scalar float_result) 2 2;
+  add "ADD_MONTHS" (Scalar date_result) 2 2;
+  add "ADD_DAYS" (Scalar date_result) 2 2;
+  add "LAST_DAY" (Scalar date_result) 1 1;
+  add "DAY_OF_WEEK" (Scalar int_result) 1 1;
+  add "CURRENT_DATE" (Scalar date_result) 0 0;
+  add "CURRENT_TIME" (Scalar (fun _ -> Dtype.Time)) 0 0;
+  add "CURRENT_TIMESTAMP" (Scalar (fun _ -> Dtype.Timestamp)) 0 0;
+  add "CURRENT_USER" (Scalar varchar_result) 0 0;
+  add "GREATEST" (Scalar common_result) 1 (-1);
+  add "LEAST" (Scalar common_result) 1 (-1);
+  add "CONCAT" (Scalar varchar_result) 1 (-1);
+  (* PERIOD accessors: survive decomposition of the PERIOD type (§2.2.2) *)
+  add "PERIOD_BEGIN" (Scalar date_result) 1 1;
+  add "PERIOD_END" (Scalar date_result) 1 1;
+  add "COUNT" (Aggregate Hyperq_xtra.Xtra.Count) 1 1;
+  add "SUM" (Aggregate Hyperq_xtra.Xtra.Sum) 1 1;
+  add "AVG" (Aggregate Hyperq_xtra.Xtra.Avg) 1 1;
+  add "MIN" (Aggregate Hyperq_xtra.Xtra.Min) 1 1;
+  add "MAX" (Aggregate Hyperq_xtra.Xtra.Max) 1 1;
+  add "RANK" (Window_rank Hyperq_xtra.Xtra.W_rank) 0 0;
+  add "DENSE_RANK" (Window_rank Hyperq_xtra.Xtra.W_dense_rank) 0 0;
+  add "ROW_NUMBER" (Window_rank Hyperq_xtra.Xtra.W_row_number) 0 0;
+  add "LAG" (Window_rank Hyperq_xtra.Xtra.W_lag) 1 3;
+  add "LEAD" (Window_rank Hyperq_xtra.Xtra.W_lead) 1 3;
+  add "FIRST_VALUE" (Window_rank Hyperq_xtra.Xtra.W_first_value) 1 1;
+  add "LAST_VALUE" (Window_rank Hyperq_xtra.Xtra.W_last_value) 1 1
+
+let lookup name = Hashtbl.find_opt table (canonical_name name)
+
+let is_aggregate name =
+  match lookup name with Some (Aggregate _, _, _) -> true | _ -> false

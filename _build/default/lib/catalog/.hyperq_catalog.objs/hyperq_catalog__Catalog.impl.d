@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Dtype Hashtbl Hyperq_sqlparser Hyperq_sqlvalue List Sql_error String

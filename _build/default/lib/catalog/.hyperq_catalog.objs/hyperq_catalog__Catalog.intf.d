@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Dtype Hyperq_sqlparser Hyperq_sqlvalue

@@ -1,0 +1,157 @@
+(** Metadata catalog shared by the binder and the backend engine.
+
+    Holds table definitions, view definitions (stored as source-dialect ASTs
+    and expanded inline at bind time), Teradata macros (emulated in the
+    middle tier, paper Table 2) and extra column properties that the target
+    system cannot represent — the paper's "DTM catalog" for unsupported
+    column properties such as case-insensitive comparison or non-constant
+    defaults. *)
+
+open Hyperq_sqlvalue
+
+type column = {
+  col_name : string;
+  col_type : Dtype.t;
+  col_not_null : bool;
+  col_default : Hyperq_sqlparser.Ast.expr option;
+  col_case_specific : bool;
+}
+
+type table = {
+  tbl_name : string;
+  tbl_columns : column list;
+  tbl_set_semantics : bool;  (** Teradata SET table: rows are deduplicated *)
+  tbl_temporary : bool;
+}
+
+type view = {
+  view_name : string;
+  view_columns : string list;  (** optional explicit column names *)
+  view_query : Hyperq_sqlparser.Ast.query;
+  view_dialect : Hyperq_sqlparser.Dialect.t;
+}
+
+type macro = {
+  macro_name : string;
+  macro_params : (string * Dtype.t) list;
+  macro_body : Hyperq_sqlparser.Ast.statement list;
+}
+
+type procedure = {
+  proc_name : string;
+  proc_params : (string * Dtype.t) list;
+  proc_body : Hyperq_sqlparser.Ast.proc_stmt list;
+}
+
+type t = {
+  tables : (string, table) Hashtbl.t;
+  views : (string, view) Hashtbl.t;
+  macros : (string, macro) Hashtbl.t;
+  procedures : (string, procedure) Hashtbl.t;
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 32;
+    views = Hashtbl.create 8;
+    macros = Hashtbl.create 8;
+    procedures = Hashtbl.create 8;
+  }
+
+(* Object names are case-insensitive in both dialects we model. *)
+let key name = String.uppercase_ascii name
+
+let find_table t name = Hashtbl.find_opt t.tables (key name)
+let find_view t name = Hashtbl.find_opt t.views (key name)
+let find_macro t name = Hashtbl.find_opt t.macros (key name)
+
+let table_exists t name = find_table t name <> None
+let view_exists t name = find_view t name <> None
+
+let add_table t (tbl : table) =
+  if Hashtbl.mem t.tables (key tbl.tbl_name) then
+    Sql_error.execution_error "table %s already exists" tbl.tbl_name;
+  Hashtbl.replace t.tables (key tbl.tbl_name) { tbl with tbl_name = key tbl.tbl_name }
+
+let replace_table t (tbl : table) =
+  Hashtbl.replace t.tables (key tbl.tbl_name) { tbl with tbl_name = key tbl.tbl_name }
+
+let drop_table t ~if_exists name =
+  if Hashtbl.mem t.tables (key name) then Hashtbl.remove t.tables (key name)
+  else if not if_exists then
+    Sql_error.execution_error "table %s does not exist" name
+
+let rename_table t ~from_name ~to_name =
+  match find_table t from_name with
+  | None -> Sql_error.execution_error "table %s does not exist" from_name
+  | Some tbl ->
+      if Hashtbl.mem t.tables (key to_name) then
+        Sql_error.execution_error "table %s already exists" to_name;
+      Hashtbl.remove t.tables (key from_name);
+      Hashtbl.replace t.tables (key to_name) { tbl with tbl_name = key to_name }
+
+let add_view t ~replace (v : view) =
+  if (not replace) && Hashtbl.mem t.views (key v.view_name) then
+    Sql_error.execution_error "view %s already exists" v.view_name;
+  Hashtbl.replace t.views (key v.view_name) { v with view_name = key v.view_name }
+
+let drop_view t ~if_exists name =
+  if Hashtbl.mem t.views (key name) then Hashtbl.remove t.views (key name)
+  else if not if_exists then
+    Sql_error.execution_error "view %s does not exist" name
+
+let add_macro t ~replace (m : macro) =
+  if (not replace) && Hashtbl.mem t.macros (key m.macro_name) then
+    Sql_error.execution_error "macro %s already exists" m.macro_name;
+  Hashtbl.replace t.macros (key m.macro_name)
+    { m with macro_name = key m.macro_name }
+
+let drop_macro t ~if_exists name =
+  if Hashtbl.mem t.macros (key name) then Hashtbl.remove t.macros (key name)
+  else if not if_exists then
+    Sql_error.execution_error "macro %s does not exist" name
+
+let find_procedure t name = Hashtbl.find_opt t.procedures (key name)
+
+let add_procedure t ~replace (pr : procedure) =
+  if (not replace) && Hashtbl.mem t.procedures (key pr.proc_name) then
+    Sql_error.execution_error "procedure %s already exists" pr.proc_name;
+  Hashtbl.replace t.procedures (key pr.proc_name)
+    { pr with proc_name = key pr.proc_name }
+
+let drop_procedure t ~if_exists name =
+  if Hashtbl.mem t.procedures (key name) then
+    Hashtbl.remove t.procedures (key name)
+  else if not if_exists then
+    Sql_error.execution_error "procedure %s does not exist" name
+
+let procedures t =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.procedures []
+  |> List.sort (fun a b -> String.compare a.proc_name b.proc_name)
+
+let tables t =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.tables []
+  |> List.sort (fun a b -> String.compare a.tbl_name b.tbl_name)
+
+let views t =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.views []
+  |> List.sort (fun a b -> String.compare a.view_name b.view_name)
+
+let macros t =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.macros []
+  |> List.sort (fun a b -> String.compare a.macro_name b.macro_name)
+
+let column tbl name =
+  List.find_opt
+    (fun c -> String.uppercase_ascii c.col_name = String.uppercase_ascii name)
+    tbl.tbl_columns
+
+(** Deep-copy into a fresh catalog (used to give each gateway session an
+    isolated volatile-table namespace in tests). *)
+let copy t =
+  {
+    tables = Hashtbl.copy t.tables;
+    views = Hashtbl.copy t.views;
+    macros = Hashtbl.copy t.macros;
+    procedures = Hashtbl.copy t.procedures;
+  }

@@ -1,0 +1,1 @@
+lib/core/client.ml: Gateway Hyperq_sqlvalue Hyperq_wire List String Value

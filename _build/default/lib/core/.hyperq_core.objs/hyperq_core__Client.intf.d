@@ -1,0 +1,1 @@
+lib/core/client.mli: Gateway Hyperq_sqlvalue Hyperq_wire Value

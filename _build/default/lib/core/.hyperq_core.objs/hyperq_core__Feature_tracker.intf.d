@@ -1,0 +1,1 @@
+lib/core/feature_tracker.mli:

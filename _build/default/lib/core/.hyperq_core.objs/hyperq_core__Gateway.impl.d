@@ -1,0 +1,1 @@
+lib/core/gateway.ml: Hyperq_sqlvalue Hyperq_tdf Hyperq_wire List Mutex Pipeline Session Sql_error

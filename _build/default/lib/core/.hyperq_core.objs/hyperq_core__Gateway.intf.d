@@ -1,0 +1,1 @@
+lib/core/gateway.mli: Hyperq_wire Pipeline

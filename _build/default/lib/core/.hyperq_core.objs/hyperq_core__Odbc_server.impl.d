@@ -1,0 +1,1 @@
+lib/core/odbc_server.ml: Hyperq_engine Hyperq_tdf List Unix

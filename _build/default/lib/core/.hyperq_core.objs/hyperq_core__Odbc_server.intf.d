@@ -1,0 +1,1 @@
+lib/core/odbc_server.mli: Hyperq_engine Hyperq_tdf

@@ -1,0 +1,1 @@
+lib/core/result_converter.ml: Array Domain Hyperq_sqlvalue Hyperq_tdf Hyperq_wire List Value

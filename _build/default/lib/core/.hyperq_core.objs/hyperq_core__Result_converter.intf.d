@@ -1,0 +1,1 @@
+lib/core/result_converter.mli: Hyperq_sqlvalue Hyperq_tdf Value

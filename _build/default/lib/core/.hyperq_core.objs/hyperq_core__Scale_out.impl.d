@@ -1,0 +1,1 @@
+lib/core/scale_out.ml: Array Ast Dialect Hyperq_sqlparser Hyperq_sqlvalue Hyperq_transform List Mutex Parser Pipeline Session String

@@ -1,0 +1,1 @@
+lib/core/scale_out.mli: Hyperq_transform Pipeline

@@ -1,0 +1,28 @@
+(** A minimal WP-A client — the stand-in for Teradata's [bteq], used by the
+    paper's experiments to submit queries through Hyper-Q. Speaks the full
+    simulated wire protocol: logon handshake, parcel framing, record
+    decoding. *)
+
+open Hyperq_sqlvalue
+
+type t
+
+type response = {
+  columns : Hyperq_wire.Message.column list;
+  rows : Value.t array list;  (** decoded from the WP-A record format *)
+  activity : string;
+  activity_count : int;
+}
+
+(** Challenge/response logon; on failure the connection is released and the
+    server's message is returned. *)
+val logon :
+  Gateway.t -> username:string -> password:string -> (t, string) result
+
+(** Submit one source-dialect SQL request over the wire. *)
+val run : t -> string -> (response, string) result
+
+val logoff : t -> unit
+
+(** Server-assigned session id received at logon. *)
+val session_id : t -> int

@@ -1,0 +1,54 @@
+(** Instrumentation of the rewrite engine (paper §7.1).
+
+    Tracks 27 commonly used non-standard features — exactly 9 in each of the
+    paper's three classes — by collecting signals from the parser (lexical
+    translation features), the binder, the transformer (fired rules) and the
+    emulation layer, then aggregating per workload to regenerate Figure 8. *)
+
+type feature_class = Translation | Transformation | Emulation
+
+val class_to_string : feature_class -> string
+
+(** The 27 tracked features (9 per class). *)
+val tracked : (string * feature_class) list
+
+val class_of : string -> feature_class option
+
+(** Map a raw signal (binder note, transformer rule name, emulation tag)
+    onto a tracked feature name; [None] for untracked signals. *)
+val normalize : string -> string option
+
+(** Lexical detection of translation-class features on raw SQL text. *)
+val scan_sql_text : string -> string list
+
+type observation = { query_features : string list }
+
+val observe :
+  sql:string ->
+  binder_features:string list ->
+  transformer_rules:string list ->
+  emulation_tags:string list ->
+  observation
+
+val classes_of_observation : observation -> feature_class list
+
+(** Workload-level aggregation (Figure 8). *)
+type stats = {
+  mutable total_queries : int;
+  mutable feature_seen : (string * int) list;
+  mutable class_affected : (feature_class * int) list;
+}
+
+val create_stats : unit -> stats
+
+(** Record one query's observation, optionally weighted by a repetition
+    [count]. *)
+val record : ?count:int -> stats -> observation -> unit
+
+(** Figure 8(a): fraction of the 9 tracked features of the class occurring
+    at least once in the workload. *)
+val features_present_pct : stats -> feature_class -> float
+
+(** Figure 8(b): fraction of queries affected by at least one feature of the
+    class. *)
+val queries_affected_pct : stats -> feature_class -> float

@@ -1,0 +1,74 @@
+(** Gateway Manager: connects WP-A protocol sessions to the pipeline.
+
+    Each client connection gets a {!Session.t} and a wire-protocol state
+    machine; authenticated [Run_request]s flow through the translation
+    pipeline and results are sent back as WP-A parcels, giving the client a
+    bit-identical conversation with "Teradata" while the engine does the
+    work (paper Figure 1(b)). *)
+
+open Hyperq_sqlvalue
+module Message = Hyperq_wire.Message
+module Protocol_handler = Hyperq_wire.Protocol_handler
+module Tdf = Hyperq_tdf.Tdf
+
+type t = {
+  pipeline : Pipeline.t;
+  users : Hyperq_wire.Auth.user_db;
+  mutable sessions : (int * Session.t) list;
+  lock : Mutex.t;
+}
+
+let create ?(users = [ ("DBC", "DBC") ]) pipeline =
+  { pipeline; users; sessions = []; lock = Mutex.create () }
+
+type connection = {
+  gateway : t;
+  session : Session.t;
+  handler : Protocol_handler.t;
+}
+
+let executor t session ~sql :
+    (Protocol_handler.query_result, Sql_error.t) result =
+  match Sql_error.protect (fun () -> Pipeline.run_sql t.pipeline ~session sql) with
+  | Ok outcome ->
+      Ok
+        {
+          Protocol_handler.qr_columns =
+            List.map
+              (fun (c : Tdf.column_desc) ->
+                { Message.col_name = c.Tdf.cd_name; col_type = c.Tdf.cd_type })
+              outcome.Pipeline.out_columns;
+          qr_rows = outcome.Pipeline.out_rows;
+          qr_activity = outcome.Pipeline.out_activity;
+          qr_count = outcome.Pipeline.out_count;
+        }
+  | Error e -> Error e
+
+(** Open a server-side connection endpoint. Feed it client bytes with
+    {!feed}. *)
+let connect t ?(username = "DBC") () =
+  let session = Session.create ~username () in
+  Mutex.lock t.lock;
+  t.sessions <- (session.Session.session_id, session) :: t.sessions;
+  Mutex.unlock t.lock;
+  let handler =
+    Protocol_handler.create ~users:t.users ~executor:(executor t session) ()
+  in
+  { gateway = t; session; handler }
+
+let feed conn bytes = Protocol_handler.feed conn.handler bytes
+
+let disconnect conn =
+  Pipeline.end_session conn.gateway.pipeline conn.session;
+  Mutex.lock conn.gateway.lock;
+  conn.gateway.sessions <-
+    List.filter
+      (fun (id, _) -> id <> conn.session.Session.session_id)
+      conn.gateway.sessions;
+  Mutex.unlock conn.gateway.lock
+
+let active_sessions t =
+  Mutex.lock t.lock;
+  let n = List.length t.sessions in
+  Mutex.unlock t.lock;
+  n

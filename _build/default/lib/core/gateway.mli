@@ -1,0 +1,24 @@
+(** Gateway Manager: connects WP-A protocol sessions to the pipeline.
+
+    Each client connection gets a {!Session.t} and a wire-protocol state
+    machine; authenticated requests flow through the translation pipeline
+    and results return as WP-A parcels (paper Figure 1(b)). *)
+
+type t
+
+(** [create ~users pipeline] — [users] is the logon database (default:
+    [("DBC", "DBC")]). *)
+val create : ?users:Hyperq_wire.Auth.user_db -> Pipeline.t -> t
+
+type connection
+
+(** Open a server-side connection endpoint; drive it with {!feed}. *)
+val connect : t -> ?username:string -> unit -> connection
+
+(** Feed raw client bytes; returns raw response bytes. *)
+val feed : connection -> string -> string
+
+(** Logoff cleanup: drops the session's volatile tables. *)
+val disconnect : connection -> unit
+
+val active_sessions : t -> int

@@ -1,0 +1,33 @@
+(** ODBC Server (paper §4.5): the abstraction through which Hyper-Q talks to
+    target database systems. Adding a new backend means providing another
+    {!driver} value; results are packaged into TDF batches. *)
+
+module Backend = Hyperq_engine.Backend
+
+type driver = {
+  driver_name : string;
+  submit : sql:string -> Backend.result;
+}
+
+type t
+
+(** The driver for the in-repo engine. *)
+val engine_driver : Backend.t -> driver
+
+(** [create ~batch_rows ~request_latency_s driver] — results are packaged in
+    TDF batches of [batch_rows] rows (default 512); [request_latency_s]
+    simulates a per-request round trip to the target (default 0). *)
+val create : ?batch_rows:int -> ?request_latency_s:float -> driver -> t
+
+(** Submit one request, paying the simulated round trip. *)
+val submit : t -> sql:string -> Backend.result
+
+type response = {
+  columns : Hyperq_tdf.Tdf.column_desc list;
+  store : Hyperq_tdf.Result_store.t;  (** results as TDF batches *)
+  activity : string;
+  activity_count : int;
+}
+
+(** Submit and package the results into TDF batches (the §4.5 path). *)
+val execute : t -> sql:string -> response

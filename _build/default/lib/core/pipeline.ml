@@ -1,0 +1,633 @@
+(** The Hyper-Q translation pipeline (paper Figure 3).
+
+    One statement flows: parse (source dialect) → bind/algebrize → transform
+    (fixed point, capability-gated) → serialize (target dialect) →
+    ODBC Server → backend engine → TDF → Result Converter → WP-A records.
+    Statements the backend cannot run in one request are routed to
+    {!Emulation}.
+
+    The pipeline owns the *virtual* catalog (the Teradata-side schema,
+    including views, macros, SET-semantics and PERIOD columns) and keeps it
+    in sync with the backend's physical catalog as DDL flows through. Per-
+    query timings are split into the three buckets Figure 9 reports:
+    translation, execution, and result conversion. *)
+
+open Hyperq_sqlvalue
+open Hyperq_sqlparser
+module Xtra = Hyperq_xtra.Xtra
+module Catalog = Hyperq_catalog.Catalog
+module Binder = Hyperq_binder.Binder
+module Capability = Hyperq_transform.Capability
+module Transformer = Hyperq_transform.Transformer
+module Serializer = Hyperq_serialize.Serializer
+module Backend = Hyperq_engine.Backend
+module Tdf = Hyperq_tdf.Tdf
+
+type timings = {
+  mutable translate_s : float;
+  mutable execute_s : float;
+  mutable convert_s : float;
+}
+
+let zero_timings () = { translate_s = 0.; execute_s = 0.; convert_s = 0. }
+
+type t = {
+  vcatalog : Catalog.t;  (** virtual (source-side) catalog *)
+  backend : Backend.t;
+  cap : Capability.t;
+  odbc : Odbc_server.t;
+  lock : Mutex.t;  (** serializes backend access and catalog mutation *)
+  mutable temp_counter : int;
+  mutable queries_translated : int;
+}
+
+type outcome = {
+  out_schema : (string * Dtype.t) list;
+  out_rows : Value.t array list;
+  out_records : string list;  (** rows re-encoded in the WP-A record format *)
+  out_columns : Tdf.column_desc list;
+  out_activity : string;
+  out_count : int;
+  out_sql : string list;  (** statements actually sent to the backend *)
+  out_observation : Feature_tracker.observation;
+  out_timings : timings;
+  out_emulation_trace : string list;
+}
+
+let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.) () =
+  let backend = Backend.create () in
+  {
+    vcatalog = Catalog.create ();
+    backend;
+    cap;
+    odbc =
+      Odbc_server.create ~request_latency_s (Odbc_server.engine_driver backend);
+    lock = Mutex.create ();
+    temp_counter = 0;
+    queries_translated = 0;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let fresh_name t prefix =
+  Mutex.lock t.lock;
+  t.temp_counter <- t.temp_counter + 1;
+  let n = t.temp_counter in
+  Mutex.unlock t.lock;
+  Printf.sprintf "HQ_%s_%d" prefix n
+
+(* --- per-call mutable context ----------------------------------------- *)
+
+type call_ctx = {
+  pipeline : t;
+  session : Session.t;
+  timing : timings;
+  params : Value.t list;  (** positional parameter bindings *)
+  mutable sql_sent : string list;
+  mutable binder_features : string list;
+  mutable transformer_rules : string list;
+  mutable emulation_tags : string list;
+  trace : string list ref;
+}
+
+let timed bucket cc f =
+  let t0 = now () in
+  let r = f () in
+  let dt = now () -. t0 in
+  (match bucket with
+  | `Translate -> cc.timing.translate_s <- cc.timing.translate_s +. dt
+  | `Execute -> cc.timing.execute_s <- cc.timing.execute_s +. dt
+  | `Convert -> cc.timing.convert_s <- cc.timing.convert_s +. dt);
+  r
+
+let note_tag cc tag =
+  if not (List.mem tag cc.emulation_tags) then
+    cc.emulation_tags <- tag :: cc.emulation_tags
+
+(* Bind positional parameter markers (?) to values; parameters are numbered
+   left to right, 1-based (paper §4.5: the ODBC Server supports
+   "parameterized queries"). *)
+let substitute_params params st =
+  match params with
+  | [] -> st
+  | params ->
+      let arr = Array.of_list params in
+      Xtra.rewrite_statement
+        ~frel:(fun r -> r)
+        ~fscalar:(fun s ->
+          match s with
+          | Xtra.Param n ->
+              if n < 1 || n > Array.length arr then
+                Sql_error.bind_error
+                  "parameter $%d has no bound value (%d supplied)" n
+                  (Array.length arr)
+              else Xtra.Const arr.(n - 1)
+          | s -> s)
+        st
+
+(* --- virtual catalog maintenance -------------------------------------- *)
+
+let vcatalog_column_of_ast (c : Ast.column_def) : Catalog.column =
+  {
+    Catalog.col_name = String.uppercase_ascii c.Ast.col_name;
+    col_type = Binder.dtype_of_typename c.Ast.col_type;
+    col_not_null = c.Ast.col_not_null;
+    col_default = c.Ast.col_default;
+    col_case_specific = c.Ast.col_case_specific;
+  }
+
+let sync_ddl cc (ast : Ast.statement) (bound : Xtra.statement) =
+  let t = cc.pipeline in
+  match (ast, bound) with
+  | Ast.S_create_table { columns; kind; _ }, Xtra.Create_table { ct_name; _ } ->
+      Catalog.add_table t.vcatalog
+        {
+          Catalog.tbl_name = ct_name;
+          tbl_columns = List.map vcatalog_column_of_ast columns;
+          tbl_set_semantics =
+            (match kind with
+            | Ast.Persistent { set_semantics } -> set_semantics
+            | _ -> false);
+          tbl_temporary = (match kind with Ast.Persistent _ -> false | _ -> true);
+        };
+      if (match kind with Ast.Persistent _ -> false | _ -> true) then
+        Session.register_volatile cc.session ct_name
+  | _, Xtra.Create_table_as { cta_name; cta_source; cta_persistence; _ } ->
+      Catalog.add_table t.vcatalog
+        {
+          Catalog.tbl_name = cta_name;
+          tbl_columns =
+            List.map
+              (fun (c : Xtra.col) ->
+                {
+                  Catalog.col_name = c.Xtra.name;
+                  col_type =
+                    (match c.Xtra.ty with
+                    | Dtype.Unknown -> Dtype.varchar ()
+                    | ty -> ty);
+                  col_not_null = false;
+                  col_default = None;
+                  col_case_specific = true;
+                })
+              (Xtra.schema_of cta_source);
+          tbl_set_semantics = false;
+          tbl_temporary = cta_persistence = Xtra.Tp_temporary;
+        };
+      if cta_persistence = Xtra.Tp_temporary then
+        Session.register_volatile cc.session cta_name
+  | _, Xtra.Drop_table { dt_name; dt_if_exists } ->
+      Catalog.drop_table t.vcatalog ~if_exists:dt_if_exists dt_name;
+      Session.unregister_volatile cc.session dt_name
+  | _, Xtra.Rename_table { rn_from; rn_to } ->
+      Catalog.rename_table t.vcatalog ~from_name:rn_from ~to_name:rn_to
+  | _ -> ()
+
+(* --- the bound-statement path ----------------------------------------- *)
+
+let run_bound cc (bound : Xtra.statement) : Backend.result =
+  let t = cc.pipeline in
+  let counter = ref 1_000_000 in
+  (* transformer ids must not collide with binder ids; the binder counter is
+     per-statement so a high floor is simplest *)
+  let transformed, applied =
+    timed `Translate cc (fun () ->
+        Transformer.transform ~cap:t.cap ~counter bound)
+  in
+  cc.transformer_rules <-
+    List.map fst applied @ cc.transformer_rules;
+  let sql =
+    timed `Translate cc (fun () -> Serializer.serialize ~cap:t.cap transformed)
+  in
+  cc.sql_sent <- sql :: cc.sql_sent;
+  match transformed with
+  | Xtra.No_op _ ->
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
+  | _ ->
+      timed `Execute cc (fun () ->
+          Mutex.lock t.lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.lock)
+            (fun () -> Odbc_server.submit t.odbc ~sql))
+
+(* --- emulation dispatch ------------------------------------------------ *)
+
+let make_runner cc run_ast =
+  {
+    Emulation.cap = cc.pipeline.cap;
+    vcatalog = cc.pipeline.vcatalog;
+    session = cc.session;
+    run_ast;
+    run_xtra = (fun st -> run_bound cc st);
+    fresh_name = (fun prefix -> fresh_name cc.pipeline prefix);
+    trace = cc.trace;
+  }
+
+(* detect a top-level recursive CTE in a bound statement *)
+let recursive_parts = function
+  | Xtra.Query
+      (Xtra.With_cte
+         {
+           ctes = [ (name, Xtra.Set_operation { op = Xtra.Union; all = true; left; right }) ];
+           cte_recursive = true;
+           body;
+         }) ->
+      Some (name, left, right, body)
+  | _ -> None
+
+let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
+  let t = cc.pipeline in
+  let runner = make_runner cc (fun a -> run_ast_statement cc a) in
+  match ast with
+  (* ---- features that never reach the backend as-is ------------------- *)
+  | Ast.S_exec_macro { name; args } ->
+      note_tag cc "macros";
+      Emulation.exec_macro runner name args
+  | Ast.S_create_macro { name; params; body; replace } ->
+      note_tag cc "macros";
+      let mname = List.nth name (List.length name - 1) in
+      timed `Translate cc (fun () ->
+          Catalog.add_macro t.vcatalog ~replace
+            {
+              Catalog.macro_name = mname;
+              macro_params =
+                List.map (fun (n, ty) -> (n, Binder.dtype_of_typename ty)) params;
+              macro_body = body;
+            });
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "CREATE MACRO" }
+  | Ast.S_drop_macro { name; if_exists } ->
+      note_tag cc "macros";
+      Catalog.drop_macro t.vcatalog ~if_exists (List.nth name (List.length name - 1));
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "DROP MACRO" }
+  | Ast.S_create_view { name; columns; query; replace } ->
+      note_tag cc "updatable_view_ddl";
+      let vname = List.nth name (List.length name - 1) in
+      (* validate the definition by binding it before storing *)
+      timed `Translate cc (fun () ->
+          let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
+          ignore (Binder.bind_statement bctx (Ast.S_select query));
+          Catalog.add_view t.vcatalog ~replace
+            {
+              Catalog.view_name = vname;
+              view_columns = columns;
+              view_query = query;
+              view_dialect = Dialect.Teradata;
+            });
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "CREATE VIEW" }
+  | Ast.S_drop_view { name; if_exists } ->
+      note_tag cc "updatable_view_ddl";
+      Catalog.drop_view t.vcatalog ~if_exists (List.nth name (List.length name - 1));
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "DROP VIEW" }
+  | Ast.S_create_procedure { name; params; body; replace } ->
+      note_tag cc "stored_procedures";
+      let pname = List.nth name (List.length name - 1) in
+      timed `Translate cc (fun () ->
+          Catalog.add_procedure t.vcatalog ~replace
+            {
+              Catalog.proc_name = pname;
+              proc_params =
+                List.map (fun (n, ty) -> (n, Binder.dtype_of_typename ty)) params;
+              proc_body = body;
+            });
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "CREATE PROCEDURE" }
+  | Ast.S_drop_procedure { name; if_exists } ->
+      note_tag cc "stored_procedures";
+      Catalog.drop_procedure t.vcatalog ~if_exists
+        (List.nth name (List.length name - 1));
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "DROP PROCEDURE" }
+  | Ast.S_call { name; args } ->
+      note_tag cc "stored_procedures";
+      Emulation.call_procedure runner name args
+  | Ast.S_explain inner ->
+      (* answered entirely by the virtualization layer: the algebrized plan
+         and the SQL that would be sent to the target *)
+      let lines =
+        timed `Translate cc (fun () ->
+            match inner with
+            | Ast.S_exec_macro _ | Ast.S_call _ | Ast.S_help _ | Ast.S_show _
+            | Ast.S_create_macro _ | Ast.S_drop_macro _
+            | Ast.S_create_procedure _ | Ast.S_drop_procedure _
+            | Ast.S_create_view _ | Ast.S_drop_view _ | Ast.S_set_session _
+            | Ast.S_explain _ ->
+                [
+                  Printf.sprintf "%s is handled by the Hyper-Q emulation layer"
+                    (Ast.statement_kind inner);
+                  "no single target statement exists for it";
+                ]
+            | inner -> (
+                let bctx =
+                  Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog
+                in
+                match
+                  Sql_error.protect (fun () -> Binder.bind_statement bctx inner)
+                with
+                | Error e ->
+                    [ "binding failed: " ^ Sql_error.to_string e ]
+                | Ok bound ->
+                    let counter = ref 1_000_000 in
+                    let transformed, applied =
+                      Transformer.transform ~cap:t.cap ~counter bound
+                    in
+                    let plan =
+                      String.split_on_char '\n'
+                        (Hyperq_xtra.Xtra_pp.statement_to_string transformed)
+                      |> List.filter (fun l -> l <> "")
+                    in
+                    let rules =
+                      match applied with
+                      | [] -> []
+                      | rs ->
+                          [
+                            "transformations applied: "
+                            ^ String.concat ", " (List.map fst rs);
+                          ]
+                    in
+                    let sql =
+                      match
+                        Sql_error.protect (fun () ->
+                            Serializer.serialize ~cap:t.cap transformed)
+                      with
+                      | Ok s -> [ "target SQL (" ^ t.cap.Capability.name ^ "): " ^ s ]
+                      | Error e ->
+                          [ "serialization requires emulation: " ^ Sql_error.to_string e ]
+                    in
+                    (("Hyper-Q plan for " ^ Ast.statement_kind inner) :: plan)
+                    @ rules @ sql))
+      in
+      {
+        Backend.res_schema = [ ("EXPLANATION", Dtype.varchar ()) ];
+        res_rows = List.map (fun l -> [| Value.Varchar l |]) lines;
+        res_rowcount = List.length lines;
+        res_message = "EXPLAIN";
+      }
+  | Ast.S_help kind ->
+      note_tag cc "help_commands";
+      (match kind with
+      | Ast.Help_session -> Emulation.help_session runner
+      | Ast.Help_table name -> Emulation.help_table runner name
+      | Ast.Help_view name -> Emulation.help_view runner name
+      | Ast.Help_macro name -> Emulation.help_macro runner name
+      | Ast.Help_procedure name -> Emulation.help_procedure runner name
+      | Ast.Help_database name -> Emulation.help_database runner name
+      | Ast.Help_volatile_table -> Emulation.help_volatile runner)
+  | Ast.S_show kind ->
+      note_tag cc "show_commands";
+      (match kind with
+      | Ast.Show_table name -> Emulation.show_table runner name
+      | Ast.Show_view name -> Emulation.show_view runner name)
+  | Ast.S_set_session (name, v) ->
+      note_tag cc "set_session";
+      let value =
+        match v with
+        | Ast.E_lit (Ast.L_string s) -> s
+        | Ast.E_lit (Ast.L_int n) -> Int64.to_string n
+        | Ast.E_column [ c ] -> c
+        | _ -> Sql_error.unsupported "SET SESSION expects a literal value"
+      in
+      Session.set_setting cc.session name value;
+      { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "SET SESSION" }
+  (* ---- DML on views --------------------------------------------------- *)
+  | (Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ })
+    when Catalog.find_view t.vcatalog (List.nth table (List.length table - 1)) <> None
+    ->
+      note_tag cc "dml_on_views";
+      let view =
+        Option.get
+          (Catalog.find_view t.vcatalog (List.nth table (List.length table - 1)))
+      in
+      Emulation.emulate_dml_on_view runner view ast
+  (* ---- everything else: bind, then decide ----------------------------- *)
+  | ast ->
+      let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
+      let bound =
+        timed `Translate cc (fun () ->
+            substitute_params cc.params (Binder.bind_statement bctx ast))
+      in
+      cc.binder_features <- bctx.Binder.features @ cc.binder_features;
+      (match ast with
+      | Ast.S_begin_transaction -> cc.session.Session.in_transaction <- true
+      | Ast.S_commit | Ast.S_rollback ->
+          cc.session.Session.in_transaction <- false
+      | _ -> ());
+      let fresh_id =
+        let c = ref 2_000_000 in
+        fun () ->
+          incr c;
+          !c
+      in
+      let result =
+        match recursive_parts bound with
+        | Some (name, seed, step, body) when not t.cap.Capability.recursive_cte ->
+            note_tag cc "recursive_query";
+            Emulation.emulate_recursive_query runner ~name ~seed ~step ~body
+        | _ -> (
+            match bound with
+            | Xtra.Merge _ when not t.cap.Capability.merge_stmt ->
+                note_tag cc "merge";
+                Emulation.emulate_merge runner ~fresh_id bound
+            | Xtra.Insert { target; target_cols; source }
+              when (not t.cap.Capability.set_tables)
+                   && (match Catalog.find_table t.vcatalog target with
+                      | Some tbl -> tbl.Catalog.tbl_set_semantics
+                      | None -> false) ->
+                note_tag cc "set_tables";
+                Emulation.emulate_set_table_insert runner ~fresh_id ~target
+                  ~target_cols ~source
+            | bound ->
+                let r = run_bound cc bound in
+                sync_ddl cc ast bound;
+                r)
+      in
+      result
+
+(* --- public entry points ------------------------------------------------ *)
+
+let run_statement_ast t ?(session = Session.create ()) ?(params = []) ~sql_text ast : outcome =
+  t.queries_translated <- t.queries_translated + 1;
+  session.Session.queries_run <- session.Session.queries_run + 1;
+  let cc =
+    {
+      pipeline = t;
+      session;
+      timing = zero_timings ();
+      params;
+      sql_sent = [];
+      binder_features = [];
+      transformer_rules = [];
+      emulation_tags = [];
+      trace = ref [];
+    }
+  in
+  let result = run_ast_statement cc ast in
+  (* package into TDF then convert to WP-A records (paper §4.5/4.6) *)
+  let columns =
+    List.map
+      (fun (name, ty) -> { Tdf.cd_name = name; cd_type = ty })
+      result.Backend.res_schema
+  in
+  let records =
+    if result.Backend.res_rows = [] then []
+    else
+      timed `Convert cc (fun () ->
+          let store = Hyperq_tdf.Result_store.create columns in
+          Hyperq_tdf.Result_store.add_rows store result.Backend.res_rows;
+          Result_converter.convert columns store)
+  in
+  let observation =
+    Feature_tracker.observe ~sql:sql_text ~binder_features:cc.binder_features
+      ~transformer_rules:cc.transformer_rules ~emulation_tags:cc.emulation_tags
+  in
+  {
+    out_schema = result.Backend.res_schema;
+    out_rows = result.Backend.res_rows;
+    out_records = records;
+    out_columns = columns;
+    out_activity = result.Backend.res_message;
+    out_count = result.Backend.res_rowcount;
+    out_sql = List.rev cc.sql_sent;
+    out_observation = observation;
+    out_timings = cc.timing;
+    out_emulation_trace = List.rev !(cc.trace);
+  }
+
+(** Run one source-dialect SQL statement end to end. [params] binds
+    positional [?] markers, left to right. *)
+let run_sql t ?session ?params sql : outcome =
+  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+  run_statement_ast t ?session ?params ~sql_text:sql ast
+
+(** Run a [;]-separated script; returns one outcome per statement. *)
+let run_script t ?(session = Session.create ()) sql : outcome list =
+  let asts = Parser.parse_many ~dialect:Dialect.Teradata sql in
+  List.map (fun ast -> run_statement_ast t ~session ~sql_text:sql ast) asts
+
+(* ------------------------------------------------------------------ *)
+(* Single-row DML batching (paper §4.3)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** "If the target database incurs a large overhead in executing single-row
+    DML requests, a transformation that groups a large number of contiguous
+    single-row DML statements into one large statement could be applied."
+    Returns the rewritten statement list and the number of statements
+    absorbed into a batch. *)
+let batch_single_row_dml (asts : Ast.statement list) : Ast.statement list * int
+    =
+  let rec go acc merged = function
+    | [] -> (List.rev acc, merged)
+    | Ast.S_insert { table; columns; source = Ast.Ins_values rows } :: rest ->
+        let rec absorb rows m = function
+          | Ast.S_insert { table = t2; columns = c2; source = Ast.Ins_values r2 }
+            :: tl
+            when t2 = table && c2 = columns ->
+              absorb (rows @ r2) (m + 1) tl
+          | tl -> (rows, m, tl)
+        in
+        let rows, m, rest = absorb rows 0 rest in
+        go
+          (Ast.S_insert { table; columns; source = Ast.Ins_values rows } :: acc)
+          (merged + m) rest
+    | st :: rest -> go (st :: acc) merged rest
+  in
+  go [] 0 asts
+
+(** [run_script] with contiguous single-row INSERTs coalesced into multi-row
+    statements before translation. Returns one outcome per *executed*
+    statement plus the number of original statements absorbed. *)
+let run_script_batched t ?(session = Session.create ()) sql :
+    outcome list * int =
+  let asts = Parser.parse_many ~dialect:Dialect.Teradata sql in
+  let asts, merged = batch_single_row_dml asts in
+  (List.map (fun ast -> run_statement_ast t ~session ~sql_text:sql ast) asts, merged)
+
+(** Translate only (no execution): the serialized target SQL. Used by tests
+    and by the Figure 2 / Table 2 benches against non-executing targets.
+    Raises [Capability_gap] for statements the emulation layer owns (EXEC,
+    HELP, DML on views, ...), which have no single target statement. *)
+let translate t ?(cap = t.cap) sql : string =
+  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+  (match ast with
+  | Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ }
+    when Catalog.find_view t.vcatalog (List.nth table (List.length table - 1)) <> None
+    ->
+      Sql_error.capability_gap
+        "DML on view %s is handled by the emulation layer"
+        (List.nth table (List.length table - 1))
+  | _ -> ());
+  let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
+  let bound = Binder.bind_statement bctx ast in
+  let counter = ref 1_000_000 in
+  let transformed, _ = Transformer.transform ~cap ~counter bound in
+  Serializer.serialize ~cap transformed
+
+(** Instrument a statement without executing it: parse → bind → transform,
+    plus static detection of emulation-class features. This is the paper's
+    §7.1 methodology ("we instrumented Hyper-Q's query rewrite engine to
+    track a selection of 27 commonly used non-standard features") and lets
+    the Figure 8 study run over hundreds of thousands of queries quickly. *)
+let observe_sql t sql : Feature_tracker.observation =
+  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+  let binder_features = ref [] in
+  let transformer_rules = ref [] in
+  let emulation_tags = ref [] in
+  let tag x = emulation_tags := x :: !emulation_tags in
+  (match ast with
+  | Ast.S_exec_macro _ | Ast.S_create_macro _ | Ast.S_drop_macro _ ->
+      tag "macros"
+  | Ast.S_create_procedure _ | Ast.S_drop_procedure _ | Ast.S_call _ ->
+      tag "stored_procedures"
+  | Ast.S_create_view _ | Ast.S_drop_view _ -> tag "updatable_view_ddl"
+  | Ast.S_help _ -> tag "help_commands"
+  | Ast.S_show _ -> tag "show_commands"
+  | Ast.S_set_session _ -> tag "set_session"
+  | Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ }
+    when Catalog.find_view t.vcatalog (List.nth table (List.length table - 1)) <> None
+    ->
+      tag "dml_on_views"
+  | Ast.S_insert { table; _ }
+    when (not t.cap.Capability.set_tables)
+         && (match
+               Catalog.find_table t.vcatalog (List.nth table (List.length table - 1))
+             with
+            | Some tbl -> tbl.Catalog.tbl_set_semantics
+            | None -> false) ->
+      tag "set_tables"
+  | Ast.S_merge _ when not t.cap.Capability.merge_stmt -> tag "merge"
+  | _ -> ());
+  (match ast with
+  | Ast.S_exec_macro _ | Ast.S_create_macro _ | Ast.S_drop_macro _
+  | Ast.S_create_view _ | Ast.S_drop_view _ | Ast.S_help _ | Ast.S_show _
+  | Ast.S_set_session _ ->
+      ()
+  | ast -> (
+      try
+        let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
+        let bound = Binder.bind_statement bctx ast in
+        binder_features := bctx.Binder.features;
+        (if (not t.cap.Capability.recursive_cte)
+            && List.mem "recursive_query" bctx.Binder.features
+         then tag "recursive_query");
+        let counter = ref 1_000_000 in
+        let _, applied = Transformer.transform ~cap:t.cap ~counter bound in
+        transformer_rules := List.map fst applied
+      with Sql_error.Error _ ->
+        (* emulation-only statements reject binding; the tags above carry
+           the classification *)
+        ()));
+  Feature_tracker.observe ~sql ~binder_features:!binder_features
+    ~transformer_rules:!transformer_rules ~emulation_tags:!emulation_tags
+
+(** Drop all volatile tables registered by [session] (logoff cleanup). *)
+let end_session t (session : Session.t) =
+  List.iter
+    (fun name ->
+      try
+        Mutex.lock t.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.lock)
+          (fun () ->
+            ignore
+              (Backend.execute_sql t.backend
+                 (Printf.sprintf "DROP TABLE IF EXISTS %s" name));
+            Catalog.drop_table t.vcatalog ~if_exists:true name)
+      with Sql_error.Error _ -> ())
+    session.Session.volatile_tables;
+  session.Session.volatile_tables <- []

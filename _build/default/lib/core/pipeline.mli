@@ -1,0 +1,88 @@
+(** The Hyper-Q translation pipeline (paper Figure 3) — the library's main
+    entry point.
+
+    One statement flows: parse (source dialect) → bind/algebrize → transform
+    (fixed point, capability-gated) → serialize (target dialect) → ODBC
+    Server → backend engine → TDF → Result Converter → WP-A records.
+    Statements the backend cannot run in one request are routed to the
+    emulation layer. *)
+
+open Hyperq_sqlvalue
+
+type timings = {
+  mutable translate_s : float;  (** parse + bind + transform + serialize *)
+  mutable execute_s : float;  (** backend execution (incl. request latency) *)
+  mutable convert_s : float;  (** TDF packaging + WP-A record conversion *)
+}
+
+type t = {
+  vcatalog : Hyperq_catalog.Catalog.t;  (** virtual (source-side) catalog *)
+  backend : Hyperq_engine.Backend.t;  (** the target warehouse substrate *)
+  cap : Hyperq_transform.Capability.t;
+  odbc : Odbc_server.t;
+  lock : Mutex.t;  (** serializes backend access and catalog mutation *)
+  mutable temp_counter : int;
+  mutable queries_translated : int;
+}
+
+type outcome = {
+  out_schema : (string * Dtype.t) list;
+  out_rows : Value.t array list;
+  out_records : string list;  (** rows re-encoded in the WP-A record format *)
+  out_columns : Hyperq_tdf.Tdf.column_desc list;
+  out_activity : string;
+  out_count : int;  (** result rows for queries, affected rows for DML *)
+  out_sql : string list;  (** statements actually sent to the backend *)
+  out_observation : Feature_tracker.observation;
+  out_timings : timings;
+  out_emulation_trace : string list;  (** §6-style step log, when emulated *)
+}
+
+(** [create ~cap ~request_latency_s ()] builds a pipeline over a fresh
+    backend engine. [cap] selects the target profile (default: the executing
+    [ansi_engine]); [request_latency_s] simulates a per-request round trip
+    (default 0; used by the DML-batching ablation). *)
+val create :
+  ?cap:Hyperq_transform.Capability.t -> ?request_latency_s:float -> unit -> t
+
+(** Run one source-dialect (Teradata) SQL statement end to end. [params]
+    binds positional [?] markers left to right; [session] carries settings,
+    transaction state, and volatile tables across calls. *)
+val run_sql :
+  t -> ?session:Session.t -> ?params:Value.t list -> string -> outcome
+
+(** Run an already-parsed statement (used by the gateway and scale-out). *)
+val run_statement_ast :
+  t ->
+  ?session:Session.t ->
+  ?params:Value.t list ->
+  sql_text:string ->
+  Hyperq_sqlparser.Ast.statement ->
+  outcome
+
+(** Run a [;]-separated script; one outcome per statement. *)
+val run_script : t -> ?session:Session.t -> string -> outcome list
+
+(** The paper's §4.3 performance transformation: coalesce contiguous
+    single-row INSERTs into multi-row statements. Returns the rewritten
+    statement list and the number of statements absorbed. *)
+val batch_single_row_dml :
+  Hyperq_sqlparser.Ast.statement list ->
+  Hyperq_sqlparser.Ast.statement list * int
+
+(** {!run_script} with {!batch_single_row_dml} applied first; returns one
+    outcome per executed statement plus the number absorbed. *)
+val run_script_batched :
+  t -> ?session:Session.t -> string -> outcome list * int
+
+(** Translate only (no execution): the serialized target SQL for [cap]
+    (default: the pipeline's own target). Raises [Capability_gap] for
+    statements owned by the emulation layer. *)
+val translate : t -> ?cap:Hyperq_transform.Capability.t -> string -> string
+
+(** Instrument a statement without executing it (parse → bind → transform
+    plus static emulation detection) — the §7.1 measurement methodology. *)
+val observe_sql : t -> string -> Feature_tracker.observation
+
+(** Logoff cleanup: drop the session's volatile tables. *)
+val end_session : t -> Session.t -> unit

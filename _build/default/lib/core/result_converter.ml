@@ -1,0 +1,59 @@
+(** Result Converter (paper §4.6): TDF → source-database binary records.
+
+    "TDF packets are unwrapped by [the] Result Converter to extract result
+    rows and convert them into the binary format of the original database.
+    This conversion operation happens in parallel by starting a number of
+    processes where each process handles the conversion of a subset of the
+    result rows."
+
+    Conversion fans out across OCaml domains when the result is large
+    enough to amortize the spawn cost. *)
+
+open Hyperq_sqlvalue
+module Tdf = Hyperq_tdf.Tdf
+module Result_store = Hyperq_tdf.Result_store
+module Record = Hyperq_wire.Record
+
+let parallel_threshold = 4096
+
+let record_columns (columns : Tdf.column_desc list) =
+  List.map
+    (fun (c : Tdf.column_desc) ->
+      { Record.rc_name = c.Tdf.cd_name; rc_type = c.Tdf.cd_type })
+    columns
+
+let convert_rows cols rows = List.map (Record.encode_row cols) rows
+
+(** Convert a full TDF result store into WP-A record payloads, preserving
+    row order. Large results are converted by parallel domains. *)
+let convert (columns : Tdf.column_desc list) (store : Result_store.t) :
+    string list =
+  let cols = record_columns columns in
+  let rows = Result_store.all_rows store in
+  let n = List.length rows in
+  if n < parallel_threshold then convert_rows cols rows
+  else begin
+    let workers = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in
+    let arr = Array.of_list rows in
+    let per = (n + workers - 1) / workers in
+    let slices =
+      List.init workers (fun w ->
+          let lo = w * per in
+          let hi = min n (lo + per) in
+          if lo >= hi then [||] else Array.sub arr lo (hi - lo))
+    in
+    let domains =
+      List.map
+        (fun slice ->
+          Domain.spawn (fun () ->
+              Array.to_list (Array.map (Record.encode_row cols) slice)))
+        slices
+    in
+    List.concat_map Domain.join domains
+  end
+
+(** Round-trip helper for tests: decode WP-A records back into rows. *)
+let decode_records (columns : Tdf.column_desc list) (payloads : string list) :
+    Value.t array list =
+  let cols = record_columns columns in
+  List.map (Record.decode_row cols) payloads

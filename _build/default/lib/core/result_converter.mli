@@ -1,0 +1,15 @@
+(** Result Converter (paper §4.6): TDF → source-database binary records.
+    Large results are converted by parallel domains, preserving row order. *)
+
+open Hyperq_sqlvalue
+
+(** Row count above which conversion fans out across domains. *)
+val parallel_threshold : int
+
+(** Convert a full TDF result store into WP-A record payloads, in order. *)
+val convert :
+  Hyperq_tdf.Tdf.column_desc list -> Hyperq_tdf.Result_store.t -> string list
+
+(** Round-trip helper (tests): decode WP-A records back into rows. *)
+val decode_records :
+  Hyperq_tdf.Tdf.column_desc list -> string list -> Value.t array list

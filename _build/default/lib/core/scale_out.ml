@@ -1,0 +1,107 @@
+(** Scaling out applications across warehouse replicas (paper Appendix B.3).
+
+    "A common solution ... is to maintain multiple replicas of the data
+    warehouse and load balance queries across them. The ADV solution on top
+    can then automatically route the queries to the different replicas,
+    without sacrificing consistency, and without requiring changes to the
+    application logic. We are currently working on extending Hyper-Q to
+    handle this scenario." — implemented here as an extension.
+
+    Routing policy: statements without side effects (queries, HELP/SHOW)
+    round-robin across replicas; everything else (DML, DDL, macros — which
+    may contain DML — and session settings) is applied to *every* replica in
+    the same order, so deterministic replicas stay identical. *)
+
+open Hyperq_sqlparser
+module Capability = Hyperq_transform.Capability
+
+type t = {
+  replicas : Pipeline.t array;
+  sessions : Session.t array;  (** one session per replica, kept in step *)
+  lock : Mutex.t;
+  mutable next : int;
+  mutable reads_routed : int;
+  mutable writes_fanned_out : int;
+}
+
+let create ?(cap = Capability.ansi_engine) ~replicas () =
+  if replicas < 1 then invalid_arg "Scale_out.create: need at least 1 replica";
+  {
+    replicas = Array.init replicas (fun _ -> Pipeline.create ~cap ());
+    sessions = Array.init replicas (fun _ -> Session.create ());
+    lock = Mutex.create ();
+    next = 0;
+    reads_routed = 0;
+    writes_fanned_out = 0;
+  }
+
+let replica_count t = Array.length t.replicas
+
+(* A statement is read-only iff replaying it on one replica only cannot make
+   the replicas diverge. *)
+let is_read_only = function
+  | Ast.S_select _ | Ast.S_help _ | Ast.S_show _ | Ast.S_explain _ -> true
+  | Ast.S_insert _ | Ast.S_update _ | Ast.S_delete _ | Ast.S_merge _
+  | Ast.S_create_table _ | Ast.S_create_table_as _ | Ast.S_drop_table _
+  | Ast.S_create_view _ | Ast.S_drop_view _ | Ast.S_rename_table _
+  | Ast.S_create_macro _ | Ast.S_drop_macro _ | Ast.S_exec_macro _
+  | Ast.S_create_procedure _ | Ast.S_drop_procedure _ | Ast.S_call _
+  | Ast.S_collect_stats _ | Ast.S_set_session _ | Ast.S_begin_transaction
+  | Ast.S_commit | Ast.S_rollback ->
+      false
+
+type routing = Read_one of int | Write_all
+
+(** Run one source-dialect statement through the load balancer. Returns the
+    outcome plus how it was routed. *)
+let run_sql t sql : Pipeline.outcome * routing =
+  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+  if is_read_only ast then begin
+    Mutex.lock t.lock;
+    let i = t.next in
+    t.next <- (t.next + 1) mod Array.length t.replicas;
+    t.reads_routed <- t.reads_routed + 1;
+    Mutex.unlock t.lock;
+    ( Pipeline.run_statement_ast t.replicas.(i) ~session:t.sessions.(i)
+        ~sql_text:sql ast,
+      Read_one i )
+  end
+  else begin
+    Mutex.lock t.lock;
+    t.writes_fanned_out <- t.writes_fanned_out + 1;
+    Mutex.unlock t.lock;
+    (* apply to every replica, in replica order; return the first outcome *)
+    let outcomes =
+      Array.mapi
+        (fun i p ->
+          Pipeline.run_statement_ast p ~session:t.sessions.(i) ~sql_text:sql ast)
+        t.replicas
+    in
+    (outcomes.(0), Write_all)
+  end
+
+let stats t = (t.reads_routed, t.writes_fanned_out)
+
+(** Consistency probe used by tests and the example: run a read on *every*
+    replica and report whether all answers agree. *)
+let consistent t sql =
+  let render (o : Pipeline.outcome) =
+    List.map
+      (fun (row : Hyperq_sqlvalue.Value.t array) ->
+        String.concat ","
+          (Array.to_list (Array.map Hyperq_sqlvalue.Value.to_string row)))
+      o.Pipeline.out_rows
+  in
+  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           render
+             (Pipeline.run_statement_ast p ~session:t.sessions.(i) ~sql_text:sql
+                ast))
+         t.replicas)
+  in
+  match results with
+  | [] -> true
+  | first :: rest -> List.for_all (fun r -> r = first) rest

@@ -1,0 +1,24 @@
+(** Scaling out applications across warehouse replicas (paper Appendix B.3).
+
+    Statements without side effects round-robin across replicas; everything
+    else is applied to every replica in the same order so that deterministic
+    replicas stay identical — "without sacrificing consistency, and without
+    requiring changes to the application logic". *)
+
+type t
+
+val create : ?cap:Hyperq_transform.Capability.t -> replicas:int -> unit -> t
+val replica_count : t -> int
+
+type routing =
+  | Read_one of int  (** served by one replica (its index) *)
+  | Write_all  (** fanned out to every replica *)
+
+(** Run one source-dialect statement through the load balancer. *)
+val run_sql : t -> string -> Pipeline.outcome * routing
+
+(** (reads balanced, writes fanned out) so far. *)
+val stats : t -> int * int
+
+(** Run a read on every replica and check that all answers agree. *)
+val consistent : t -> string -> bool

@@ -1,0 +1,56 @@
+(** Per-connection session state (paper §4, "Gateway Manager").
+
+    Emulated features frequently need state kept in the virtualization layer
+    (paper §2.1: "Emulation typically uses ... state information maintained
+    in the application layer"): session settings for HELP SESSION, open
+    transactions, and the set of session-scoped volatile tables to drop on
+    logoff. *)
+
+type t = {
+  session_id : int;
+  username : string;
+  mutable settings : (string * string) list;
+  mutable in_transaction : bool;
+  mutable volatile_tables : string list;
+  mutable queries_run : int;
+  created_at : float;
+}
+
+let counter = ref 0
+
+let default_settings =
+  [
+    ("CHARACTER_SET", "ASCII");
+    ("COLLATION", "ASCII");
+    ("DATEFORM", "INTEGERDATE");
+    ("TIMEZONE", "GMT");
+    ("TRANSACTION_SEMANTICS", "TERADATA");
+    ("DEFAULT_DATABASE", "DBC");
+  ]
+
+let create ?(username = "HYPERQ") () =
+  incr counter;
+  {
+    session_id = !counter;
+    username;
+    settings = default_settings;
+    in_transaction = false;
+    volatile_tables = [];
+    queries_run = 0;
+    created_at = Unix.gettimeofday ();
+  }
+
+let set_setting t name value =
+  t.settings <-
+    (String.uppercase_ascii name, value)
+    :: List.remove_assoc (String.uppercase_ascii name) t.settings
+
+let get_setting t name =
+  List.assoc_opt (String.uppercase_ascii name) t.settings
+
+let register_volatile t name =
+  if not (List.mem name t.volatile_tables) then
+    t.volatile_tables <- name :: t.volatile_tables
+
+let unregister_volatile t name =
+  t.volatile_tables <- List.filter (fun n -> n <> name) t.volatile_tables

@@ -1,0 +1,21 @@
+(** Per-connection session state (paper §4, "Gateway Manager").
+
+    Emulated features keep state in the virtualization layer: session
+    settings for HELP SESSION / SET SESSION, transaction status, and the
+    volatile tables to drop at logoff. *)
+
+type t = {
+  session_id : int;
+  username : string;
+  mutable settings : (string * string) list;
+  mutable in_transaction : bool;
+  mutable volatile_tables : string list;
+  mutable queries_run : int;
+  created_at : float;
+}
+
+val create : ?username:string -> unit -> t
+val set_setting : t -> string -> string -> unit
+val get_setting : t -> string -> string option
+val register_volatile : t -> string -> unit
+val unregister_volatile : t -> string -> unit

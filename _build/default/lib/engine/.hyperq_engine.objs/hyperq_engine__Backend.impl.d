@@ -1,0 +1,1 @@
+lib/engine/backend.ml: Array Dtype Executor Hyperq_binder Hyperq_catalog Hyperq_sqlparser Hyperq_sqlvalue Hyperq_xtra List Optimizer Sql_error Storage String Value

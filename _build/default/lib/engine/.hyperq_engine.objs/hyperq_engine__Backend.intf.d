@@ -1,0 +1,1 @@
+lib/engine/backend.mli: Dtype Hyperq_catalog Hyperq_sqlvalue Hyperq_xtra Storage Value

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Array Buffer Decimal Float Hashtbl Hyperq_sqlvalue Hyperq_xtra Int Int64 List Obj Option Sql_date Sql_error Storage String Value

@@ -1,0 +1,1 @@
+lib/engine/optimizer.ml: Hyperq_sqlvalue Hyperq_xtra List

@@ -1,0 +1,1 @@
+lib/engine/optimizer.mli: Hyperq_xtra

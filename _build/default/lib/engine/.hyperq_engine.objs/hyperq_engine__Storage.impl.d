@@ -1,0 +1,1 @@
+lib/engine/storage.ml: Array Hashtbl Hyperq_sqlvalue List Sql_error String Value

@@ -1,0 +1,1 @@
+lib/engine/storage.mli: Hyperq_sqlvalue Value

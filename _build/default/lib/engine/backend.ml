@@ -1,0 +1,336 @@
+(** The target database system (DB-B in the paper's terms).
+
+    A self-contained analytical SQL engine: it parses the ANSI dialect our
+    serializers emit, binds it against its own (physical) catalog, and
+    executes it with {!Executor}. This substitutes for the paper's cloud
+    data warehouse — everything Hyper-Q emits is genuinely re-parsed and
+    executed, closing the translation loop end-to-end. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+module Catalog = Hyperq_catalog.Catalog
+module Binder = Hyperq_binder.Binder
+module Parser = Hyperq_sqlparser.Parser
+module Dialect = Hyperq_sqlparser.Dialect
+
+type t = {
+  catalog : Catalog.t;
+  storage : Storage.t;
+  mutable session_user : string;
+  mutable queries_executed : int;
+}
+
+type result = {
+  res_schema : (string * Dtype.t) list;
+  res_rows : Value.t array list;
+  res_rowcount : int;  (** affected rows for DML; result rows for queries *)
+  res_message : string;
+}
+
+let create () =
+  {
+    catalog = Catalog.create ();
+    storage = Storage.create ();
+    session_user = "HYPERQ";
+    queries_executed = 0;
+  }
+
+let query_result schema rows =
+  {
+    res_schema =
+      List.map (fun (c : Xtra.col) -> (c.Xtra.name, c.Xtra.ty)) schema;
+    res_rows = rows;
+    res_rowcount = List.length rows;
+    res_message = "SELECT";
+  }
+
+let dml_result message n =
+  { res_schema = []; res_rows = []; res_rowcount = n; res_message = message }
+
+let catalog_column_of_spec (s : Xtra.column_spec) : Catalog.column =
+  {
+    Catalog.col_name = s.Xtra.spec_name;
+    col_type = s.Xtra.spec_type;
+    col_not_null = s.Xtra.spec_not_null;
+    col_default = None;
+    col_case_specific = true;
+  }
+
+(* Coerce an incoming row to the table's declared column types and check
+   NOT NULL constraints. *)
+let coerce_row t table (positions : int option array) width (row : Executor.row) =
+  let cols = Array.of_list table.Catalog.tbl_columns in
+  let out = Array.make width Value.Null in
+  Array.iteri
+    (fun target_idx src ->
+      let col = cols.(target_idx) in
+      let v =
+        match src with
+        | Some i -> Value.cast row.(i) col.Catalog.col_type
+        | None -> Value.Null
+      in
+      if Value.is_null v && col.Catalog.col_not_null then
+        Sql_error.execution_error "column %s of %s is NOT NULL"
+          col.Catalog.col_name table.Catalog.tbl_name;
+      out.(target_idx) <- v)
+    positions;
+  ignore t;
+  out
+
+let exec_insert t ~target ~target_cols ~source =
+  match Catalog.find_table t.catalog target with
+  | None -> Sql_error.execution_error "table %s does not exist" target
+  | Some table ->
+      let ctx = Executor.create_ctx ~session_user:t.session_user t.storage in
+      let src_rows = Executor.exec ctx source in
+      let width = List.length table.Catalog.tbl_columns in
+      (* positions.(i) = index in the source row feeding target column i *)
+      let positions =
+        Array.of_list
+          (List.map
+             (fun (c : Catalog.column) ->
+               let rec find i = function
+                 | [] -> None
+                 | name :: tl ->
+                     if String.uppercase_ascii name = String.uppercase_ascii c.Catalog.col_name
+                     then Some i
+                     else find (i + 1) tl
+               in
+               find 0 target_cols)
+             table.Catalog.tbl_columns)
+      in
+      let rows =
+        List.map (coerce_row t table positions width) src_rows
+      in
+      let n = Storage.insert t.storage target rows in
+      dml_result "INSERT" n
+
+let table_frame (schema : Xtra.schema) =
+  { Executor.index = Executor.make_index schema; row = [||] }
+
+let exec_update t ~target ~assignments ~extra_from ~pred ~(schema : Xtra.schema) =
+  match Catalog.find_table t.catalog target with
+  | None -> Sql_error.execution_error "table %s does not exist" target
+  | Some table ->
+      let ctx = Executor.create_ctx ~session_user:t.session_user t.storage in
+      let from_rows, from_schema =
+        match extra_from with
+        | Some rel -> (Executor.exec ctx rel, Xtra.schema_of rel)
+        | None -> ([ [||] ], [])
+      in
+      let tframe = table_frame schema in
+      let fframe = table_frame from_schema in
+      let cols = Array.of_list table.Catalog.tbl_columns in
+      let col_pos name =
+        let rec go i = function
+          | [] -> Sql_error.execution_error "column %s not found" name
+          | (c : Catalog.column) :: tl ->
+              if String.uppercase_ascii c.Catalog.col_name = String.uppercase_ascii name
+              then i
+              else go (i + 1) tl
+        in
+        go 0 table.Catalog.tbl_columns
+      in
+      let updated = ref 0 in
+      let rows =
+        List.map
+          (fun row ->
+            tframe.Executor.row <- row;
+            Executor.push_frame ctx tframe;
+            (* first matching FROM row wins (Teradata raises on multiple
+               matches; we take the first deterministically) *)
+            let matching =
+              List.find_opt
+                (fun frow ->
+                  fframe.Executor.row <- frow;
+                  Executor.push_frame ctx fframe;
+                  let ok =
+                    match pred with
+                    | None -> true
+                    | Some p -> (
+                        match Executor.eval ctx p with
+                        | Value.Bool b -> b
+                        | Value.Null -> false
+                        | v ->
+                            Sql_error.execution_error "bad predicate value %s"
+                              (Value.to_string v))
+                  in
+                  Executor.pop_frame ctx;
+                  ok)
+                from_rows
+            in
+            let out =
+              match matching with
+              | None -> row
+              | Some frow ->
+                  incr updated;
+                  fframe.Executor.row <- frow;
+                  Executor.push_frame ctx fframe;
+                  let row' = Array.copy row in
+                  List.iter
+                    (fun (name, e) ->
+                      let i = col_pos name in
+                      row'.(i) <-
+                        Value.cast (Executor.eval ctx e) cols.(i).Catalog.col_type)
+                    assignments;
+                  Executor.pop_frame ctx;
+                  row'
+            in
+            Executor.pop_frame ctx;
+            out)
+          (Storage.scan t.storage target)
+      in
+      Storage.replace_rows t.storage target rows;
+      dml_result "UPDATE" !updated
+
+let exec_delete t ~target ~extra_from ~pred ~(schema : Xtra.schema) =
+  match Catalog.find_table t.catalog target with
+  | None -> Sql_error.execution_error "table %s does not exist" target
+  | Some _ ->
+      let ctx = Executor.create_ctx ~session_user:t.session_user t.storage in
+      let from_rows, from_schema =
+        match extra_from with
+        | Some rel -> (Executor.exec ctx rel, Xtra.schema_of rel)
+        | None -> ([ [||] ], [])
+      in
+      let tframe = table_frame schema in
+      let fframe = table_frame from_schema in
+      let deleted = ref 0 in
+      let rows =
+        List.filter
+          (fun row ->
+            tframe.Executor.row <- row;
+            Executor.push_frame ctx tframe;
+            let matches =
+              List.exists
+                (fun frow ->
+                  fframe.Executor.row <- frow;
+                  Executor.push_frame ctx fframe;
+                  let ok =
+                    match pred with
+                    | None -> true
+                    | Some p -> (
+                        match Executor.eval ctx p with
+                        | Value.Bool b -> b
+                        | Value.Null -> false
+                        | v ->
+                            Sql_error.execution_error "bad predicate value %s"
+                              (Value.to_string v))
+                  in
+                  Executor.pop_frame ctx;
+                  ok)
+                from_rows
+            in
+            Executor.pop_frame ctx;
+            if matches then incr deleted;
+            not matches)
+          (Storage.scan t.storage target)
+      in
+      Storage.replace_rows t.storage target rows;
+      dml_result "DELETE" !deleted
+
+let rec exec_statement t (st : Xtra.statement) : result =
+  t.queries_executed <- t.queries_executed + 1;
+  let st = Optimizer.optimize_statement st in
+  match st with
+  | Xtra.Query rel ->
+      let ctx = Executor.create_ctx ~session_user:t.session_user t.storage in
+      query_result (Xtra.schema_of rel) (Executor.exec ctx rel)
+  | Xtra.Insert { target; target_cols; source } ->
+      exec_insert t ~target ~target_cols ~source
+  | Xtra.Update { target; assignments; extra_from; upd_pred; upd_schema; _ } ->
+      exec_update t ~target ~assignments ~extra_from ~pred:upd_pred
+        ~schema:upd_schema
+  | Xtra.Delete { target; extra_from; del_pred; del_schema; _ } ->
+      exec_delete t ~target ~extra_from ~pred:del_pred ~schema:del_schema
+  | Xtra.Merge _ ->
+      Sql_error.capability_gap "the engine does not support MERGE natively"
+  | Xtra.Create_table { ct_name; persistence; specs; set_semantics; ct_if_not_exists }
+    ->
+      if Catalog.table_exists t.catalog ct_name then
+        if ct_if_not_exists then dml_result "CREATE TABLE" 0
+        else Sql_error.execution_error "table %s already exists" ct_name
+      else begin
+        Catalog.add_table t.catalog
+          {
+            Catalog.tbl_name = ct_name;
+            tbl_columns = List.map catalog_column_of_spec specs;
+            tbl_set_semantics = set_semantics;
+            tbl_temporary = persistence = Xtra.Tp_temporary;
+          };
+        Storage.create_table t.storage ~dedup:set_semantics
+          ~temporary:(persistence = Xtra.Tp_temporary) ct_name;
+        dml_result "CREATE TABLE" 0
+      end
+  | Xtra.Create_table_as { cta_name; cta_persistence; cta_source; with_data } ->
+      let schema = Xtra.schema_of cta_source in
+      let specs =
+        List.map
+          (fun (c : Xtra.col) ->
+            {
+              Xtra.spec_name = c.Xtra.name;
+              spec_type =
+                (match c.Xtra.ty with Dtype.Unknown -> Dtype.varchar () | ty -> ty);
+              spec_not_null = false;
+              spec_default = None;
+            })
+          schema
+      in
+      let _ =
+        exec_statement t
+          (Xtra.Create_table
+             {
+               ct_name = cta_name;
+               persistence = cta_persistence;
+               specs;
+               set_semantics = false;
+               ct_if_not_exists = false;
+             })
+      in
+      if with_data then
+        exec_insert t ~target:cta_name
+          ~target_cols:(List.map (fun (c : Xtra.col) -> c.Xtra.name) schema)
+          ~source:cta_source
+      else dml_result "CREATE TABLE AS" 0
+  | Xtra.Drop_table { dt_name; dt_if_exists } ->
+      if Catalog.table_exists t.catalog dt_name then begin
+        Catalog.drop_table t.catalog ~if_exists:dt_if_exists dt_name;
+        Storage.drop_table t.storage dt_name;
+        dml_result "DROP TABLE" 0
+      end
+      else if dt_if_exists then dml_result "DROP TABLE" 0
+      else Sql_error.execution_error "table %s does not exist" dt_name
+  | Xtra.Rename_table { rn_from; rn_to } ->
+      Catalog.rename_table t.catalog ~from_name:rn_from ~to_name:rn_to;
+      Storage.rename_table t.storage ~from_name:rn_from ~to_name:rn_to;
+      dml_result "ALTER TABLE" 0
+  | Xtra.Begin_tx ->
+      Storage.begin_tx t.storage;
+      dml_result "BEGIN" 0
+  | Xtra.Commit_tx ->
+      Storage.commit_tx t.storage;
+      dml_result "COMMIT" 0
+  | Xtra.Rollback_tx ->
+      Storage.rollback_tx t.storage;
+      dml_result "ROLLBACK" 0
+  | Xtra.No_op reason -> dml_result reason 0
+
+(** Execute one SQL statement in the engine's own (ANSI) dialect: the full
+    parse → bind → execute path of a standalone database system. *)
+let execute_sql t sql =
+  let ast = Parser.parse_statement ~dialect:Dialect.Ansi sql in
+  let bctx = Binder.create_ctx ~dialect:Dialect.Ansi t.catalog in
+  let st = Binder.bind_statement bctx ast in
+  exec_statement t st
+
+(** Execute a whole script ([;]-separated); returns the last result. *)
+let execute_script t sql =
+  let asts = Parser.parse_many ~dialect:Dialect.Ansi sql in
+  match asts with
+  | [] -> dml_result "EMPTY" 0
+  | asts ->
+      List.fold_left
+        (fun _ ast ->
+          let bctx = Binder.create_ctx ~dialect:Dialect.Ansi t.catalog in
+          exec_statement t (Binder.bind_statement bctx ast))
+        (dml_result "" 0) asts

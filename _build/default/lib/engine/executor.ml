@@ -1,0 +1,1477 @@
+(** XTRA interpreter: the engine's physical execution layer.
+
+    Executes bound (and transformed) XTRA plans against {!Storage}. Joins use
+    hash joins on extracted equi-conjuncts, grouping and DISTINCT use hashing
+    with SQL grouping equality (NULLs group together), subquery results are
+    memoized when uncorrelated, and recursive CTEs run the standard
+    delta-iteration to a fixed point. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+
+type row = Value.t array
+
+(* A frame binds the columns of one schema to one row; the id→position index
+   is shared across all rows of an operator. *)
+type frame = { index : (int, int) Hashtbl.t; mutable row : row }
+
+let make_index (schema : Xtra.schema) =
+  let h = Hashtbl.create (List.length schema * 2) in
+  List.iteri (fun i (c : Xtra.col) -> Hashtbl.replace h c.Xtra.id i) schema;
+  h
+
+type ctx = {
+  storage : Storage.t;
+  mutable frames : frame list;
+  mutable ctes : (string * row list) list;
+  mutable subquery_cache : (Xtra.rel * row list) list;
+  mutable correlated : (Xtra.rel * bool) list;
+  mutable hashed_subqueries : (Xtra.rel * hashed_subquery option) list;
+  session_user : string;
+  current_date : Sql_date.t;
+}
+
+(* Decorrelation support: a correlated subquery whose correlation enters
+   through equality predicates on an uncorrelated input is evaluated by
+   building the input's hash table once and probing it per outer row, instead
+   of re-scanning per row. *)
+and hashed_subquery = {
+  hs_filter : Xtra.rel;  (** the Filter node being replaced (physical identity) *)
+  hs_input_schema : Xtra.schema;
+  hs_outer_keys : Xtra.scalar list;  (** evaluated in the outer environment *)
+  hs_residual : Xtra.scalar list;  (** remaining conjuncts, evaluated per row *)
+  mutable hs_groups : (int, (Value.t list * row list ref) list ref) Hashtbl.t option;
+      (** built lazily on first probe *)
+  hs_inner_keys : Xtra.scalar list;  (** evaluated against input rows *)
+}
+
+let create_ctx ?(session_user = "HYPERQ") ?(current_date = Sql_date.make ~year:2018 ~month:6 ~day:10) storage =
+  {
+    storage;
+    frames = [];
+    ctes = [];
+    subquery_cache = [];
+    correlated = [];
+    hashed_subqueries = [];
+    session_user;
+    current_date;
+  }
+
+let push_frame ctx f = ctx.frames <- f :: ctx.frames
+let pop_frame ctx =
+  match ctx.frames with
+  | _ :: rest -> ctx.frames <- rest
+  | [] -> Sql_error.internal_error "frame stack underflow"
+
+let lookup ctx id =
+  let rec go = function
+    | [] -> Sql_error.internal_error "unbound column #%d at execution" id
+    | f :: rest -> (
+        match Hashtbl.find_opt f.index id with
+        | Some pos -> f.row.(pos)
+        | None -> go rest)
+  in
+  go ctx.frames
+
+(* --- correlation analysis ------------------------------------------- *)
+
+let referenced_and_produced rel =
+  let refs = ref [] and prods = ref [] in
+  let record_schema r = prods := List.map (fun (c : Xtra.col) -> c.Xtra.id) (Xtra.schema_of r) @ !prods in
+  let fscalar s =
+    (match s with
+    | Xtra.Col_ref c -> refs := c.Xtra.id :: !refs
+    | _ -> ());
+    s
+  in
+  let frel r =
+    record_schema r;
+    r
+  in
+  ignore (Xtra.rewrite ~frel ~fscalar rel);
+  (!refs, !prods)
+
+let is_correlated ctx rel =
+  match List.assq_opt rel ctx.correlated with
+  | Some b -> b
+  | None ->
+      let refs, prods = referenced_and_produced rel in
+      let b = List.exists (fun id -> not (List.mem id prods)) refs in
+      ctx.correlated <- (rel, b) :: ctx.correlated;
+      b
+
+(* --- LIKE matching --------------------------------------------------- *)
+
+let like_match ?escape ~pattern s =
+  let plen = String.length pattern and slen = String.length s in
+  let esc = escape in
+  (* memoized recursion over (pi, si) *)
+  let memo = Hashtbl.create 64 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+        let r =
+          if pi >= plen then si >= slen
+          else
+            let c = pattern.[pi] in
+            match esc with
+            | Some e when c = e && pi + 1 < plen ->
+                si < slen && pattern.[pi + 1] = s.[si] && go (pi + 2) (si + 1)
+            | _ -> (
+                match c with
+                | '%' -> go (pi + 1) si || (si < slen && go pi (si + 1))
+                | '_' -> si < slen && go (pi + 1) (si + 1)
+                | c -> si < slen && c = s.[si] && go (pi + 1) (si + 1))
+        in
+        Hashtbl.replace memo (pi, si) r;
+        r
+  in
+  go 0 0
+
+(* --- scalar functions ------------------------------------------------ *)
+
+let micros_per_day = 86_400_000_000L
+
+let date_of_value = function
+  | Value.Date d -> d
+  | Value.Timestamp t ->
+      Sql_date.of_epoch_days (Int64.to_int (Int64.div t micros_per_day))
+  | v ->
+      Sql_error.execution_error "expected a date, got %s" (Value.to_string v)
+
+let eval_extract field v =
+  match v with
+  | Value.Null -> Value.Null
+  | Value.Date _ | Value.Timestamp _ -> (
+      let d = date_of_value v in
+      let time_part =
+        match v with
+        | Value.Timestamp t ->
+            let r = Int64.rem t micros_per_day in
+            if Int64.compare r 0L < 0 then Int64.add r micros_per_day else r
+        | _ -> 0L
+      in
+      let secs = Int64.div time_part 1_000_000L in
+      match field with
+      | Xtra.Year -> Value.of_int d.Sql_date.year
+      | Xtra.Month -> Value.of_int d.Sql_date.month
+      | Xtra.Day -> Value.of_int d.Sql_date.day
+      | Xtra.Hour -> Value.Int (Int64.div secs 3600L)
+      | Xtra.Minute -> Value.Int (Int64.rem (Int64.div secs 60L) 60L)
+      | Xtra.Second -> Value.Int (Int64.rem secs 60L))
+  | Value.Time t -> (
+      let secs = Int64.div t 1_000_000L in
+      match field with
+      | Xtra.Hour -> Value.Int (Int64.div secs 3600L)
+      | Xtra.Minute -> Value.Int (Int64.rem (Int64.div secs 60L) 60L)
+      | Xtra.Second -> Value.Int (Int64.rem secs 60L)
+      | _ -> Sql_error.execution_error "cannot EXTRACT a date field from a TIME")
+  | v ->
+      Sql_error.execution_error "cannot EXTRACT from %s" (Value.to_string v)
+
+let string_arg name = function
+  | Value.Varchar s -> s
+  | Value.Null -> ""
+  | v -> Sql_error.execution_error "%s expects a string, got %s" name (Value.to_string v)
+
+let rec eval_function ctx name (args : Value.t list) : Value.t =
+  let null_in = List.exists Value.is_null args in
+  match (name, args) with
+  | "COALESCE", args -> (
+      match List.find_opt (fun v -> not (Value.is_null v)) args with
+      | Some v -> v
+      | None -> Value.Null)
+  | "NULLIF", [ a; b ] -> if Value.equal_sql a b then Value.Null else a
+  | "CURRENT_DATE", [] -> Value.Date ctx.current_date
+  | "CURRENT_TIMESTAMP", [] ->
+      Value.Timestamp
+        (Int64.mul (Int64.of_int (Sql_date.to_epoch_days ctx.current_date)) micros_per_day)
+  | "CURRENT_TIME", [] -> Value.Time 0L
+  | "CURRENT_USER", [] -> Value.Varchar ctx.session_user
+  | _, _ when null_in -> Value.Null
+  | "CHARACTER_LENGTH", [ Value.Varchar s ] -> Value.of_int (String.length s)
+  | "UPPER", [ v ] -> Value.Varchar (String.uppercase_ascii (string_arg "UPPER" v))
+  | "LOWER", [ v ] -> Value.Varchar (String.lowercase_ascii (string_arg "LOWER" v))
+  | "TRIM", [ v ] -> Value.Varchar (String.trim (string_arg "TRIM" v))
+  | "LTRIM", [ v ] ->
+      let s = string_arg "LTRIM" v in
+      let i = ref 0 in
+      while !i < String.length s && s.[!i] = ' ' do
+        incr i
+      done;
+      Value.Varchar (String.sub s !i (String.length s - !i))
+  | "RTRIM", [ v ] ->
+      let s = string_arg "RTRIM" v in
+      let i = ref (String.length s) in
+      while !i > 0 && s.[!i - 1] = ' ' do
+        decr i
+      done;
+      Value.Varchar (String.sub s 0 !i)
+  | "REVERSE", [ v ] ->
+      let s = string_arg "REVERSE" v in
+      Value.Varchar (String.init (String.length s) (fun i -> s.[String.length s - 1 - i]))
+  | "SUBSTRING", (Value.Varchar s :: Value.Int start :: rest) ->
+      let start = Int64.to_int start in
+      let len =
+        match rest with
+        | [ Value.Int l ] -> Int64.to_int l
+        | [] -> max_int
+        | _ -> Sql_error.execution_error "bad SUBSTRING arguments"
+      in
+      (* SQL semantics: 1-based; positions before 1 consume length *)
+      let s_len = String.length s in
+      let from = max 1 start in
+      let eff_len =
+        if len = max_int then s_len - from + 1
+        else len - (from - start)
+      in
+      let eff_len = min eff_len (s_len - from + 1) in
+      if eff_len <= 0 || from > s_len then Value.Varchar ""
+      else Value.Varchar (String.sub s (from - 1) eff_len)
+  | "POSITION", [ needle; hay ] ->
+      let n = string_arg "POSITION" needle and h = string_arg "POSITION" hay in
+      let nl = String.length n and hl = String.length h in
+      let rec find i =
+        if i + nl > hl then 0
+        else if String.sub h i nl = n then i + 1
+        else find (i + 1)
+      in
+      Value.of_int (if nl = 0 then 1 else find 0)
+  | "REPLACE", [ s; from_s; to_s ] ->
+      let s = string_arg "REPLACE" s in
+      let f = string_arg "REPLACE" from_s and t = string_arg "REPLACE" to_s in
+      if f = "" then Value.Varchar s
+      else begin
+        let buf = Buffer.create (String.length s) in
+        let fl = String.length f in
+        let i = ref 0 in
+        while !i <= String.length s - fl do
+          if String.sub s !i fl = f then begin
+            Buffer.add_string buf t;
+            i := !i + fl
+          end
+          else begin
+            Buffer.add_char buf s.[!i];
+            incr i
+          end
+        done;
+        Buffer.add_string buf (String.sub s !i (String.length s - !i));
+        Value.Varchar (Buffer.contents buf)
+      end
+  | "ABS", [ v ] -> (
+      match v with
+      | Value.Int n -> Value.Int (Int64.abs n)
+      | Value.Float f -> Value.Float (Float.abs f)
+      | Value.Decimal d -> Value.Decimal (Decimal.abs d)
+      | v -> Sql_error.execution_error "ABS expects a number, got %s" (Value.to_string v))
+  | "ROUND", [ v ] -> eval_function ctx "ROUND" [ v; Value.of_int 0 ]
+  | "ROUND", [ v; Value.Int n ] -> (
+      let n = Int64.to_int n in
+      match v with
+      | Value.Int _ -> v
+      | Value.Decimal d -> Value.Decimal (Decimal.round d ~scale:(max 0 n))
+      | Value.Float f ->
+          let m = 10. ** float_of_int n in
+          Value.Float (Float.round (f *. m) /. m)
+      | v -> Sql_error.execution_error "ROUND expects a number, got %s" (Value.to_string v))
+  | "TRUNC", [ v ] -> eval_function ctx "TRUNC" [ v; Value.of_int 0 ]
+  | "TRUNC", [ v; Value.Int n ] -> (
+      let n = Int64.to_int n in
+      match v with
+      | Value.Int _ -> v
+      | Value.Decimal d ->
+          if n >= d.Decimal.scale then v
+          else Value.Decimal (Decimal.rescale d (max 0 n))
+      | Value.Float f ->
+          let m = 10. ** float_of_int n in
+          Value.Float (Float.trunc (f *. m) /. m)
+      | v -> Sql_error.execution_error "TRUNC expects a number, got %s" (Value.to_string v))
+  | "FLOOR", [ v ] -> (
+      match v with
+      | Value.Int _ -> v
+      | Value.Float f -> Value.Float (Float.floor f)
+      | Value.Decimal d ->
+          let f = Decimal.to_float d in
+          Value.Decimal (Decimal.of_float ~scale:0 (Float.floor f))
+      | v -> Sql_error.execution_error "FLOOR expects a number, got %s" (Value.to_string v))
+  | "CEILING", [ v ] -> (
+      match v with
+      | Value.Int _ -> v
+      | Value.Float f -> Value.Float (Float.ceil f)
+      | Value.Decimal d ->
+          let f = Decimal.to_float d in
+          Value.Decimal (Decimal.of_float ~scale:0 (Float.ceil f))
+      | v -> Sql_error.execution_error "CEILING expects a number, got %s" (Value.to_string v))
+  | "SQRT", [ v ] -> Value.Float (sqrt (Value.to_float_exn v))
+  | "EXP", [ v ] -> Value.Float (exp (Value.to_float_exn v))
+  | "LN", [ v ] -> Value.Float (log (Value.to_float_exn v))
+  | "LOG", [ v ] -> Value.Float (log10 (Value.to_float_exn v))
+  | "POWER", [ a; b ] ->
+      Value.Float (Float.pow (Value.to_float_exn a) (Value.to_float_exn b))
+  | "ADD_MONTHS", [ d; Value.Int n ] ->
+      Value.Date (Sql_date.add_months (date_of_value d) (Int64.to_int n))
+  | "ADD_DAYS", [ d; Value.Int n ] ->
+      Value.Date (Sql_date.add_days (date_of_value d) (Int64.to_int n))
+  | "LAST_DAY", [ d ] ->
+      let d = date_of_value d in
+      Value.Date
+        (Sql_date.make ~year:d.Sql_date.year ~month:d.Sql_date.month
+           ~day:(Sql_date.days_in_month d.Sql_date.year d.Sql_date.month))
+  | "DAY_OF_WEEK", [ d ] -> Value.of_int (Sql_date.day_of_week (date_of_value d))
+  | "GREATEST", args ->
+      List.fold_left
+        (fun acc v ->
+          match Value.compare_sql acc v with Some c when c >= 0 -> acc | _ -> v)
+        (List.hd args) (List.tl args)
+  | "LEAST", args ->
+      List.fold_left
+        (fun acc v ->
+          match Value.compare_sql acc v with Some c when c <= 0 -> acc | _ -> v)
+        (List.hd args) (List.tl args)
+  | "PERIOD_BEGIN", [ Value.Period_date (b, _) ] -> Value.Date b
+  | "PERIOD_END", [ Value.Period_date (_, e) ] -> Value.Date e
+  | name, _ -> Sql_error.execution_error "unimplemented function %s" name
+
+(* --- scalar evaluation ------------------------------------------------ *)
+
+let bool3_of_value = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | Value.Int n -> Some (n <> 0L)
+  | v ->
+      Sql_error.execution_error "expected a boolean, got %s" (Value.to_string v)
+
+let value_of_bool3 = function
+  | None -> Value.Null
+  | Some b -> Value.Bool b
+
+let rec eval ctx (s : Xtra.scalar) : Value.t =
+  match s with
+  | Xtra.Const v -> v
+  | Xtra.Col_ref c -> lookup ctx c.Xtra.id
+  | Xtra.Param n -> Sql_error.execution_error "unbound parameter $%d" n
+  | Xtra.Arith (op, a, b) ->
+      let va = eval ctx a and vb = eval ctx b in
+      let vop =
+        match op with
+        | Xtra.Add -> Value.Add
+        | Xtra.Sub -> Value.Sub
+        | Xtra.Mul -> Value.Mul
+        | Xtra.Div -> Value.Div
+        | Xtra.Modulo -> Value.Modulo
+      in
+      Value.arith vop va vb
+  | Xtra.Cmp (op, a, b) ->
+      let va = eval ctx a and vb = eval ctx b in
+      value_of_bool3 (eval_cmp op va vb)
+  | Xtra.Logic_and (a, b) -> (
+      match bool3_of_value (eval ctx a) with
+      | Some false -> Value.Bool false
+      | Some true -> eval ctx b
+      | None -> (
+          match bool3_of_value (eval ctx b) with
+          | Some false -> Value.Bool false
+          | _ -> Value.Null))
+  | Xtra.Logic_or (a, b) -> (
+      match bool3_of_value (eval ctx a) with
+      | Some true -> Value.Bool true
+      | Some false -> eval ctx b
+      | None -> (
+          match bool3_of_value (eval ctx b) with
+          | Some true -> Value.Bool true
+          | _ -> Value.Null))
+  | Xtra.Logic_not a -> (
+      match bool3_of_value (eval ctx a) with
+      | Some b -> Value.Bool (not b)
+      | None -> Value.Null)
+  | Xtra.Is_null (a, negated) ->
+      let v = eval ctx a in
+      Value.Bool (if negated then not (Value.is_null v) else Value.is_null v)
+  | Xtra.Case { branches; else_branch; _ } -> (
+      let rec go = function
+        | [] -> (
+            match else_branch with Some e -> eval ctx e | None -> Value.Null)
+        | (c, v) :: rest -> (
+            match bool3_of_value (eval ctx c) with
+            | Some true -> eval ctx v
+            | _ -> go rest)
+      in
+      go branches)
+  | Xtra.Cast (a, t) -> Value.cast (eval ctx a) t
+  | Xtra.Func { name; args; _ } -> eval_function ctx name (List.map (eval ctx) args)
+  | Xtra.Extract (f, a) -> eval_extract f (eval ctx a)
+  | Xtra.Concat (a, b) -> (
+      let va = eval ctx a and vb = eval ctx b in
+      match (va, vb) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | a, b -> Value.Varchar (Value.to_string a ^ Value.to_string b))
+  | Xtra.Like { arg; pattern; escape; negated } -> (
+      let v = eval ctx arg and p = eval ctx pattern in
+      match (v, p) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | v, p ->
+          let esc =
+            match Option.map (eval ctx) escape with
+            | Some (Value.Varchar e) when String.length e = 1 -> Some e.[0]
+            | Some Value.Null | None -> None
+            | Some v ->
+                Sql_error.execution_error "bad ESCAPE %s" (Value.to_string v)
+          in
+          let m =
+            like_match ?escape:esc ~pattern:(Value.to_string p) (Value.to_string v)
+          in
+          Value.Bool (if negated then not m else m))
+  | Xtra.In_list { arg; items; negated } ->
+      let v = eval ctx arg in
+      let r =
+        List.fold_left
+          (fun acc item ->
+            match acc with
+            | Some true -> acc
+            | _ -> (
+                match eval_cmp Xtra.Eq v (eval ctx item) with
+                | Some true -> Some true
+                | Some false -> ( match acc with None -> None | _ -> Some false)
+                | None -> None))
+          (Some false) items
+      in
+      value_of_bool3 (if negated then Option.map not r else r)
+  | Xtra.Scalar_subquery rel -> (
+      let rows = exec_subquery ctx rel in
+      match rows with
+      | [] -> Value.Null
+      | [ r ] when Array.length r = 1 -> r.(0)
+      | [ _ ] -> Sql_error.execution_error "scalar subquery returns more than one column"
+      | _ -> Sql_error.execution_error "scalar subquery returns more than one row")
+  | Xtra.Exists rel -> Value.Bool (exec_subquery ctx rel <> [])
+  | Xtra.In_subquery { args; subquery; negated } ->
+      let vals = List.map (eval ctx) args in
+      let rows = exec_subquery ctx subquery in
+      let r =
+        List.fold_left
+          (fun acc row ->
+            match acc with
+            | Some true -> acc
+            | _ ->
+                let cmp =
+                  List.fold_left2
+                    (fun c v cell ->
+                      match c with
+                      | Some false -> Some false
+                      | _ -> (
+                          match eval_cmp Xtra.Eq v cell with
+                          | Some false -> Some false
+                          | Some true -> c
+                          | None -> None))
+                    (Some true) vals (Array.to_list row)
+                in
+                (match (cmp, acc) with
+                | Some true, _ -> Some true
+                | Some false, Some false -> Some false
+                | Some false, None -> None
+                | None, _ -> None
+                | _, _ -> acc))
+          (Some false) rows
+      in
+      value_of_bool3 (if negated then Option.map not r else r)
+  | Xtra.Quantified { lhs; op; quant; subquery } -> (
+      match lhs with
+      | [ l ] ->
+          let v = eval ctx l in
+          let rows = exec_subquery ctx subquery in
+          let results =
+            List.map
+              (fun (row : row) -> eval_cmp op v row.(0))
+              rows
+          in
+          let r =
+            match quant with
+            | Xtra.Any ->
+                if List.exists (fun x -> x = Some true) results then Some true
+                else if List.exists (fun x -> x = None) results then None
+                else Some false
+            | Xtra.All ->
+                if List.exists (fun x -> x = Some false) results then Some false
+                else if List.exists (fun x -> x = None) results then None
+                else Some true
+          in
+          value_of_bool3 r
+      | _ ->
+          Sql_error.internal_error
+            "vector quantified comparison must be expanded before execution")
+  | Xtra.Agg_ref _ | Xtra.Window_ref _ ->
+      Sql_error.internal_error "transient aggregate/window node at execution"
+
+and eval_cmp op a b : bool option =
+  match Value.compare_sql a b with
+  | None -> if Value.is_null a || Value.is_null b then None
+            else Sql_error.execution_error "cannot compare %s with %s"
+                   (Value.to_string a) (Value.to_string b)
+  | Some c ->
+      Some
+        (match op with
+        | Xtra.Eq -> c = 0
+        | Xtra.Neq -> c <> 0
+        | Xtra.Lt -> c < 0
+        | Xtra.Lte -> c <= 0
+        | Xtra.Gt -> c > 0
+        | Xtra.Gte -> c >= 0)
+
+and exec_subquery ctx rel =
+  if is_correlated ctx rel then
+    match analyze_hashable ctx rel with
+    | Some hsq -> probe_hashed ctx rel hsq
+    | None -> exec ctx rel
+  else
+    match List.assq_opt rel ctx.subquery_cache with
+    | Some rows -> rows
+    | None ->
+        let rows = exec ctx rel in
+        ctx.subquery_cache <- (rel, rows) :: ctx.subquery_cache;
+        rows
+
+(* --- correlated-subquery decorrelation -------------------------------- *)
+
+and references_cte rel =
+  Xtra.fold_rel
+    (fun acc r -> acc || match r with Xtra.Cte_ref _ -> true | _ -> false)
+    false rel
+
+(* Find a Filter node whose input is uncorrelated and whose predicate
+   correlates only through equality conjuncts <outer expr> = <inner expr>.
+   Such a subquery is evaluated by hashing the input once on the inner keys
+   and, per outer row, re-running the plan with the Filter replaced by the
+   probed rows. *)
+and analyze_hashable ctx rel =
+  match List.assq_opt rel ctx.hashed_subqueries with
+  | Some r -> r
+  | None ->
+      let result =
+        if references_cte rel then None
+        else
+          let candidates =
+            Xtra.fold_rel
+              (fun acc r ->
+                match r with Xtra.Filter _ -> r :: acc | _ -> acc)
+              [] rel
+            |> List.rev
+          in
+          let analyze_candidate f =
+            match f with
+            | Xtra.Filter { input; pred } when not (is_correlated ctx input) ->
+                let input_ids =
+                  List.map (fun (c : Xtra.col) -> c.Xtra.id) (Xtra.schema_of input)
+                in
+                let inner s =
+                  let ids = scalar_col_ids s in
+                  ids <> [] && List.for_all (fun i -> List.mem i input_ids) ids
+                in
+                let outer s =
+                  let ids = scalar_col_ids s in
+                  ids <> [] && List.for_all (fun i -> not (List.mem i input_ids)) ids
+                in
+                let keys, residual =
+                  List.partition_map
+                    (fun c ->
+                      match c with
+                      | Xtra.Cmp (Xtra.Eq, a, b) when outer a && inner b ->
+                          Left (a, b)
+                      | Xtra.Cmp (Xtra.Eq, a, b) when outer b && inner a ->
+                          Left (b, a)
+                      | c -> Right c)
+                    (split_conjuncts pred)
+                in
+                if keys = [] then None
+                else
+                  Some
+                    {
+                      hs_filter = f;
+                      hs_input_schema = Xtra.schema_of input;
+                      hs_outer_keys = List.map fst keys;
+                      hs_inner_keys = List.map snd keys;
+                      hs_residual = residual;
+                      hs_groups = None;
+                    }
+            | _ -> None
+          in
+          List.fold_left
+            (fun acc f -> match acc with Some _ -> acc | None -> analyze_candidate f)
+            None candidates
+      in
+      ctx.hashed_subqueries <- (rel, result) :: ctx.hashed_subqueries;
+      result
+
+and replace_rel_node target replacement r =
+  if r == target then replacement
+  else
+    let rr = replace_rel_node target replacement in
+    let rs s =
+      Xtra.map_scalar
+        (fun x ->
+          match x with
+          | Xtra.Scalar_subquery q -> Xtra.Scalar_subquery (rr q)
+          | Xtra.Exists q -> Xtra.Exists (rr q)
+          | Xtra.In_subquery i -> Xtra.In_subquery { i with subquery = rr i.subquery }
+          | Xtra.Quantified q -> Xtra.Quantified { q with subquery = rr q.subquery }
+          | x -> x)
+        s
+    in
+    match r with
+    | Xtra.Get _ | Xtra.Values_rel _ | Xtra.Cte_ref _ -> r
+    | Xtra.Filter { input; pred } -> Xtra.Filter { input = rr input; pred = rs pred }
+    | Xtra.Project { input; proj } ->
+        Xtra.Project { input = rr input; proj = List.map (fun (c, e) -> (c, rs e)) proj }
+    | Xtra.Join { kind; left; right; pred } ->
+        Xtra.Join { kind; left = rr left; right = rr right; pred = Option.map rs pred }
+    | Xtra.Aggregate { input; group_by; aggs; grouping_sets } ->
+        Xtra.Aggregate
+          {
+            input = rr input;
+            group_by = List.map (fun (c, e) -> (c, rs e)) group_by;
+            aggs =
+              List.map
+                (fun (c, (a : Xtra.agg_def)) -> (c, { a with Xtra.aarg = Option.map rs a.Xtra.aarg }))
+                aggs;
+            grouping_sets;
+          }
+    | Xtra.Window { input; windows } -> Xtra.Window { input = rr input; windows }
+    | Xtra.Sort { input; sort_keys } -> Xtra.Sort { input = rr input; sort_keys }
+    | Xtra.Limit l -> Xtra.Limit { l with input = rr l.input }
+    | Xtra.Distinct { input } -> Xtra.Distinct { input = rr input }
+    | Xtra.Set_operation s ->
+        Xtra.Set_operation { s with left = rr s.left; right = rr s.right }
+    | Xtra.With_cte w ->
+        Xtra.With_cte
+          { w with ctes = List.map (fun (n, q) -> (n, rr q)) w.ctes; body = rr w.body }
+
+and probe_hashed ctx rel hsq =
+  let groups =
+    match hsq.hs_groups with
+    | Some g -> g
+    | None ->
+        let input =
+          match hsq.hs_filter with
+          | Xtra.Filter { input; _ } -> input
+          | _ -> Sql_error.internal_error "probe_hashed: not a filter"
+        in
+        let rows = exec ctx input in
+        let index = make_index hsq.hs_input_schema in
+        let fr = { index; row = [||] } in
+        let g = Hashtbl.create (max 16 (List.length rows)) in
+        List.iter
+          (fun row ->
+            fr.row <- row;
+            push_frame ctx fr;
+            let key = List.map (eval ctx) hsq.hs_inner_keys in
+            pop_frame ctx;
+            if not (List.exists Value.is_null key) then begin
+              let h = group_key_hash key in
+              match Hashtbl.find_opt g h with
+              | Some l -> (
+                  match List.find_opt (fun (k, _) -> group_key_equal k key) !l with
+                  | Some (_, rr) -> rr := row :: !rr
+                  | None -> l := (key, ref [ row ]) :: !l)
+              | None -> Hashtbl.replace g h (ref [ (key, ref [ row ]) ])
+            end)
+          rows;
+        hsq.hs_groups <- Some g;
+        g
+  in
+  let okey = List.map (eval ctx) hsq.hs_outer_keys in
+  let candidates =
+    if List.exists Value.is_null okey then []
+    else
+      match Hashtbl.find_opt groups (group_key_hash okey) with
+      | Some l -> (
+          match List.find_opt (fun (k, _) -> group_key_equal k okey) !l with
+          | Some (_, rr) -> List.rev !rr
+          | None -> [])
+      | None -> []
+  in
+  let index = make_index hsq.hs_input_schema in
+  let fr = { index; row = [||] } in
+  let matched =
+    List.filter
+      (fun row ->
+        fr.row <- row;
+        push_frame ctx fr;
+        let ok =
+          List.for_all
+            (fun p -> bool3_of_value (eval ctx p) = Some true)
+            hsq.hs_residual
+        in
+        pop_frame ctx;
+        ok)
+      candidates
+  in
+  let replacement =
+    Xtra.Values_rel
+      {
+        rows =
+          List.map
+            (fun row -> Array.to_list (Array.map (fun v -> Xtra.Const v) row))
+            matched;
+        values_schema = hsq.hs_input_schema;
+      }
+  in
+  exec ctx (replace_rel_node hsq.hs_filter replacement rel)
+
+(* --- sorting ---------------------------------------------------------- *)
+
+and compare_with_key (k : Xtra.sort_key) a b =
+  match (a, b) with
+  | Value.Null, Value.Null -> 0
+  | Value.Null, _ -> ( match k.Xtra.nulls with Xtra.Nulls_first -> -1 | Xtra.Nulls_last -> 1)
+  | _, Value.Null -> ( match k.Xtra.nulls with Xtra.Nulls_first -> 1 | Xtra.Nulls_last -> -1)
+  | a, b -> (
+      let c = Value.compare_total a b in
+      match k.Xtra.dir with Xtra.Asc -> c | Xtra.Desc -> -c)
+
+and sort_rows ctx (schema : Xtra.schema) (keys : Xtra.sort_key list) rows =
+  let index = make_index schema in
+  let frame = { index; row = [||] } in
+  let key_values r =
+    frame.row <- r;
+    push_frame ctx frame;
+    let vs = List.map (fun (k : Xtra.sort_key) -> eval ctx k.Xtra.key) keys in
+    pop_frame ctx;
+    vs
+  in
+  let decorated = List.map (fun r -> (key_values r, r)) rows in
+  let cmp (ka, _) (kb, _) =
+    let rec go ks vas vbs =
+      match (ks, vas, vbs) with
+      | [], _, _ -> 0
+      | k :: ks, va :: vas, vb :: vbs ->
+          let c = compare_with_key k va vb in
+          if c <> 0 then c else go ks vas vbs
+      | _ -> 0
+    in
+    go keys ka kb
+  in
+  List.map snd (List.stable_sort cmp decorated)
+
+(* --- grouping helpers -------------------------------------------------- *)
+
+and group_key_hash (vs : Value.t list) =
+  List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 vs
+
+and group_key_equal a b = List.for_all2 Value.equal_group a b
+
+(* --- aggregation -------------------------------------------------------- *)
+
+and finalize_agg (a : Xtra.agg_def) (values : Value.t list) : Value.t =
+  (* [values] are the evaluated argument values in input order (empty for
+     COUNT star the list holds a placeholder per row) *)
+  let non_null = List.filter (fun v -> not (Value.is_null v)) values in
+  let non_null =
+    if a.Xtra.adistinct then
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun v ->
+          let h = Value.hash v in
+          let bucket = Hashtbl.find_all seen h in
+          if List.exists (Value.equal_group v) bucket then false
+          else begin
+            Hashtbl.add seen h v;
+            true
+          end)
+        non_null
+    else non_null
+  in
+  match a.Xtra.afunc with
+  | Xtra.Count_star -> Value.of_int (List.length values)
+  | Xtra.Count -> Value.of_int (List.length non_null)
+  | Xtra.Sum ->
+      List.fold_left
+        (fun acc v -> if Value.is_null acc then v else Value.arith Value.Add acc v)
+        Value.Null non_null
+  | Xtra.Avg -> (
+      let sum =
+        List.fold_left
+          (fun acc v -> if Value.is_null acc then v else Value.arith Value.Add acc v)
+          Value.Null non_null
+      in
+      match sum with
+      | Value.Null -> Value.Null
+      | Value.Int n ->
+          (* AVG over integers is exact, not integer division *)
+          Value.Decimal
+            (Decimal.div (Decimal.of_int64 n) (Decimal.of_int (List.length non_null)))
+      | s -> Value.arith Value.Div s (Value.of_int (List.length non_null)))
+  | Xtra.Min ->
+      List.fold_left
+        (fun acc v ->
+          if Value.is_null acc then v
+          else match Value.compare_sql v acc with Some c when c < 0 -> v | _ -> acc)
+        Value.Null non_null
+  | Xtra.Max ->
+      List.fold_left
+        (fun acc v ->
+          if Value.is_null acc then v
+          else match Value.compare_sql v acc with Some c when c > 0 -> v | _ -> acc)
+        Value.Null non_null
+
+(* --- window functions --------------------------------------------------- *)
+
+and exec_window ctx input windows =
+  let input_schema = Xtra.schema_of input in
+  let rows = exec ctx input in
+  let n_win = List.length windows in
+  let rows_arr = Array.of_list rows in
+  let n = Array.length rows_arr in
+  (* computed window values per row *)
+  let out = Array.make_matrix n n_win Value.Null in
+  let index = make_index input_schema in
+  let frame = { index; row = [||] } in
+  let eval_row r e =
+    frame.row <- r;
+    push_frame ctx frame;
+    let v = eval ctx e in
+    pop_frame ctx;
+    v
+  in
+  List.iteri
+    (fun wi ((_ : Xtra.col), (w : Xtra.window_def)) ->
+      (* partition rows *)
+      let parts : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+      let part_keys : (int, Value.t list list ref) Hashtbl.t = Hashtbl.create 16 in
+      let order = ref [] in
+      for i = n - 1 downto 0 do
+        let key = List.map (eval_row rows_arr.(i)) w.Xtra.partition in
+        let h = group_key_hash key in
+        let keys = match Hashtbl.find_opt part_keys h with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace part_keys h l;
+              l
+        in
+        (if not (List.exists (group_key_equal key) !keys) then keys := key :: !keys);
+        (* bucket index: h combined with position of key among equal-hash keys *)
+        let rec pos i = function
+          | [] -> assert false
+          | k :: _ when group_key_equal k key -> i
+          | _ :: tl -> pos (i + 1) tl
+        in
+        let bucket = (h * 97) + pos 0 !keys in
+        (match Hashtbl.find_opt parts bucket with
+        | Some l -> l := i :: !l
+        | None ->
+            let l = ref [ i ] in
+            Hashtbl.replace parts bucket l;
+            order := bucket :: !order)
+      done;
+      let buckets = List.sort_uniq compare !order in
+      List.iter
+        (fun bucket ->
+          let idxs = !(Hashtbl.find parts bucket) in
+          (* sort partition rows by the window order *)
+          let key_values i =
+            List.map (fun (k : Xtra.sort_key) -> eval_row rows_arr.(i) k.Xtra.key) w.Xtra.worder
+          in
+          let decorated = List.map (fun i -> (key_values i, i)) idxs in
+          let cmp (ka, ia) (kb, ib) =
+            let rec go ks vas vbs =
+              match (ks, vas, vbs) with
+              | [], _, _ -> Int.compare ia ib
+              | k :: ks, va :: vas, vb :: vbs ->
+                  let c = compare_with_key k va vb in
+                  if c <> 0 then c else go ks vas vbs
+              | _ -> Int.compare ia ib
+            in
+            go w.Xtra.worder ka kb
+          in
+          let sorted = List.stable_sort cmp decorated in
+          let arr = Array.of_list sorted in
+          let m = Array.length arr in
+          let peer_equal a b =
+            let rec go vas vbs ks =
+              match (vas, vbs, ks) with
+              | [], [], _ -> true
+              | va :: vas, vb :: vbs, k :: ks ->
+                  compare_with_key k va vb = 0 && go vas vbs ks
+              | _ -> true
+            in
+            go (fst arr.(a)) (fst arr.(b)) w.Xtra.worder
+          in
+          match w.Xtra.wfunc with
+          | Xtra.W_row_number ->
+              Array.iteri (fun pos (_, i) -> out.(i).(wi) <- Value.of_int (pos + 1)) arr
+          | Xtra.W_rank ->
+              let rank = ref 1 in
+              Array.iteri
+                (fun pos (_, i) ->
+                  if pos > 0 && not (peer_equal pos (pos - 1)) then rank := pos + 1;
+                  out.(i).(wi) <- Value.of_int !rank)
+                arr
+          | Xtra.W_dense_rank ->
+              let rank = ref 1 in
+              Array.iteri
+                (fun pos (_, i) ->
+                  if pos > 0 && not (peer_equal pos (pos - 1)) then incr rank;
+                  out.(i).(wi) <- Value.of_int !rank)
+                arr
+          | Xtra.W_lag | Xtra.W_lead ->
+              let value_expr, offset_expr, default_expr =
+                match w.Xtra.wargs with
+                | [ e ] -> (e, None, None)
+                | [ e; o ] -> (e, Some o, None)
+                | [ e; o; d ] -> (e, Some o, Some d)
+                | _ -> Sql_error.execution_error "LAG/LEAD take 1 to 3 arguments"
+              in
+              Array.iteri
+                (fun pos (_, i) ->
+                  let offset =
+                    match offset_expr with
+                    | None -> 1
+                    | Some o -> (
+                        match eval_row rows_arr.(i) o with
+                        | Value.Int k -> Int64.to_int k
+                        | v ->
+                            Sql_error.execution_error
+                              "LAG/LEAD offset must be an integer, got %s"
+                              (Value.to_string v))
+                  in
+                  let src =
+                    if w.Xtra.wfunc = Xtra.W_lag then pos - offset
+                    else pos + offset
+                  in
+                  out.(i).(wi) <-
+                    (if src >= 0 && src < m then
+                       let _, j = arr.(src) in
+                       eval_row rows_arr.(j) value_expr
+                     else
+                       match default_expr with
+                       | Some d -> eval_row rows_arr.(i) d
+                       | None -> Value.Null))
+                arr
+          | Xtra.W_first_value | Xtra.W_last_value ->
+              let value_expr =
+                match w.Xtra.wargs with
+                | [ e ] -> e
+                | _ ->
+                    Sql_error.execution_error
+                      "FIRST_VALUE/LAST_VALUE take one argument"
+              in
+              (* whole-partition semantics *)
+              let src = if w.Xtra.wfunc = Xtra.W_first_value then 0 else m - 1 in
+              let _, j = arr.(src) in
+              let v = eval_row rows_arr.(j) value_expr in
+              Array.iter (fun (_, i) -> out.(i).(wi) <- v) arr
+          | Xtra.W_agg afunc ->
+              (* frame boundaries per row *)
+              let arg_of i =
+                match w.Xtra.wargs with
+                | [ e ] -> eval_row rows_arr.(i) e
+                | [] -> Value.Bool true (* COUNT star placeholder *)
+                | _ -> Sql_error.execution_error "window aggregate takes one argument"
+              in
+              let default_frame =
+                if w.Xtra.worder = [] then
+                  { Xtra.frame_unit = `Range; frame_start = Xtra.Unbounded_preceding; frame_end = Xtra.Unbounded_following }
+                else
+                  { Xtra.frame_unit = `Range; frame_start = Xtra.Unbounded_preceding; frame_end = Xtra.Current_row }
+              in
+              let fr = Option.value w.Xtra.wframe ~default:default_frame in
+              for pos = 0 to m - 1 do
+                let lo, hi =
+                  match fr.Xtra.frame_unit with
+                  | `Rows ->
+                      let bound_pos = function
+                        | Xtra.Unbounded_preceding -> 0
+                        | Xtra.Preceding k -> max 0 (pos - k)
+                        | Xtra.Current_row -> pos
+                        | Xtra.Following k -> min (m - 1) (pos + k)
+                        | Xtra.Unbounded_following -> m - 1
+                      in
+                      (bound_pos fr.Xtra.frame_start, bound_pos fr.Xtra.frame_end)
+                  | `Range ->
+                      (* peers extension: only UNBOUNDED/CURRENT supported *)
+                      let lo =
+                        match fr.Xtra.frame_start with
+                        | Xtra.Unbounded_preceding -> 0
+                        | Xtra.Current_row ->
+                            let rec back p = if p > 0 && peer_equal p (p - 1) then back (p - 1) else p in
+                            back pos
+                        | _ ->
+                            Sql_error.execution_error
+                              "RANGE frames support only UNBOUNDED/CURRENT bounds"
+                      in
+                      let hi =
+                        match fr.Xtra.frame_end with
+                        | Xtra.Unbounded_following -> m - 1
+                        | Xtra.Current_row ->
+                            let rec fwd p = if p < m - 1 && peer_equal p (p + 1) then fwd (p + 1) else p in
+                            fwd pos
+                        | _ ->
+                            Sql_error.execution_error
+                              "RANGE frames support only UNBOUNDED/CURRENT bounds"
+                      in
+                      (lo, hi)
+                in
+                let values = ref [] in
+                for q = hi downto lo do
+                  let _, i = arr.(q) in
+                  values := arg_of i :: !values
+                done;
+                let values =
+                  if afunc = Xtra.Count_star then !values
+                  else List.filter (fun v -> not (Value.is_null v)) !values
+                  |> fun l -> if afunc = Xtra.Count_star then !values else l
+                in
+                let _, i = arr.(pos) in
+                out.(i).(wi) <-
+                  finalize_agg
+                    { Xtra.afunc; adistinct = false; aarg = None }
+                    values
+              done)
+        buckets)
+    windows;
+  (* append window columns in original row order *)
+  List.mapi
+    (fun i r -> Array.append r out.(i))
+    (Array.to_list rows_arr)
+
+(* --- joins -------------------------------------------------------------- *)
+
+and scalar_col_ids s =
+  let ids = ref [] in
+  ignore
+    (Xtra.map_scalar
+       (fun x ->
+         (match x with Xtra.Col_ref c -> ids := c.Xtra.id :: !ids | _ -> ());
+         x)
+       s);
+  !ids
+
+and split_conjuncts = function
+  | Xtra.Logic_and (a, b) -> split_conjuncts a @ split_conjuncts b
+  | s -> [ s ]
+
+and exec_join ctx kind left right pred =
+  let lschema = Xtra.schema_of left and rschema = Xtra.schema_of right in
+  let lids = List.map (fun (c : Xtra.col) -> c.Xtra.id) lschema in
+  let rids = List.map (fun (c : Xtra.col) -> c.Xtra.id) rschema in
+  let lrows = exec ctx left and rrows = exec ctx right in
+  let lindex = make_index lschema and rindex = make_index rschema in
+  let rwidth = List.length rschema and lwidth = List.length lschema in
+  let null_right = Array.make rwidth Value.Null in
+  let null_left = Array.make lwidth Value.Null in
+  (* split the predicate into hashable equi-conjuncts and a residual *)
+  let conjuncts = match pred with Some p -> split_conjuncts p | None -> [] in
+  let subset ids of_ids = List.for_all (fun i -> List.mem i of_ids) ids in
+  let equi, residual =
+    List.partition_map
+      (fun c ->
+        match c with
+        | Xtra.Cmp (Xtra.Eq, a, b)
+          when subset (scalar_col_ids a) lids && subset (scalar_col_ids b) rids ->
+            Left (a, b)
+        | Xtra.Cmp (Xtra.Eq, a, b)
+          when subset (scalar_col_ids b) lids && subset (scalar_col_ids a) rids ->
+            Left (b, a)
+        | c -> Right c)
+      conjuncts
+  in
+  let lframe = { index = lindex; row = [||] } in
+  let rframe = { index = rindex; row = [||] } in
+  let eval_with2 lrow rrow e =
+    lframe.row <- lrow;
+    rframe.row <- rrow;
+    push_frame ctx lframe;
+    push_frame ctx rframe;
+    let v = eval ctx e in
+    pop_frame ctx;
+    pop_frame ctx;
+    v
+  in
+  let residual_ok lrow rrow =
+    List.for_all
+      (fun c -> bool3_of_value (eval_with2 lrow rrow c) = Some true)
+      residual
+  in
+  let emit lrow rrow = Array.append lrow rrow in
+  match kind with
+  | Xtra.Cross ->
+      List.concat_map
+        (fun lrow ->
+          List.filter_map
+            (fun rrow ->
+              if residual_ok lrow rrow && (pred = None || equi = [])
+                 || (equi <> []
+                     && List.for_all
+                          (fun (a, b) ->
+                            eval_cmp Xtra.Eq (eval_with2 lrow null_right a)
+                              (eval_with2 null_left rrow b)
+                            = Some true)
+                          equi
+                     && residual_ok lrow rrow)
+              then Some (emit lrow rrow)
+              else None)
+            rrows)
+        lrows
+  | Xtra.Inner | Xtra.Left_outer | Xtra.Right_outer | Xtra.Full_outer ->
+      if equi <> [] then begin
+        (* hash join *)
+        let hash : (int, (Value.t list * row) list ref) Hashtbl.t =
+          Hashtbl.create (List.length rrows * 2)
+        in
+        List.iter
+          (fun rrow ->
+            let key = List.map (fun (_, b) -> eval_with2 null_left rrow b) equi in
+            if not (List.exists Value.is_null key) then begin
+              let h = group_key_hash key in
+              match Hashtbl.find_opt hash h with
+              | Some l -> l := (key, rrow) :: !l
+              | None -> Hashtbl.replace hash h (ref [ (key, rrow) ])
+            end)
+          rrows;
+        let right_matched = Hashtbl.create 64 in
+        List.iter (fun rrow -> Hashtbl.replace right_matched (Obj.repr rrow) false) rrows;
+        let out = ref [] in
+        List.iter
+          (fun lrow ->
+            let key = List.map (fun (a, _) -> eval_with2 lrow null_right a) equi in
+            let matches =
+              if List.exists Value.is_null key then []
+              else
+                match Hashtbl.find_opt hash (group_key_hash key) with
+                | Some l ->
+                    List.filter_map
+                      (fun (k, rrow) ->
+                        if group_key_equal k key && residual_ok lrow rrow then
+                          Some rrow
+                        else None)
+                      !l
+                | None -> []
+            in
+            if matches = [] then begin
+              if kind = Xtra.Left_outer || kind = Xtra.Full_outer then
+                out := emit lrow null_right :: !out
+            end
+            else
+              List.iter
+                (fun rrow ->
+                  Hashtbl.replace right_matched (Obj.repr rrow) true;
+                  out := emit lrow rrow :: !out)
+                matches)
+          lrows;
+        if kind = Xtra.Right_outer || kind = Xtra.Full_outer then
+          List.iter
+            (fun rrow ->
+              if Hashtbl.find_opt right_matched (Obj.repr rrow) <> Some true then
+                out := emit null_left rrow :: !out)
+            rrows;
+        List.rev !out
+      end
+      else begin
+        (* nested loop with matched tracking *)
+        let pred_ok lrow rrow =
+          match pred with
+          | None -> true
+          | Some p -> bool3_of_value (eval_with2 lrow rrow p) = Some true
+        in
+        let right_matched = Array.make (List.length rrows) false in
+        let rarr = Array.of_list rrows in
+        let out = ref [] in
+        List.iter
+          (fun lrow ->
+            let matched = ref false in
+            Array.iteri
+              (fun j rrow ->
+                if pred_ok lrow rrow then begin
+                  matched := true;
+                  right_matched.(j) <- true;
+                  out := emit lrow rrow :: !out
+                end)
+              rarr;
+            if (not !matched) && (kind = Xtra.Left_outer || kind = Xtra.Full_outer)
+            then out := emit lrow null_right :: !out)
+          lrows;
+        if kind = Xtra.Right_outer || kind = Xtra.Full_outer then
+          Array.iteri
+            (fun j rrow ->
+              if not right_matched.(j) then out := emit null_left rrow :: !out)
+            rarr;
+        List.rev !out
+      end
+
+(* --- relational execution ------------------------------------------------ *)
+
+and exec ctx (r : Xtra.rel) : row list =
+  match r with
+  | Xtra.Get { table; table_schema; _ } ->
+      let rows = Storage.scan ctx.storage table in
+      let width = List.length table_schema in
+      List.map
+        (fun row ->
+          if Array.length row = width then row
+          else Sql_error.internal_error "width mismatch scanning %s" table)
+        rows
+  | Xtra.Values_rel { rows; _ } ->
+      List.map (fun exprs -> Array.of_list (List.map (eval ctx) exprs)) rows
+  | Xtra.Filter { input; pred } ->
+      let schema = Xtra.schema_of input in
+      let index = make_index schema in
+      let frame = { index; row = [||] } in
+      List.filter
+        (fun row ->
+          frame.row <- row;
+          push_frame ctx frame;
+          let keep = bool3_of_value (eval ctx pred) = Some true in
+          pop_frame ctx;
+          keep)
+        (exec ctx input)
+  | Xtra.Project { input; proj } ->
+      let schema = Xtra.schema_of input in
+      let index = make_index schema in
+      let frame = { index; row = [||] } in
+      List.map
+        (fun row ->
+          frame.row <- row;
+          push_frame ctx frame;
+          let out = Array.of_list (List.map (fun (_, e) -> eval ctx e) proj) in
+          pop_frame ctx;
+          out)
+        (exec ctx input)
+  | Xtra.Join { kind; left; right; pred } -> exec_join ctx kind left right pred
+  | Xtra.Aggregate { grouping_sets = Some _; _ } ->
+      Sql_error.internal_error
+        "grouping sets must be expanded before reaching the engine"
+  | Xtra.Aggregate { input; group_by; aggs; grouping_sets = None } ->
+      let schema = Xtra.schema_of input in
+      let index = make_index schema in
+      let frame = { index; row = [||] } in
+      let rows = exec ctx input in
+      let with_frame row f =
+        frame.row <- row;
+        push_frame ctx frame;
+        let v = f () in
+        pop_frame ctx;
+        v
+      in
+      if group_by = [] then begin
+        (* global aggregate: exactly one output row *)
+        let agg_values =
+          List.map
+            (fun (_, (a : Xtra.agg_def)) ->
+              let vals =
+                List.map
+                  (fun row ->
+                    with_frame row (fun () ->
+                        match a.Xtra.aarg with
+                        | Some e -> eval ctx e
+                        | None -> Value.Bool true))
+                  rows
+              in
+              finalize_agg a vals)
+            aggs
+        in
+        [ Array.of_list agg_values ]
+      end
+      else begin
+        let groups : (int, (Value.t list * row list ref) list ref) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let order = ref [] in
+        List.iter
+          (fun row ->
+            let key =
+              with_frame row (fun () -> List.map (fun (_, e) -> eval ctx e) group_by)
+            in
+            let h = group_key_hash key in
+            match Hashtbl.find_opt groups h with
+            | Some l -> (
+                match List.find_opt (fun (k, _) -> group_key_equal k key) !l with
+                | Some (_, rows_ref) -> rows_ref := row :: !rows_ref
+                | None ->
+                    let rref = ref [ row ] in
+                    l := (key, rref) :: !l;
+                    order := (key, rref) :: !order)
+            | None ->
+                let rref = ref [ row ] in
+                Hashtbl.replace groups h (ref [ (key, rref) ]);
+                order := (key, rref) :: !order)
+          rows;
+        List.rev_map
+          (fun (key, rows_ref) ->
+            let grows = List.rev !rows_ref in
+            let agg_values =
+              List.map
+                (fun (_, (a : Xtra.agg_def)) ->
+                  let vals =
+                    List.map
+                      (fun row ->
+                        with_frame row (fun () ->
+                            match a.Xtra.aarg with
+                            | Some e -> eval ctx e
+                            | None -> Value.Bool true))
+                      grows
+                  in
+                  finalize_agg a vals)
+                aggs
+            in
+            Array.of_list (key @ agg_values))
+          !order
+      end
+  | Xtra.Window { input; windows } -> exec_window ctx input windows
+  | Xtra.Sort { input; sort_keys } ->
+      sort_rows ctx (Xtra.schema_of input) sort_keys (exec ctx input)
+  | Xtra.Limit { input; count; offset; with_ties; percent } ->
+      if with_ties || percent then
+        Sql_error.internal_error
+          "TOP WITH TIES/PERCENT must be expanded before reaching the engine";
+      let rows = exec ctx input in
+      let eval_int = function
+        | None -> None
+        | Some e -> (
+            match eval ctx e with
+            | Value.Int n -> Some (Int64.to_int n)
+            | Value.Decimal d -> Some (Int64.to_int (Decimal.to_int64 d))
+            | v ->
+                Sql_error.execution_error "LIMIT expects an integer, got %s"
+                  (Value.to_string v))
+      in
+      let off = Option.value (eval_int offset) ~default:0 in
+      let cnt = eval_int count in
+      let rec drop n = function
+        | l when n <= 0 -> l
+        | [] -> []
+        | _ :: tl -> drop (n - 1) tl
+      in
+      let rec take n = function
+        | _ when n = 0 -> []
+        | [] -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      let rows = drop off rows in
+      (match cnt with Some n -> take (max 0 n) rows | None -> rows)
+  | Xtra.Distinct { input } ->
+      let seen : (int, Value.t list list ref) Hashtbl.t = Hashtbl.create 64 in
+      List.filter
+        (fun row ->
+          let key = Array.to_list row in
+          let h = group_key_hash key in
+          match Hashtbl.find_opt seen h with
+          | Some l ->
+              if List.exists (group_key_equal key) !l then false
+              else begin
+                l := key :: !l;
+                true
+              end
+          | None ->
+              Hashtbl.replace seen h (ref [ key ]);
+              true)
+        (exec ctx input)
+  | Xtra.Set_operation { op; all; left; right } -> (
+      let lrows = exec ctx left and rrows = exec ctx right in
+      let dedup rows =
+        let seen : (int, Value.t list list ref) Hashtbl.t = Hashtbl.create 64 in
+        List.filter
+          (fun row ->
+            let key = Array.to_list row in
+            let h = group_key_hash key in
+            match Hashtbl.find_opt seen h with
+            | Some l ->
+                if List.exists (group_key_equal key) !l then false
+                else begin
+                  l := key :: !l;
+                  true
+                end
+            | None ->
+                Hashtbl.replace seen h (ref [ key ]);
+                true)
+          rows
+      in
+      let contains rows row =
+        let key = Array.to_list row in
+        List.exists (fun r -> group_key_equal (Array.to_list r) key) rows
+      in
+      match (op, all) with
+      | Xtra.Union, true -> lrows @ rrows
+      | Xtra.Union, false -> dedup (lrows @ rrows)
+      | Xtra.Intersect, false ->
+          dedup (List.filter (contains rrows) lrows)
+      | Xtra.Intersect, true ->
+          (* bag intersect: multiplicity = min of the two sides *)
+          let remaining = ref rrows in
+          List.filter
+            (fun l ->
+              let rec remove acc = function
+                | [] -> None
+                | r :: tl ->
+                    if group_key_equal (Array.to_list r) (Array.to_list l) then
+                      Some (List.rev_append acc tl)
+                    else remove (r :: acc) tl
+              in
+              match remove [] !remaining with
+              | Some rest ->
+                  remaining := rest;
+                  true
+              | None -> false)
+            lrows
+      | Xtra.Except, false ->
+          dedup (List.filter (fun l -> not (contains rrows l)) lrows)
+      | Xtra.Except, true ->
+          let remaining = ref rrows in
+          List.filter
+            (fun l ->
+              let rec remove acc = function
+                | [] -> None
+                | r :: tl ->
+                    if group_key_equal (Array.to_list r) (Array.to_list l) then
+                      Some (List.rev_append acc tl)
+                    else remove (r :: acc) tl
+              in
+              match remove [] !remaining with
+              | Some rest ->
+                  remaining := rest;
+                  false
+              | None -> true)
+            lrows)
+  | Xtra.Cte_ref { cte_name; _ } -> (
+      match List.assoc_opt (String.uppercase_ascii cte_name) ctx.ctes with
+      | Some rows -> rows
+      | None -> Sql_error.execution_error "unknown CTE %s" cte_name)
+  | Xtra.With_cte { ctes; cte_recursive = false; body } ->
+      let saved = ctx.ctes in
+      List.iter
+        (fun (name, rel) ->
+          let rows = exec ctx rel in
+          ctx.ctes <- (String.uppercase_ascii name, rows) :: ctx.ctes)
+        ctes;
+      let rows = exec ctx body in
+      ctx.ctes <- saved;
+      rows
+  | Xtra.With_cte { ctes = [ (name, rel) ]; cte_recursive = true; body } -> (
+      match rel with
+      | Xtra.Set_operation { op = Xtra.Union; all = true; left = seed; right = step }
+        ->
+          let name = String.uppercase_ascii name in
+          let saved = ctx.ctes in
+          let acc = ref (exec ctx seed) in
+          let delta = ref !acc in
+          let iterations = ref 0 in
+          while !delta <> [] do
+            incr iterations;
+            if !iterations > 100_000 then
+              Sql_error.execution_error "recursive query exceeded iteration limit";
+            ctx.ctes <- (name, !delta) :: saved;
+            (* clear memoized subquery results that depend on the CTE *)
+            ctx.subquery_cache <- [];
+            let next = exec ctx step in
+            delta := next;
+            acc := !acc @ next
+          done;
+          ctx.ctes <- (name, !acc) :: saved;
+          ctx.subquery_cache <- [];
+          let rows = exec ctx body in
+          ctx.ctes <- saved;
+          rows
+      | _ ->
+          Sql_error.execution_error
+            "recursive CTE must be <seed> UNION ALL <recursive step>")
+  | Xtra.With_cte { cte_recursive = true; _ } ->
+      Sql_error.execution_error "multiple recursive CTEs are not supported"

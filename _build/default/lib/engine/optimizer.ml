@@ -1,0 +1,147 @@
+(** Minimal logical optimizer for the engine: filter pushdown.
+
+    The binder renders comma-style FROM lists (and Teradata implicit joins)
+    as cross joins under a Filter. Executing that literally would
+    materialize the full Cartesian product, so this pass pushes filter
+    conjuncts down into the join tree: single-side conjuncts move below the
+    join, two-side conjuncts become the join predicate (turning the cross
+    join into an inner join the executor can hash). Only Cross/Inner joins
+    are rewritten — pushing through outer joins changes semantics. *)
+
+module Xtra = Hyperq_xtra.Xtra
+
+let rec split_conjuncts = function
+  | Xtra.Logic_and (a, b) -> split_conjuncts a @ split_conjuncts b
+  | s -> [ s ]
+
+let conj = function
+  | [] -> None
+  | x :: xs -> Some (List.fold_left (fun a b -> Xtra.Logic_and (a, b)) x xs)
+
+(* All column ids a scalar references, including references made inside
+   nested subquery rels (a correlated subquery must keep its outer columns
+   in scope, so such conjuncts cannot be pushed below a join that would
+   remove them). *)
+let scalar_ids s =
+  let ids = ref [] in
+  let rec rel_ids r =
+    ignore
+      (Xtra.rewrite
+         ~frel:(fun x -> x)
+         ~fscalar:(fun x ->
+           (match x with Xtra.Col_ref c -> ids := c.Xtra.id :: !ids | _ -> ());
+           x)
+         r)
+  and scan s =
+    ignore
+      (Xtra.map_scalar
+         (fun x ->
+           (match x with
+           | Xtra.Col_ref c -> ids := c.Xtra.id :: !ids
+           | Xtra.Scalar_subquery q | Xtra.Exists q -> rel_ids q
+           | Xtra.In_subquery { subquery; _ } | Xtra.Quantified { subquery; _ } ->
+               rel_ids subquery
+           | _ -> ());
+           x)
+         s)
+  in
+  scan s;
+  !ids
+
+let subset ids of_ids = List.for_all (fun i -> List.mem i of_ids) ids
+
+let rec split_disjuncts = function
+  | Xtra.Logic_or (a, b) -> split_disjuncts a @ split_disjuncts b
+  | s -> [ s ]
+
+(* Factor conjuncts common to every disjunct out of an OR — TPC-H Q19's
+   shape, where each branch repeats the join predicate. Turns
+   [(j AND p1) OR (j AND p2)] into [j AND (p1 OR p2)] so the join predicate
+   becomes hashable. *)
+let factor_common_or s =
+  match split_disjuncts s with
+  | [] | [ _ ] -> [ s ]
+  | first :: rest ->
+      let branch_conjuncts = List.map split_conjuncts (first :: rest) in
+      let common =
+        List.filter
+          (fun c -> List.for_all (fun b -> List.mem c b) branch_conjuncts)
+          (List.hd branch_conjuncts)
+      in
+      if common = [] then [ s ]
+      else
+        let strip b = List.filter (fun c -> not (List.mem c common)) b in
+        let rebuilt =
+          List.map
+            (fun b ->
+              match strip b with
+              | [] -> Xtra.Const (Hyperq_sqlvalue.Value.Bool true)
+              | x :: xs -> List.fold_left (fun a c -> Xtra.Logic_and (a, c)) x xs)
+            branch_conjuncts
+        in
+        let ored =
+          match rebuilt with
+          | x :: xs -> List.fold_left (fun a b -> Xtra.Logic_or (a, b)) x xs
+          | [] -> assert false
+        in
+        common @ [ ored ]
+
+(* Push [conjuncts] into [rel]; returns the rewritten rel plus the conjuncts
+   that could not be pushed (correlated or schema-external references stay
+   with the caller). *)
+let rec push rel conjuncts =
+  match rel with
+  | Xtra.Join { kind = (Xtra.Cross | Xtra.Inner) as kind; left; right; pred } ->
+      let lids = List.map (fun (c : Xtra.col) -> c.Xtra.id) (Xtra.schema_of left) in
+      let rids = List.map (fun (c : Xtra.col) -> c.Xtra.id) (Xtra.schema_of right) in
+      let pred_conjuncts =
+        match pred with Some p -> split_conjuncts p | None -> []
+      in
+      let all =
+        List.concat_map factor_common_or (conjuncts @ pred_conjuncts)
+      in
+      let to_left, rest =
+        List.partition (fun c -> subset (scalar_ids c) lids) all
+      in
+      let to_right, rest =
+        List.partition (fun c -> subset (scalar_ids c) rids) rest
+      in
+      let joinable, residual =
+        List.partition (fun c -> subset (scalar_ids c) (lids @ rids)) rest
+      in
+      let left = apply left to_left in
+      let right = apply right to_right in
+      let kind = if joinable = [] then kind else Xtra.Inner in
+      (Xtra.Join { kind; left; right; pred = conj joinable }, residual)
+  | Xtra.Filter { input; pred } -> push input (conjuncts @ split_conjuncts pred)
+  | rel -> (rel, conjuncts)
+
+and apply rel conjuncts =
+  let rel, residual = push rel conjuncts in
+  match conj residual with
+  | None -> rel
+  | Some p -> Xtra.Filter { input = rel; pred = p }
+
+(* Rewrite every Filter/Join region in the tree (including subquery rels
+   hanging off scalars). *)
+let optimize_rel rel =
+  Xtra.rewrite
+    ~frel:(fun r ->
+      match r with
+      | Xtra.Filter { input = Xtra.Join _; _ }
+      | Xtra.Filter { input = Xtra.Filter _; _ } ->
+          apply r []
+      | r -> r)
+    ~fscalar:(fun s -> s)
+    rel
+
+let optimize_statement st =
+  Xtra.rewrite_statement
+    ~frel:(fun r ->
+      match r with
+      | Xtra.Filter { input = Xtra.Join _; _ }
+      | Xtra.Filter { input = Xtra.Filter _; _ } ->
+          apply r []
+      | r -> r)
+    ~fscalar:(fun s -> s)
+    st

@@ -1,0 +1,18 @@
+(** Minimal logical optimizer for the engine: filter pushdown.
+
+    Comma-style FROM lists (and Teradata implicit joins) bind as cross joins
+    under a Filter; this pass pushes single-side conjuncts below the join
+    and turns two-side equi-conjuncts into hashable inner-join predicates.
+    Conjuncts common to every OR branch are factored out first (the TPC-H
+    Q19 shape). Outer joins are never rewritten. *)
+
+module Xtra = Hyperq_xtra.Xtra
+
+val split_conjuncts : Xtra.scalar -> Xtra.scalar list
+val split_disjuncts : Xtra.scalar -> Xtra.scalar list
+
+(** [(j AND p1) OR (j AND p2)] → [[j; (p1 OR p2)]]. *)
+val factor_common_or : Xtra.scalar -> Xtra.scalar list
+
+val optimize_rel : Xtra.rel -> Xtra.rel
+val optimize_statement : Xtra.statement -> Xtra.statement

@@ -1,0 +1,113 @@
+(** Row storage for the in-memory analytical engine.
+
+    The engine plays the role of the paper's target cloud data warehouse.
+    Tables are mutable vectors of value arrays; a coarse snapshot mechanism
+    backs BEGIN/COMMIT/ROLLBACK (adequate for the single-writer analytical
+    workloads the paper evaluates). *)
+
+open Hyperq_sqlvalue
+
+type row = Value.t array
+
+type table_data = {
+  mutable rows : row list;  (** newest first; [scan] reverses *)
+  mutable count : int;
+  dedup : bool;  (** SET-table semantics: reject duplicate rows *)
+  temporary : bool;
+}
+
+type t = {
+  tables : (string, table_data) Hashtbl.t;
+  mutable snapshot : (string * table_data) list option;
+      (** saved table contents while a transaction is open *)
+}
+
+let create () = { tables = Hashtbl.create 32; snapshot = None }
+
+let key = String.uppercase_ascii
+
+let create_table t ?(dedup = false) ?(temporary = false) name =
+  Hashtbl.replace t.tables (key name)
+    { rows = []; count = 0; dedup; temporary }
+
+let drop_table t name = Hashtbl.remove t.tables (key name)
+
+let rename_table t ~from_name ~to_name =
+  match Hashtbl.find_opt t.tables (key from_name) with
+  | None -> Sql_error.execution_error "table %s has no storage" from_name
+  | Some data ->
+      Hashtbl.remove t.tables (key from_name);
+      Hashtbl.replace t.tables (key to_name) data
+
+let find t name = Hashtbl.find_opt t.tables (key name)
+
+let get t name =
+  match find t name with
+  | Some d -> d
+  | None -> Sql_error.execution_error "table %s has no storage" name
+
+(** Rows in insertion order. *)
+let scan t name = List.rev (get t name).rows
+
+let row_equal (a : row) (b : row) =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (Value.equal_group a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+(** Insert rows, honouring SET-table deduplication. Returns the number of
+    rows actually inserted. *)
+let insert t name new_rows =
+  let d = get t name in
+  let inserted = ref 0 in
+  List.iter
+    (fun r ->
+      if d.dedup && List.exists (row_equal r) d.rows then ()
+      else begin
+        d.rows <- r :: d.rows;
+        d.count <- d.count + 1;
+        incr inserted
+      end)
+    new_rows;
+  !inserted
+
+(** Replace the full contents (used by UPDATE/DELETE). *)
+let replace_rows t name rows =
+  let d = get t name in
+  d.rows <- List.rev rows;
+  d.count <- List.length rows
+
+let row_count t name = (get t name).count
+
+(* --- transactions --------------------------------------------------- *)
+
+let begin_tx t =
+  if t.snapshot <> None then
+    Sql_error.execution_error "nested transactions are not supported";
+  t.snapshot <-
+    Some
+      (Hashtbl.fold
+         (fun name d acc -> (name, { d with rows = d.rows }) :: acc)
+         t.tables [])
+
+let commit_tx t = t.snapshot <- None
+
+let rollback_tx t =
+  match t.snapshot with
+  | None -> ()
+  | Some saved ->
+      Hashtbl.reset t.tables;
+      List.iter (fun (name, d) -> Hashtbl.replace t.tables name d) saved;
+      t.snapshot <- None
+
+let in_tx t = t.snapshot <> None
+
+(** Drop all session-scoped (temporary) tables; returns their names. *)
+let drop_temporaries t =
+  let temps =
+    Hashtbl.fold (fun name d acc -> if d.temporary then name :: acc else acc) t.tables []
+  in
+  List.iter (Hashtbl.remove t.tables) temps;
+  temps

@@ -1,0 +1,1 @@
+lib/serialize/serializer.ml: Buffer Dtype Hyperq_sqlvalue Hyperq_transform Hyperq_xtra Int64 Interval List Option Printf Sql_error String Value

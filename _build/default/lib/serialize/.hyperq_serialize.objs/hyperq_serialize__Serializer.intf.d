@@ -1,0 +1,1 @@
+lib/serialize/serializer.mli: Hyperq_transform Hyperq_xtra

@@ -1,0 +1,19 @@
+(** Serializer: XTRA → target-dialect SQL (paper §4.4).
+
+    "Each target database has its own Serializer implementation [sharing] a
+    common interface: the input is an XTRA expression, and the output is the
+    serialized SQL statement." Per-target differences (function names, type
+    names, QUALIFY availability, date-arithmetic spelling) come from the
+    {!Hyperq_transform.Capability.t} profile; one structural emitter handles
+    every target, "decompiling" the operator tree into nested SELECT blocks
+    and merging operators into a single block where SQL allows. *)
+
+(** Serialize one statement for the given target. Raises
+    [Capability_gap] when the statement needs emulation on that target
+    (e.g. MERGE on a target without it). *)
+val serialize :
+  cap:Hyperq_transform.Capability.t -> Hyperq_xtra.Xtra.statement -> string
+
+(** Serialize a bare relational expression to a SELECT. *)
+val render_query :
+  cap:Hyperq_transform.Capability.t -> Hyperq_xtra.Xtra.rel -> string

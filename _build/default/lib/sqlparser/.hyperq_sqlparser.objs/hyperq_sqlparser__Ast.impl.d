@@ -1,0 +1,1 @@
+lib/sqlparser/ast.ml: Int64

@@ -1,0 +1,1 @@
+lib/sqlparser/lexer.ml: Buffer Hyperq_sqlvalue Int64 List Printf Sql_error String Token

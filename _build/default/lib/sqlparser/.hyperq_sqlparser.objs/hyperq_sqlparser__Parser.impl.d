@@ -1,0 +1,1 @@
+lib/sqlparser/parser.ml: Array Ast Dialect Hyperq_sqlvalue Int64 Lexer List Option Printf Sql_error String Token

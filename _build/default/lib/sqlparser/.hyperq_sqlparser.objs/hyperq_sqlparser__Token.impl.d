@@ -1,0 +1,1 @@
+lib/sqlparser/token.ml: Int64 Printf

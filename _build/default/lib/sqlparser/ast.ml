@@ -1,0 +1,363 @@
+(** Abstract syntax trees produced by the dialect-parametrized parser.
+
+    Mirroring the paper (§5.1, Figure 4), the AST mixes *generic* nodes that
+    capture ANSI constructs with *vendor-specific* nodes (the [Td_*]
+    constructors and fields such as [qualify]) that capture Teradata
+    extensions. The binder either lowers vendor nodes into plain XTRA
+    (QUALIFY, named expressions, ...) or routes them to emulation. *)
+
+type ident = string
+
+(* A possibly-qualified name, outermost qualifier first:
+   ["db"; "t"] or ["t"; "c"] or just ["c"]. *)
+type qualified = ident list
+
+type order_dir = Asc | Desc
+type nulls_order = Nulls_default | Nulls_first | Nulls_last
+
+type datetime_field = Year | Month | Day | Hour | Minute | Second
+
+type interval_unit =
+  | Iu_year
+  | Iu_month
+  | Iu_day
+  | Iu_hour
+  | Iu_minute
+  | Iu_second
+
+type literal =
+  | L_int of int64
+  | L_decimal of string  (** exact text; the binder builds the Decimal *)
+  | L_float of float
+  | L_string of string
+  | L_null
+  | L_date of string  (** DATE 'yyyy-mm-dd' *)
+  | L_time of string
+  | L_timestamp of string
+  | L_interval of string * interval_unit  (** INTERVAL '3' DAY *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Modulo
+  | Concat
+  | Eq
+  | Neq
+  | Lt
+  | Lte
+  | Gt
+  | Gte
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type cmpop = Ceq | Cneq | Clt | Clte | Cgt | Cgte
+type quantifier = Any | All
+
+type type_name =
+  | Ty_int  (** INTEGER/BIGINT/SMALLINT/BYTEINT *)
+  | Ty_float
+  | Ty_decimal of int * int
+  | Ty_char of int option
+  | Ty_varchar of int option
+  | Ty_date
+  | Ty_time
+  | Ty_timestamp
+  | Ty_interval of interval_unit
+  | Ty_period of [ `Date | `Timestamp ]
+  | Ty_byte of int option
+
+type expr =
+  | E_lit of literal
+  | E_column of qualified
+  | E_param of int  (** positional parameter [?], 1-based *)
+  | E_binop of binop * expr * expr
+  | E_unop of unop * expr
+  | E_fun of { name : ident; distinct : bool; args : expr list; star : bool }
+      (** scalar or aggregate call; [star] for [COUNT( * )] *)
+  | E_cast of expr * type_name
+  | E_extract of datetime_field * expr
+  | E_case of {
+      operand : expr option;
+      branches : (expr * expr) list;
+      else_branch : expr option;
+    }
+  | E_in of { lhs : expr; negated : bool; rhs : in_rhs }
+  | E_between of { arg : expr; low : expr; high : expr; negated : bool }
+  | E_like of { arg : expr; pattern : expr; escape : expr option; negated : bool }
+  | E_is_null of expr * bool  (** bool = negated (IS NOT NULL) *)
+  | E_exists of query
+  | E_scalar_subquery of query
+  | E_quantified of {
+      lhs : expr list;  (** vector comparison when length > 1 (Teradata) *)
+      op : cmpop;
+      quant : quantifier;
+      subquery : query;
+    }
+  | E_tuple of expr list  (** row-value constructor *)
+  | E_window of {
+      func : ident;
+      args : expr list;
+      partition : expr list;
+      order : order_item list;
+      frame : frame option;
+    }
+  | E_td_rank of order_item list
+      (** Teradata [RANK(AMOUNT DESC)]: order spec passed as an argument
+          instead of an OVER clause *)
+
+and in_rhs = In_list of expr list | In_subquery of query
+
+and order_item = { sort_expr : expr; dir : order_dir; nulls : nulls_order }
+
+and frame = {
+  frame_unit : [ `Rows | `Range ];
+  frame_start : frame_bound;
+  frame_end : frame_bound option;
+}
+
+and frame_bound =
+  | Unbounded_preceding
+  | Preceding of expr
+  | Current_row
+  | Following of expr
+  | Unbounded_following
+
+and select_item =
+  | Sel_star of qualified option  (** [*] or [t.*] *)
+  | Sel_expr of expr * ident option  (** expression with optional alias *)
+
+and group_item =
+  | Group_expr of expr  (** includes ordinals, resolved by the binder *)
+  | Group_rollup of expr list
+  | Group_cube of expr list
+  | Group_sets of expr list list
+
+and table_ref =
+  | T_named of { name : qualified; alias : ident option; col_aliases : ident list }
+  | T_subquery of { query : query; alias : ident; col_aliases : ident list }
+  | T_join of {
+      kind : join_kind;
+      left : table_ref;
+      right : table_ref;
+      cond : join_cond;
+    }
+
+and join_kind = Inner | Left | Right | Full | Cross
+
+and join_cond = On of expr | Using of ident list | No_cond
+
+and select = {
+  distinct : bool;
+  top : top option;  (** Teradata TOP n [WITH TIES] *)
+  projection : select_item list;
+  from : table_ref list;
+  where : expr option;
+  group_by : group_item list;
+  having : expr option;
+  qualify : expr option;  (** Teradata QUALIFY clause *)
+  sample : expr option;  (** Teradata SAMPLE n *)
+}
+
+and top = { top_count : expr; with_ties : bool; percent : bool }
+
+and query_body =
+  | Q_select of select
+  | Q_setop of setop * bool * query_body * query_body  (** bool = ALL *)
+  | Q_values of expr list list
+
+and setop = Union | Intersect | Except
+
+and cte = { cte_name : ident; cte_columns : ident list; cte_query : query }
+
+and query = {
+  ctes : cte list;
+  recursive : bool;
+  body : query_body;
+  order_by : order_item list;
+  limit : expr option;
+  offset : expr option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type column_def = {
+  col_name : ident;
+  col_type : type_name;
+  col_not_null : bool;
+  col_default : expr option;
+  col_case_specific : bool;  (** Teradata CASESPECIFIC *)
+}
+
+type table_kind =
+  | Persistent of { set_semantics : bool }
+      (** Teradata SET tables deduplicate rows on insert *)
+  | Volatile  (** session-scoped temp table *)
+  | Global_temporary
+
+type insert_source = Ins_values of expr list list | Ins_query of query
+
+type merge_clause =
+  | Merge_update of (ident * expr) list
+  | Merge_insert of ident list * expr list
+  | Merge_delete
+
+type statement =
+  | S_select of query
+  | S_insert of {
+      table : qualified;
+      columns : ident list;
+      source : insert_source;
+    }
+  | S_update of {
+      table : qualified;
+      alias : ident option;
+      set : (ident * expr) list;
+      from : table_ref list;  (** Teradata implicit-join update *)
+      where : expr option;
+    }
+  | S_delete of {
+      table : qualified;
+      alias : ident option;
+      from : table_ref list;
+      where : expr option;
+    }
+  | S_merge of {
+      target : qualified;
+      target_alias : ident option;
+      source : table_ref;
+      on : expr;
+      when_matched : merge_clause option;
+      when_not_matched : merge_clause option;
+    }
+  | S_create_table of {
+      name : qualified;
+      kind : table_kind;
+      columns : column_def list;
+      primary_index : ident list;  (** Teradata PRIMARY INDEX; physical *)
+      on_commit_preserve : bool;
+      if_not_exists : bool;
+    }
+  | S_create_table_as of {
+      name : qualified;
+      kind : table_kind;
+      query : query;
+      with_data : bool;
+    }
+  | S_drop_table of { name : qualified; if_exists : bool }
+  | S_create_view of { name : qualified; columns : ident list; query : query; replace : bool }
+  | S_drop_view of { name : qualified; if_exists : bool }
+  | S_rename_table of { from_name : qualified; to_name : qualified }
+  | S_create_macro of {
+      name : qualified;
+      params : (ident * type_name) list;
+      body : statement list;
+      replace : bool;
+    }
+  | S_create_procedure of {
+      name : qualified;
+      params : (ident * type_name) list;
+      body : proc_stmt list;
+      replace : bool;
+    }
+  | S_drop_procedure of { name : qualified; if_exists : bool }
+  | S_call of { name : qualified; args : expr list }
+  | S_drop_macro of { name : qualified; if_exists : bool }
+  | S_exec_macro of { name : qualified; args : macro_args }
+  | S_help of help_kind
+  | S_show of show_kind
+  | S_collect_stats of qualified  (** physical-design no-op on most targets *)
+  | S_explain of statement
+      (** answered by the virtualization layer: shows the translated plan *)
+  | S_set_session of ident * expr
+  | S_begin_transaction
+  | S_commit
+  | S_rollback
+
+and macro_args =
+  | Macro_positional of expr list
+  | Macro_named of (ident * expr) list
+
+(** Statements inside a stored procedure body (paper §6: procedures are
+    emulated by maintaining variable scopes in the middle tier and breaking
+    control flow into multiple SQL requests). Variables are referenced in
+    embedded SQL and expressions as [:name]. *)
+and proc_stmt =
+  | P_declare of ident * type_name * expr option  (** DECLARE v t [DEFAULT e] *)
+  | P_set of ident * expr  (** SET :v = e *)
+  | P_if of (expr * proc_stmt list) list * proc_stmt list
+      (** IF/ELSEIF branches plus a (possibly empty) ELSE *)
+  | P_while of expr * proc_stmt list  (** WHILE c DO ... END WHILE *)
+  | P_sql of statement  (** an embedded SQL statement *)
+
+and help_kind =
+  | Help_session
+  | Help_table of qualified
+  | Help_view of qualified
+  | Help_macro of qualified
+  | Help_procedure of qualified
+  | Help_database of ident
+  | Help_volatile_table
+
+and show_kind = Show_table of qualified | Show_view of qualified
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors                                            *)
+(* ------------------------------------------------------------------ *)
+
+let empty_select =
+  {
+    distinct = false;
+    top = None;
+    projection = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+    qualify = None;
+    sample = None;
+  }
+
+let simple_query body =
+  { ctes = []; recursive = false; body; order_by = []; limit = None; offset = None }
+
+let col name = E_column [ name ]
+let lit_int n = E_lit (L_int (Int64.of_int n))
+let lit_string s = E_lit (L_string s)
+
+let order ?(dir = Asc) ?(nulls = Nulls_default) sort_expr =
+  { sort_expr; dir; nulls }
+
+(** Name of a statement's syntactic class, used by the feature tracker and in
+    error messages. *)
+let statement_kind = function
+  | S_select _ -> "SELECT"
+  | S_insert _ -> "INSERT"
+  | S_update _ -> "UPDATE"
+  | S_delete _ -> "DELETE"
+  | S_merge _ -> "MERGE"
+  | S_create_table _ -> "CREATE TABLE"
+  | S_create_table_as _ -> "CREATE TABLE AS"
+  | S_drop_table _ -> "DROP TABLE"
+  | S_create_view _ -> "CREATE VIEW"
+  | S_drop_view _ -> "DROP VIEW"
+  | S_rename_table _ -> "RENAME TABLE"
+  | S_create_macro _ -> "CREATE MACRO"
+  | S_drop_macro _ -> "DROP MACRO"
+  | S_exec_macro _ -> "EXECUTE"
+  | S_create_procedure _ -> "CREATE PROCEDURE"
+  | S_drop_procedure _ -> "DROP PROCEDURE"
+  | S_call _ -> "CALL"
+  | S_help _ -> "HELP"
+  | S_show _ -> "SHOW"
+  | S_collect_stats _ -> "COLLECT STATISTICS"
+  | S_explain _ -> "EXPLAIN"
+  | S_set_session _ -> "SET SESSION"
+  | S_begin_transaction -> "BEGIN TRANSACTION"
+  | S_commit -> "COMMIT"
+  | S_rollback -> "ROLLBACK"

@@ -1,0 +1,16 @@
+(** Source dialects the front-end parser understands.
+
+    The paper's architecture adds a new frontend system by adding a language
+    parser (plus wire-protocol support); the shared grammar core means only
+    the deviations from ANSI need dialect-specific productions (§5.1). *)
+
+type t =
+  | Teradata
+      (** the paper's source system: SEL/INS/UPD/DEL abbreviations, QUALIFY,
+          TOP, named-expression reuse, implicit joins, ordinal grouping,
+          vector subqueries, MACRO/EXEC, permissive clause order *)
+  | Ansi
+      (** the dialect our serializers emit and the backend engine parses *)
+
+let to_string = function Teradata -> "teradata" | Ansi -> "ansi"
+let equal a b = a = b

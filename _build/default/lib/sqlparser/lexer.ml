@@ -1,0 +1,204 @@
+(** Hand-written SQL lexer shared by all dialects.
+
+    Handles [--] and [/* */] comments, single-quoted strings with ['']
+    escaping, double-quoted identifiers, integer/decimal/float literals and
+    the multi-character operators of both Teradata and ANSI SQL. *)
+
+open Hyperq_sqlvalue
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make input = { input; pos = 0; line = 1; col = 1 }
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.input then Some st.input.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '$' || c = '#'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> Sql_error.parse_error "unterminated block comment"
+        | _ ->
+            advance st;
+            to_close ()
+      in
+      to_close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_word st =
+  let start = st.pos in
+  while match peek st with Some c when is_ident_char c -> true | _ -> false do
+    advance st
+  done;
+  String.uppercase_ascii (String.sub st.input start (st.pos - start))
+
+let lex_number st =
+  let start = st.pos in
+  let seen_dot = ref false and seen_exp = ref false in
+  let rec go () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        go ()
+    | Some '.' when (not !seen_dot) && not !seen_exp ->
+        seen_dot := true;
+        advance st;
+        go ()
+    | Some ('e' | 'E') when not !seen_exp -> (
+        (* only part of the number if followed by digits or a signed digit *)
+        match peek2 st with
+        | Some c when is_digit c ->
+            seen_exp := true;
+            advance st;
+            go ()
+        | Some ('+' | '-')
+          when st.pos + 2 < String.length st.input && is_digit st.input.[st.pos + 2]
+          ->
+            seen_exp := true;
+            advance st;
+            advance st;
+            go ()
+        | _ -> ())
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.input start (st.pos - start) in
+  if (not !seen_dot) && not !seen_exp then
+    match Int64.of_string_opt text with
+    | Some n -> Token.Int_lit n
+    | None -> Token.Number_lit text
+  else Token.Number_lit text
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Sql_error.parse_error "unterminated string literal"
+    | Some '\'' -> (
+        match peek2 st with
+        | Some '\'' ->
+            Buffer.add_char buf '\'';
+            advance st;
+            advance st;
+            go ()
+        | _ -> advance st)
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Token.String_lit (Buffer.contents buf)
+
+let lex_quoted_ident st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Sql_error.parse_error "unterminated quoted identifier"
+    | Some '"' -> (
+        match peek2 st with
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            advance st;
+            go ()
+        | _ -> advance st)
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Token.Quoted_ident (Buffer.contents buf)
+
+let symbol2 = [ "<>"; "!="; "<="; ">="; "||"; "**"; "^=" ]
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk kind = { Token.kind; line; col } in
+  match peek st with
+  | None -> mk Token.Eof
+  | Some c when is_ident_start c -> mk (Token.Word (lex_word st))
+  | Some c when is_digit c -> mk (lex_number st)
+  | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+      mk (lex_number st)
+  | Some '\'' -> mk (lex_string st)
+  | Some '"' -> mk (lex_quoted_ident st)
+  | Some '?' ->
+      advance st;
+      mk Token.Param
+  | Some c -> (
+      let two =
+        match peek2 st with
+        | Some c2 -> Printf.sprintf "%c%c" c c2
+        | None -> String.make 1 c
+      in
+      if List.mem two symbol2 then (
+        advance st;
+        advance st;
+        mk (Token.Symbol two))
+      else
+        match c with
+        | '+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' | '(' | ')' | ',' | '.'
+        | ';' | ':' ->
+            advance st;
+            mk (Token.Symbol (String.make 1 c))
+        | _ ->
+            Sql_error.parse_error "unexpected character %C at line %d, column %d"
+              c line col)
+
+(** Tokenize the whole input, ending with a single [Eof] token. *)
+let tokenize input =
+  let st = make input in
+  let rec go acc =
+    let t = next_token st in
+    match t.Token.kind with
+    | Token.Eof -> List.rev (t :: acc)
+    | _ -> go (t :: acc)
+  in
+  go []

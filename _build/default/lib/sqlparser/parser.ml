@@ -1,0 +1,1768 @@
+(** Recursive-descent SQL parser, parametrized by {!Dialect.t}.
+
+    The grammar core is shared; Teradata-only productions (SEL/INS/UPD/DEL
+    abbreviations, QUALIFY, TOP, SAMPLE, RANK(expr DESC), vector subqueries,
+    MACRO/EXEC, permissive clause order — paper Example 1 places ORDER BY
+    before WHERE) are gated on the dialect, mirroring how the paper's parser
+    "implements the full query surface of the original database" (§4.2). *)
+
+open Hyperq_sqlvalue
+
+type t = {
+  tokens : Token.t array;
+  mutable pos : int;
+  dialect : Dialect.t;
+}
+
+let make ~dialect input =
+  { tokens = Array.of_list (Lexer.tokenize input); pos = 0; dialect }
+
+let cur p = p.tokens.(min p.pos (Array.length p.tokens - 1))
+let advance p = p.pos <- p.pos + 1
+
+let peek_kind ?(n = 0) p =
+  let i = p.pos + n in
+  if i < Array.length p.tokens then (p.tokens.(i)).Token.kind else Token.Eof
+
+let error p fmt =
+  let t = cur p in
+  Printf.ksprintf
+    (fun msg ->
+      Sql_error.parse_error "%s (near %s)" msg (Token.to_string t))
+    fmt
+
+let is_teradata p = Dialect.equal p.dialect Dialect.Teradata
+
+(* --- token helpers ------------------------------------------------- *)
+
+let at_word p w = match peek_kind p with Token.Word x -> x = w | _ -> false
+
+let at_symbol p s = match peek_kind p with Token.Symbol x -> x = s | _ -> false
+
+let accept_word p w =
+  if at_word p w then (
+    advance p;
+    true)
+  else false
+
+let accept_symbol p s =
+  if at_symbol p s then (
+    advance p;
+    true)
+  else false
+
+let expect_word p w =
+  if not (accept_word p w) then error p "expected %s" w
+
+let expect_symbol p s =
+  if not (accept_symbol p s) then error p "expected %s" s
+
+let ident p =
+  match peek_kind p with
+  | Token.Word w ->
+      advance p;
+      w
+  | Token.Quoted_ident q ->
+      advance p;
+      q
+  | _ -> error p "expected identifier"
+
+(* Words that terminate an identifier chain in alias position. *)
+let reserved_after_alias =
+  [
+    "FROM"; "WHERE"; "GROUP"; "HAVING"; "QUALIFY"; "ORDER"; "UNION"; "INTERSECT";
+    "EXCEPT"; "MINUS"; "ON"; "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "CROSS";
+    "LIMIT"; "OFFSET"; "SAMPLE"; "WHEN"; "THEN"; "ELSE"; "END"; "AND"; "OR";
+    "NOT"; "AS"; "USING"; "SET"; "VALUES"; "SELECT"; "SEL"; "WITH"; "BY";
+    "INTO"; "DESC"; "ASC"; "NULLS"; "TOP"; "ALL"; "DISTINCT"; "CASE"; "LIKE";
+    "BETWEEN"; "IN"; "IS"; "EXISTS"; "OVER"; "PARTITION"; "ROWS"; "RANGE";
+    "FOR"; "MATCHED"; "INSERT"; "UPDATE"; "DELETE";
+  ]
+
+let qualified_name p =
+  let rec go acc =
+    let id = ident p in
+    if at_symbol p "." then (
+      advance p;
+      go (id :: acc))
+    else List.rev (id :: acc)
+  in
+  go []
+
+(* --- type names ---------------------------------------------------- *)
+
+let opt_paren_int p =
+  if accept_symbol p "(" then (
+    let n =
+      match peek_kind p with
+      | Token.Int_lit n ->
+          advance p;
+          Int64.to_int n
+      | _ -> error p "expected integer"
+    in
+    expect_symbol p ")";
+    Some n)
+  else None
+
+let parse_type_name p =
+  match peek_kind p with
+  | Token.Word ("INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "BYTEINT" | "INT8") ->
+      advance p;
+      Ast.Ty_int
+  | Token.Word ("FLOAT" | "REAL") ->
+      advance p;
+      Ast.Ty_float
+  | Token.Word "DOUBLE" ->
+      advance p;
+      ignore (accept_word p "PRECISION");
+      Ast.Ty_float
+  | Token.Word ("DECIMAL" | "NUMERIC" | "NUMBER" | "DEC") ->
+      advance p;
+      if accept_symbol p "(" then (
+        let prec =
+          match peek_kind p with
+          | Token.Int_lit n ->
+              advance p;
+              Int64.to_int n
+          | _ -> error p "expected precision"
+        in
+        let scale =
+          if accept_symbol p "," then
+            match peek_kind p with
+            | Token.Int_lit n ->
+                advance p;
+                Int64.to_int n
+            | _ -> error p "expected scale"
+          else 0
+        in
+        expect_symbol p ")";
+        Ast.Ty_decimal (prec, scale))
+      else Ast.Ty_decimal (18, 2)
+  | Token.Word ("CHAR" | "CHARACTER") ->
+      advance p;
+      if accept_word p "VARYING" then Ast.Ty_varchar (opt_paren_int p)
+      else Ast.Ty_char (opt_paren_int p)
+  | Token.Word "VARCHAR" ->
+      advance p;
+      Ast.Ty_varchar (opt_paren_int p)
+  | Token.Word "DATE" ->
+      advance p;
+      Ast.Ty_date
+  | Token.Word "TIME" ->
+      advance p;
+      Ast.Ty_time
+  | Token.Word "TIMESTAMP" ->
+      advance p;
+      ignore (opt_paren_int p);
+      Ast.Ty_timestamp
+  | Token.Word "PERIOD" ->
+      advance p;
+      expect_symbol p "(";
+      let base =
+        if accept_word p "DATE" then `Date
+        else if accept_word p "TIMESTAMP" then `Timestamp
+        else error p "expected DATE or TIMESTAMP in PERIOD type"
+      in
+      expect_symbol p ")";
+      Ast.Ty_period base
+  | Token.Word ("BYTE" | "VARBYTE") ->
+      advance p;
+      Ast.Ty_byte (opt_paren_int p)
+  | Token.Word "INTERVAL" ->
+      advance p;
+      let unit =
+        if accept_word p "YEAR" then Ast.Iu_year
+        else if accept_word p "MONTH" then Ast.Iu_month
+        else if accept_word p "DAY" then Ast.Iu_day
+        else if accept_word p "HOUR" then Ast.Iu_hour
+        else if accept_word p "MINUTE" then Ast.Iu_minute
+        else if accept_word p "SECOND" then Ast.Iu_second
+        else error p "expected interval unit"
+      in
+      (if accept_word p "TO" then
+         (* INTERVAL DAY TO SECOND etc.; the finer unit does not change our
+            runtime representation *)
+         ignore (ident p));
+      Ast.Ty_interval unit
+  | _ -> error p "expected type name"
+
+(* --- expressions ---------------------------------------------------- *)
+
+let interval_unit_of_word p =
+  function
+  | "YEAR" | "YEARS" -> Ast.Iu_year
+  | "MONTH" | "MONTHS" -> Ast.Iu_month
+  | "DAY" | "DAYS" -> Ast.Iu_day
+  | "HOUR" | "HOURS" -> Ast.Iu_hour
+  | "MINUTE" | "MINUTES" -> Ast.Iu_minute
+  | "SECOND" | "SECONDS" -> Ast.Iu_second
+  | w -> error p "unknown interval unit %s" w
+
+let datetime_field p =
+  match peek_kind p with
+  | Token.Word "YEAR" ->
+      advance p;
+      Ast.Year
+  | Token.Word "MONTH" ->
+      advance p;
+      Ast.Month
+  | Token.Word "DAY" ->
+      advance p;
+      Ast.Day
+  | Token.Word "HOUR" ->
+      advance p;
+      Ast.Hour
+  | Token.Word "MINUTE" ->
+      advance p;
+      Ast.Minute
+  | Token.Word "SECOND" ->
+      advance p;
+      Ast.Second
+  | _ -> error p "expected datetime field"
+
+let cmpop_of_symbol = function
+  | "=" -> Some Ast.Ceq
+  | "<>" | "!=" | "^=" -> Some Ast.Cneq
+  | "<" -> Some Ast.Clt
+  | "<=" -> Some Ast.Clte
+  | ">" -> Some Ast.Cgt
+  | ">=" -> Some Ast.Cgte
+  | _ -> None
+
+let binop_of_cmpop = function
+  | Ast.Ceq -> Ast.Eq
+  | Ast.Cneq -> Ast.Neq
+  | Ast.Clt -> Ast.Lt
+  | Ast.Clte -> Ast.Lte
+  | Ast.Cgt -> Ast.Gt
+  | Ast.Cgte -> Ast.Gte
+
+(* Is the token stream at a query start (used to disambiguate '(' )? Looks
+   through leading parentheses so that parenthesized set operations like
+   ((SELECT ..) UNION ALL (SELECT ..)) are recognized. *)
+let at_query_start p =
+  let rec scan n =
+    match peek_kind ~n p with
+    | Token.Symbol "(" -> scan (n + 1)
+    | Token.Word ("SELECT" | "WITH" | "VALUES") -> true
+    | Token.Word "SEL" -> is_teradata p
+    | _ -> false
+  in
+  scan 0
+
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let lhs = parse_and p in
+  if accept_word p "OR" then Ast.E_binop (Ast.Or, lhs, parse_or p) else lhs
+
+and parse_and p =
+  let lhs = parse_not p in
+  if accept_word p "AND" then Ast.E_binop (Ast.And, lhs, parse_and p) else lhs
+
+and parse_not p =
+  if accept_word p "NOT" then Ast.E_unop (Ast.Not, parse_not p)
+  else parse_predicate p
+
+and parse_predicate p =
+  let lhs = parse_concat p in
+  let negated = accept_word p "NOT" in
+  match peek_kind p with
+  | Token.Symbol s when cmpop_of_symbol s <> None && not negated -> (
+      let op = Option.get (cmpop_of_symbol s) in
+      advance p;
+      (* quantified subquery: > ANY (SELECT ...) *)
+      match peek_kind p with
+      | Token.Word (("ANY" | "ALL" | "SOME") as q) when peek_kind ~n:1 p = Token.Symbol "(" ->
+          advance p;
+          expect_symbol p "(";
+          let subquery = parse_query p in
+          expect_symbol p ")";
+          let quant = if q = "ALL" then Ast.All else Ast.Any in
+          let lhs_list =
+            match lhs with Ast.E_tuple es -> es | e -> [ e ]
+          in
+          Ast.E_quantified { lhs = lhs_list; op; quant; subquery }
+      | _ ->
+          let rhs = parse_concat p in
+          Ast.E_binop (binop_of_cmpop op, lhs, rhs))
+  | Token.Word "BETWEEN" ->
+      advance p;
+      let low = parse_concat p in
+      expect_word p "AND";
+      let high = parse_concat p in
+      Ast.E_between { arg = lhs; low; high; negated }
+  | Token.Word "IN" ->
+      advance p;
+      expect_symbol p "(";
+      let rhs =
+        if at_query_start p then (
+          let q = parse_query p in
+          expect_symbol p ")";
+          Ast.In_subquery q)
+        else (
+          let items = parse_expr_list p in
+          expect_symbol p ")";
+          Ast.In_list items)
+      in
+      Ast.E_in { lhs; negated; rhs }
+  | Token.Word "LIKE" ->
+      advance p;
+      let pattern = parse_concat p in
+      let escape =
+        if accept_word p "ESCAPE" then Some (parse_concat p) else None
+      in
+      Ast.E_like { arg = lhs; pattern; escape; negated }
+  | Token.Word "IS" ->
+      advance p;
+      let neg2 = accept_word p "NOT" in
+      expect_word p "NULL";
+      Ast.E_is_null (lhs, neg2)
+  | _ ->
+      if negated then error p "expected IN, BETWEEN or LIKE after NOT"
+      else lhs
+
+and parse_concat p =
+  let lhs = parse_additive p in
+  if accept_symbol p "||" then
+    Ast.E_binop (Ast.Concat, lhs, parse_concat p)
+  else lhs
+
+and parse_additive p =
+  let rec go lhs =
+    if at_symbol p "+" then (
+      advance p;
+      go (Ast.E_binop (Ast.Add, lhs, parse_multiplicative p)))
+    else if at_symbol p "-" then (
+      advance p;
+      go (Ast.E_binop (Ast.Sub, lhs, parse_multiplicative p)))
+    else lhs
+  in
+  go (parse_multiplicative p)
+
+and parse_multiplicative p =
+  let rec go lhs =
+    if at_symbol p "*" then (
+      advance p;
+      go (Ast.E_binop (Ast.Mul, lhs, parse_unary p)))
+    else if at_symbol p "/" then (
+      advance p;
+      go (Ast.E_binop (Ast.Div, lhs, parse_unary p)))
+    else if at_symbol p "%" || at_word p "MOD" then (
+      advance p;
+      go (Ast.E_binop (Ast.Modulo, lhs, parse_unary p)))
+    else lhs
+  in
+  go (parse_unary p)
+
+and parse_unary p =
+  if at_symbol p "-" then (
+    advance p;
+    Ast.E_unop (Ast.Neg, parse_unary p))
+  else if at_symbol p "+" then (
+    advance p;
+    parse_unary p)
+  else parse_postfix p
+
+and parse_postfix p =
+  (* window function: <call> OVER ( ... ) *)
+  let e = parse_primary p in
+  if at_word p "OVER" && peek_kind ~n:1 p = Token.Symbol "(" then (
+    advance p;
+    expect_symbol p "(";
+    let partition =
+      if accept_word p "PARTITION" then (
+        expect_word p "BY";
+        parse_expr_list p)
+      else []
+    in
+    let order =
+      if accept_word p "ORDER" then (
+        expect_word p "BY";
+        parse_order_items p)
+      else []
+    in
+    let frame = parse_opt_frame p in
+    expect_symbol p ")";
+    match e with
+    | Ast.E_fun { name; args; star; _ } ->
+        let args = if star then [] else args in
+        Ast.E_window { func = name; args; partition; order; frame }
+    | Ast.E_td_rank items ->
+        (* RANK(x DESC) OVER (PARTITION BY ...) — Teradata lets the order
+           spec live in the argument list; hoist it into the window spec *)
+        Ast.E_window
+          { func = "RANK"; args = []; partition; order = items @ order; frame }
+    | _ -> error p "OVER requires a function call")
+  else e
+
+and parse_opt_frame p =
+  let unit_opt =
+    if at_word p "ROWS" then Some `Rows
+    else if at_word p "RANGE" then Some `Range
+    else None
+  in
+  match unit_opt with
+  | None -> None
+  | Some frame_unit ->
+      advance p;
+      let bound p =
+        if accept_word p "UNBOUNDED" then
+          if accept_word p "PRECEDING" then Ast.Unbounded_preceding
+          else (
+            expect_word p "FOLLOWING";
+            Ast.Unbounded_following)
+        else if accept_word p "CURRENT" then (
+          expect_word p "ROW";
+          Ast.Current_row)
+        else
+          let e = parse_expr p in
+          if accept_word p "PRECEDING" then Ast.Preceding e
+          else (
+            expect_word p "FOLLOWING";
+            Ast.Following e)
+      in
+      if accept_word p "BETWEEN" then (
+        let s = bound p in
+        expect_word p "AND";
+        let e = bound p in
+        Some { Ast.frame_unit; frame_start = s; frame_end = Some e })
+      else
+        let s = bound p in
+        Some { Ast.frame_unit; frame_start = s; frame_end = None }
+
+and parse_expr_list p =
+  let rec go acc =
+    let e = parse_expr p in
+    if accept_symbol p "," then go (e :: acc) else List.rev (e :: acc)
+  in
+  go []
+
+and parse_order_items p =
+  let item () =
+    let sort_expr = parse_expr p in
+    let dir =
+      if accept_word p "DESC" then Ast.Desc
+      else (
+        ignore (accept_word p "ASC");
+        Ast.Asc)
+    in
+    let nulls =
+      if accept_word p "NULLS" then
+        if accept_word p "FIRST" then Ast.Nulls_first
+        else (
+          expect_word p "LAST";
+          Ast.Nulls_last)
+      else Ast.Nulls_default
+    in
+    { Ast.sort_expr; dir; nulls }
+  in
+  let rec go acc =
+    let i = item () in
+    if accept_symbol p "," then go (i :: acc) else List.rev (i :: acc)
+  in
+  go []
+
+and parse_function_call p name =
+  (* '(' already detected, not consumed *)
+  expect_symbol p "(";
+  if accept_symbol p ")" then
+    Ast.E_fun { name; distinct = false; args = []; star = false }
+  else if at_symbol p "*" && peek_kind ~n:1 p = Token.Symbol ")" then (
+    advance p;
+    advance p;
+    Ast.E_fun { name; distinct = false; args = []; star = true })
+  else
+    let distinct = accept_word p "DISTINCT" in
+    if (not distinct) && is_teradata p && name = "RANK" then (
+      (* Teradata RANK(AMOUNT DESC): an order spec in argument position *)
+      let save = p.pos in
+      let items = parse_order_items p in
+      let is_td_rank =
+        at_symbol p ")"
+        && List.exists
+             (fun i -> i.Ast.dir = Ast.Desc || i.Ast.nulls <> Ast.Nulls_default)
+             items
+        || (at_symbol p ")" && List.length items > 0 && not (at_word p "OVER"))
+      in
+      if is_td_rank && peek_kind ~n:1 p <> Token.Word "OVER" then (
+        expect_symbol p ")";
+        Ast.E_td_rank items)
+      else (
+        p.pos <- save;
+        let args = parse_expr_list p in
+        expect_symbol p ")";
+        Ast.E_fun { name; distinct; args; star = false }))
+    else (
+      ignore (accept_word p "ALL");
+      let args = parse_expr_list p in
+      expect_symbol p ")";
+      Ast.E_fun { name; distinct; args; star = false })
+
+and parse_case p =
+  (* CASE consumed *)
+  let operand =
+    if at_word p "WHEN" then None else Some (parse_expr p)
+  in
+  let rec branches acc =
+    if accept_word p "WHEN" then (
+      let c = parse_expr p in
+      expect_word p "THEN";
+      let v = parse_expr p in
+      branches ((c, v) :: acc))
+    else List.rev acc
+  in
+  let bs = branches [] in
+  if bs = [] then error p "CASE requires at least one WHEN branch";
+  let else_branch = if accept_word p "ELSE" then Some (parse_expr p) else None in
+  expect_word p "END";
+  Ast.E_case { operand; branches = bs; else_branch }
+
+and parse_primary p =
+  match peek_kind p with
+  | Token.Int_lit n ->
+      advance p;
+      Ast.E_lit (Ast.L_int n)
+  | Token.Number_lit s ->
+      advance p;
+      if String.contains s 'e' || String.contains s 'E' then
+        Ast.E_lit (Ast.L_float (float_of_string s))
+      else Ast.E_lit (Ast.L_decimal s)
+  | Token.String_lit s ->
+      advance p;
+      Ast.E_lit (Ast.L_string s)
+  | Token.Param ->
+      advance p;
+      Ast.E_param 0
+  | Token.Symbol "(" -> (
+      advance p;
+      if at_query_start p then (
+        let q = parse_query p in
+        expect_symbol p ")";
+        Ast.E_scalar_subquery q)
+      else
+        let e = parse_expr p in
+        if accept_symbol p "," then (
+          let rest = parse_expr_list p in
+          expect_symbol p ")";
+          Ast.E_tuple (e :: rest))
+        else (
+          expect_symbol p ")";
+          e))
+  | Token.Symbol ":" ->
+      (* macro parameter reference :name *)
+      advance p;
+      let name = ident p in
+      Ast.E_column [ ":" ^ name ]
+  | Token.Quoted_ident _ ->
+      let q = qualified_name p in
+      if at_symbol p "(" then parse_function_call p (List.nth q (List.length q - 1))
+      else Ast.E_column q
+  | Token.Word w -> parse_word_primary p w
+  | _ -> error p "expected expression"
+
+and parse_word_primary p w =
+  match w with
+  | "NULL" ->
+      advance p;
+      Ast.E_lit Ast.L_null
+  | "CASE" ->
+      advance p;
+      parse_case p
+  | "CAST" ->
+      advance p;
+      expect_symbol p "(";
+      let e = parse_expr p in
+      expect_word p "AS";
+      let ty = parse_type_name p in
+      expect_symbol p ")";
+      Ast.E_cast (e, ty)
+  | "EXTRACT" ->
+      advance p;
+      expect_symbol p "(";
+      let f = datetime_field p in
+      expect_word p "FROM";
+      let e = parse_expr p in
+      expect_symbol p ")";
+      Ast.E_extract (f, e)
+  | "SUBSTRING" | "SUBSTR" when peek_kind ~n:1 p = Token.Symbol "(" ->
+      advance p;
+      expect_symbol p "(";
+      let e = parse_expr p in
+      if accept_word p "FROM" then (
+        let start = parse_expr p in
+        let len = if accept_word p "FOR" then [ parse_expr p ] else [] in
+        expect_symbol p ")";
+        Ast.E_fun
+          { name = "SUBSTRING"; distinct = false; args = (e :: start :: len); star = false })
+      else (
+        let args =
+          if accept_symbol p "," then e :: parse_expr_list p else [ e ]
+        in
+        expect_symbol p ")";
+        Ast.E_fun { name = "SUBSTRING"; distinct = false; args; star = false })
+  | "TRIM" when peek_kind ~n:1 p = Token.Symbol "(" ->
+      advance p;
+      expect_symbol p "(";
+      let mode =
+        if accept_word p "LEADING" then "LTRIM"
+        else if accept_word p "TRAILING" then "RTRIM"
+        else (
+          ignore (accept_word p "BOTH");
+          "TRIM")
+      in
+      let args =
+        if accept_word p "FROM" then
+          (* TRIM(LEADING FROM s): no removal-characters argument *)
+          [ parse_expr p ]
+        else
+          let first = parse_expr p in
+          if accept_word p "FROM" then [ parse_expr p; first ] else [ first ]
+      in
+      expect_symbol p ")";
+      Ast.E_fun { name = mode; distinct = false; args; star = false }
+  | "POSITION" when peek_kind ~n:1 p = Token.Symbol "(" ->
+      advance p;
+      expect_symbol p "(";
+      (* the needle must stop before the IN keyword *)
+      let needle = parse_concat p in
+      expect_word p "IN";
+      let hay = parse_expr p in
+      expect_symbol p ")";
+      Ast.E_fun { name = "POSITION"; distinct = false; args = [ needle; hay ]; star = false }
+  | "EXISTS" when peek_kind ~n:1 p = Token.Symbol "(" ->
+      advance p;
+      expect_symbol p "(";
+      let q = parse_query p in
+      expect_symbol p ")";
+      Ast.E_exists q
+  | "DATE" when (match peek_kind ~n:1 p with Token.String_lit _ -> true | _ -> false) ->
+      advance p;
+      let s = match peek_kind p with Token.String_lit s -> s | _ -> assert false in
+      advance p;
+      Ast.E_lit (Ast.L_date s)
+  | "TIME" when (match peek_kind ~n:1 p with Token.String_lit _ -> true | _ -> false) ->
+      advance p;
+      let s = match peek_kind p with Token.String_lit s -> s | _ -> assert false in
+      advance p;
+      Ast.E_lit (Ast.L_time s)
+  | "TIMESTAMP" when (match peek_kind ~n:1 p with Token.String_lit _ -> true | _ -> false)
+    ->
+      advance p;
+      let s = match peek_kind p with Token.String_lit s -> s | _ -> assert false in
+      advance p;
+      Ast.E_lit (Ast.L_timestamp s)
+  | "INTERVAL" when (match peek_kind ~n:1 p with Token.String_lit _ -> true | _ -> false)
+    ->
+      advance p;
+      let s = match peek_kind p with Token.String_lit s -> s | _ -> assert false in
+      advance p;
+      let unit =
+        match peek_kind p with
+        | Token.Word u ->
+            advance p;
+            (* swallow the TO <unit> tail of compound intervals *)
+            if accept_word p "TO" then ignore (ident p);
+            interval_unit_of_word p u
+        | _ -> error p "expected interval unit"
+      in
+      Ast.E_lit (Ast.L_interval (s, unit))
+  | "CURRENT_DATE" | "CURRENT_TIME" | "CURRENT_TIMESTAMP" | "SESSION_USER"
+  | "CURRENT_USER" | "USER" ->
+      advance p;
+      Ast.E_fun { name = w; distinct = false; args = []; star = false }
+  | "DATE" when is_teradata p && not (peek_kind ~n:1 p = Token.Symbol "(") ->
+      (* bare DATE = CURRENT_DATE in Teradata *)
+      advance p;
+      Ast.E_fun { name = "CURRENT_DATE"; distinct = false; args = []; star = false }
+  | _ ->
+      let q = qualified_name p in
+      if at_symbol p "(" then
+        parse_function_call p (List.nth q (List.length q - 1))
+      else Ast.E_column q
+
+(* --- queries -------------------------------------------------------- *)
+
+and parse_query p =
+  let recursive = ref false in
+  let ctes =
+    if accept_word p "WITH" then (
+      recursive := accept_word p "RECURSIVE";
+      let cte () =
+        let cte_name = ident p in
+        let cte_columns =
+          if accept_symbol p "(" then (
+            let rec cols acc =
+              let c = ident p in
+              if accept_symbol p "," then cols (c :: acc) else List.rev (c :: acc)
+            in
+            let cs = cols [] in
+            expect_symbol p ")";
+            cs)
+          else []
+        in
+        expect_word p "AS";
+        expect_symbol p "(";
+        let cte_query = parse_query p in
+        expect_symbol p ")";
+        { Ast.cte_name; cte_columns; cte_query }
+      in
+      let rec go acc =
+        let c = cte () in
+        if accept_symbol p "," then go (c :: acc) else List.rev (c :: acc)
+      in
+      go [])
+    else []
+  in
+  let body, hoisted_order = parse_query_body p in
+  let order_by =
+    if accept_word p "ORDER" then (
+      expect_word p "BY";
+      parse_order_items p)
+    else hoisted_order
+  in
+  let limit, offset =
+    if accept_word p "LIMIT" then (
+      let l = parse_expr p in
+      let o = if accept_word p "OFFSET" then Some (parse_expr p) else None in
+      (Some l, o))
+    else (None, None)
+  in
+  { Ast.ctes; recursive = !recursive; body; order_by; limit; offset }
+
+(* Returns the body plus any ORDER BY swallowed by a permissive-clause-order
+   Teradata select block, hoisted to query level. *)
+and parse_query_body p =
+  let rec setops lhs lhs_order =
+    let op =
+      if at_word p "UNION" then Some Ast.Union
+      else if at_word p "EXCEPT" || at_word p "MINUS" then Some Ast.Except
+      else None
+    in
+    match op with
+    | None -> (lhs, lhs_order)
+    | Some op ->
+        advance p;
+        let all = accept_word p "ALL" in
+        ignore (accept_word p "DISTINCT");
+        let rhs, rhs_order = parse_intersect p in
+        setops (Ast.Q_setop (op, all, lhs, rhs)) rhs_order
+  in
+  let lhs, lhs_order = parse_intersect p in
+  setops lhs lhs_order
+
+and parse_intersect p =
+  let rec go lhs lhs_order =
+    if at_word p "INTERSECT" then (
+      advance p;
+      let all = accept_word p "ALL" in
+      ignore (accept_word p "DISTINCT");
+      let rhs, rhs_order = parse_query_primary p in
+      go (Ast.Q_setop (Ast.Intersect, all, lhs, rhs)) rhs_order)
+    else (lhs, lhs_order)
+  in
+  let lhs, lhs_order = parse_query_primary p in
+  go lhs lhs_order
+
+and parse_query_primary p =
+  if at_symbol p "(" then (
+    advance p;
+    let q = parse_query p in
+    expect_symbol p ")";
+    match q with
+    | { Ast.ctes = []; order_by = []; limit = None; offset = None; body; _ } ->
+        (body, [])
+    | _ ->
+        (* wrap the parenthesized ordered query as a derived-table select *)
+        ( Ast.Q_select
+            {
+              Ast.empty_select with
+              projection = [ Ast.Sel_star None ];
+              from =
+                [ Ast.T_subquery { query = q; alias = "__Q"; col_aliases = [] } ];
+            },
+          [] ))
+  else if at_word p "VALUES" then (
+    advance p;
+    let row () =
+      expect_symbol p "(";
+      let es = parse_expr_list p in
+      expect_symbol p ")";
+      es
+    in
+    let rec go acc =
+      let r = row () in
+      if accept_symbol p "," then go (r :: acc) else List.rev (r :: acc)
+    in
+    (Ast.Q_values (go []), []))
+  else parse_select_core p
+
+and parse_select_core p =
+  if not (accept_word p "SELECT" || (is_teradata p && accept_word p "SEL")) then
+    error p "expected SELECT";
+  let distinct =
+    if accept_word p "DISTINCT" then true
+    else (
+      ignore (accept_word p "ALL");
+      false)
+  in
+  let top =
+    if is_teradata p && accept_word p "TOP" then (
+      let top_count = parse_primary p in
+      let percent = accept_word p "PERCENT" in
+      let with_ties =
+        if accept_word p "WITH" then (
+          expect_word p "TIES";
+          true)
+        else false
+      in
+      Some { Ast.top_count; with_ties; percent })
+    else None
+  in
+  let projection = parse_select_items p in
+  (* Clause loop: Teradata accepts clauses in permissive order (paper
+     Example 1: ORDER BY before WHERE); each clause at most once. *)
+  let from = ref [] and where = ref None and group_by = ref [] in
+  let having = ref None and qualify = ref None and order_by = ref [] in
+  let sample = ref None in
+  let progress = ref true in
+  while !progress do
+    if at_word p "FROM" && !from = [] then (
+      advance p;
+      from := parse_table_refs p)
+    else if at_word p "WHERE" && !where = None then (
+      advance p;
+      where := Some (parse_expr p))
+    else if at_word p "GROUP" && !group_by = [] then (
+      advance p;
+      expect_word p "BY";
+      group_by := parse_group_items p)
+    else if at_word p "HAVING" && !having = None then (
+      advance p;
+      having := Some (parse_expr p))
+    else if is_teradata p && at_word p "QUALIFY" && !qualify = None then (
+      advance p;
+      qualify := Some (parse_expr p))
+    else if
+      at_word p "ORDER" && !order_by = []
+      && (is_teradata p
+          (* in ANSI mode only consume ORDER BY here when a later clause can
+             still follow — i.e. permissive order is a Teradata-ism; for ANSI
+             leave it for query level *)
+         && peek_kind ~n:1 p = Token.Word "BY")
+    then (
+      advance p;
+      expect_word p "BY";
+      order_by := parse_order_items p)
+    else if is_teradata p && at_word p "SAMPLE" && !sample = None then (
+      advance p;
+      sample := Some (parse_expr p))
+    else progress := false
+  done;
+  ( Ast.Q_select
+      {
+        Ast.distinct;
+        top;
+        projection;
+        from = !from;
+        where = !where;
+        group_by = !group_by;
+        having = !having;
+        qualify = !qualify;
+        sample = !sample;
+      },
+    !order_by )
+
+and parse_select_items p =
+  let item () =
+    if at_symbol p "*" then (
+      advance p;
+      Ast.Sel_star None)
+    else
+      (* t.* detection: ident(.ident)* .* *)
+      let save = p.pos in
+      match peek_kind p with
+      | Token.Word _ | Token.Quoted_ident _ -> (
+          let q = qualified_name p in
+          if at_symbol p "." && peek_kind ~n:1 p = Token.Symbol "*" then (
+            advance p;
+            advance p;
+            Ast.Sel_star (Some q))
+          else (
+            p.pos <- save;
+            parse_aliased_item p))
+      | _ -> parse_aliased_item p
+  in
+  let rec go acc =
+    let i = item () in
+    if accept_symbol p "," then go (i :: acc) else List.rev (i :: acc)
+  in
+  go []
+
+and parse_aliased_item p =
+  let e = parse_expr p in
+  let alias =
+    if accept_word p "AS" then Some (ident p)
+    else
+      match peek_kind p with
+      | Token.Word w when not (List.mem w reserved_after_alias) ->
+          advance p;
+          Some w
+      | Token.Quoted_ident q ->
+          advance p;
+          Some q
+      | _ -> None
+  in
+  Ast.Sel_expr (e, alias)
+
+and parse_group_items p =
+  let item () =
+    if accept_word p "ROLLUP" then (
+      expect_symbol p "(";
+      let es = parse_expr_list p in
+      expect_symbol p ")";
+      Ast.Group_rollup es)
+    else if accept_word p "CUBE" then (
+      expect_symbol p "(";
+      let es = parse_expr_list p in
+      expect_symbol p ")";
+      Ast.Group_cube es)
+    else if at_word p "GROUPING" && peek_kind ~n:1 p = Token.Word "SETS" then (
+      advance p;
+      advance p;
+      expect_symbol p "(";
+      let set () =
+        expect_symbol p "(";
+        let es = if at_symbol p ")" then [] else parse_expr_list p in
+        expect_symbol p ")";
+        es
+      in
+      let rec go acc =
+        let s = set () in
+        if accept_symbol p "," then go (s :: acc) else List.rev (s :: acc)
+      in
+      let sets = go [] in
+      expect_symbol p ")";
+      Ast.Group_sets sets)
+    else Ast.Group_expr (parse_expr p)
+  in
+  let rec go acc =
+    let i = item () in
+    if accept_symbol p "," then go (i :: acc) else List.rev (i :: acc)
+  in
+  go []
+
+(* --- table references ----------------------------------------------- *)
+
+and parse_table_refs p =
+  let rec go acc =
+    let t = parse_table_ref p in
+    if accept_symbol p "," then go (t :: acc) else List.rev (t :: acc)
+  in
+  go []
+
+and parse_table_ref p =
+  let rec joins lhs =
+    let kind =
+      if at_word p "JOIN" then Some Ast.Inner
+      else if at_word p "INNER" && peek_kind ~n:1 p = Token.Word "JOIN" then
+        Some Ast.Inner
+      else if at_word p "LEFT" then Some Ast.Left
+      else if at_word p "RIGHT" then Some Ast.Right
+      else if at_word p "FULL" then Some Ast.Full
+      else if at_word p "CROSS" then Some Ast.Cross
+      else None
+    in
+    match kind with
+    | None -> lhs
+    | Some kind ->
+        (if at_word p "JOIN" then advance p
+         else (
+           advance p;
+           ignore (accept_word p "OUTER");
+           expect_word p "JOIN"));
+        let right = parse_table_primary p in
+        let cond =
+          if kind = Ast.Cross then Ast.No_cond
+          else if accept_word p "ON" then Ast.On (parse_expr p)
+          else if accept_word p "USING" then (
+            expect_symbol p "(";
+            let rec cols acc =
+              let c = ident p in
+              if accept_symbol p "," then cols (c :: acc)
+              else List.rev (c :: acc)
+            in
+            let cs = cols [] in
+            expect_symbol p ")";
+            Ast.Using cs)
+          else error p "expected ON or USING"
+        in
+        joins (Ast.T_join { kind; left = lhs; right; cond })
+  in
+  joins (parse_table_primary p)
+
+and parse_table_primary p =
+  if at_symbol p "(" then (
+    advance p;
+    if at_query_start p then (
+      let query = parse_query p in
+      expect_symbol p ")";
+      ignore (accept_word p "AS");
+      let alias =
+        match peek_kind p with
+        | Token.Word w when not (List.mem w reserved_after_alias) ->
+            advance p;
+            w
+        | Token.Quoted_ident q ->
+            advance p;
+            q
+        | _ -> error p "derived table requires an alias"
+      in
+      let col_aliases = parse_opt_col_aliases p in
+      Ast.T_subquery { query; alias; col_aliases })
+    else (
+      let t = parse_table_ref p in
+      expect_symbol p ")";
+      t))
+  else
+    let name = qualified_name p in
+    let alias =
+      if accept_word p "AS" then Some (ident p)
+      else
+        match peek_kind p with
+        | Token.Word w when not (List.mem w reserved_after_alias) ->
+            advance p;
+            Some w
+        | Token.Quoted_ident q ->
+            advance p;
+            Some q
+        | _ -> None
+    in
+    let col_aliases = parse_opt_col_aliases p in
+    Ast.T_named { name; alias; col_aliases }
+
+and parse_opt_col_aliases p =
+  (* derived-table column alias list: (a, b, c) — only when every element is
+     a bare identifier followed by ')' or ',' *)
+  if at_symbol p "(" then (
+    let save = p.pos in
+    advance p;
+    let rec go acc =
+      match peek_kind p with
+      | Token.Word w when not (List.mem w reserved_after_alias) -> (
+          advance p;
+          if accept_symbol p "," then go (w :: acc)
+          else if accept_symbol p ")" then Some (List.rev (w :: acc))
+          else None)
+      | Token.Quoted_ident w -> (
+          advance p;
+          if accept_symbol p "," then go (w :: acc)
+          else if accept_symbol p ")" then Some (List.rev (w :: acc))
+          else None)
+      | _ -> None
+    in
+    match go [] with
+    | Some cols -> cols
+    | None ->
+        p.pos <- save;
+        [])
+  else []
+
+(* --- statements ------------------------------------------------------ *)
+
+let parse_set_clauses p =
+  let one () =
+    let c = ident p in
+    expect_symbol p "=";
+    let e = parse_expr p in
+    (c, e)
+  in
+  let rec go acc =
+    let x = one () in
+    if accept_symbol p "," then go (x :: acc) else List.rev (x :: acc)
+  in
+  go []
+
+let parse_insert p =
+  (* INSERT/INS consumed *)
+  ignore (accept_word p "INTO");
+  let table = qualified_name p in
+  (* Teradata allows INS t (v1, v2) — a bare values list. Disambiguate from
+     a column list by what follows the closing paren. *)
+  if at_symbol p "(" then (
+    let save = p.pos in
+    advance p;
+    let rec idents acc =
+      match peek_kind p with
+      | Token.Word w -> (
+          advance p;
+          if accept_symbol p "," then idents (w :: acc)
+          else if accept_symbol p ")" then Some (List.rev (w :: acc))
+          else None)
+      | Token.Quoted_ident w -> (
+          advance p;
+          if accept_symbol p "," then idents (w :: acc)
+          else if accept_symbol p ")" then Some (List.rev (w :: acc))
+          else None)
+      | _ -> None
+    in
+    match idents [] with
+    | Some cols when at_word p "VALUES" || at_query_start p ->
+        let source =
+          if accept_word p "VALUES" then (
+            let row () =
+              expect_symbol p "(";
+              let es = parse_expr_list p in
+              expect_symbol p ")";
+              es
+            in
+            let rec rows acc =
+              let r = row () in
+              if accept_symbol p "," then rows (r :: acc)
+              else List.rev (r :: acc)
+            in
+            Ast.Ins_values (rows []))
+          else Ast.Ins_query (parse_query p)
+        in
+        Ast.S_insert { table; columns = cols; source }
+    | _ ->
+        (* bare values list *)
+        p.pos <- save;
+        expect_symbol p "(";
+        let es = parse_expr_list p in
+        expect_symbol p ")";
+        Ast.S_insert { table; columns = []; source = Ast.Ins_values [ es ] })
+  else if accept_word p "VALUES" then (
+    let row () =
+      expect_symbol p "(";
+      let es = parse_expr_list p in
+      expect_symbol p ")";
+      es
+    in
+    let rec rows acc =
+      let r = row () in
+      if accept_symbol p "," then rows (r :: acc) else List.rev (r :: acc)
+    in
+    Ast.S_insert { table; columns = []; source = Ast.Ins_values (rows []) })
+  else if at_query_start p then
+    Ast.S_insert { table; columns = []; source = Ast.Ins_query (parse_query p) }
+  else error p "expected VALUES or a query after INSERT"
+
+let parse_update p =
+  (* UPDATE/UPD consumed *)
+  let table = qualified_name p in
+  let alias =
+    if accept_word p "AS" then Some (ident p)
+    else
+      match peek_kind p with
+      | Token.Word w when not (List.mem w reserved_after_alias) ->
+          advance p;
+          Some w
+      | _ -> None
+  in
+  let from =
+    if is_teradata p && accept_word p "FROM" then parse_table_refs p else []
+  in
+  expect_word p "SET";
+  let set = parse_set_clauses p in
+  let from =
+    if from = [] && accept_word p "FROM" then parse_table_refs p else from
+  in
+  let where = if accept_word p "WHERE" then Some (parse_expr p) else None in
+  Ast.S_update { table; alias; set; from; where }
+
+let parse_delete p =
+  (* DELETE/DEL consumed *)
+  ignore (accept_word p "FROM");
+  let table = qualified_name p in
+  let alias =
+    if accept_word p "AS" then Some (ident p)
+    else
+      match peek_kind p with
+      | Token.Word w
+        when (not (List.mem w reserved_after_alias)) && w <> "ALL" ->
+          advance p;
+          Some w
+      | _ -> None
+  in
+  let from = if accept_word p "FROM" then parse_table_refs p else [] in
+  let where = if accept_word p "WHERE" then Some (parse_expr p) else None in
+  ignore (accept_word p "ALL");
+  Ast.S_delete { table; alias; from; where }
+
+let parse_merge p =
+  expect_word p "INTO";
+  let target = qualified_name p in
+  let target_alias =
+    if accept_word p "AS" then Some (ident p)
+    else
+      match peek_kind p with
+      | Token.Word w when w <> "USING" && not (List.mem w reserved_after_alias) ->
+          advance p;
+          Some w
+      | _ -> None
+  in
+  expect_word p "USING";
+  let source = parse_table_primary p in
+  expect_word p "ON";
+  let paren = accept_symbol p "(" in
+  let on = parse_expr p in
+  if paren then expect_symbol p ")";
+  let when_matched = ref None and when_not_matched = ref None in
+  while at_word p "WHEN" do
+    advance p;
+    let matched =
+      if accept_word p "MATCHED" then true
+      else (
+        expect_word p "NOT";
+        expect_word p "MATCHED";
+        false)
+    in
+    expect_word p "THEN";
+    let clause =
+      if accept_word p "UPDATE" then (
+        expect_word p "SET";
+        Ast.Merge_update (parse_set_clauses p))
+      else if accept_word p "INSERT" then (
+        let cols =
+          if at_symbol p "(" && not (at_word p "VALUES") then (
+            advance p;
+            let rec go acc =
+              let c = ident p in
+              if accept_symbol p "," then go (c :: acc)
+              else (
+                expect_symbol p ")";
+                List.rev (c :: acc))
+            in
+            go [])
+          else []
+        in
+        expect_word p "VALUES";
+        expect_symbol p "(";
+        let vals = parse_expr_list p in
+        expect_symbol p ")";
+        Ast.Merge_insert (cols, vals))
+      else if accept_word p "DELETE" then Ast.Merge_delete
+      else error p "expected UPDATE, INSERT or DELETE in MERGE clause"
+    in
+    if matched then when_matched := Some clause
+    else when_not_matched := Some clause
+  done;
+  Ast.S_merge
+    {
+      target;
+      target_alias;
+      source;
+      on;
+      when_matched = !when_matched;
+      when_not_matched = !when_not_matched;
+    }
+
+let parse_column_def p =
+  let col_name = ident p in
+  let col_type = parse_type_name p in
+  let not_null = ref false and default = ref None and case_specific = ref false in
+  let progress = ref true in
+  while !progress do
+    if at_word p "NOT" && peek_kind ~n:1 p = Token.Word "NULL" then (
+      advance p;
+      advance p;
+      not_null := true)
+    else if at_word p "NOT" && peek_kind ~n:1 p = Token.Word "CASESPECIFIC" then (
+      advance p;
+      advance p;
+      case_specific := false)
+    else if accept_word p "CASESPECIFIC" then case_specific := true
+    else if accept_word p "DEFAULT" then default := Some (parse_expr p)
+    else if accept_word p "FORMAT" then
+      (* Teradata display format — irrelevant to semantics, swallow literal *)
+      advance p
+    else if accept_word p "TITLE" then advance p
+    else if accept_word p "UPPERCASE" then ()
+    else if at_word p "PRIMARY" && peek_kind ~n:1 p = Token.Word "KEY" then (
+      advance p;
+      advance p;
+      not_null := true)
+    else if accept_word p "UNIQUE" then ()
+    else progress := false
+  done;
+  {
+    Ast.col_name;
+    col_type;
+    col_not_null = !not_null;
+    col_default = !default;
+    col_case_specific = !case_specific;
+  }
+
+let rec parse_create_table p ~kind =
+  (* TABLE consumed *)
+  let if_not_exists =
+    if at_word p "IF" then (
+      advance p;
+      expect_word p "NOT";
+      expect_word p "EXISTS";
+      true)
+    else false
+  in
+  let name = qualified_name p in
+  (* Teradata table options: CREATE TABLE t, NO FALLBACK, NO JOURNAL (...) *)
+  while at_symbol p "," do
+    advance p;
+    ignore (accept_word p "NO");
+    ignore (ident p);
+    ignore (accept_word p "JOURNAL")
+  done;
+  if accept_word p "AS" then (
+    let query =
+      if accept_symbol p "(" then (
+        let q = parse_query p in
+        expect_symbol p ")";
+        q)
+      else parse_query p
+    in
+    let with_data =
+      if accept_word p "WITH" then
+        if accept_word p "NO" then (
+          expect_word p "DATA";
+          false)
+        else (
+          expect_word p "DATA";
+          true)
+      else true
+    in
+    (if accept_word p "ON" then (
+       expect_word p "COMMIT";
+       ignore (accept_word p "PRESERVE" || accept_word p "DELETE");
+       expect_word p "ROWS"));
+    Ast.S_create_table_as { name; kind; query; with_data })
+  else (
+    expect_symbol p "(";
+    let rec cols acc =
+      let c = parse_column_def p in
+      if accept_symbol p "," then cols (c :: acc) else List.rev (c :: acc)
+    in
+    let columns = cols [] in
+    expect_symbol p ")";
+    let primary_index = ref [] and on_commit_preserve = ref false in
+    let progress = ref true in
+    while !progress do
+      if at_word p "PRIMARY" || at_word p "UNIQUE" then (
+        ignore (accept_word p "UNIQUE");
+        expect_word p "PRIMARY";
+        expect_word p "INDEX";
+        (match peek_kind p with
+        | Token.Word w when w <> "(" -> ignore (accept_word p w)
+        | _ -> ());
+        expect_symbol p "(";
+        let rec go acc =
+          let c = ident p in
+          if accept_symbol p "," then go (c :: acc) else List.rev (c :: acc)
+        in
+        primary_index := go [];
+        expect_symbol p ")")
+      else if at_word p "ON" then (
+        advance p;
+        expect_word p "COMMIT";
+        if accept_word p "PRESERVE" then (
+          expect_word p "ROWS";
+          on_commit_preserve := true)
+        else (
+          expect_word p "DELETE";
+          expect_word p "ROWS"))
+      else progress := false
+    done;
+    Ast.S_create_table
+      {
+        name;
+        kind;
+        columns;
+        primary_index = !primary_index;
+        on_commit_preserve = !on_commit_preserve;
+        if_not_exists;
+      })
+
+(* Stored-procedure body: DECLARE/SET/IF/WHILE plus embedded SQL, each
+   statement terminated by ';'. Stops before END / ELSEIF / ELSE / END IF /
+   END WHILE, which the callers consume. *)
+and parse_proc_body p : Ast.proc_stmt list =
+  let at_terminator () =
+    at_word p "END" || at_word p "ELSE" || at_word p "ELSEIF"
+  in
+  let rec stmts acc =
+    while accept_symbol p ";" do
+      ()
+    done;
+    if at_terminator () then List.rev acc
+    else begin
+      let s = parse_proc_stmt p in
+      ignore (accept_symbol p ";");
+      stmts (s :: acc)
+    end
+  in
+  stmts []
+
+and parse_proc_stmt p : Ast.proc_stmt =
+  if accept_word p "DECLARE" then begin
+    let v = ident p in
+    let ty = parse_type_name p in
+    let init = if accept_word p "DEFAULT" then Some (parse_expr p) else None in
+    Ast.P_declare (v, ty, init)
+  end
+  else if at_word p "SET" && peek_kind ~n:1 p <> Token.Word "SESSION" then begin
+    advance p;
+    ignore (accept_symbol p ":");
+    let v = ident p in
+    expect_symbol p "=";
+    Ast.P_set (v, parse_expr p)
+  end
+  else if accept_word p "IF" then begin
+    let rec branches acc =
+      let c = parse_expr p in
+      expect_word p "THEN";
+      let body = parse_proc_body p in
+      let acc = (c, body) :: acc in
+      if accept_word p "ELSEIF" then branches acc
+      else if accept_word p "ELSE" then begin
+        let els = parse_proc_body p in
+        expect_word p "END";
+        expect_word p "IF";
+        (List.rev acc, els)
+      end
+      else begin
+        expect_word p "END";
+        expect_word p "IF";
+        (List.rev acc, [])
+      end
+    in
+    let bs, els = branches [] in
+    Ast.P_if (bs, els)
+  end
+  else if accept_word p "WHILE" then begin
+    let c = parse_expr p in
+    expect_word p "DO";
+    let body = parse_proc_body p in
+    expect_word p "END";
+    expect_word p "WHILE";
+    Ast.P_while (c, body)
+  end
+  else Ast.P_sql (parse_statement_after_keyword p)
+
+and parse_statement_after_keyword p =
+  match peek_kind p with
+  | Token.Word ("SELECT" | "WITH") -> Ast.S_select (parse_query p)
+  | Token.Word "SEL" when is_teradata p -> Ast.S_select (parse_query p)
+  | Token.Word "VALUES" -> Ast.S_select (parse_query p)
+  | Token.Word ("INSERT" | "INS") ->
+      advance p;
+      parse_insert p
+  | Token.Word ("UPDATE" | "UPD") ->
+      advance p;
+      parse_update p
+  | Token.Word ("DELETE" | "DEL") ->
+      advance p;
+      parse_delete p
+  | Token.Word "MERGE" ->
+      advance p;
+      parse_merge p
+  | Token.Word ("CREATE" | "REPLACE") -> (
+      let replace_kw = at_word p "REPLACE" in
+      advance p;
+      let replace =
+        replace_kw
+        ||
+        if at_word p "OR" then (
+          advance p;
+          expect_word p "REPLACE";
+          true)
+        else false
+      in
+      let set_semantics = accept_word p "SET" in
+      ignore (accept_word p "MULTISET");
+      if accept_word p "VOLATILE" || accept_word p "TEMPORARY" then (
+        expect_word p "TABLE";
+        parse_create_table p ~kind:Ast.Volatile)
+      else if accept_word p "GLOBAL" then (
+        expect_word p "TEMPORARY";
+        expect_word p "TABLE";
+        parse_create_table p ~kind:Ast.Global_temporary)
+      else if accept_word p "TABLE" then
+        parse_create_table p ~kind:(Ast.Persistent { set_semantics })
+      else if accept_word p "VIEW" then (
+        let name = qualified_name p in
+        let columns =
+          if accept_symbol p "(" then (
+            let rec go acc =
+              let c = ident p in
+              if accept_symbol p "," then go (c :: acc)
+              else List.rev (c :: acc)
+            in
+            let cs = go [] in
+            expect_symbol p ")";
+            cs)
+          else []
+        in
+        expect_word p "AS";
+        let query = parse_query p in
+        Ast.S_create_view { name; columns; query; replace })
+      else if accept_word p "MACRO" then (
+        let name = qualified_name p in
+        let params =
+          if accept_symbol p "(" then (
+            let one () =
+              let n = ident p in
+              let ty = parse_type_name p in
+              (n, ty)
+            in
+            let rec go acc =
+              let x = one () in
+              if accept_symbol p "," then go (x :: acc) else List.rev (x :: acc)
+            in
+            let ps = go [] in
+            expect_symbol p ")";
+            ps)
+          else []
+        in
+        expect_word p "AS";
+        expect_symbol p "(";
+        let rec stmts acc =
+          if at_symbol p ")" then List.rev acc
+          else
+            let s = parse_statement_after_keyword p in
+            ignore (accept_symbol p ";");
+            stmts (s :: acc)
+        in
+        let body = stmts [] in
+        expect_symbol p ")";
+        Ast.S_create_macro { name; params; body; replace })
+      else if accept_word p "PROCEDURE" then (
+        let name = qualified_name p in
+        let params =
+          if accept_symbol p "(" then
+            if accept_symbol p ")" then []
+            else (
+              let one () =
+                (* parameter direction: only IN parameters are modeled *)
+                ignore (accept_word p "IN");
+                let n = ident p in
+                let ty = parse_type_name p in
+                (n, ty)
+              in
+              let rec go acc =
+                let x = one () in
+                if accept_symbol p "," then go (x :: acc)
+                else List.rev (x :: acc)
+              in
+              let ps = go [] in
+              expect_symbol p ")";
+              ps)
+          else []
+        in
+        expect_word p "BEGIN";
+        let body = parse_proc_body p in
+        expect_word p "END";
+        Ast.S_create_procedure { name; params; body; replace })
+      else error p "unsupported CREATE statement")
+  | Token.Word "DROP" ->
+      advance p;
+      let if_exists p =
+        if at_word p "IF" then (
+          advance p;
+          expect_word p "EXISTS";
+          true)
+        else false
+      in
+      if accept_word p "TABLE" then (
+        let ie = if_exists p in
+        Ast.S_drop_table { name = qualified_name p; if_exists = ie })
+      else if accept_word p "VIEW" then (
+        let ie = if_exists p in
+        Ast.S_drop_view { name = qualified_name p; if_exists = ie })
+      else if accept_word p "MACRO" then (
+        let ie = if_exists p in
+        Ast.S_drop_macro { name = qualified_name p; if_exists = ie })
+      else if accept_word p "PROCEDURE" then (
+        let ie = if_exists p in
+        Ast.S_drop_procedure { name = qualified_name p; if_exists = ie })
+      else error p "unsupported DROP statement"
+  | Token.Word "RENAME" ->
+      advance p;
+      expect_word p "TABLE";
+      let from_name = qualified_name p in
+      ignore (accept_word p "TO" || accept_word p "AS");
+      let to_name = qualified_name p in
+      Ast.S_rename_table { from_name; to_name }
+  | Token.Word "ALTER" ->
+      advance p;
+      expect_word p "TABLE";
+      let from_name = qualified_name p in
+      expect_word p "RENAME";
+      expect_word p "TO";
+      let to_name = qualified_name p in
+      Ast.S_rename_table { from_name; to_name }
+  | Token.Word "CALL" when is_teradata p ->
+      advance p;
+      let name = qualified_name p in
+      let args =
+        if accept_symbol p "(" then
+          if accept_symbol p ")" then []
+          else (
+            let es = parse_expr_list p in
+            expect_symbol p ")";
+            es)
+        else []
+      in
+      Ast.S_call { name; args }
+  | Token.Word ("EXEC" | "EXECUTE") when is_teradata p ->
+      advance p;
+      let name = qualified_name p in
+      let args =
+        if accept_symbol p "(" then (
+          if at_symbol p ")" then (
+            advance p;
+            Ast.Macro_positional [])
+          else
+            (* named (x = 1, y = 2) or positional (1, 2) *)
+            let named =
+              match (peek_kind p, peek_kind ~n:1 p) with
+              | Token.Word _, Token.Symbol "=" -> true
+              | _ -> false
+            in
+            if named then (
+              let one () =
+                let n = ident p in
+                expect_symbol p "=";
+                let e = parse_expr p in
+                (n, e)
+              in
+              let rec go acc =
+                let x = one () in
+                if accept_symbol p "," then go (x :: acc)
+                else List.rev (x :: acc)
+              in
+              let ps = go [] in
+              expect_symbol p ")";
+              Ast.Macro_named ps)
+            else (
+              let es = parse_expr_list p in
+              expect_symbol p ")";
+              Ast.Macro_positional es))
+        else Ast.Macro_positional []
+      in
+      Ast.S_exec_macro { name; args }
+  | Token.Word "HELP" when is_teradata p ->
+      advance p;
+      if accept_word p "SESSION" then Ast.S_help Ast.Help_session
+      else if accept_word p "TABLE" then
+        Ast.S_help (Ast.Help_table (qualified_name p))
+      else if accept_word p "VIEW" then
+        Ast.S_help (Ast.Help_view (qualified_name p))
+      else if accept_word p "MACRO" then
+        Ast.S_help (Ast.Help_macro (qualified_name p))
+      else if accept_word p "PROCEDURE" then
+        Ast.S_help (Ast.Help_procedure (qualified_name p))
+      else if accept_word p "DATABASE" then
+        Ast.S_help (Ast.Help_database (ident p))
+      else if accept_word p "VOLATILE" then (
+        expect_word p "TABLE";
+        Ast.S_help Ast.Help_volatile_table)
+      else error p "unsupported HELP command"
+  | Token.Word "SHOW" when is_teradata p ->
+      advance p;
+      if accept_word p "TABLE" then Ast.S_show (Ast.Show_table (qualified_name p))
+      else if accept_word p "VIEW" then
+        Ast.S_show (Ast.Show_view (qualified_name p))
+      else error p "unsupported SHOW command"
+  | Token.Word "EXPLAIN" when is_teradata p ->
+      advance p;
+      Ast.S_explain (parse_statement_after_keyword p)
+  | Token.Word "COLLECT" when is_teradata p ->
+      advance p;
+      ignore (accept_word p "STATISTICS" || accept_word p "STATS" || accept_word p "STAT");
+      (if accept_word p "COLUMN" then (
+         expect_symbol p "(";
+         let rec skip () =
+           if not (accept_symbol p ")") then (
+             advance p;
+             skip ())
+         in
+         skip ()));
+      ignore (accept_word p "ON");
+      Ast.S_collect_stats (qualified_name p)
+  | Token.Word "SET" when peek_kind ~n:1 p = Token.Word "SESSION" ->
+      advance p;
+      advance p;
+      let name = ident p in
+      ignore (accept_symbol p "=");
+      let v = parse_expr p in
+      Ast.S_set_session (name, v)
+  | Token.Word "BEGIN" ->
+      advance p;
+      ignore (accept_word p "TRANSACTION");
+      Ast.S_begin_transaction
+  | Token.Word "BT" when is_teradata p ->
+      advance p;
+      Ast.S_begin_transaction
+  | Token.Word "COMMIT" ->
+      advance p;
+      ignore (accept_word p "WORK");
+      Ast.S_commit
+  | Token.Word "ET" when is_teradata p ->
+      advance p;
+      Ast.S_commit
+  | Token.Word "END" when is_teradata p ->
+      advance p;
+      ignore (accept_word p "TRANSACTION");
+      Ast.S_commit
+  | Token.Word "ROLLBACK" ->
+      advance p;
+      ignore (accept_word p "WORK");
+      Ast.S_rollback
+  | Token.Symbol "(" -> Ast.S_select (parse_query p)
+  | _ -> error p "expected a statement"
+
+(* --- public entry points --------------------------------------------- *)
+
+let finish_one p =
+  while accept_symbol p ";" do
+    ()
+  done
+
+let check_eof p =
+  match peek_kind p with
+  | Token.Eof -> ()
+  | _ -> error p "unexpected trailing input"
+
+(** Parse exactly one statement (an optional trailing [;] is consumed). *)
+let parse_statement ~dialect input =
+  let p = make ~dialect input in
+  let s = parse_statement_after_keyword p in
+  finish_one p;
+  check_eof p;
+  s
+
+(** Parse a [;]-separated statement sequence. *)
+let parse_many ~dialect input =
+  let p = make ~dialect input in
+  let rec go acc =
+    finish_one p;
+    match peek_kind p with
+    | Token.Eof -> List.rev acc
+    | _ ->
+        let s = parse_statement_after_keyword p in
+        finish_one p;
+        go (s :: acc)
+  in
+  go []
+
+let parse_query_string ~dialect input =
+  let p = make ~dialect input in
+  let q = parse_query p in
+  finish_one p;
+  check_eof p;
+  q
+
+let parse_expr_string ~dialect input =
+  let p = make ~dialect input in
+  let e = parse_expr p in
+  check_eof p;
+  e

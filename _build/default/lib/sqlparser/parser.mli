@@ -1,0 +1,20 @@
+(** Recursive-descent SQL parser, parametrized by {!Dialect.t}.
+
+    The grammar core is shared between dialects; Teradata-only productions
+    (SEL/INS/UPD/DEL abbreviations, QUALIFY, TOP, SAMPLE, RANK(x DESC),
+    vector subqueries, MACRO/PROCEDURE, permissive clause order — paper
+    Example 1 places ORDER BY before WHERE) are gated on the dialect. All
+    entry points raise {!Hyperq_sqlvalue.Sql_error.Error} with [Parse_error]
+    on malformed input. *)
+
+(** Parse exactly one statement (an optional trailing [;] is consumed). *)
+val parse_statement : dialect:Dialect.t -> string -> Ast.statement
+
+(** Parse a [;]-separated statement sequence. *)
+val parse_many : dialect:Dialect.t -> string -> Ast.statement list
+
+(** Parse a bare query (no DML/DDL). *)
+val parse_query_string : dialect:Dialect.t -> string -> Ast.query
+
+(** Parse a bare scalar expression (tests and tooling). *)
+val parse_expr_string : dialect:Dialect.t -> string -> Ast.expr

@@ -1,0 +1,28 @@
+(** Lexical tokens. Keywords are not distinguished from identifiers at the
+    lexical level (SQL keywords are context-sensitive); the parser matches on
+    the uppercased word. *)
+
+type kind =
+  | Word of string  (** bare identifier / keyword, normalized to uppercase *)
+  | Quoted_ident of string  (** "..." — case preserved *)
+  | Int_lit of int64
+  | Number_lit of string  (** decimal or float literal, original text *)
+  | String_lit of string  (** '...' with '' unescaped *)
+  | Param  (** positional parameter [?] *)
+  | Symbol of string  (** operator or punctuation *)
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+let kind_to_string = function
+  | Word w -> w
+  | Quoted_ident q -> Printf.sprintf "%S" q
+  | Int_lit n -> Int64.to_string n
+  | Number_lit s -> s
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Param -> "?"
+  | Symbol s -> s
+  | Eof -> "<eof>"
+
+let to_string t =
+  Printf.sprintf "%s at line %d, column %d" (kind_to_string t.kind) t.line t.col

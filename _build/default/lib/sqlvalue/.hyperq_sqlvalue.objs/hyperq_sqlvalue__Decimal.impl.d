@@ -1,0 +1,1 @@
+lib/sqlvalue/decimal.ml: Array Float Fmt Int64 Printf Sql_error String

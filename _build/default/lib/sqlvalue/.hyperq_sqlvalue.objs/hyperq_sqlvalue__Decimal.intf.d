@@ -1,0 +1,1 @@
+lib/sqlvalue/decimal.mli: Format

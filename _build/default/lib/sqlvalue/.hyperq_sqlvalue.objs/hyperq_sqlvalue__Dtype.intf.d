@@ -1,0 +1,1 @@
+lib/sqlvalue/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlvalue/interval.ml: Fmt Int Int64 List Printf String

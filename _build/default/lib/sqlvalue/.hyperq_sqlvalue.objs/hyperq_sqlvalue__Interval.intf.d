@@ -1,0 +1,1 @@
+lib/sqlvalue/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlvalue/sql_date.ml: Fmt Int Printf Sql_error String

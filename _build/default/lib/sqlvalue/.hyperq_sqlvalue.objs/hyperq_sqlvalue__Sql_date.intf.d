@@ -1,0 +1,1 @@
+lib/sqlvalue/sql_date.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlvalue/sql_error.ml: Fmt Printf Stdlib

@@ -1,0 +1,1 @@
+lib/sqlvalue/value.ml: Bool Buffer Char Decimal Dtype Float Fmt Hashtbl Int Int64 Interval Printf Sql_date Sql_error String

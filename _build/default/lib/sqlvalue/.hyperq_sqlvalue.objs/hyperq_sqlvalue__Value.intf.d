@@ -1,0 +1,1 @@
+lib/sqlvalue/value.mli: Decimal Dtype Format Interval Sql_date

@@ -1,0 +1,165 @@
+(** Fixed-point DECIMAL(p,s) arithmetic on an int64 mantissa.
+
+    Teradata analytics workloads lean on exact decimals (money amounts such as
+    [AMOUNT * 0.85] in the paper's Example 2), so the engine must not silently
+    fall back to binary floats. Values are [mantissa * 10^-scale]; arithmetic
+    rescales to a common scale and division rounds half away from zero, which
+    matches the behaviour data-warehouse users expect for currency math. *)
+
+type t = { mantissa : int64; scale : int }
+
+let max_scale = 18
+
+let pow10 =
+  let tbl = Array.make (max_scale + 1) 1L in
+  for i = 1 to max_scale do
+    tbl.(i) <- Int64.mul tbl.(i - 1) 10L
+  done;
+  fun n ->
+    if n < 0 || n > max_scale then
+      Sql_error.execution_error "decimal scale %d out of range" n
+    else tbl.(n)
+
+let make ~mantissa ~scale =
+  ignore (pow10 scale);
+  { mantissa; scale }
+
+let zero = { mantissa = 0L; scale = 0 }
+let of_int n = { mantissa = Int64.of_int n; scale = 0 }
+let of_int64 mantissa = { mantissa; scale = 0 }
+
+(* Drop trailing zero digits so that e.g. 1.50 and 1.5 are structurally
+   comparable after [normalize]. *)
+let rec normalize d =
+  if d.scale > 0 && Int64.rem d.mantissa 10L = 0L then
+    normalize { mantissa = Int64.div d.mantissa 10L; scale = d.scale - 1 }
+  else d
+
+let rescale d scale =
+  if scale = d.scale then d
+  else if scale > d.scale then
+    { mantissa = Int64.mul d.mantissa (pow10 (scale - d.scale)); scale }
+  else
+    let divisor = pow10 (d.scale - scale) in
+    { mantissa = Int64.div d.mantissa divisor; scale }
+
+let align a b =
+  let scale = max a.scale b.scale in
+  (rescale a scale, rescale b scale, scale)
+
+let compare a b =
+  let a, b, _ = align a b in
+  Int64.compare a.mantissa b.mantissa
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let a, b, scale = align a b in
+  { mantissa = Int64.add a.mantissa b.mantissa; scale }
+
+let sub a b =
+  let a, b, scale = align a b in
+  { mantissa = Int64.sub a.mantissa b.mantissa; scale }
+
+let neg d = { d with mantissa = Int64.neg d.mantissa }
+
+let mul a b =
+  let scale = a.scale + b.scale in
+  let m = Int64.mul a.mantissa b.mantissa in
+  if scale <= max_scale then normalize { mantissa = m; scale }
+  else normalize (rescale { mantissa = m; scale } max_scale)
+
+(* Division keeps [result_scale] fractional digits, rounding half away from
+   zero on the digit beyond it. *)
+let div a b =
+  if b.mantissa = 0L then Sql_error.execution_error "division by zero";
+  let result_scale = min max_scale (max 6 (max a.scale b.scale)) in
+  (* Compute a.mantissa * 10^(result_scale+1-?) / b.mantissa with one guard
+     digit, then round. Go through float only if int64 would overflow. *)
+  let needed = result_scale + 1 + b.scale - a.scale in
+  let num_scaled =
+    if needed >= 0 then
+      if needed <= max_scale then Some (Int64.mul a.mantissa (pow10 needed))
+      else None
+    else Some (Int64.div a.mantissa (pow10 (-needed)))
+  in
+  match num_scaled with
+  | Some n ->
+      let q = Int64.div n b.mantissa in
+      let rounded =
+        if Int64.rem q 10L |> Int64.abs >= 5L then
+          Int64.add (Int64.div q 10L) (if Int64.compare q 0L >= 0 then 1L else -1L)
+        else Int64.div q 10L
+      in
+      normalize { mantissa = rounded; scale = result_scale }
+  | None ->
+      let fa = Int64.to_float a.mantissa /. Int64.to_float (pow10 a.scale) in
+      let fb = Int64.to_float b.mantissa /. Int64.to_float (pow10 b.scale) in
+      let f = fa /. fb in
+      let m = Float.round (f *. Int64.to_float (pow10 result_scale)) in
+      normalize { mantissa = Int64.of_float m; scale = result_scale }
+
+let to_float d = Int64.to_float d.mantissa /. Int64.to_float (pow10 d.scale)
+
+let of_float ?(scale = 6) f =
+  let m = Float.round (f *. Int64.to_float (pow10 scale)) in
+  normalize { mantissa = Int64.of_float m; scale }
+
+(* Truncate toward zero when converting to an integer, per SQL CAST rules. *)
+let to_int64 d = Int64.div d.mantissa (pow10 d.scale)
+
+let to_string d =
+  if d.scale = 0 then Int64.to_string d.mantissa
+  else
+    let sign = if Int64.compare d.mantissa 0L < 0 then "-" else "" in
+    let m = Int64.abs d.mantissa in
+    let whole = Int64.div m (pow10 d.scale) in
+    let frac = Int64.rem m (pow10 d.scale) in
+    Printf.sprintf "%s%Ld.%0*Ld" sign whole d.scale frac
+
+let of_string s =
+  let s = String.trim s in
+  let fail () = Sql_error.execution_error "invalid decimal literal %S" s in
+  let negative, body =
+    if String.length s > 0 && s.[0] = '-' then
+      (true, String.sub s 1 (String.length s - 1))
+    else if String.length s > 0 && s.[0] = '+' then
+      (false, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  let whole, frac =
+    match String.index_opt body '.' with
+    | None -> (body, "")
+    | Some i ->
+        (String.sub body 0 i, String.sub body (i + 1) (String.length body - i - 1))
+  in
+  let frac =
+    if String.length frac > max_scale then String.sub frac 0 max_scale else frac
+  in
+  let digits = whole ^ frac in
+  if digits = "" then fail ();
+  match Int64.of_string_opt digits with
+  | None -> fail ()
+  | Some m ->
+      let m = if negative then Int64.neg m else m in
+      { mantissa = m; scale = String.length frac }
+
+let is_zero d = d.mantissa = 0L
+let sign d = Int64.compare d.mantissa 0L
+let abs d = { d with mantissa = Int64.abs d.mantissa }
+
+let round d ~scale =
+  if scale >= d.scale then d
+  else
+    let divisor = pow10 (d.scale - scale) in
+    let q = Int64.div d.mantissa divisor in
+    let r = Int64.rem d.mantissa divisor in
+    let half = Int64.div divisor 2L in
+    let adj =
+      if Int64.abs r > half || (Int64.abs r = half && Int64.abs r <> 0L) then
+        if sign d >= 0 then 1L else -1L
+      else 0L
+    in
+    { mantissa = Int64.add q adj; scale }
+
+let pp ppf d = Fmt.string ppf (to_string d)

@@ -1,0 +1,59 @@
+(** Fixed-point DECIMAL(p,s) arithmetic on an int64 mantissa.
+
+    Values are [mantissa * 10^-scale]. Arithmetic rescales operands to a
+    common scale; division keeps at least 6 fractional digits and rounds
+    half away from zero — the behaviour data-warehouse users expect for
+    currency math. *)
+
+type t = { mantissa : int64; scale : int }
+
+(** The largest supported scale (18 fractional digits). *)
+val max_scale : int
+
+(** Raises {!Sql_error.Error} when [scale] is outside [0..max_scale]. *)
+val make : mantissa:int64 -> scale:int -> t
+
+val zero : t
+val of_int : int -> t
+val of_int64 : int64 -> t
+
+(** Drop trailing zero fractional digits ([1.50] → [1.5]). *)
+val normalize : t -> t
+
+(** Change the scale: scaling up is exact; scaling down truncates toward
+    zero (use {!round} for rounding). *)
+val rescale : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** Raises {!Sql_error.Error} on division by zero. *)
+val div : t -> t -> t
+
+val to_float : t -> float
+val of_float : ?scale:int -> float -> t
+
+(** Truncates toward zero, per SQL CAST rules. *)
+val to_int64 : t -> int64
+
+val to_string : t -> string
+
+(** Accepts [[+|-]digits[.digits]]; raises {!Sql_error.Error} otherwise. *)
+val of_string : string -> t
+
+val is_zero : t -> bool
+
+(** -1, 0 or 1. *)
+val sign : t -> int
+
+val abs : t -> t
+
+(** Round half away from zero to [scale] fractional digits (no-op when the
+    value already has fewer). *)
+val round : t -> scale:int -> t
+
+val pp : Format.formatter -> t -> unit

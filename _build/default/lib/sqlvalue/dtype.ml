@@ -1,0 +1,111 @@
+(** SQL data types shared by every layer of the stack.
+
+    The type lattice is what the binder uses for implicit-coercion decisions
+    and what drives several capability-gap rewrites: e.g. a [Period] column
+    has to be decomposed into two scalar columns on backends without a PERIOD
+    type (paper §2.2.2), and [Date]/[Int] comparisons are legal in Teradata
+    only because of its integer date encoding. *)
+
+type t =
+  | Unknown  (** type of a bare NULL literal before coercion *)
+  | Bool
+  | Int  (** 64-bit integer; covers BYTEINT/SMALLINT/INT/BIGINT *)
+  | Float  (** binary double, FLOAT/REAL/DOUBLE PRECISION *)
+  | Decimal of { precision : int; scale : int }
+  | Varchar of { max_len : int option; case_sensitive : bool }
+  | Date
+  | Time
+  | Timestamp
+  | Interval_ym  (** INTERVAL YEAR [TO MONTH] *)
+  | Interval_ds  (** INTERVAL DAY [TO SECOND] *)
+  | Period of period_base  (** Teradata PERIOD(DATE|TIMESTAMP) *)
+  | Bytes
+
+and period_base = Pdate | Ptimestamp
+
+let varchar ?max_len ?(case_sensitive = false) () =
+  Varchar { max_len; case_sensitive }
+
+let default_decimal = Decimal { precision = 18; scale = 6 }
+
+let is_numeric = function
+  | Int | Float | Decimal _ -> true
+  | Unknown | Bool | Varchar _ | Date | Time | Timestamp | Interval_ym
+  | Interval_ds | Period _ | Bytes ->
+      false
+
+let is_temporal = function
+  | Date | Time | Timestamp -> true
+  | _ -> false
+
+let is_interval = function Interval_ym | Interval_ds -> true | _ -> false
+
+(* Structural equality modulo parameters that do not affect runtime values:
+   two varchars are the same family whatever their length bound. *)
+let same_family a b =
+  match (a, b) with
+  | Unknown, Unknown
+  | Bool, Bool
+  | Int, Int
+  | Float, Float
+  | Decimal _, Decimal _
+  | Varchar _, Varchar _
+  | Date, Date
+  | Time, Time
+  | Timestamp, Timestamp
+  | Interval_ym, Interval_ym
+  | Interval_ds, Interval_ds
+  | Bytes, Bytes ->
+      true
+  | Period a, Period b -> a = b
+  | _ -> false
+
+(** Least common supertype used by the binder for expressions such as CASE
+    branches, set operations and comparison operands. [None] means the types
+    are incompatible without an explicit CAST. *)
+let common_super a b =
+  if same_family a b then
+    Some
+      (match (a, b) with
+      | Decimal { precision = p1; scale = s1 }, Decimal { precision = p2; scale = s2 }
+        ->
+          Decimal { precision = max p1 p2; scale = max s1 s2 }
+      | Varchar { max_len = l1; case_sensitive = c1 },
+        Varchar { max_len = l2; case_sensitive = c2 } ->
+          let max_len =
+            match (l1, l2) with Some a, Some b -> Some (max a b) | _ -> None
+          in
+          Varchar { max_len; case_sensitive = c1 && c2 }
+      | a, _ -> a)
+  else
+    match (a, b) with
+    | Unknown, t | t, Unknown -> Some t
+    | Int, Float | Float, Int -> Some Float
+    | Decimal _, Float | Float, Decimal _ -> Some Float
+    | Int, (Decimal _ as d) | (Decimal _ as d), Int -> Some d
+    | Date, Timestamp | Timestamp, Date -> Some Timestamp
+    (* Teradata-ism: DATE and INT are mutually comparable because dates are
+       integers internally. The binder inserts the explicit conversion; the
+       common type of the comparison is INT. *)
+    | Date, Int | Int, Date -> Some Int
+    | _ -> None
+
+let rec to_string = function
+  | Unknown -> "UNKNOWN"
+  | Bool -> "BOOLEAN"
+  | Int -> "BIGINT"
+  | Float -> "DOUBLE PRECISION"
+  | Decimal { precision; scale } -> Printf.sprintf "DECIMAL(%d,%d)" precision scale
+  | Varchar { max_len = Some n; case_sensitive } ->
+      Printf.sprintf "VARCHAR(%d)%s" n (if case_sensitive then " CASESPECIFIC" else "")
+  | Varchar { max_len = None; _ } -> "VARCHAR"
+  | Date -> "DATE"
+  | Time -> "TIME"
+  | Timestamp -> "TIMESTAMP"
+  | Interval_ym -> "INTERVAL YEAR TO MONTH"
+  | Interval_ds -> "INTERVAL DAY TO SECOND"
+  | Period Pdate -> "PERIOD(" ^ to_string Date ^ ")"
+  | Period Ptimestamp -> "PERIOD(" ^ to_string Timestamp ^ ")"
+  | Bytes -> "VARBYTE"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,46 @@
+(** SQL data types shared by every layer of the stack.
+
+    The type lattice drives the binder's implicit-coercion decisions and
+    several capability-gap rewrites: a {!Period} column must be decomposed on
+    backends without a PERIOD type (paper §2.2.2), and {!Date}/{!Int}
+    comparisons are legal in the Teradata dialect only because of its integer
+    date encoding. *)
+
+type t =
+  | Unknown  (** type of a bare NULL literal before coercion *)
+  | Bool
+  | Int  (** 64-bit; covers BYTEINT/SMALLINT/INT/BIGINT *)
+  | Float  (** binary double: FLOAT/REAL/DOUBLE PRECISION *)
+  | Decimal of { precision : int; scale : int }
+  | Varchar of { max_len : int option; case_sensitive : bool }
+  | Date
+  | Time
+  | Timestamp
+  | Interval_ym  (** INTERVAL YEAR [TO MONTH] *)
+  | Interval_ds  (** INTERVAL DAY [TO SECOND] *)
+  | Period of period_base  (** Teradata PERIOD(DATE|TIMESTAMP) *)
+  | Bytes
+
+and period_base = Pdate | Ptimestamp
+
+val varchar : ?max_len:int -> ?case_sensitive:bool -> unit -> t
+
+(** DECIMAL(18,6), the default for untyped exact numerics. *)
+val default_decimal : t
+
+val is_numeric : t -> bool
+val is_temporal : t -> bool
+val is_interval : t -> bool
+
+(** Same type constructor, ignoring parameters that do not affect runtime
+    values (two varchars are the same family whatever their bounds). *)
+val same_family : t -> t -> bool
+
+(** Least common supertype used for CASE branches, set operations and
+    comparison operands; [None] means an explicit CAST is required. The
+    Teradata-ism [common_super Date Int = Some Int] reflects the internal
+    integer encoding of dates. *)
+val common_super : t -> t -> t option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

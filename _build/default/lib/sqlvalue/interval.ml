@@ -1,0 +1,73 @@
+(** SQL INTERVAL values.
+
+    Split into a month component and a (day, microsecond) component because
+    the two do not interconvert: adding [INTERVAL '1' MONTH] to a date is
+    calendar arithmetic while [INTERVAL '1' DAY] is day arithmetic. Date
+    arithmetic rewrites (paper Table 2, "Date arithmetics") bottom out here. *)
+
+type t = { months : int; days : int; micros : int64 }
+
+let zero = { months = 0; days = 0; micros = 0L }
+let of_months months = { zero with months }
+let of_days days = { zero with days }
+let of_micros micros = { zero with micros }
+let of_seconds s = of_micros (Int64.mul (Int64.of_int s) 1_000_000L)
+let of_hours h = of_seconds (h * 3600)
+let of_minutes m = of_seconds (m * 60)
+let of_years y = of_months (y * 12)
+
+let add a b =
+  {
+    months = a.months + b.months;
+    days = a.days + b.days;
+    micros = Int64.add a.micros b.micros;
+  }
+
+let neg a =
+  { months = -a.months; days = -a.days; micros = Int64.neg a.micros }
+
+let sub a b = add a (neg b)
+
+let scale a k =
+  {
+    months = a.months * k;
+    days = a.days * k;
+    micros = Int64.mul a.micros (Int64.of_int k);
+  }
+
+let equal a b = a.months = b.months && a.days = b.days && a.micros = b.micros
+
+(* Ordering is only well-defined when the month parts agree (a month has no
+   fixed length); we still provide a total order for sorting, comparing
+   lexicographically. *)
+let compare a b =
+  match Int.compare a.months b.months with
+  | 0 -> (
+      match Int.compare a.days b.days with
+      | 0 -> Int64.compare a.micros b.micros
+      | c -> c)
+  | c -> c
+
+let to_string t =
+  let parts = [] in
+  let parts =
+    if t.months <> 0 then
+      Printf.sprintf "%d-%d" (t.months / 12) (abs (t.months mod 12)) :: parts
+    else parts
+  in
+  let parts = if t.days <> 0 then Printf.sprintf "%d days" t.days :: parts else parts in
+  let parts =
+    if t.micros <> 0L || parts = [] then
+      let total_s = Int64.div t.micros 1_000_000L in
+      let us = Int64.rem t.micros 1_000_000L in
+      let s = Int64.rem total_s 60L in
+      let m = Int64.rem (Int64.div total_s 60L) 60L in
+      let h = Int64.div total_s 3600L in
+      (if us = 0L then Printf.sprintf "%Ld:%02Ld:%02Ld" h m s
+       else Printf.sprintf "%Ld:%02Ld:%02Ld.%06Ld" h m s (Int64.abs us))
+      :: parts
+    else parts
+  in
+  String.concat " " (List.rev parts)
+
+let pp ppf t = Fmt.string ppf (to_string t)

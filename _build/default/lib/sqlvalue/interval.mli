@@ -1,0 +1,32 @@
+(** SQL INTERVAL values.
+
+    Split into a month component and a (day, microsecond) component because
+    the two do not interconvert: adding [INTERVAL '1' MONTH] to a date is
+    calendar arithmetic while [INTERVAL '1' DAY] is day arithmetic. *)
+
+type t = { months : int; days : int; micros : int64 }
+
+val zero : t
+val of_months : int -> t
+val of_days : int -> t
+val of_micros : int64 -> t
+val of_seconds : int -> t
+val of_hours : int -> t
+val of_minutes : int -> t
+val of_years : int -> t
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+
+(** Multiply every component by an integer factor. *)
+val scale : t -> int -> t
+
+val equal : t -> t -> bool
+
+(** A total order for sorting; comparing intervals with different month
+    components is inherently approximate (months have no fixed length), so
+    the order is lexicographic on (months, days, micros). *)
+val compare : t -> t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+(** Calendar dates with Teradata's integer encoding.
+
+    Teradata stores a DATE as the integer [(year - 1900) * 10000 + month * 100
+    + day], which is why Teradata SQL allows direct DATE/INT comparison (paper
+    Example 2: [SALES_DATE > 1140101] means ["2014-01-01"]). This module owns
+    that encoding as well as the proleptic-Gregorian day arithmetic used by
+    date +/- integer expressions. *)
+
+type t = { year : int; month : int; day : int }
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year y then 29 else 28
+  | _ -> invalid_arg "Sql_date.days_in_month"
+
+let is_valid ~year ~month ~day =
+  year >= 1 && year <= 9999 && month >= 1 && month <= 12 && day >= 1
+  && day <= days_in_month year month
+
+let make ~year ~month ~day =
+  if not (is_valid ~year ~month ~day) then
+    Sql_error.execution_error "invalid date %04d-%02d-%02d" year month day;
+  { year; month; day }
+
+let compare a b =
+  match Int.compare a.year b.year with
+  | 0 -> (
+      match Int.compare a.month b.month with
+      | 0 -> Int.compare a.day b.day
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+(* Days since the civil epoch 1970-01-01 (Howard Hinnant's algorithm),
+   supporting the full 0001..9999 range. *)
+let to_epoch_days { year; month; day } =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let of_epoch_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  make ~year ~month ~day
+
+let add_days d n = of_epoch_days (to_epoch_days d + n)
+let diff_days a b = to_epoch_days a - to_epoch_days b
+
+let add_months d n =
+  let total = (d.year * 12) + (d.month - 1) + n in
+  let year = total / 12 and month = (total mod 12) + 1 in
+  let day = min d.day (days_in_month year month) in
+  make ~year ~month ~day
+
+(** Teradata internal integer encoding. *)
+let to_teradata_int { year; month; day } =
+  ((year - 1900) * 10000) + (month * 100) + day
+
+let of_teradata_int n =
+  let day = n mod 100 in
+  let month = n / 100 mod 100 in
+  let year = (n / 10000) + 1900 in
+  if not (is_valid ~year ~month ~day) then
+    Sql_error.execution_error "integer %d is not a valid Teradata date" n;
+  make ~year ~month ~day
+
+let to_string { year; month; day } =
+  Printf.sprintf "%04d-%02d-%02d" year month day
+
+let of_string s =
+  let fail () = Sql_error.execution_error "invalid date literal %S" s in
+  match String.split_on_char '-' (String.trim s) with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d)
+      with
+      | Some year, Some month, Some day ->
+          if is_valid ~year ~month ~day then make ~year ~month ~day
+          else fail ()
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* 0 = Sunday .. 6 = Saturday, matching Teradata's day_of_week convention
+   offset (1970-01-01 was a Thursday). *)
+let day_of_week d = (to_epoch_days d + 4) mod 7
+let pp ppf d = Fmt.string ppf (to_string d)

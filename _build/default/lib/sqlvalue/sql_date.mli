@@ -1,0 +1,55 @@
+(** Calendar dates with Teradata's integer encoding.
+
+    Teradata stores a DATE as the integer
+    [(year - 1900) * 10000 + month * 100 + day], which is why Teradata SQL
+    allows direct DATE/INT comparison (paper Example 2:
+    [SALES_DATE > 1140101] means "after 2014-01-01"). This module owns that
+    encoding and the proleptic-Gregorian day arithmetic behind
+    [date +/- integer] expressions. *)
+
+type t = { year : int; month : int; day : int }
+
+val is_leap_year : int -> bool
+
+(** [days_in_month y m] — raises [Invalid_argument] on a month outside
+    1..12. *)
+val days_in_month : int -> int -> int
+
+val is_valid : year:int -> month:int -> day:int -> bool
+
+(** Raises {!Sql_error.Error} on an invalid calendar date. *)
+val make : year:int -> month:int -> day:int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Days since the civil epoch 1970-01-01 (negative before it). *)
+val to_epoch_days : t -> int
+
+val of_epoch_days : int -> t
+
+val add_days : t -> int -> t
+
+(** [diff_days a b] is the number of days from [b] to [a]. *)
+val diff_days : t -> t -> int
+
+(** Calendar month arithmetic; the day is clamped to the target month's
+    length (Jan 31 + 1 month = Feb 28/29). *)
+val add_months : t -> int -> t
+
+(** The Teradata internal integer encoding. *)
+val to_teradata_int : t -> int
+
+(** Inverse of {!to_teradata_int}; raises {!Sql_error.Error} when the integer
+    does not denote a valid date. *)
+val of_teradata_int : int -> t
+
+(** ISO [yyyy-mm-dd]. *)
+val to_string : t -> string
+
+val of_string : string -> t
+
+(** 0 = Sunday .. 6 = Saturday. *)
+val day_of_week : t -> int
+
+val pp : Format.formatter -> t -> unit

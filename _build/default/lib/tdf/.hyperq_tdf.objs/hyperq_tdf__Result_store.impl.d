@@ -1,0 +1,1 @@
+lib/tdf/result_store.ml: Filename Hyperq_sqlvalue List Printf Sql_error String Sys Tdf Unix

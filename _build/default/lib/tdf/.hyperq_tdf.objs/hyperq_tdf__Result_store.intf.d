@@ -1,0 +1,1 @@
+lib/tdf/result_store.mli: Hyperq_sqlvalue Tdf Value

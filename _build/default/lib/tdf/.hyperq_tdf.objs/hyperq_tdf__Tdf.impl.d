@@ -1,0 +1,1 @@
+lib/tdf/tdf.ml: Array Buffer Bytes Char Decimal Dtype Hyperq_sqlvalue Int64 Interval List Option Sql_date Sql_error String Value

@@ -1,0 +1,1 @@
+lib/tdf/tdf.mli: Dtype Hyperq_sqlvalue Value

@@ -1,0 +1,33 @@
+(** Batched result buffering with disk spill (paper §4.6).
+
+    Some source protocols require the total row count before any row can be
+    sent, so the Result Converter must buffer entire result sets; when they
+    do not fit in memory, batches spill to temp files that are replayed (and
+    deleted) on consumption. *)
+
+open Hyperq_sqlvalue
+
+type t
+
+val default_budget : int
+
+(** [create ~memory_budget ~spill_dir columns] — batches accumulate in
+    memory up to [memory_budget] bytes, then overflow into spill files under
+    [spill_dir] (defaults: 8 MiB, the system temp dir). *)
+val create :
+  ?memory_budget:int -> ?spill_dir:string -> Tdf.column_desc list -> t
+
+(** Append rows as one TDF batch. Raises after {!consume}. *)
+val add_rows : t -> Value.t array list -> unit
+
+val row_count : t -> int
+
+(** Has any batch been spilled to disk? *)
+val spilled : t -> bool
+
+(** Stream all batches in insertion order, deleting spill files. The store
+    is closed afterwards. *)
+val consume : t -> f:(Tdf.batch -> unit) -> unit
+
+(** All rows, in order (closes the store). *)
+val all_rows : t -> Value.t array list

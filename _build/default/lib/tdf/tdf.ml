@@ -1,0 +1,239 @@
+(** TDF — Tabular Data Format (paper §4.5).
+
+    Hyper-Q's internal binary result representation: "an extensible binary
+    format that is able to handle arbitrarily large nested data". Results
+    fetched from the backend are packaged into TDF batches; the Result
+    Converter later unwraps TDF and re-encodes rows into the source
+    database's wire format.
+
+    Layout (all integers big-endian):
+    {v
+    batch   := magic 'TDF1' | ncols:u16 | coltype… | nrows:u32 | row…
+    coltype := tag:u8 | (tag-specific params)
+    row     := null-bitmap (ceil(ncols/8) bytes) | non-null cells in order
+    v} *)
+
+open Hyperq_sqlvalue
+
+type column_desc = { cd_name : string; cd_type : Dtype.t }
+
+type batch = { columns : column_desc list; rows : Value.t array list }
+
+let magic = "TDF1"
+
+(* --- low-level writers ---------------------------------------------- *)
+
+let w_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let w_u16 buf n =
+  w_u8 buf (n lsr 8);
+  w_u8 buf n
+
+let w_u32 buf n =
+  w_u16 buf (n lsr 16);
+  w_u16 buf n
+
+let w_i64 buf n =
+  for i = 7 downto 0 do
+    w_u8 buf (Int64.to_int (Int64.shift_right_logical n (i * 8)) land 0xff)
+  done
+
+let w_bytes buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+(* --- low-level readers ---------------------------------------------- *)
+
+type reader = { data : string; mutable pos : int }
+
+let r_u8 r =
+  if r.pos >= String.length r.data then
+    Sql_error.conversion_error "TDF: truncated input";
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_u16 r =
+  let a = r_u8 r in
+  (a lsl 8) lor r_u8 r
+
+let r_u32 r =
+  let a = r_u16 r in
+  (a lsl 16) lor r_u16 r
+
+let r_i64 r =
+  let v = ref 0L in
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r_u8 r))
+  done;
+  !v
+
+let r_bytes r =
+  let n = r_u32 r in
+  if r.pos + n > String.length r.data then
+    Sql_error.conversion_error "TDF: truncated string";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* --- type tags -------------------------------------------------------- *)
+
+let tag_of_type = function
+  | Dtype.Unknown -> 0
+  | Dtype.Bool -> 1
+  | Dtype.Int -> 2
+  | Dtype.Float -> 3
+  | Dtype.Decimal _ -> 4
+  | Dtype.Varchar _ -> 5
+  | Dtype.Date -> 6
+  | Dtype.Time -> 7
+  | Dtype.Timestamp -> 8
+  | Dtype.Interval_ym -> 9
+  | Dtype.Interval_ds -> 10
+  | Dtype.Period Dtype.Pdate -> 11
+  | Dtype.Period Dtype.Ptimestamp -> 12
+  | Dtype.Bytes -> 13
+
+let write_coltype buf (cd : column_desc) =
+  w_u8 buf (tag_of_type cd.cd_type);
+  (match cd.cd_type with
+  | Dtype.Decimal { precision; scale } ->
+      w_u8 buf precision;
+      w_u8 buf scale
+  | Dtype.Varchar { max_len; _ } -> w_u32 buf (Option.value max_len ~default:0)
+  | _ -> ());
+  w_bytes buf cd.cd_name
+
+let read_coltype r =
+  let tag = r_u8 r in
+  let ty =
+    match tag with
+    | 0 -> Dtype.Unknown
+    | 1 -> Dtype.Bool
+    | 2 -> Dtype.Int
+    | 3 -> Dtype.Float
+    | 4 ->
+        let precision = r_u8 r in
+        let scale = r_u8 r in
+        Dtype.Decimal { precision; scale }
+    | 5 ->
+        let n = r_u32 r in
+        Dtype.Varchar
+          { max_len = (if n = 0 then None else Some n); case_sensitive = false }
+    | 6 -> Dtype.Date
+    | 7 -> Dtype.Time
+    | 8 -> Dtype.Timestamp
+    | 9 -> Dtype.Interval_ym
+    | 10 -> Dtype.Interval_ds
+    | 11 -> Dtype.Period Dtype.Pdate
+    | 12 -> Dtype.Period Dtype.Ptimestamp
+    | 13 -> Dtype.Bytes
+    | t -> Sql_error.conversion_error "TDF: unknown type tag %d" t
+  in
+  let name = r_bytes r in
+  { cd_name = name; cd_type = ty }
+
+(* --- cell encoding ----------------------------------------------------- *)
+
+let write_date buf (d : Sql_date.t) = w_u32 buf (Sql_date.to_teradata_int d)
+
+let read_date r = Sql_date.of_teradata_int (r_u32 r)
+
+let write_cell buf (v : Value.t) =
+  match v with
+  | Value.Null -> Sql_error.internal_error "TDF: NULL must be in the bitmap"
+  | Value.Bool b -> w_u8 buf (if b then 1 else 0)
+  | Value.Int n -> w_i64 buf n
+  | Value.Float f -> w_i64 buf (Int64.bits_of_float f)
+  | Value.Decimal d ->
+      w_u8 buf d.Decimal.scale;
+      w_i64 buf d.Decimal.mantissa
+  | Value.Varchar s | Value.Bytes s -> w_bytes buf s
+  | Value.Date d -> write_date buf d
+  | Value.Time t -> w_i64 buf t
+  | Value.Timestamp t -> w_i64 buf t
+  | Value.Interval i ->
+      w_u32 buf (i.Interval.months land 0xffffffff);
+      w_u32 buf (i.Interval.days land 0xffffffff);
+      w_i64 buf i.Interval.micros
+  | Value.Period_date (s, e) ->
+      write_date buf s;
+      write_date buf e
+
+let sign_extend32 n = if n land 0x80000000 <> 0 then n - (1 lsl 32) else n
+
+let read_cell r (ty : Dtype.t) : Value.t =
+  match ty with
+  | Dtype.Unknown | Dtype.Varchar _ -> Value.Varchar (r_bytes r)
+  | Dtype.Bool -> Value.Bool (r_u8 r <> 0)
+  | Dtype.Int -> Value.Int (r_i64 r)
+  | Dtype.Float -> Value.Float (Int64.float_of_bits (r_i64 r))
+  | Dtype.Decimal _ ->
+      let scale = r_u8 r in
+      let mantissa = r_i64 r in
+      Value.Decimal (Decimal.make ~mantissa ~scale)
+  | Dtype.Date -> Value.Date (read_date r)
+  | Dtype.Time -> Value.Time (r_i64 r)
+  | Dtype.Timestamp -> Value.Timestamp (r_i64 r)
+  | Dtype.Interval_ym | Dtype.Interval_ds ->
+      let months = sign_extend32 (r_u32 r) in
+      let days = sign_extend32 (r_u32 r) in
+      let micros = r_i64 r in
+      Value.Interval { Interval.months; days; micros }
+  | Dtype.Period Dtype.Pdate ->
+      let s = read_date r in
+      let e = read_date r in
+      Value.Period_date (s, e)
+  | Dtype.Period Dtype.Ptimestamp ->
+      Sql_error.conversion_error "TDF: PERIOD(TIMESTAMP) cells not supported"
+  | Dtype.Bytes -> Value.Bytes (r_bytes r)
+
+(* --- batches ------------------------------------------------------------ *)
+
+let encode (b : batch) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  let ncols = List.length b.columns in
+  w_u16 buf ncols;
+  List.iter (write_coltype buf) b.columns;
+  w_u32 buf (List.length b.rows);
+  let bitmap_bytes = (ncols + 7) / 8 in
+  List.iter
+    (fun row ->
+      if Array.length row <> ncols then
+        Sql_error.internal_error "TDF: row width mismatch";
+      let bitmap = Bytes.make bitmap_bytes '\000' in
+      Array.iteri
+        (fun i v ->
+          if Value.is_null v then
+            Bytes.set bitmap (i / 8)
+              (Char.chr (Char.code (Bytes.get bitmap (i / 8)) lor (1 lsl (i mod 8)))))
+        row;
+      Buffer.add_bytes buf bitmap;
+      Array.iter (fun v -> if not (Value.is_null v) then write_cell buf v) row)
+    b.rows;
+  Buffer.contents buf
+
+let decode (data : string) : batch =
+  let r = { data; pos = 0 } in
+  let m = String.sub data 0 (min 4 (String.length data)) in
+  if m <> magic then Sql_error.conversion_error "TDF: bad magic %S" m;
+  r.pos <- 4;
+  let ncols = r_u16 r in
+  let columns = List.init ncols (fun _ -> read_coltype r) in
+  let nrows = r_u32 r in
+  let bitmap_bytes = (ncols + 7) / 8 in
+  let cols = Array.of_list columns in
+  let rows =
+    List.init nrows (fun _ ->
+        let bitmap = Bytes.create bitmap_bytes in
+        for i = 0 to bitmap_bytes - 1 do
+          Bytes.set bitmap i (Char.chr (r_u8 r))
+        done;
+        Array.init ncols (fun i ->
+            let is_null =
+              Char.code (Bytes.get bitmap (i / 8)) land (1 lsl (i mod 8)) <> 0
+            in
+            if is_null then Value.Null else read_cell r cols.(i).cd_type))
+  in
+  { columns; rows }

@@ -1,0 +1,24 @@
+(** TDF — Tabular Data Format (paper §4.5).
+
+    Hyper-Q's internal binary result representation: "an extensible binary
+    format that is able to handle arbitrarily large nested data". Results
+    fetched from the backend are packaged into TDF batches; the Result
+    Converter later unwraps TDF and re-encodes rows into the source
+    database's wire format. All integers are big-endian. *)
+
+open Hyperq_sqlvalue
+
+type column_desc = { cd_name : string; cd_type : Dtype.t }
+
+type batch = { columns : column_desc list; rows : Value.t array list }
+
+(** The type tag used in the on-wire column descriptor (also reused by the
+    WP-A response-header encoding). *)
+val tag_of_type : Dtype.t -> int
+
+(** Encode a batch; total byte size is proportional to the data. *)
+val encode : batch -> string
+
+(** Decode a batch; raises {!Sql_error.Error} with [Conversion_error] on
+    malformed or truncated input. *)
+val decode : string -> batch

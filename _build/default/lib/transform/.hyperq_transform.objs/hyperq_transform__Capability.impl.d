@@ -1,0 +1,1 @@
+lib/transform/capability.ml: List String

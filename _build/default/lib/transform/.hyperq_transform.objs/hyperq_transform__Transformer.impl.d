@@ -1,0 +1,1 @@
+lib/transform/transformer.ml: Capability Dtype Hyperq_sqlvalue Hyperq_xtra Interval List Sql_error Value

@@ -1,0 +1,1 @@
+lib/transform/transformer.mli: Capability Hyperq_xtra

@@ -1,0 +1,253 @@
+(** Capability profiles of target database systems.
+
+    Each backend the serializer can emit SQL for is described by a profile;
+    the Transformer consults it to decide which target-dependent rewrites to
+    trigger (paper §4.3: "a map for each target database system associating
+    different XTRA operators with their corresponding transformations"), and
+    the Figure 2 bench derives its support-percentage chart from the same
+    matrices, so the chart is generated from live code.
+
+    The six cloud profiles are fictional composites calibrated to the
+    aggregate support percentages of the paper's Figure 2 — the paper does
+    not name which vendor supports what, and vendor matrices change over
+    time, so we model representative profiles rather than real products. *)
+
+type t = {
+  name : string;
+  (* --- language features (Figure 2 feature axis) ------------------- *)
+  qualify_clause : bool;  (** native QUALIFY *)
+  implicit_joins : bool;
+  named_expressions : bool;  (** select-alias reuse in the same block *)
+  derived_table_column_aliases : bool;  (** [FROM (q) t (a, b, c)] *)
+  merge_stmt : bool;
+  recursive_cte : bool;
+  set_tables : bool;  (** SET semantics / automatic row dedup *)
+  macros : bool;
+  period_type : bool;
+  updatable_views : bool;
+  vector_subquery : bool;  (** row-value quantified comparison *)
+  grouping_sets : bool;  (** ROLLUP/CUBE/GROUPING SETS *)
+  top_n : bool;  (** TOP n syntax (vs LIMIT) *)
+  with_ties : bool;
+  date_int_comparison : bool;
+  ordinal_group_by : bool;
+  stored_procedures : bool;
+  case_insensitive_collation : bool;
+  nulls_ordering_syntax : bool;  (** NULLS FIRST / NULLS LAST *)
+  interval_arithmetic : bool;
+  (* --- rendering choices ------------------------------------------- *)
+  bigint_name : string;  (** "BIGINT" vs "INT8" *)
+  float_name : string;
+  length_function : string;  (** CHAR_LENGTH vs LENGTH vs LEN *)
+  add_days_function : string option;
+      (** [Some f] renders date+n as [f(date, n)]; [None] renders [date + n] *)
+  supports_boolean_type : bool;
+}
+
+let base =
+  {
+    name = "base";
+    qualify_clause = false;
+    implicit_joins = false;
+    named_expressions = false;
+    derived_table_column_aliases = true;
+    merge_stmt = false;
+    recursive_cte = false;
+    set_tables = false;
+    macros = false;
+    period_type = false;
+    updatable_views = false;
+    vector_subquery = false;
+    grouping_sets = false;
+    top_n = false;
+    with_ties = false;
+    date_int_comparison = false;
+    ordinal_group_by = true;
+    stored_procedures = false;
+    case_insensitive_collation = false;
+    nulls_ordering_syntax = true;
+    interval_arithmetic = true;
+    bigint_name = "BIGINT";
+    float_name = "DOUBLE PRECISION";
+    length_function = "CHAR_LENGTH";
+    add_days_function = None;
+    supports_boolean_type = true;
+  }
+
+(** The reference Teradata profile (the source system itself): everything on.
+    Used by differential tests and by the Figure 2 bench as the 100% line. *)
+let teradata =
+  {
+    base with
+    name = "teradata";
+    qualify_clause = true;
+    implicit_joins = true;
+    named_expressions = true;
+    derived_table_column_aliases = true;
+    merge_stmt = true;
+    recursive_cte = true;
+    set_tables = true;
+    macros = true;
+    period_type = true;
+    updatable_views = true;
+    vector_subquery = true;
+    grouping_sets = true;
+    top_n = true;
+    with_ties = true;
+    date_int_comparison = true;
+    stored_procedures = true;
+    case_insensitive_collation = true;
+    supports_boolean_type = false;
+    length_function = "CHARS";
+  }
+
+(** Our in-repo analytical engine: the executing backend. Deliberately a
+    lean ANSI target so that the interesting rewrites actually fire on the
+    path we can run end-to-end. *)
+let ansi_engine =
+  {
+    base with
+    name = "ansi-engine";
+    recursive_cte = true;
+    grouping_sets = false;
+    vector_subquery = false;
+    with_ties = false;
+    nulls_ordering_syntax = true;
+    ordinal_group_by = false;
+    (* the engine stores PERIOD values natively so that the virtual and the
+       physical schema stay aligned end-to-end *)
+    period_type = true;
+    interval_arithmetic = true;
+  }
+
+(** The engine profile with recursion support turned off: forces the paper's
+    §6 WorkTable/TempTable emulation onto the executing path so it can be
+    tested and demonstrated end-to-end. *)
+let ansi_engine_norec =
+  { ansi_engine with name = "ansi-engine-norec"; recursive_cte = false }
+
+(* Six modeled cloud data warehouses (fictional composites; see module
+   docstring). Support ratios across the fleet approximate Figure 2. *)
+
+let cloud_polaris =
+  {
+    base with
+    name = "polaris";
+    merge_stmt = true;
+    recursive_cte = true;
+    grouping_sets = true;
+    stored_procedures = true;
+    updatable_views = true;
+    length_function = "LEN";
+    bigint_name = "BIGINT";
+    top_n = true;
+    (* SQL-Server-like: case-insensitive default collation *)
+    case_insensitive_collation = true;
+  }
+
+let cloud_bigstore =
+  {
+    base with
+    name = "bigstore";
+    grouping_sets = true;
+    recursive_cte = false;
+    ordinal_group_by = true;
+    length_function = "LENGTH";
+    nulls_ordering_syntax = true;
+    add_days_function = Some "DATE_ADD";
+  }
+
+let cloud_crimson =
+  {
+    base with
+    name = "crimson";
+    recursive_cte = true;
+    updatable_views = true;
+    vector_subquery = true;
+    length_function = "LENGTH";
+    bigint_name = "INT8";
+    add_days_function = Some "DATEADD";
+    (* date arithmetic is function-based only: INTERVAL operands must be
+       rewritten into ADD_MONTHS/ADD_DAYS calls *)
+    interval_arithmetic = false;
+  }
+
+let cloud_nimbus =
+  {
+    base with
+    name = "nimbus";
+    qualify_clause = true;
+    merge_stmt = true;
+    grouping_sets = true;
+    recursive_cte = true;
+    with_ties = true;
+    top_n = true;
+    stored_procedures = true;
+    length_function = "LENGTH";
+    case_insensitive_collation = true;
+  }
+
+let cloud_aurochs =
+  {
+    base with
+    name = "aurochs";
+    qualify_clause = true;
+    vector_subquery = true;
+    implicit_joins = true;
+    named_expressions = true;
+    updatable_views = true;
+    length_function = "CHAR_LENGTH";
+  }
+
+let cloud_sequoia =
+  {
+    base with
+    name = "sequoia";
+    merge_stmt = true;
+    implicit_joins = true;
+    grouping_sets = true;
+    ordinal_group_by = true;
+    length_function = "LENGTH";
+  }
+
+let cloud_targets =
+  [
+    cloud_polaris;
+    cloud_bigstore;
+    cloud_crimson;
+    cloud_nimbus;
+    cloud_aurochs;
+    cloud_sequoia;
+  ]
+
+let all_targets = ansi_engine :: cloud_targets
+
+let find name =
+  List.find_opt
+    (fun c -> c.name = String.lowercase_ascii name)
+    (teradata :: all_targets)
+
+(** Feature axis of the Figure 2 chart: label + accessor. *)
+let figure2_features : (string * (t -> bool)) list =
+  [
+    ("QUALIFY", fun c -> c.qualify_clause);
+    ("Implicit joins", fun c -> c.implicit_joins);
+    ("Named expressions", fun c -> c.named_expressions);
+    ("Derived table column aliases", fun c -> c.derived_table_column_aliases);
+    ("MERGE", fun c -> c.merge_stmt);
+    ("Recursive queries", fun c -> c.recursive_cte);
+    ("SET tables", fun c -> c.set_tables);
+    ("Macros", fun c -> c.macros);
+    ("PERIOD data type", fun c -> c.period_type);
+    ("Updatable views", fun c -> c.updatable_views);
+    ("Vector subqueries", fun c -> c.vector_subquery);
+    ("TOP n WITH TIES", fun c -> c.with_ties);
+    ("DATE/INT comparison", fun c -> c.date_int_comparison);
+    ("Stored procedures", fun c -> c.stored_procedures);
+  ]
+
+(** Percentage of modeled cloud targets supporting [feature]. *)
+let support_percentage feature_check =
+  let n = List.length cloud_targets in
+  let supported = List.length (List.filter feature_check cloud_targets) in
+  100. *. float_of_int supported /. float_of_int n

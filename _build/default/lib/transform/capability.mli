@@ -1,0 +1,75 @@
+(** Capability profiles of target database systems.
+
+    Each backend the serializer can emit SQL for is described by a profile;
+    the Transformer consults it to decide which target-dependent rewrites to
+    trigger (paper §4.3), and the Figure 2 bench derives its
+    support-percentage chart from the same matrices. The six cloud profiles
+    are fictional composites calibrated to the aggregate percentages of the
+    paper's Figure 2. *)
+
+type t = {
+  name : string;
+  (* --- language features (Figure 2 feature axis) ------------------- *)
+  qualify_clause : bool;
+  implicit_joins : bool;
+  named_expressions : bool;
+  derived_table_column_aliases : bool;
+  merge_stmt : bool;
+  recursive_cte : bool;
+  set_tables : bool;
+  macros : bool;
+  period_type : bool;
+  updatable_views : bool;
+  vector_subquery : bool;
+  grouping_sets : bool;
+  top_n : bool;
+  with_ties : bool;
+  date_int_comparison : bool;
+  ordinal_group_by : bool;
+  stored_procedures : bool;
+  case_insensitive_collation : bool;
+  nulls_ordering_syntax : bool;
+  interval_arithmetic : bool;
+  (* --- rendering choices ------------------------------------------- *)
+  bigint_name : string;  (** "BIGINT" vs "INT8" *)
+  float_name : string;
+  length_function : string;  (** CHAR_LENGTH vs LENGTH vs LEN *)
+  add_days_function : string option;
+      (** [Some f] renders [date + n] as [f(date, n)]; [None] renders [+] *)
+  supports_boolean_type : bool;
+}
+
+(** A conservative all-off baseline to build profiles from. *)
+val base : t
+
+(** The source system itself (everything on); the Figure 2 100% line. *)
+val teradata : t
+
+(** The in-repo analytical engine: the executing backend. *)
+val ansi_engine : t
+
+(** The engine with recursion disabled: forces §6 emulation onto the
+    executing path. *)
+val ansi_engine_norec : t
+
+val cloud_polaris : t
+val cloud_bigstore : t
+val cloud_crimson : t
+val cloud_nimbus : t
+val cloud_aurochs : t
+val cloud_sequoia : t
+
+(** The six modeled cloud targets. *)
+val cloud_targets : t list
+
+(** [ansi_engine] plus the cloud targets. *)
+val all_targets : t list
+
+(** Case-insensitive lookup by profile name ([teradata] included). *)
+val find : string -> t option
+
+(** Feature axis of the Figure 2 chart: label + accessor. *)
+val figure2_features : (string * (t -> bool)) list
+
+(** Percentage of modeled cloud targets passing the check. *)
+val support_percentage : (t -> bool) -> float

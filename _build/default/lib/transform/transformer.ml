@@ -1,0 +1,538 @@
+(** The Transformer: fixed-point driver over pluggable XTRA rewrite rules
+    (paper §4.3).
+
+    Rules come in two tiers, mirroring §5.2/5.3 of the paper:
+
+    - {e normalization} rules are target-independent and run right after
+      binding (e.g. [comp_date_to_int], which expands Teradata's DATE/INT
+      comparison into the [DAY + MONTH*100 + (YEAR-1900)*10000] arithmetic);
+    - {e target} rules are gated on the backend's {!Capability.t} and run
+      before serialization (e.g. [expand_vector_subquery], which turns a
+      quantified row-value comparison into a correlated EXISTS for backends
+      that lack the construct).
+
+    The driver applies every enabled rule repeatedly until a fixed point is
+    reached, exactly as described in the paper ("running all relevant
+    transformations repeatedly until reaching a fixed point"). *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+
+type ctx = {
+  cap : Capability.t;
+  counter : int ref;  (** continues the binder's column-id supply *)
+  mutable applied : (string * int) list;  (** rule name -> fire count *)
+}
+
+let create_ctx ~cap ~counter = { cap; counter; applied = [] }
+
+let fired ctx name =
+  ctx.applied <-
+    (match List.assoc_opt name ctx.applied with
+    | Some n -> (name, n + 1) :: List.remove_assoc name ctx.applied
+    | None -> (name, 1) :: ctx.applied)
+
+let fresh_col ctx name ty =
+  let id = !(ctx.counter) in
+  incr ctx.counter;
+  { Xtra.id; name; ty }
+
+(* ------------------------------------------------------------------ *)
+(* Rule: Teradata DATE/INT comparison (normalization; paper §5.2)       *)
+(* ------------------------------------------------------------------ *)
+
+let date_to_int_expr d =
+  (* DAY + (MONTH * 100) + (YEAR - 1900) * 10000 *)
+  Xtra.Arith
+    ( Xtra.Add,
+      Xtra.Arith
+        ( Xtra.Add,
+          Xtra.Extract (Xtra.Day, d),
+          Xtra.Arith (Xtra.Mul, Xtra.Extract (Xtra.Month, d), Xtra.cint 100) ),
+      Xtra.Arith
+        ( Xtra.Mul,
+          Xtra.Arith (Xtra.Sub, Xtra.Extract (Xtra.Year, d), Xtra.cint 1900),
+          Xtra.cint 10000 ) )
+
+let comp_date_to_int ctx s =
+  match s with
+  | Xtra.Cmp (op, a, b) -> (
+      let ta = Xtra.type_of_scalar a and tb = Xtra.type_of_scalar b in
+      match (ta, tb) with
+      | Dtype.Date, Dtype.Int ->
+          fired ctx "comp_date_to_int";
+          Some (Xtra.Cmp (op, date_to_int_expr a, b))
+      | Dtype.Int, Dtype.Date ->
+          fired ctx "comp_date_to_int";
+          Some (Xtra.Cmp (op, a, date_to_int_expr b))
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: vector subquery -> correlated EXISTS (paper §5.3)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Lexicographic expansion: (l1,..,ln) OP (c1,..,cn). For OP in {>,>=,<,<=}
+   ties propagate to the next component; the last component uses OP itself.
+   For = it is a conjunction of equalities; <> is its negation. *)
+let rec vector_cmp op lhs cols =
+  match (lhs, cols) with
+  | [ l ], [ c ] -> Xtra.Cmp (op, l, Xtra.Col_ref c)
+  | l :: ls, c :: cs -> (
+      match op with
+      | Xtra.Eq ->
+          Xtra.Logic_and (Xtra.Cmp (Xtra.Eq, l, Xtra.Col_ref c), vector_cmp op ls cs)
+      | Xtra.Neq ->
+          Xtra.Logic_not
+            (vector_cmp Xtra.Eq (l :: ls) (c :: cs))
+      | Xtra.Gt | Xtra.Gte ->
+          Xtra.Logic_or
+            ( Xtra.Cmp (Xtra.Gt, l, Xtra.Col_ref c),
+              Xtra.Logic_and
+                (Xtra.Cmp (Xtra.Eq, l, Xtra.Col_ref c), vector_cmp op ls cs) )
+      | Xtra.Lt | Xtra.Lte ->
+          Xtra.Logic_or
+            ( Xtra.Cmp (Xtra.Lt, l, Xtra.Col_ref c),
+              Xtra.Logic_and
+                (Xtra.Cmp (Xtra.Eq, l, Xtra.Col_ref c), vector_cmp op ls cs) ))
+  | _ -> Sql_error.internal_error "vector comparison arity mismatch"
+
+let negate_cmp = function
+  | Xtra.Eq -> Xtra.Neq
+  | Xtra.Neq -> Xtra.Eq
+  | Xtra.Lt -> Xtra.Gte
+  | Xtra.Lte -> Xtra.Gt
+  | Xtra.Gt -> Xtra.Lte
+  | Xtra.Gte -> Xtra.Lt
+
+let expand_vector_subquery ctx s =
+  if ctx.cap.Capability.vector_subquery then None
+  else
+    match s with
+    | Xtra.Quantified { lhs; op; quant; subquery } when List.length lhs > 1 ->
+        fired ctx "expand_vector_subquery";
+        let cols = Xtra.schema_of subquery in
+        let pred, negate =
+          match quant with
+          | Xtra.Any -> (vector_cmp op lhs cols, false)
+          | Xtra.All -> (vector_cmp (negate_cmp op) lhs cols, true)
+        in
+        let filtered = Xtra.Filter { input = subquery; pred } in
+        (* paper Figure 6: "remap consts: (1)" — emit SELECT 1 *)
+        let one = fresh_col ctx "ONE" Dtype.Int in
+        let projected =
+          Xtra.Project { input = filtered; proj = [ (one, Xtra.cint 1) ] }
+        in
+        Some
+          (if negate then Xtra.Logic_not (Xtra.Exists projected)
+           else Xtra.Exists projected)
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: case-insensitive (NOT CASESPECIFIC) comparison                 *)
+(* ------------------------------------------------------------------ *)
+
+let is_case_insensitive_col = function
+  | Xtra.Col_ref { ty = Dtype.Varchar { case_sensitive = false; _ }; _ } -> true
+  | _ -> false
+
+let upper e =
+  Xtra.Func
+    {
+      name = "UPPER";
+      args = [ e ];
+      ty = Dtype.Varchar { max_len = None; case_sensitive = true };
+    }
+
+let case_insensitive_compare ctx s =
+  if ctx.cap.Capability.case_insensitive_collation then None
+  else
+    match s with
+    | Xtra.Cmp (op, a, b)
+      when is_case_insensitive_col a || is_case_insensitive_col b ->
+        fired ctx "case_insensitive_compare";
+        Some (Xtra.Cmp (op, upper a, upper b))
+    | Xtra.Like { arg; pattern; escape; negated }
+      when is_case_insensitive_col arg ->
+        (* NOT CASESPECIFIC applies to LIKE as well *)
+        fired ctx "case_insensitive_compare";
+        Some
+          (Xtra.Like { arg = upper arg; pattern = upper pattern; escape; negated })
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: date +/- INTERVAL -> ADD_DAYS / ADD_MONTHS                     *)
+(* ------------------------------------------------------------------ *)
+
+let interval_to_functions ctx s =
+  if ctx.cap.Capability.interval_arithmetic then None
+  else
+    match s with
+    | Xtra.Arith (((Xtra.Add | Xtra.Sub) as op), d, Xtra.Const (Value.Interval i))
+      when Xtra.type_of_scalar d = Dtype.Date ->
+        fired ctx "interval_to_functions";
+        let sign = if op = Xtra.Add then 1 else -1 in
+        let with_months =
+          if i.Interval.months <> 0 then
+            Xtra.Func
+              {
+                name = "ADD_MONTHS";
+                args = [ d; Xtra.cint (sign * i.Interval.months) ];
+                ty = Dtype.Date;
+              }
+          else d
+        in
+        let with_days =
+          if i.Interval.days <> 0 then
+            Xtra.Func
+              {
+                name = "ADD_DAYS";
+                args = [ with_months; Xtra.cint (sign * i.Interval.days) ];
+                ty = Dtype.Date;
+              }
+          else with_months
+        in
+        Some with_days
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: GROUPING SETS / ROLLUP / CUBE -> UNION ALL (paper Table 2)     *)
+(* ------------------------------------------------------------------ *)
+
+let expand_grouping_sets ctx r =
+  if ctx.cap.Capability.grouping_sets then None
+  else
+    match r with
+    | Xtra.Aggregate { input; group_by; aggs; grouping_sets = Some sets } ->
+        fired ctx "expand_grouping_sets";
+        let branch i set =
+          let in_set j = List.mem j set in
+          let kept = List.filteri (fun j _ -> in_set j) group_by in
+          let agg =
+            if i = 0 then
+              Xtra.Aggregate
+                { input; group_by = kept; aggs; grouping_sets = None }
+            else
+              (* later branches need fresh output ids *)
+              let kept =
+                List.map (fun ((c : Xtra.col), e) -> (fresh_col ctx c.Xtra.name c.Xtra.ty, e)) kept
+              in
+              let aggs =
+                List.map (fun ((c : Xtra.col), a) -> (fresh_col ctx c.Xtra.name c.Xtra.ty, a)) aggs
+              in
+              Xtra.Aggregate
+                { input; group_by = kept; aggs; grouping_sets = None }
+          in
+          (* align to the original full output schema with NULL padding *)
+          let agg_schema = Xtra.schema_of agg in
+          let kept_cols = List.filteri (fun j _ -> in_set j) group_by in
+          let target_cols =
+            if i = 0 then List.map fst group_by @ List.map fst aggs
+            else
+              List.map
+                (fun ((c : Xtra.col), _) -> fresh_col ctx c.Xtra.name c.Xtra.ty)
+                group_by
+              @ List.map
+                  (fun ((c : Xtra.col), _) -> fresh_col ctx c.Xtra.name c.Xtra.ty)
+                  aggs
+          in
+          let proj =
+            List.mapi
+              (fun j (target : Xtra.col) ->
+                if j < List.length group_by then
+                  if in_set j then
+                    (* position of j within the kept columns *)
+                    let pos =
+                      List.length (List.filter (fun k -> k < j) set)
+                    in
+                    (target, Xtra.Col_ref (List.nth agg_schema pos))
+                  else (target, Xtra.Cast (Xtra.cnull, target.Xtra.ty))
+                else
+                  let pos =
+                    List.length kept_cols + (j - List.length group_by)
+                  in
+                  (target, Xtra.Col_ref (List.nth agg_schema pos)))
+              target_cols
+          in
+          Xtra.Project { input = agg; proj }
+        in
+        let branches = List.mapi branch sets in
+        (match branches with
+        | [] -> None
+        | [ b ] -> Some b
+        | b :: rest ->
+            Some
+              (List.fold_left
+                 (fun acc r ->
+                   Xtra.Set_operation
+                     { op = Xtra.Union; all = true; left = acc; right = r })
+                 b rest))
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: TOP n WITH TIES -> RANK window (when the target lacks it)      *)
+(* ------------------------------------------------------------------ *)
+
+let with_ties_over_sort ctx input sort_keys c =
+        fired ctx "with_ties_to_window";
+        let schema = Xtra.schema_of input in
+        let rank_col = fresh_col ctx "TIES_RANK" Dtype.Int in
+        let windowed =
+          Xtra.Window
+            {
+              input;
+              windows =
+                [
+                  ( rank_col,
+                    {
+                      Xtra.wfunc = Xtra.W_rank;
+                      wargs = [];
+                      partition = [];
+                      worder = sort_keys;
+                      wframe = None;
+                    } );
+                ];
+            }
+        in
+        let filtered =
+          Xtra.Filter
+            { input = windowed; pred = Xtra.Cmp (Xtra.Lte, Xtra.Col_ref rank_col, c) }
+        in
+        let sorted = Xtra.Sort { input = filtered; sort_keys } in
+        Xtra.Project
+          {
+            input = sorted;
+            proj = List.map (fun (col : Xtra.col) -> (col, Xtra.Col_ref col)) schema;
+          }
+
+let with_ties_to_window ctx r =
+  if ctx.cap.Capability.with_ties then None
+  else
+    match r with
+    | Xtra.Limit
+        {
+          input = Xtra.Sort { input; sort_keys };
+          count = Some c;
+          offset = None;
+          with_ties = true;
+          percent = false;
+        } ->
+        Some (with_ties_over_sort ctx input sort_keys c)
+    | Xtra.Limit
+        {
+          input = Xtra.Project { input = Xtra.Sort { input; sort_keys }; proj };
+          count = Some c;
+          offset = None;
+          with_ties = true;
+          percent = false;
+        } ->
+        (* the binder's hidden-sort-column wrapper: push the ties machinery
+           below the stripping projection *)
+        Some (Xtra.Project { input = with_ties_over_sort ctx input sort_keys c; proj })
+    | Xtra.Limit { input; count = Some c; offset = None; with_ties = true; percent = false }
+      ->
+        (* unordered TOP WITH TIES degenerates to a plain limit *)
+        Some
+          (Xtra.Limit
+             { input; count = Some c; offset = None; with_ties = false; percent = false })
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: TOP n PERCENT -> ROW_NUMBER / COUNT star OVER ()                 *)
+(* ------------------------------------------------------------------ *)
+
+let percent_limit ctx r =
+  match r with
+  | Xtra.Limit { input; count = Some c; offset = None; with_ties = false; percent = true }
+    ->
+      fired ctx "percent_limit";
+      let inner, sort_keys =
+        match input with
+        | Xtra.Sort { input; sort_keys } -> (input, sort_keys)
+        | other -> (other, [])
+      in
+      let schema = Xtra.schema_of inner in
+      let rn = fresh_col ctx "PCT_RN" Dtype.Int in
+      let cnt = fresh_col ctx "PCT_CNT" Dtype.Int in
+      let windowed =
+        Xtra.Window
+          {
+            input = inner;
+            windows =
+              [
+                ( rn,
+                  {
+                    Xtra.wfunc = Xtra.W_row_number;
+                    wargs = [];
+                    partition = [];
+                    worder = sort_keys;
+                    wframe = None;
+                  } );
+                ( cnt,
+                  {
+                    Xtra.wfunc = Xtra.W_agg Xtra.Count_star;
+                    wargs = [];
+                    partition = [];
+                    worder = [];
+                    wframe = None;
+                  } );
+              ];
+          }
+      in
+      (* rn <= ceil(cnt * pct / 100)  <=>  (rn - 1) * 100 < cnt * pct *)
+      let pred =
+        Xtra.Cmp
+          ( Xtra.Lt,
+            Xtra.Arith
+              ( Xtra.Mul,
+                Xtra.Arith (Xtra.Sub, Xtra.Col_ref rn, Xtra.cint 1),
+                Xtra.cint 100 ),
+            Xtra.Arith (Xtra.Mul, Xtra.Col_ref cnt, c) )
+      in
+      let filtered = Xtra.Filter { input = windowed; pred } in
+      let sorted =
+        if sort_keys = [] then filtered
+        else Xtra.Sort { input = filtered; sort_keys }
+      in
+      Some
+        (Xtra.Project
+           {
+             input = sorted;
+             proj = List.map (fun (col : Xtra.col) -> (col, Xtra.Col_ref col)) schema;
+           })
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rule: explicit NULLS ordering for targets without the syntax         *)
+(* ------------------------------------------------------------------ *)
+
+(* Natural placement of NULLs on a target that sorts NULLs low. *)
+let natural_nulls dir =
+  match dir with Xtra.Asc -> Xtra.Nulls_first | Xtra.Desc -> Xtra.Nulls_last
+
+let explicit_nulls_ordering ctx r =
+  if ctx.cap.Capability.nulls_ordering_syntax then None
+  else
+    let rewrite_keys keys =
+      let needs_fix =
+        List.exists (fun (k : Xtra.sort_key) -> k.Xtra.nulls <> natural_nulls k.Xtra.dir) keys
+      in
+      if not needs_fix then None
+      else
+        Some
+          (List.concat_map
+             (fun (k : Xtra.sort_key) ->
+               if k.Xtra.nulls = natural_nulls k.Xtra.dir then [ k ]
+               else
+                 (* inject CASE WHEN k IS NULL THEN 0 ELSE 1 END as a leading
+                    key to force the requested NULL placement *)
+                 let null_rank =
+                   match k.Xtra.nulls with
+                   | Xtra.Nulls_first -> (Xtra.cint 0, Xtra.cint 1)
+                   | Xtra.Nulls_last -> (Xtra.cint 1, Xtra.cint 0)
+                 in
+                 let case =
+                   Xtra.Case
+                     {
+                       branches = [ (Xtra.Is_null (k.Xtra.key, false), fst null_rank) ];
+                       else_branch = Some (snd null_rank);
+                       ty = Dtype.Int;
+                     }
+                 in
+                 [
+                   { Xtra.key = case; dir = Xtra.Asc; nulls = natural_nulls Xtra.Asc };
+                   { k with Xtra.nulls = natural_nulls k.Xtra.dir };
+                 ])
+             keys)
+    in
+    match r with
+    | Xtra.Sort { input; sort_keys } -> (
+        match rewrite_keys sort_keys with
+        | Some keys ->
+            fired ctx "explicit_nulls_ordering";
+            Some (Xtra.Sort { input; sort_keys = keys })
+        | None -> None)
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Statement rule: decompose PERIOD columns in DDL (paper §2.2.2)       *)
+(* ------------------------------------------------------------------ *)
+
+let decompose_period_ddl ctx st =
+  if ctx.cap.Capability.period_type then None
+  else
+    match st with
+    | Xtra.Create_table
+        { ct_name; persistence; specs; set_semantics; ct_if_not_exists }
+      when List.exists
+             (fun (s : Xtra.column_spec) ->
+               match s.Xtra.spec_type with Dtype.Period _ -> true | _ -> false)
+             specs ->
+        fired ctx "decompose_period_ddl";
+        let specs =
+          List.concat_map
+            (fun (s : Xtra.column_spec) ->
+              match s.Xtra.spec_type with
+              | Dtype.Period base ->
+                  let t =
+                    match base with
+                    | Dtype.Pdate -> Dtype.Date
+                    | Dtype.Ptimestamp -> Dtype.Timestamp
+                  in
+                  [
+                    { s with Xtra.spec_name = s.Xtra.spec_name ^ "_BEGIN"; spec_type = t; spec_default = None };
+                    { s with Xtra.spec_name = s.Xtra.spec_name ^ "_END"; spec_type = t; spec_default = None };
+                  ]
+              | _ -> [ s ])
+            specs
+        in
+        Some
+          (Xtra.Create_table
+             { ct_name; persistence; specs; set_semantics; ct_if_not_exists })
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_rules = [ expand_vector_subquery; case_insensitive_compare; interval_to_functions ]
+let normalization_scalar_rules = [ comp_date_to_int ]
+let rel_rules = [ expand_grouping_sets; with_ties_to_window; percent_limit; explicit_nulls_ordering ]
+let statement_rules = [ decompose_period_ddl ]
+
+let apply_first rules ctx x =
+  List.fold_left
+    (fun acc rule -> match acc with Some _ -> acc | None -> rule ctx x)
+    None rules
+
+let max_passes = 12
+
+(** Run normalization + target-dependent rules to a fixed point over the
+    statement. Returns the transformed statement; fired-rule counts are in
+    [ctx.applied]. *)
+let run ctx (st : Xtra.statement) : Xtra.statement =
+  let pass st =
+    let fscalar s =
+      match apply_first (normalization_scalar_rules @ scalar_rules) ctx s with
+      | Some s' -> s'
+      | None -> s
+    in
+    let frel r =
+      match apply_first rel_rules ctx r with Some r' -> r' | None -> r
+    in
+    let st = Xtra.rewrite_statement ~frel ~fscalar st in
+    match apply_first statement_rules ctx st with Some s -> s | None -> st
+  in
+  let rec fix st n =
+    if n >= max_passes then st
+    else
+      let st' = pass st in
+      if st' = st then st else fix st' (n + 1)
+  in
+  fix st 0
+
+(** Convenience wrapper used by the pipeline. *)
+let transform ~cap ~counter st =
+  let ctx = create_ctx ~cap ~counter in
+  let st = run ctx st in
+  (st, ctx.applied)

@@ -1,0 +1,34 @@
+(** The Transformer: fixed-point driver over pluggable XTRA rewrite rules
+    (paper §4.3).
+
+    Normalization rules are target-independent (Teradata DATE/INT comparison
+    expansion, §5.2); target rules are gated on the backend's
+    {!Capability.t} (vector subquery → EXISTS §5.3, grouping-set expansion,
+    TOP WITH TIES/PERCENT lowering, NOT CASESPECIFIC comparison wrapping,
+    interval-arithmetic lowering, PERIOD DDL decomposition). All enabled
+    rules run repeatedly until a fixed point. *)
+
+module Xtra = Hyperq_xtra.Xtra
+
+type ctx = {
+  cap : Capability.t;
+  counter : int ref;  (** continues the binder's column-id supply *)
+  mutable applied : (string * int) list;  (** rule name → fire count *)
+}
+
+val create_ctx : cap:Capability.t -> counter:int ref -> ctx
+
+(** The paper's §5.2 arithmetic: [DAY + MONTH*100 + (YEAR-1900)*10000]. *)
+val date_to_int_expr : Xtra.scalar -> Xtra.scalar
+
+(** Run all rules to a fixed point; fired counts accumulate in
+    [ctx.applied]. *)
+val run : ctx -> Xtra.statement -> Xtra.statement
+
+(** One-shot wrapper: returns the transformed statement and the fired-rule
+    counts. *)
+val transform :
+  cap:Capability.t ->
+  counter:int ref ->
+  Xtra.statement ->
+  Xtra.statement * (string * int) list

@@ -1,0 +1,1 @@
+lib/wire/auth.ml: Digest List Printf String

@@ -1,0 +1,1 @@
+lib/wire/message.ml: Buffer Char Dtype Hyperq_sqlvalue Hyperq_tdf List Option Printf Sql_error String

@@ -1,0 +1,1 @@
+lib/wire/protocol_handler.ml: Auth Buffer Hyperq_sqlvalue List Message Printf Record Sql_error String Value

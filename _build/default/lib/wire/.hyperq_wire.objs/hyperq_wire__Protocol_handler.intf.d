@@ -1,0 +1,1 @@
+lib/wire/protocol_handler.mli: Auth Hyperq_sqlvalue Message Sql_error Value

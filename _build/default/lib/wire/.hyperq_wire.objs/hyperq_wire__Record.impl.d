@@ -1,0 +1,1 @@
+lib/wire/record.ml: Array Buffer Bytes Char Decimal Dtype Hyperq_sqlvalue Int64 Interval List Sql_date Sql_error String Value

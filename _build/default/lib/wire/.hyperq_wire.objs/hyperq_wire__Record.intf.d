@@ -1,0 +1,1 @@
+lib/wire/record.mli: Dtype Hyperq_sqlvalue Value

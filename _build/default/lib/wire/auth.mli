@@ -1,0 +1,17 @@
+(** Challenge–response authentication for the simulated WP-A handshake
+    (paper §4.1): the server issues a salt, the client proves knowledge of
+    the password with [digest(salt ^ ":" ^ password)]; the password never
+    crosses the wire. *)
+
+type credentials = { username : string; password : string }
+
+(** Deterministic per-process salt sequence (reproducible tests). *)
+val fresh_salt : unit -> string
+
+val proof : salt:string -> password:string -> string
+val verify : salt:string -> password:string -> given:string -> bool
+
+type user_db = (string * string) list
+(** username → password; usernames compare case-insensitively *)
+
+val check : user_db -> username:string -> salt:string -> given:string -> bool

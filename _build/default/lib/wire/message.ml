@@ -1,0 +1,221 @@
+(** WP-A wire messages and parcel framing (paper §4.1).
+
+    The Protocol Handler must emulate "authentication handshake ...
+    network message types and binary formats" of the source database.
+    We model a Teradata-like parcel protocol: every message is one frame
+    {v | kind:u8 | flags:u8 | length:u32be | payload | v}
+    and a client request/response conversation is a sequence of frames.
+    Codec round-tripping is bit-exact — the property the paper calls
+    "bit-identical" emulation. *)
+
+open Hyperq_sqlvalue
+
+type column = { col_name : string; col_type : Dtype.t }
+
+type t =
+  | Logon_request of { username : string }
+  | Logon_challenge of { salt : string }
+  | Logon_auth of { username : string; proof : string }
+  | Logon_response of { success : bool; session_id : int; message : string }
+  | Run_request of { sql : string }
+  | Response_header of { columns : column list }
+  | Records of { payload : string list }  (** encoded WP-A records *)
+  | Success of { activity_count : int; activity : string }
+  | Failure of { code : int; message : string }
+  | Logoff
+
+let kind_byte = function
+  | Logon_request _ -> 1
+  | Logon_challenge _ -> 2
+  | Logon_auth _ -> 3
+  | Logon_response _ -> 4
+  | Run_request _ -> 5
+  | Response_header _ -> 6
+  | Records _ -> 7
+  | Success _ -> 8
+  | Failure _ -> 9
+  | Logoff -> 10
+
+(* --- payload encoding -------------------------------------------------- *)
+
+let w_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let w_u16 buf n =
+  w_u8 buf (n lsr 8);
+  w_u8 buf n
+
+let w_u32 buf n =
+  w_u16 buf (n lsr 16);
+  w_u16 buf n
+
+let w_str buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+let r_u8 r =
+  if r.pos >= String.length r.data then
+    Sql_error.protocol_error "message: truncated payload";
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_u16 r =
+  let a = r_u8 r in
+  (a lsl 8) lor r_u8 r
+
+let r_u32 r =
+  let a = r_u16 r in
+  (a lsl 16) lor r_u16 r
+
+let r_str r =
+  let n = r_u32 r in
+  if r.pos + n > String.length r.data then
+    Sql_error.protocol_error "message: truncated string";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* column descriptors reuse the TDF type-tag space *)
+let write_column buf c =
+  w_u8 buf (Hyperq_tdf.Tdf.tag_of_type c.col_type);
+  (match c.col_type with
+  | Dtype.Decimal { precision; scale } ->
+      w_u8 buf precision;
+      w_u8 buf scale
+  | Dtype.Varchar { max_len; _ } -> w_u32 buf (Option.value max_len ~default:0)
+  | _ -> ());
+  w_str buf c.col_name
+
+let read_column r =
+  let tag = r_u8 r in
+  let ty =
+    match tag with
+    | 0 -> Dtype.Unknown
+    | 1 -> Dtype.Bool
+    | 2 -> Dtype.Int
+    | 3 -> Dtype.Float
+    | 4 ->
+        let precision = r_u8 r in
+        let scale = r_u8 r in
+        Dtype.Decimal { precision; scale }
+    | 5 ->
+        let n = r_u32 r in
+        Dtype.Varchar
+          { max_len = (if n = 0 then None else Some n); case_sensitive = false }
+    | 6 -> Dtype.Date
+    | 7 -> Dtype.Time
+    | 8 -> Dtype.Timestamp
+    | 9 -> Dtype.Interval_ym
+    | 10 -> Dtype.Interval_ds
+    | 11 -> Dtype.Period Dtype.Pdate
+    | 12 -> Dtype.Period Dtype.Ptimestamp
+    | 13 -> Dtype.Bytes
+    | t -> Sql_error.protocol_error "message: unknown column type tag %d" t
+  in
+  let name = r_str r in
+  { col_name = name; col_type = ty }
+
+let encode_payload (m : t) : string =
+  let buf = Buffer.create 64 in
+  (match m with
+  | Logon_request { username } -> w_str buf username
+  | Logon_challenge { salt } -> w_str buf salt
+  | Logon_auth { username; proof } ->
+      w_str buf username;
+      w_str buf proof
+  | Logon_response { success; session_id; message } ->
+      w_u8 buf (if success then 1 else 0);
+      w_u32 buf session_id;
+      w_str buf message
+  | Run_request { sql } -> w_str buf sql
+  | Response_header { columns } ->
+      w_u16 buf (List.length columns);
+      List.iter (write_column buf) columns
+  | Records { payload } ->
+      w_u32 buf (List.length payload);
+      List.iter (w_str buf) payload
+  | Success { activity_count; activity } ->
+      w_u32 buf activity_count;
+      w_str buf activity
+  | Failure { code; message } ->
+      w_u16 buf code;
+      w_str buf message
+  | Logoff -> ());
+  Buffer.contents buf
+
+let decode_payload kind payload : t =
+  let r = { data = payload; pos = 0 } in
+  match kind with
+  | 1 -> Logon_request { username = r_str r }
+  | 2 -> Logon_challenge { salt = r_str r }
+  | 3 ->
+      let username = r_str r in
+      let proof = r_str r in
+      Logon_auth { username; proof }
+  | 4 ->
+      let success = r_u8 r = 1 in
+      let session_id = r_u32 r in
+      let message = r_str r in
+      Logon_response { success; session_id; message }
+  | 5 -> Run_request { sql = r_str r }
+  | 6 ->
+      let n = r_u16 r in
+      Response_header { columns = List.init n (fun _ -> read_column r) }
+  | 7 ->
+      let n = r_u32 r in
+      Records { payload = List.init n (fun _ -> r_str r) }
+  | 8 ->
+      let activity_count = r_u32 r in
+      let activity = r_str r in
+      Success { activity_count; activity }
+  | 9 ->
+      let code = r_u16 r in
+      let message = r_str r in
+      Failure { code; message }
+  | 10 -> Logoff
+  | k -> Sql_error.protocol_error "message: unknown parcel kind %d" k
+
+(* --- framing ------------------------------------------------------------ *)
+
+let encode_frame (m : t) : string =
+  let payload = encode_payload m in
+  let buf = Buffer.create (String.length payload + 6) in
+  w_u8 buf (kind_byte m);
+  w_u8 buf 0 (* flags *);
+  w_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(** Decode one frame from [data] at [pos]; returns the message and the
+    position after it. Raises [Protocol_error] on malformed input and
+    [Not_enough] (via [None]) when more bytes are needed. *)
+let decode_frame data pos : (t * int) option =
+  if String.length data - pos < 6 then None
+  else
+    let r = { data; pos } in
+    let kind = r_u8 r in
+    let _flags = r_u8 r in
+    let len = r_u32 r in
+    if String.length data - r.pos < len then None
+    else
+      let payload = String.sub data r.pos len in
+      Some (decode_payload kind payload, r.pos + len)
+
+let to_string = function
+  | Logon_request { username } -> Printf.sprintf "LogonRequest(%s)" username
+  | Logon_challenge _ -> "LogonChallenge"
+  | Logon_auth { username; _ } -> Printf.sprintf "LogonAuth(%s)" username
+  | Logon_response { success; session_id; _ } ->
+      Printf.sprintf "LogonResponse(%b, #%d)" success session_id
+  | Run_request { sql } ->
+      Printf.sprintf "RunRequest(%s)"
+        (if String.length sql > 40 then String.sub sql 0 40 ^ "..." else sql)
+  | Response_header { columns } ->
+      Printf.sprintf "ResponseHeader(%d cols)" (List.length columns)
+  | Records { payload } -> Printf.sprintf "Records(%d)" (List.length payload)
+  | Success { activity_count; activity } ->
+      Printf.sprintf "Success(%d, %s)" activity_count activity
+  | Failure { code; message } -> Printf.sprintf "Failure(%d, %s)" code message
+  | Logoff -> "Logoff"

@@ -1,0 +1,35 @@
+(** Server-side WP-A protocol state machine (paper §4.1).
+
+    Transport-agnostic: feed it raw bytes, it emits response bytes. Query
+    execution is delegated to the [executor] callback, which the gateway
+    wires to the translation pipeline. *)
+
+open Hyperq_sqlvalue
+
+type query_result = {
+  qr_columns : Message.column list;
+  qr_rows : Value.t array list;
+  qr_activity : string;
+  qr_count : int;
+}
+
+type executor = sql:string -> (query_result, Sql_error.t) result
+
+type t
+
+(** [create ~records_per_parcel ~users ~executor ()] — results are split
+    into [Records] parcels of at most [records_per_parcel] rows (default
+    128). *)
+val create :
+  ?records_per_parcel:int -> users:Auth.user_db -> executor:executor -> unit -> t
+
+(** Process one decoded client message; returns the response messages. Out-
+    of-order messages yield a protocol-violation [Failure]. *)
+val handle_message : t -> Message.t -> Message.t list
+
+(** Feed raw bytes; returns the raw response bytes produced by any complete
+    frames. Partial frames stay buffered. *)
+val feed : t -> string -> string
+
+val is_authenticated : t -> bool
+val is_closed : t -> bool

@@ -1,0 +1,17 @@
+(** WP-A record encoding: the row binary format of the (simulated) source
+    database wire protocol.
+
+    Deliberately different from TDF — little-endian, u16-length varchars,
+    DATEs as Teradata integers, DECIMALs scaled by column metadata — so that
+    the Result Converter performs a real re-encoding, the way Hyper-Q must
+    produce bit-identical source-database records (paper §4.1, §4.6). *)
+
+open Hyperq_sqlvalue
+
+type column = { rc_name : string; rc_type : Dtype.t }
+
+(** Encode one row: a leading null-indicator bitmap (MSB-first per byte,
+    Teradata style) followed by the non-null cells in column order. *)
+val encode_row : column list -> Value.t array -> string
+
+val decode_row : column list -> string -> Value.t array

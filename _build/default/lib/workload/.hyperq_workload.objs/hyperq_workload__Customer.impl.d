@@ -1,0 +1,1 @@
+lib/workload/customer.ml: Hyperq_core List Printf

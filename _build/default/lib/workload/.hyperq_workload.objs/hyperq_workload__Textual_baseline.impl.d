@@ -1,0 +1,1 @@
+lib/workload/textual_baseline.ml: Customer Hyperq_core Hyperq_sqlvalue List String

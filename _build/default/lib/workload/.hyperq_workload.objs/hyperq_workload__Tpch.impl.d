@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Array Decimal Hyperq_core Hyperq_engine Hyperq_sqlvalue Int64 List Printf Sql_date String Value

@@ -1,0 +1,1 @@
+lib/xtra/xtra.ml: Dtype Hyperq_sqlvalue Int64 List Option Value

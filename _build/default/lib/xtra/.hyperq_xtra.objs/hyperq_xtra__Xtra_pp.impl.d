@@ -1,0 +1,1 @@
+lib/xtra/xtra_pp.ml: Buffer Dtype Fmt Hyperq_sqlvalue List Printf String Value Xtra

@@ -1,0 +1,575 @@
+(** XTRA — the eXtended Relational Algebra of Hyper-Q (paper §4.2).
+
+    XTRA is the dialect-neutral IR between the per-frontend binder and the
+    per-backend serializer. Everything after binding operates on XTRA:
+    transformations rewrite it, serializers walk it to emit target SQL, and
+    the backend engine executes it directly.
+
+    Columns are identified by globally unique integer ids minted by the
+    binder; each relational operator exposes an output {!schema} of typed
+    columns, so rewrites never reason about name scoping. *)
+
+open Hyperq_sqlvalue
+
+type col = { id : int; name : string; ty : Dtype.t }
+
+type schema = col list
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expressions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type arith_op = Add | Sub | Mul | Div | Modulo
+
+type cmp_op = Eq | Neq | Lt | Lte | Gt | Gte
+
+type quantifier = Any | All
+
+type datetime_field = Year | Month | Day | Hour | Minute | Second
+
+type sort_dir = Asc | Desc
+type nulls_order = Nulls_first | Nulls_last
+
+type agg_func = Count | Count_star | Sum | Avg | Min | Max
+
+type window_func =
+  | W_rank
+  | W_dense_rank
+  | W_row_number
+  | W_lag  (** args: value [, offset [, default]] *)
+  | W_lead  (** args: value [, offset [, default]] *)
+  | W_first_value
+  | W_last_value
+  | W_agg of agg_func
+
+type scalar =
+  | Const of Value.t
+  | Col_ref of col
+  | Param of int
+  | Arith of arith_op * scalar * scalar
+  | Cmp of cmp_op * scalar * scalar
+  | Logic_and of scalar * scalar
+  | Logic_or of scalar * scalar
+  | Logic_not of scalar
+  | Is_null of scalar * bool  (** bool = negated *)
+  | Case of {
+      branches : (scalar * scalar) list;
+      else_branch : scalar option;
+      ty : Dtype.t;
+    }
+  | Cast of scalar * Dtype.t
+  | Func of { name : string; args : scalar list; ty : Dtype.t }
+      (** canonical built-in function (binder normalizes dialect names) *)
+  | Extract of datetime_field * scalar
+  | Concat of scalar * scalar
+  | Like of { arg : scalar; pattern : scalar; escape : scalar option; negated : bool }
+  | In_list of { arg : scalar; items : scalar list; negated : bool }
+  | Scalar_subquery of rel
+  | Exists of rel
+  | In_subquery of { args : scalar list; subquery : rel; negated : bool }
+  | Quantified of {
+      lhs : scalar list;  (** length > 1 = Teradata vector comparison *)
+      op : cmp_op;
+      quant : quantifier;
+      subquery : rel;
+    }
+  | Agg_ref of agg_def
+      (** binder-transient placeholder for an aggregate call; extracted into
+          an {!Aggregate} operator before the plan leaves the binder *)
+  | Window_ref of window_def
+      (** binder-transient placeholder for a window call; extracted into a
+          {!Window} operator before the plan leaves the binder *)
+
+and sort_key = { key : scalar; dir : sort_dir; nulls : nulls_order }
+
+and frame_bound =
+  | Unbounded_preceding
+  | Preceding of int
+  | Current_row
+  | Following of int
+  | Unbounded_following
+
+and frame = {
+  frame_unit : [ `Rows | `Range ];
+  frame_start : frame_bound;
+  frame_end : frame_bound;
+}
+
+and window_def = {
+  wfunc : window_func;
+  wargs : scalar list;
+  partition : scalar list;
+  worder : sort_key list;
+  wframe : frame option;
+}
+
+and agg_def = { afunc : agg_func; adistinct : bool; aarg : scalar option }
+
+(* ------------------------------------------------------------------ *)
+(* Relational operators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and join_kind = Inner | Left_outer | Right_outer | Full_outer | Cross
+
+and set_op = Union | Intersect | Except
+
+and rel =
+  | Get of { table : string; table_schema : schema; alias : string }
+      (** base-table scan; [table] is the catalog name, [table_schema] the
+          output columns (fresh ids per reference) *)
+  | Values_rel of { rows : scalar list list; values_schema : schema }
+  | Filter of { input : rel; pred : scalar }
+  | Project of { input : rel; proj : (col * scalar) list }
+  | Join of { kind : join_kind; left : rel; right : rel; pred : scalar option }
+  | Aggregate of {
+      input : rel;
+      group_by : (col * scalar) list;  (** output col, grouping expr *)
+      aggs : (col * agg_def) list;
+      grouping_sets : int list list option;
+          (** indexes into [group_by]; [None] = plain GROUP BY *)
+    }
+  | Window of { input : rel; windows : (col * window_def) list }
+      (** appends one column per window function to the input schema *)
+  | Sort of { input : rel; sort_keys : sort_key list }
+  | Limit of {
+      input : rel;
+      count : scalar option;
+      offset : scalar option;
+      with_ties : bool;
+      percent : bool;
+    }
+  | Distinct of { input : rel }
+  | Set_operation of { op : set_op; all : bool; left : rel; right : rel }
+  | Cte_ref of { cte_name : string; ref_schema : schema }
+  | With_cte of {
+      ctes : (string * rel) list;
+      cte_recursive : bool;
+      body : rel;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type column_spec = {
+  spec_name : string;
+  spec_type : Dtype.t;
+  spec_not_null : bool;
+  spec_default : scalar option;
+}
+
+type table_persistence = Tp_persistent | Tp_temporary
+
+type statement =
+  | Query of rel
+  | Insert of { target : string; target_cols : string list; source : rel }
+  | Update of {
+      target : string;
+      update_alias : string;
+      assignments : (string * scalar) list;
+      extra_from : rel option;  (** Teradata UPDATE ... FROM join source *)
+      upd_pred : scalar option;
+      upd_schema : schema;  (** the target table columns in scope *)
+    }
+  | Delete of {
+      target : string;
+      delete_alias : string;
+      extra_from : rel option;
+      del_pred : scalar option;
+      del_schema : schema;
+    }
+  | Create_table of {
+      ct_name : string;
+      persistence : table_persistence;
+      specs : column_spec list;
+      set_semantics : bool;
+      ct_if_not_exists : bool;
+    }
+  | Create_table_as of {
+      cta_name : string;
+      cta_persistence : table_persistence;
+      cta_source : rel;
+      with_data : bool;
+    }
+  | Drop_table of { dt_name : string; dt_if_exists : bool }
+  | Merge of {
+      m_target : string;
+      m_alias : string;
+      m_schema : schema;  (** target table columns in scope of ON / SET *)
+      m_source : rel;
+      m_source_alias : string;
+      m_on : scalar;
+      m_matched_update : (string * scalar) list option;
+      m_matched_delete : bool;
+      m_not_matched_insert : (string list * scalar list) option;
+    }
+  | Rename_table of { rn_from : string; rn_to : string }
+  | Begin_tx
+  | Commit_tx
+  | Rollback_tx
+  | No_op of string
+      (** statement translated away entirely (e.g. COLLECT STATISTICS);
+          carries a human-readable reason *)
+
+(* ------------------------------------------------------------------ *)
+(* Schema computation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec schema_of = function
+  | Get { table_schema; _ } -> table_schema
+  | Values_rel { values_schema; _ } -> values_schema
+  | Filter { input; _ } -> schema_of input
+  | Project { proj; _ } -> List.map fst proj
+  | Join { left; right; _ } -> schema_of left @ schema_of right
+  | Aggregate { group_by; aggs; _ } ->
+      List.map fst group_by @ List.map fst aggs
+  | Window { input; windows } -> schema_of input @ List.map fst windows
+  | Sort { input; _ } -> schema_of input
+  | Limit { input; _ } -> schema_of input
+  | Distinct { input } -> schema_of input
+  | Set_operation { left; _ } -> schema_of left
+  | Cte_ref { ref_schema; _ } -> ref_schema
+  | With_cte { body; _ } -> schema_of body
+
+(* ------------------------------------------------------------------ *)
+(* Type derivation for scalars                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agg_result_type afunc arg_ty =
+  match afunc with
+  | Count | Count_star -> Dtype.Int
+  | Sum | Min | Max -> arg_ty
+  | Avg -> (
+      match arg_ty with
+      | Dtype.Int -> Dtype.default_decimal
+      | t -> t)
+
+let rec type_of_scalar = function
+  | Const v -> Value.type_of v
+  | Col_ref c -> c.ty
+  | Param _ -> Dtype.Unknown
+  | Arith (op, a, b) -> (
+      (* temporal arithmetic first: DATE +/- n is a DATE (Teradata day
+         arithmetic), DATE - DATE is a day count, intervals shift *)
+      match (op, type_of_scalar a, type_of_scalar b) with
+      | (Add | Sub), Dtype.Date, Dtype.Int -> Dtype.Date
+      | Add, Dtype.Int, Dtype.Date -> Dtype.Date
+      | Sub, Dtype.Date, Dtype.Date -> Dtype.Int
+      | (Add | Sub), Dtype.Date, (Dtype.Interval_ym | Dtype.Interval_ds) ->
+          Dtype.Date
+      | Add, (Dtype.Interval_ym | Dtype.Interval_ds), Dtype.Date -> Dtype.Date
+      | (Add | Sub), Dtype.Timestamp, (Dtype.Interval_ym | Dtype.Interval_ds) ->
+          Dtype.Timestamp
+      | Mul, (Dtype.Interval_ym | Dtype.Interval_ds), Dtype.Int ->
+          type_of_scalar a
+      | Mul, Dtype.Int, (Dtype.Interval_ym | Dtype.Interval_ds) ->
+          type_of_scalar b
+      | _, ta, tb -> (
+          match Dtype.common_super ta tb with Some t -> t | None -> ta))
+  | Cmp _ | Logic_and _ | Logic_or _ | Logic_not _ | Is_null _ | Like _
+  | In_list _ | Exists _ | In_subquery _ | Quantified _ ->
+      Dtype.Bool
+  | Case { ty; _ } -> ty
+  | Cast (_, t) -> t
+  | Func { ty; _ } -> ty
+  | Extract _ -> Dtype.Int
+  | Concat _ -> Dtype.varchar ()
+  | Scalar_subquery r -> (
+      match schema_of r with c :: _ -> c.ty | [] -> Dtype.Unknown)
+  | Agg_ref a ->
+      let arg_ty =
+        match a.aarg with Some e -> type_of_scalar e | None -> Dtype.Int
+      in
+      agg_result_type a.afunc arg_ty
+  | Window_ref w -> window_result_type_ w
+
+and window_result_type_ w =
+  match w.wfunc with
+  | W_rank | W_dense_rank | W_row_number -> Dtype.Int
+  | W_lag | W_lead | W_first_value | W_last_value -> (
+      match w.wargs with e :: _ -> type_of_scalar e | [] -> Dtype.Unknown)
+  | W_agg a ->
+      let arg_ty =
+        match w.wargs with e :: _ -> type_of_scalar e | [] -> Dtype.Int
+      in
+      agg_result_type a arg_ty
+
+let window_result_type = window_result_type_
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Map [r] over the direct scalar children of [s] (one level, no recursion
+    into subquery rels). Top-down rewriters build on this. *)
+let map_scalar_children r s =
+  match s with
+    | Const _ | Col_ref _ | Param _ -> s
+    | Arith (op, a, b) -> Arith (op, r a, r b)
+    | Cmp (op, a, b) -> Cmp (op, r a, r b)
+    | Logic_and (a, b) -> Logic_and (r a, r b)
+    | Logic_or (a, b) -> Logic_or (r a, r b)
+    | Logic_not a -> Logic_not (r a)
+    | Is_null (a, n) -> Is_null (r a, n)
+    | Case { branches; else_branch; ty } ->
+        Case
+          {
+            branches = List.map (fun (c, v) -> (r c, r v)) branches;
+            else_branch = Option.map r else_branch;
+            ty;
+          }
+    | Cast (a, t) -> Cast (r a, t)
+    | Func { name; args; ty } -> Func { name; args = List.map r args; ty }
+    | Extract (fld, a) -> Extract (fld, r a)
+    | Concat (a, b) -> Concat (r a, r b)
+    | Like l ->
+        Like
+          {
+            l with
+            arg = r l.arg;
+            pattern = r l.pattern;
+            escape = Option.map r l.escape;
+          }
+    | In_list i -> In_list { i with arg = r i.arg; items = List.map r i.items }
+    | Scalar_subquery _ | Exists _ -> s
+    | In_subquery i -> In_subquery { i with args = List.map r i.args }
+    | Quantified q -> Quantified { q with lhs = List.map r q.lhs }
+    | Agg_ref a -> Agg_ref { a with aarg = Option.map r a.aarg }
+    | Window_ref w ->
+        Window_ref
+          {
+            w with
+            wargs = List.map r w.wargs;
+            partition = List.map r w.partition;
+            worder = List.map (fun k -> { k with key = r k.key }) w.worder;
+          }
+
+(** Map a function bottom-up over every scalar subexpression. *)
+let rec map_scalar f s = f (map_scalar_children (map_scalar f) s)
+
+(* A straightforward explicit bottom-up rewriter; [frel] is applied to every
+   relational node after its children were rewritten, [fscalar] to every
+   scalar within each node. *)
+let rec rewrite ~frel ~fscalar r =
+  let rr = rewrite ~frel ~fscalar in
+  (* scalar rewrite that also descends into subquery rels *)
+  let rs s =
+    map_scalar
+      (fun x ->
+        match x with
+        | Scalar_subquery q -> fscalar (Scalar_subquery (rr q))
+        | Exists q -> fscalar (Exists (rr q))
+        | In_subquery i -> fscalar (In_subquery { i with subquery = rr i.subquery })
+        | Quantified q -> fscalar (Quantified { q with subquery = rr q.subquery })
+        | x -> fscalar x)
+      s
+  in
+  let node =
+    match r with
+    | Get _ | Values_rel _ | Cte_ref _ -> (
+        match r with
+        | Values_rel v ->
+            Values_rel { v with rows = List.map (List.map rs) v.rows }
+        | r -> r)
+    | Filter { input; pred } -> Filter { input = rr input; pred = rs pred }
+    | Project { input; proj } ->
+        Project
+          { input = rr input; proj = List.map (fun (c, e) -> (c, rs e)) proj }
+    | Join { kind; left; right; pred } ->
+        Join { kind; left = rr left; right = rr right; pred = Option.map rs pred }
+    | Aggregate { input; group_by; aggs; grouping_sets } ->
+        Aggregate
+          {
+            input = rr input;
+            group_by = List.map (fun (c, e) -> (c, rs e)) group_by;
+            aggs =
+              List.map
+                (fun (c, a) -> (c, { a with aarg = Option.map rs a.aarg }))
+                aggs;
+            grouping_sets;
+          }
+    | Window { input; windows } ->
+        Window
+          {
+            input = rr input;
+            windows =
+              List.map
+                (fun (c, w) ->
+                  ( c,
+                    {
+                      w with
+                      wargs = List.map rs w.wargs;
+                      partition = List.map rs w.partition;
+                      worder =
+                        List.map (fun k -> { k with key = rs k.key }) w.worder;
+                    } ))
+                windows;
+          }
+    | Sort { input; sort_keys } ->
+        Sort
+          {
+            input = rr input;
+            sort_keys = List.map (fun k -> { k with key = rs k.key }) sort_keys;
+          }
+    | Limit l ->
+        Limit
+          {
+            l with
+            input = rr l.input;
+            count = Option.map rs l.count;
+            offset = Option.map rs l.offset;
+          }
+    | Distinct { input } -> Distinct { input = rr input }
+    | Set_operation s ->
+        Set_operation { s with left = rr s.left; right = rr s.right }
+    | With_cte { ctes; cte_recursive; body } ->
+        With_cte
+          {
+            ctes = List.map (fun (n, q) -> (n, rr q)) ctes;
+            cte_recursive;
+            body = rr body;
+          }
+  in
+  frel node
+
+let rewrite_statement ~frel ~fscalar st =
+  let rr = rewrite ~frel ~fscalar in
+  let rs s =
+    map_scalar
+      (fun x ->
+        match x with
+        | Scalar_subquery q -> fscalar (Scalar_subquery (rr q))
+        | Exists q -> fscalar (Exists (rr q))
+        | In_subquery i -> fscalar (In_subquery { i with subquery = rr i.subquery })
+        | Quantified q -> fscalar (Quantified { q with subquery = rr q.subquery })
+        | x -> fscalar x)
+      s
+  in
+  match st with
+  | Query r -> Query (rr r)
+  | Insert i -> Insert { i with source = rr i.source }
+  | Update u ->
+      Update
+        {
+          u with
+          assignments = List.map (fun (c, e) -> (c, rs e)) u.assignments;
+          extra_from = Option.map rr u.extra_from;
+          upd_pred = Option.map rs u.upd_pred;
+        }
+  | Delete d ->
+      Delete
+        {
+          d with
+          extra_from = Option.map rr d.extra_from;
+          del_pred = Option.map rs d.del_pred;
+        }
+  | Create_table_as c -> Create_table_as { c with cta_source = rr c.cta_source }
+  | Merge m ->
+      Merge
+        {
+          m with
+          m_source = rr m.m_source;
+          m_on = rs m.m_on;
+          m_matched_update =
+            Option.map (List.map (fun (c, e) -> (c, rs e))) m.m_matched_update;
+          m_not_matched_insert =
+            Option.map
+              (fun (cols, es) -> (cols, List.map rs es))
+              m.m_not_matched_insert;
+        }
+  | Create_table _ | Drop_table _ | Rename_table _ | Begin_tx | Commit_tx
+  | Rollback_tx | No_op _ ->
+      st
+
+(** Fold over every relational node (pre-order), including subquery rels. *)
+let rec fold_rel f acc r =
+  let acc = f acc r in
+  let fold_scalar acc s =
+    let acc = ref acc in
+    ignore
+      (map_scalar
+         (fun x ->
+           (match x with
+           | Scalar_subquery q | Exists q -> acc := fold_rel f !acc q
+           | In_subquery { subquery; _ } | Quantified { subquery; _ } ->
+               acc := fold_rel f !acc subquery
+           | _ -> ());
+           x)
+         s);
+    !acc
+  in
+  match r with
+  | Get _ | Cte_ref _ -> acc
+  | Values_rel { rows; _ } ->
+      List.fold_left (List.fold_left fold_scalar) acc rows
+  | Filter { input; pred } -> fold_rel f (fold_scalar acc pred) input
+  | Project { input; proj } ->
+      fold_rel f (List.fold_left (fun a (_, e) -> fold_scalar a e) acc proj) input
+  | Join { left; right; pred; _ } ->
+      let acc =
+        match pred with Some p -> fold_scalar acc p | None -> acc
+      in
+      fold_rel f (fold_rel f acc left) right
+  | Aggregate { input; group_by; aggs; _ } ->
+      let acc = List.fold_left (fun a (_, e) -> fold_scalar a e) acc group_by in
+      let acc =
+        List.fold_left
+          (fun a (_, g) ->
+            match g.aarg with Some e -> fold_scalar a e | None -> a)
+          acc aggs
+      in
+      fold_rel f acc input
+  | Window { input; windows } ->
+      let acc =
+        List.fold_left
+          (fun a (_, w) ->
+            let a = List.fold_left fold_scalar a w.wargs in
+            let a = List.fold_left fold_scalar a w.partition in
+            List.fold_left (fun a k -> fold_scalar a k.key) a w.worder)
+          acc windows
+      in
+      fold_rel f acc input
+  | Sort { input; sort_keys } ->
+      fold_rel f
+        (List.fold_left (fun a k -> fold_scalar a k.key) acc sort_keys)
+        input
+  | Limit { input; _ } | Distinct { input } -> fold_rel f acc input
+  | Set_operation { left; right; _ } -> fold_rel f (fold_rel f acc left) right
+  | With_cte { ctes; body; _ } ->
+      let acc = List.fold_left (fun a (_, q) -> fold_rel f a q) acc ctes in
+      fold_rel f acc body
+
+(* ------------------------------------------------------------------ *)
+(* Small constructors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let const v = Const v
+let cint n = Const (Value.Int (Int64.of_int n))
+let cstring s = Const (Value.Varchar s)
+let cnull = Const Value.Null
+let ctrue = Const (Value.Bool true)
+
+let conj = function
+  | [] -> ctrue
+  | x :: xs -> List.fold_left (fun a b -> Logic_and (a, b)) x xs
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Count_star -> "COUNT(*)"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+(** Identifier-safe name for aggregate output columns. *)
+let agg_col_name = function Count_star -> "COUNT" | f -> agg_name f
+
+let window_name = function
+  | W_rank -> "RANK"
+  | W_dense_rank -> "DENSE_RANK"
+  | W_row_number -> "ROW_NUMBER"
+  | W_lag -> "LAG"
+  | W_lead -> "LEAD"
+  | W_first_value -> "FIRST_VALUE"
+  | W_last_value -> "LAST_VALUE"
+  | W_agg a -> agg_name a

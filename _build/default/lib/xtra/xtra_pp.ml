@@ -1,0 +1,262 @@
+(** Paper-style ASCII rendering of XTRA trees (compare Figures 5 and 6 of the
+    paper). Used for debugging and for golden tests that pin down the shape
+    of the IR after each pipeline stage. *)
+
+open Hyperq_sqlvalue
+
+let arith_sym = function
+  | Xtra.Add -> "+"
+  | Xtra.Sub -> "-"
+  | Xtra.Mul -> "*"
+  | Xtra.Div -> "/"
+  | Xtra.Modulo -> "%"
+
+let cmp_sym = function
+  | Xtra.Eq -> "EQ"
+  | Xtra.Neq -> "NEQ"
+  | Xtra.Lt -> "LT"
+  | Xtra.Lte -> "LTE"
+  | Xtra.Gt -> "GT"
+  | Xtra.Gte -> "GTE"
+
+let field_name = function
+  | Xtra.Year -> "YEAR"
+  | Xtra.Month -> "MONTH"
+  | Xtra.Day -> "DAY"
+  | Xtra.Hour -> "HOUR"
+  | Xtra.Minute -> "MINUTE"
+  | Xtra.Second -> "SECOND"
+
+let rec scalar_to_string (s : Xtra.scalar) =
+  match s with
+  | Xtra.Const v -> Printf.sprintf "const(%s)" (Value.to_string v)
+  | Xtra.Col_ref c -> Printf.sprintf "ident(%s)" c.Xtra.name
+  | Xtra.Param n -> Printf.sprintf "param(%d)" n
+  | Xtra.Arith (op, a, b) ->
+      Printf.sprintf "arith(%s, %s, %s)" (arith_sym op) (scalar_to_string a)
+        (scalar_to_string b)
+  | Xtra.Cmp (op, a, b) ->
+      Printf.sprintf "comp(%s, %s, %s)" (cmp_sym op) (scalar_to_string a)
+        (scalar_to_string b)
+  | Xtra.Logic_and (a, b) ->
+      Printf.sprintf "boolexpr(AND, %s, %s)" (scalar_to_string a)
+        (scalar_to_string b)
+  | Xtra.Logic_or (a, b) ->
+      Printf.sprintf "boolexpr(OR, %s, %s)" (scalar_to_string a)
+        (scalar_to_string b)
+  | Xtra.Logic_not a -> Printf.sprintf "boolexpr(NOT, %s)" (scalar_to_string a)
+  | Xtra.Is_null (a, false) -> Printf.sprintf "isnull(%s)" (scalar_to_string a)
+  | Xtra.Is_null (a, true) ->
+      Printf.sprintf "isnotnull(%s)" (scalar_to_string a)
+  | Xtra.Case { branches; else_branch; _ } ->
+      let b =
+        List.map
+          (fun (c, v) ->
+            Printf.sprintf "when(%s, %s)" (scalar_to_string c) (scalar_to_string v))
+          branches
+      in
+      let e =
+        match else_branch with
+        | Some v -> [ Printf.sprintf "else(%s)" (scalar_to_string v) ]
+        | None -> []
+      in
+      Printf.sprintf "case(%s)" (String.concat ", " (b @ e))
+  | Xtra.Cast (a, t) ->
+      Printf.sprintf "cast(%s, %s)" (scalar_to_string a) (Dtype.to_string t)
+  | Xtra.Func { name; args; _ } ->
+      Printf.sprintf "%s(%s)" (String.lowercase_ascii name)
+        (String.concat ", " (List.map scalar_to_string args))
+  | Xtra.Extract (f, a) ->
+      Printf.sprintf "extract(%s, %s)" (field_name f) (scalar_to_string a)
+  | Xtra.Concat (a, b) ->
+      Printf.sprintf "concat(%s, %s)" (scalar_to_string a) (scalar_to_string b)
+  | Xtra.Like { arg; pattern; negated; _ } ->
+      Printf.sprintf "%slike(%s, %s)"
+        (if negated then "not_" else "")
+        (scalar_to_string arg) (scalar_to_string pattern)
+  | Xtra.In_list { arg; items; negated } ->
+      Printf.sprintf "%sin(%s, [%s])"
+        (if negated then "not_" else "")
+        (scalar_to_string arg)
+        (String.concat ", " (List.map scalar_to_string items))
+  | Xtra.Scalar_subquery _ -> "subq(SCALAR, ...)"
+  | Xtra.Exists _ -> "subq(EXISTS, ...)"
+  | Xtra.In_subquery { negated; _ } ->
+      if negated then "subq(NOT IN, ...)" else "subq(IN, ...)"
+  | Xtra.Quantified { op; quant; _ } ->
+      Printf.sprintf "subq(%s, %s, ...)"
+        (match quant with Xtra.Any -> "ANY" | Xtra.All -> "ALL")
+        (cmp_sym op)
+  | Xtra.Agg_ref a ->
+      Printf.sprintf "agg(%s%s)" (Xtra.agg_name a.Xtra.afunc)
+        (match a.Xtra.aarg with
+        | Some e -> ", " ^ scalar_to_string e
+        | None -> "")
+  | Xtra.Window_ref w -> Printf.sprintf "winref(%s)" (Xtra.window_name w.Xtra.wfunc)
+
+let sort_key_to_string (k : Xtra.sort_key) =
+  Printf.sprintf "%s %s" (scalar_to_string k.Xtra.key)
+    (match k.Xtra.dir with Xtra.Asc -> "ASC" | Xtra.Desc -> "DESC")
+
+(* Tree node: label + children, flattened from the rel plus the subquery rels
+   hanging off its scalars. *)
+let rec node_of_rel (r : Xtra.rel) : string * Xtra.rel list =
+  let subqueries_of_scalar s =
+    let acc = ref [] in
+    ignore
+      (Xtra.map_scalar
+         (fun x ->
+           (match x with
+           | Xtra.Scalar_subquery q | Xtra.Exists q -> acc := q :: !acc
+           | Xtra.In_subquery { subquery; _ } | Xtra.Quantified { subquery; _ }
+             ->
+               acc := subquery :: !acc
+           | _ -> ());
+           x)
+         s);
+    List.rev !acc
+  in
+  match r with
+  | Xtra.Get { table; alias; _ } ->
+      let lbl =
+        if String.uppercase_ascii alias = String.uppercase_ascii table then
+          Printf.sprintf "get(%s)" table
+        else Printf.sprintf "get(%s '%s')" table alias
+      in
+      (lbl, [])
+  | Xtra.Values_rel { rows; _ } ->
+      (Printf.sprintf "values(%d rows)" (List.length rows), [])
+  | Xtra.Filter { input; pred } ->
+      ( Printf.sprintf "select[%s]" (scalar_to_string pred),
+        input :: subqueries_of_scalar pred )
+  | Xtra.Project { input; proj } ->
+      ( Printf.sprintf "project[%s]"
+          (String.concat ", "
+             (List.map
+                (fun ((c : Xtra.col), e) ->
+                  Printf.sprintf "%s=%s" c.Xtra.name (scalar_to_string e))
+                proj)),
+        input :: List.concat_map (fun (_, e) -> subqueries_of_scalar e) proj )
+  | Xtra.Join { kind; left; right; pred } ->
+      let k =
+        match kind with
+        | Xtra.Inner -> "inner"
+        | Xtra.Left_outer -> "left"
+        | Xtra.Right_outer -> "right"
+        | Xtra.Full_outer -> "full"
+        | Xtra.Cross -> "cross"
+      in
+      let p =
+        match pred with
+        | Some p -> Printf.sprintf "[%s]" (scalar_to_string p)
+        | None -> ""
+      in
+      (Printf.sprintf "join(%s)%s" k p, [ left; right ])
+  | Xtra.Aggregate { input; group_by; aggs; grouping_sets } ->
+      let g =
+        String.concat ", " (List.map (fun (_, e) -> scalar_to_string e) group_by)
+      in
+      let a =
+        String.concat ", "
+          (List.map
+             (fun ((c : Xtra.col), (d : Xtra.agg_def)) ->
+               Printf.sprintf "%s=%s(%s%s)" c.Xtra.name
+                 (Xtra.agg_name d.Xtra.afunc)
+                 (if d.Xtra.adistinct then "DISTINCT " else "")
+                 (match d.Xtra.aarg with
+                 | Some e -> scalar_to_string e
+                 | None -> "*"))
+             aggs)
+      in
+      let gs =
+        match grouping_sets with
+        | None -> ""
+        | Some sets -> Printf.sprintf " sets=%d" (List.length sets)
+      in
+      (Printf.sprintf "gbagg[%s][%s]%s" g a gs, [ input ])
+  | Xtra.Window { input; windows } ->
+      let w =
+        String.concat ", "
+          (List.map
+             (fun ((c : Xtra.col), (d : Xtra.window_def)) ->
+               Printf.sprintf "%s=%s(%s)%s%s" c.Xtra.name
+                 (Xtra.window_name d.Xtra.wfunc)
+                 (String.concat ", " (List.map scalar_to_string d.Xtra.wargs))
+                 (if d.Xtra.partition = [] then ""
+                  else
+                    Printf.sprintf " part[%s]"
+                      (String.concat ", "
+                         (List.map scalar_to_string d.Xtra.partition)))
+                 (if d.Xtra.worder = [] then ""
+                  else
+                    Printf.sprintf " order[%s]"
+                      (String.concat ", "
+                         (List.map sort_key_to_string d.Xtra.worder))))
+             windows)
+      in
+      (Printf.sprintf "window(%s)" w, [ input ])
+  | Xtra.Sort { input; sort_keys } ->
+      ( Printf.sprintf "sort[%s]"
+          (String.concat ", " (List.map sort_key_to_string sort_keys)),
+        [ input ] )
+  | Xtra.Limit { input; count; offset; with_ties; _ } ->
+      ( Printf.sprintf "limit[%s%s%s]"
+          (match count with Some c -> scalar_to_string c | None -> "all")
+          (match offset with
+          | Some o -> Printf.sprintf " offset %s" (scalar_to_string o)
+          | None -> "")
+          (if with_ties then " with ties" else ""),
+        [ input ] )
+  | Xtra.Distinct { input } -> ("distinct", [ input ])
+  | Xtra.Set_operation { op; all; left; right } ->
+      let o =
+        match op with
+        | Xtra.Union -> "union"
+        | Xtra.Intersect -> "intersect"
+        | Xtra.Except -> "except"
+      in
+      (Printf.sprintf "%s%s" o (if all then "_all" else ""), [ left; right ])
+  | Xtra.Cte_ref { cte_name; _ } -> (Printf.sprintf "cte_ref(%s)" cte_name, [])
+  | Xtra.With_cte { ctes; cte_recursive; body } ->
+      ( Printf.sprintf "with%s(%s)"
+          (if cte_recursive then "_recursive" else "")
+          (String.concat ", " (List.map fst ctes)),
+        body :: List.map snd ctes )
+
+and render buf prefix is_last r =
+  let label, children = node_of_rel r in
+  Buffer.add_string buf prefix;
+  Buffer.add_string buf (if is_last then "+-" else "|-");
+  Buffer.add_string buf label;
+  Buffer.add_char buf '\n';
+  let child_prefix = prefix ^ if is_last then "  " else "| " in
+  let n = List.length children in
+  List.iteri (fun i c -> render buf child_prefix (i = n - 1) c) children
+
+let rel_to_string r =
+  let buf = Buffer.create 256 in
+  render buf "" true r;
+  Buffer.contents buf
+
+let statement_to_string (st : Xtra.statement) =
+  match st with
+  | Xtra.Query r -> rel_to_string r
+  | Xtra.Insert { target; source; _ } ->
+      Printf.sprintf "insert(%s)\n%s" target (rel_to_string source)
+  | Xtra.Update { target; _ } -> Printf.sprintf "update(%s)\n" target
+  | Xtra.Delete { target; _ } -> Printf.sprintf "delete(%s)\n" target
+  | Xtra.Create_table { ct_name; _ } ->
+      Printf.sprintf "create_table(%s)\n" ct_name
+  | Xtra.Create_table_as { cta_name; cta_source; _ } ->
+      Printf.sprintf "create_table_as(%s)\n%s" cta_name (rel_to_string cta_source)
+  | Xtra.Drop_table { dt_name; _ } -> Printf.sprintf "drop_table(%s)\n" dt_name
+  | Xtra.Merge { m_target; m_source; _ } ->
+      Printf.sprintf "merge(%s)\n%s" m_target (rel_to_string m_source)
+  | Xtra.Rename_table { rn_from; rn_to } ->
+      Printf.sprintf "rename_table(%s -> %s)\n" rn_from rn_to
+  | Xtra.Begin_tx -> "begin_tx\n"
+  | Xtra.Commit_tx -> "commit_tx\n"
+  | Xtra.Rollback_tx -> "rollback_tx\n"
+  | Xtra.No_op reason -> Printf.sprintf "no_op(%s)\n" reason
+
+let pp ppf r = Fmt.string ppf (rel_to_string r)

@@ -1,0 +1,1 @@
+test/test_binder.ml: Alcotest Dialect Dtype Hyperq_binder Hyperq_catalog Hyperq_sqlparser Hyperq_sqlvalue Hyperq_xtra List Parser Sql_error String

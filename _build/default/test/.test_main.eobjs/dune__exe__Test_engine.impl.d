@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Hyperq_engine Hyperq_sqlvalue Int64 List Printf QCheck QCheck_alcotest Sql_error String Value

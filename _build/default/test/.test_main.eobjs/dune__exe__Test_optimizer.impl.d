@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Dtype Hyperq_engine Hyperq_sqlvalue Hyperq_xtra String

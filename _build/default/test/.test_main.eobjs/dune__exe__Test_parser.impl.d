@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Dialect Gen Hyperq_sqlparser Hyperq_sqlvalue Lexer List Parser QCheck QCheck_alcotest Sql_error String Token

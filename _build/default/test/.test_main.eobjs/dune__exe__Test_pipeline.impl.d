@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Hyperq_catalog Hyperq_core Hyperq_engine Hyperq_sqlvalue Hyperq_transform List Mutex Printf Sql_error String Thread Value

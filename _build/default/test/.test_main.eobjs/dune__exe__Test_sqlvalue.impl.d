@@ -1,0 +1,1 @@
+test/test_sqlvalue.ml: Alcotest Decimal Dtype Hyperq_sqlvalue Int64 Interval List QCheck QCheck_alcotest Sql_date Sql_error Value

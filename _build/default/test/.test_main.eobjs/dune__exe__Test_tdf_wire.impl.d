@@ -1,0 +1,1 @@
+test/test_tdf_wire.ml: Alcotest Array Buffer Decimal Dtype Hyperq_core Hyperq_sqlvalue Hyperq_tdf Hyperq_wire Int64 Interval List Printf QCheck QCheck_alcotest Sql_date Sql_error String Value

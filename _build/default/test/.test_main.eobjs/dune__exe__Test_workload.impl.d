@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hyperq_core Hyperq_engine Hyperq_sqlvalue Hyperq_transform Hyperq_workload Lazy List Sql_error String Value

@@ -1,0 +1,1 @@
+test/test_xtra.ml: Alcotest Dtype Hyperq_sqlvalue Hyperq_xtra Int64 List QCheck QCheck_alcotest String Value

@@ -1,0 +1,285 @@
+(* Binder tests: name resolution, typing, and the binding-time rewrites of
+   paper Table 2 (QUALIFY expansion, chained projections, implicit joins,
+   ordinal GROUP BY, view expansion). Golden XTRA shapes are pinned with the
+   paper-style pretty printer. *)
+
+open Hyperq_sqlvalue
+open Hyperq_sqlparser
+module Xtra = Hyperq_xtra.Xtra
+module Xtra_pp = Hyperq_xtra.Xtra_pp
+module Catalog = Hyperq_catalog.Catalog
+module Binder = Hyperq_binder.Binder
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+let sb = Alcotest.string
+
+let make_catalog () =
+  let catalog = Catalog.create () in
+  let col ?(cs = true) name ty =
+    {
+      Catalog.col_name = name;
+      col_type = ty;
+      col_not_null = false;
+      col_default = None;
+      col_case_specific = cs;
+    }
+  in
+  Catalog.add_table catalog
+    {
+      Catalog.tbl_name = "SALES";
+      tbl_columns =
+        [
+          col "AMOUNT" Dtype.default_decimal;
+          col "SALES_DATE" Dtype.Date;
+          col "STORE" Dtype.Int;
+          col ~cs:false "REGION" (Dtype.varchar ~case_sensitive:false ());
+        ];
+      tbl_set_semantics = false;
+      tbl_temporary = false;
+    };
+  Catalog.add_table catalog
+    {
+      Catalog.tbl_name = "SALES_HISTORY";
+      tbl_columns = [ col "GROSS" Dtype.default_decimal; col "NET" Dtype.default_decimal ];
+      tbl_set_semantics = false;
+      tbl_temporary = false;
+    };
+  Catalog.add_table catalog
+    {
+      Catalog.tbl_name = "EMP";
+      tbl_columns = [ col "EMPNO" Dtype.Int; col "MGRNO" Dtype.Int ];
+      tbl_set_semantics = false;
+      tbl_temporary = false;
+    };
+  Catalog.add_view catalog ~replace:false
+    {
+      Catalog.view_name = "BIG_SALES";
+      view_columns = [];
+      view_query =
+        Parser.parse_query_string ~dialect:Dialect.Teradata
+          "SELECT AMOUNT, STORE FROM SALES WHERE AMOUNT > 100";
+      view_dialect = Dialect.Teradata;
+    };
+  catalog
+
+let bind ?(dialect = Dialect.Teradata) sql =
+  let ctx = Binder.create_ctx ~dialect (make_catalog ()) in
+  let st = Binder.bind_statement ctx (Parser.parse_statement ~dialect sql) in
+  (st, ctx)
+
+let bind_rel sql =
+  match bind sql with
+  | Xtra.Query rel, ctx -> (rel, ctx)
+  | _ -> Alcotest.fail "expected a query"
+
+let shape sql = Xtra_pp.rel_to_string (fst (bind_rel sql))
+
+let bind_fails ?dialect sql =
+  match Sql_error.protect (fun () -> bind ?dialect sql) with
+  | Error e -> e.Sql_error.kind = Sql_error.Bind_error
+  | Ok _ -> false
+
+let contains hay needle =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let test_example2_golden () =
+  (* paper Figure 5 (before transformer normalization) *)
+  let s =
+    shape
+      "SEL * FROM SALES WHERE SALES_DATE > 1140101 AND (AMOUNT, AMOUNT * 0.85) \
+       > ANY (SEL GROSS, NET FROM SALES_HISTORY) QUALIFY RANK(AMOUNT DESC) <= 10"
+  in
+  check bb "window above filter" true (contains s "window(RANK=RANK()");
+  check bb "qualify became a filter over the window column" true
+    (contains s "select[comp(LTE, ident(RANK), const(10))]");
+  check bb "vector subquery preserved for the transformer" true
+    (contains s "subq(ANY, GT, ...)");
+  check bb "date/int comparison preserved for the transformer" true
+    (contains s "comp(GT, ident(SALES_DATE), const(1140101))")
+
+let test_name_resolution () =
+  check bb "unknown column" true (bind_fails "SEL NO_SUCH_COL FROM SALES");
+  check bb "unknown table" true (bind_fails "SEL X FROM NO_SUCH_TABLE");
+  check bb "ambiguous column" true
+    (bind_fails "SEL AMOUNT FROM SALES A, SALES B");
+  check bb "qualified disambiguation ok" true
+    (not (bind_fails "SEL A.AMOUNT FROM SALES A, SALES B"));
+  check bb "alias scoping: original name gone" true
+    (bind_fails "SEL S.AMOUNT FROM SALES AS RENAMED, EMP AS S2 WHERE SALES.STORE = 1")
+
+let test_chained_projection () =
+  let rel, ctx =
+    bind_rel "SEL AMOUNT AS BASE, BASE + 100 AS OFFSET_AMT FROM SALES WHERE OFFSET_AMT > 0"
+  in
+  check bb "feature recorded" true (List.mem "chained_projection" ctx.Binder.features);
+  let s = Xtra_pp.rel_to_string rel in
+  (* the alias reference is substituted by its definition *)
+  check bb "alias expanded in projection" true
+    (contains s "OFFSET_AMT=arith(+, ident(AMOUNT), const(100))");
+  check bb "alias expanded in where" true
+    (contains s "select[comp(GT, arith(+, ident(AMOUNT), const(100)), const(0))]");
+  (* not available in ANSI mode *)
+  check bb "rejected in ANSI" true
+    (bind_fails ~dialect:Dialect.Ansi
+       "SELECT AMOUNT AS BASE, BASE + 100 AS X FROM SALES")
+
+let test_implicit_join () =
+  let rel, ctx =
+    bind_rel "SEL EMP.EMPNO FROM SALES WHERE EMP.MGRNO = SALES.STORE"
+  in
+  check bb "feature recorded" true (List.mem "implicit_join" ctx.Binder.features);
+  let s = Xtra_pp.rel_to_string rel in
+  check bb "EMP joined in" true (contains s "get(EMP)");
+  (* implicit joins are a Teradata-ism *)
+  check bb "rejected in ANSI" true
+    (bind_fails ~dialect:Dialect.Ansi "SELECT EMP.EMPNO FROM SALES WHERE EMP.MGRNO = 1")
+
+let test_ordinals () =
+  let rel, ctx =
+    bind_rel "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY 1 ORDER BY 2 DESC"
+  in
+  check bb "features" true
+    (List.mem "ordinal_group_by" ctx.Binder.features
+    && List.mem "ordinal_order_by" ctx.Binder.features);
+  let s = Xtra_pp.rel_to_string rel in
+  check bb "grouped by store" true (contains s "gbagg[ident(STORE)]");
+  check bb "sorted by the aggregate column" true (contains s "sort[ident(SUM) DESC]");
+  check bb "out-of-range ordinal" true
+    (bind_fails "SEL STORE FROM SALES GROUP BY 5")
+
+let test_aggregate_validation () =
+  check bb "aggregate in WHERE rejected" true
+    (bind_fails "SEL STORE FROM SALES WHERE SUM(AMOUNT) > 1");
+  check bb "HAVING allows aggregates" true
+    (not (bind_fails "SEL STORE FROM SALES GROUP BY STORE HAVING SUM(AMOUNT) > 1"));
+  check bb "window requires OVER for ROW_NUMBER" true
+    (bind_fails "SEL ROW_NUMBER() FROM SALES")
+
+let test_view_expansion () =
+  let rel, _ = bind_rel "SEL AMOUNT FROM BIG_SALES" in
+  let s = Xtra_pp.rel_to_string rel in
+  check bb "view expanded to base table" true (contains s "get(SALES)");
+  check bb "view predicate inlined" true
+    (contains s "select[comp(GT, ident(AMOUNT), const(100))]");
+  (* view columns are the view's surface: STORE is exposed, SALES_DATE not *)
+  check bb "hidden base column not resolvable" true
+    (bind_fails "SEL SALES_DATE FROM BIG_SALES")
+
+let test_group_by_rollup_binding () =
+  let rel, _ =
+    bind_rel "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY ROLLUP(STORE)"
+  in
+  match rel with
+  | Xtra.Project { input = Xtra.Aggregate { grouping_sets = Some sets; _ }; _ } ->
+      check Alcotest.int "rollup of one column = 2 sets" 2 (List.length sets)
+  | _ -> Alcotest.fail "expected aggregate with grouping sets"
+
+let test_top_above_sort () =
+  let rel, _ = bind_rel "SEL TOP 3 STORE FROM SALES ORDER BY AMOUNT DESC" in
+  match rel with
+  | Xtra.Limit { input = Xtra.Project { input = Xtra.Sort _; _ }; count = Some _; _ }
+  | Xtra.Limit { input = Xtra.Sort _; count = Some _; _ } ->
+      ()
+  | other ->
+      Alcotest.failf "TOP must apply above ORDER BY, got:\n%s"
+        (Xtra_pp.rel_to_string other)
+
+let test_insert_binding () =
+  (match bind "INS SALES (100.50, DATE '2014-01-01', 7, 'EU')" with
+  | Xtra.Insert { target = "SALES"; target_cols; _ }, _ ->
+      check Alcotest.(list string) "all columns targeted"
+        [ "AMOUNT"; "SALES_DATE"; "STORE"; "REGION" ]
+        target_cols
+  | _ -> Alcotest.fail "insert shape");
+  check bb "arity mismatch" true (bind_fails "INS SALES (1, 2)");
+  check bb "unknown insert column" true
+    (bind_fails "INSERT INTO SALES (NOPE) VALUES (1)")
+
+let test_update_delete_binding () =
+  (match bind "UPD SALES SET AMOUNT = AMOUNT * 2 WHERE STORE = 1" with
+  | Xtra.Update { assignments = [ ("AMOUNT", _) ]; upd_pred = Some _; _ }, _ -> ()
+  | _ -> Alcotest.fail "update shape");
+  (match bind "UPD SALES FROM SALES_HISTORY SET AMOUNT = GROSS WHERE STORE = 1" with
+  | Xtra.Update { extra_from = Some _; _ }, ctx ->
+      check bb "update..from feature" true (List.mem "update_from" ctx.Binder.features)
+  | _ -> Alcotest.fail "update from shape");
+  match bind "DEL SALES WHERE AMOUNT < 0" with
+  | Xtra.Delete { del_pred = Some _; _ }, _ -> ()
+  | _ -> Alcotest.fail "delete shape"
+
+let test_recursive_cte_binding () =
+  let rel, ctx =
+    bind_rel
+      "WITH RECURSIVE R (EMPNO, MGRNO) AS (SEL EMPNO, MGRNO FROM EMP WHERE \
+       MGRNO = 10 UNION ALL SEL EMP.EMPNO, EMP.MGRNO FROM EMP, R WHERE R.EMPNO \
+       = EMP.MGRNO) SEL EMPNO FROM R"
+  in
+  check bb "feature" true (List.mem "recursive_query" ctx.Binder.features);
+  (match rel with
+  | Xtra.With_cte { cte_recursive = true; ctes = [ (_, Xtra.Set_operation { op = Xtra.Union; all = true; _ }) ]; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "recursive shape: UNION ALL must stay on top");
+  check bb "non-union-all recursion rejected" true
+    (bind_fails
+       "WITH RECURSIVE R (A) AS (SEL EMPNO FROM EMP UNION SEL A FROM R) SEL A FROM R")
+
+let test_setop_arity () =
+  check bb "arity mismatch rejected" true
+    (bind_fails "SEL STORE FROM SALES UNION ALL SEL EMPNO, MGRNO FROM EMP")
+
+let test_date_int_dialect_gate () =
+  (* accepted in Teradata mode, noted as a feature; rejected in ANSI *)
+  let _, ctx = bind_rel "SEL STORE FROM SALES WHERE SALES_DATE > 1140101" in
+  check bb "feature noted" true (List.mem "date_int_comparison" ctx.Binder.features);
+  check bb "ANSI rejects date/int comparison" true
+    (bind_fails ~dialect:Dialect.Ansi "SELECT STORE FROM SALES WHERE SALES_DATE > 1140101")
+
+let test_type_derivation () =
+  let rel, _ = bind_rel "SEL SALES_DATE + 30, SALES_DATE - SALES_DATE, AMOUNT * 2 FROM SALES" in
+  match Xtra.schema_of rel with
+  | [ c1; c2; c3 ] ->
+      check sb "date + int : DATE" "DATE" (Dtype.to_string c1.Xtra.ty);
+      check sb "date - date : BIGINT" "BIGINT" (Dtype.to_string c2.Xtra.ty);
+      check bb "decimal preserved" true (Dtype.is_numeric c3.Xtra.ty)
+  | _ -> Alcotest.fail "schema arity"
+
+let test_unknown_function () =
+  check bb "unknown function rejected" true
+    (bind_fails "SEL FROBNICATE(AMOUNT) FROM SALES")
+
+let test_count_star_column_name () =
+  let rel, _ = bind_rel "SEL COUNT(*) FROM SALES" in
+  match Xtra.schema_of rel with
+  | [ c ] ->
+      check bb "identifier-safe name" true
+        (not (String.contains c.Xtra.name '('))
+  | _ -> Alcotest.fail "one column"
+
+let suite =
+  [
+    ("Example 2 golden shape (Figure 5)", `Quick, test_example2_golden);
+    ("name resolution", `Quick, test_name_resolution);
+    ("chained projections", `Quick, test_chained_projection);
+    ("implicit joins", `Quick, test_implicit_join);
+    ("ordinals", `Quick, test_ordinals);
+    ("aggregate placement validation", `Quick, test_aggregate_validation);
+    ("view expansion", `Quick, test_view_expansion);
+    ("ROLLUP grouping sets", `Quick, test_group_by_rollup_binding);
+    ("TOP applies above ORDER BY", `Quick, test_top_above_sort);
+    ("INSERT binding", `Quick, test_insert_binding);
+    ("UPDATE/DELETE binding", `Quick, test_update_delete_binding);
+    ("recursive CTE binding", `Quick, test_recursive_cte_binding);
+    ("set operation arity", `Quick, test_setop_arity);
+    ("DATE/INT comparison dialect gate", `Quick, test_date_int_dialect_gate);
+    ("type derivation", `Quick, test_type_derivation);
+    ("unknown function", `Quick, test_unknown_function);
+    ("COUNT(*) column naming", `Quick, test_count_star_column_name);
+  ]

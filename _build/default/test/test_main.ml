@@ -1,0 +1,19 @@
+(* Aggregated test runner: one alcotest binary covering every subsystem.
+   `dune runtest` runs everything. *)
+
+let () =
+  Alcotest.run "hyperq"
+    [
+      ("sqlvalue", Test_sqlvalue.suite);
+      ("parser", Test_parser.suite);
+      ("xtra", Test_xtra.suite);
+      ("binder", Test_binder.suite);
+      ("transformer", Test_transformer.suite);
+      ("serializer", Test_serializer.suite);
+      ("engine", Test_engine.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("tdf+wire", Test_tdf_wire.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,125 @@
+(* Unit tests for the engine's logical optimizer: filter pushdown through
+   cross/inner joins, OR factoring (the TPC-H Q19 shape), and the safety
+   restriction on outer joins. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+module Optimizer = Hyperq_engine.Optimizer
+module Xtra_pp = Hyperq_xtra.Xtra_pp
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+let ib = Alcotest.int
+
+let col id name = { Xtra.id; name; ty = Dtype.Int }
+
+let a1 = col 1 "A1"
+let a2 = col 2 "A2"
+let b1 = col 11 "B1"
+let b2 = col 12 "B2"
+
+let get_a = Xtra.Get { table = "TA"; table_schema = [ a1; a2 ]; alias = "TA" }
+let get_b = Xtra.Get { table = "TB"; table_schema = [ b1; b2 ]; alias = "TB" }
+
+let cross = Xtra.Join { kind = Xtra.Cross; left = get_a; right = get_b; pred = None }
+
+let eq c1 c2 = Xtra.Cmp (Xtra.Eq, Xtra.Col_ref c1, Xtra.Col_ref c2)
+let gt c n = Xtra.Cmp (Xtra.Gt, Xtra.Col_ref c, Xtra.cint n)
+
+let contains rel label =
+  let s = Xtra_pp.rel_to_string rel in
+  let nl = String.length label in
+  let rec go i = i + nl <= String.length s && (String.sub s i nl = label || go (i + 1)) in
+  go 0
+
+let count_nodes pred rel = Xtra.fold_rel (fun acc r -> if pred r then acc + 1 else acc) 0 rel
+
+let test_pushdown_splits_conjuncts () =
+  (* WHERE a1 = b1 AND a2 > 5 AND b2 > 7 over a cross join *)
+  let filtered =
+    Xtra.Filter
+      {
+        input = cross;
+        pred = Xtra.conj [ eq a1 b1; gt a2 5; gt b2 7 ];
+      }
+  in
+  let opt = Optimizer.optimize_rel filtered in
+  (* the equi conjunct becomes the join predicate *)
+  (match opt with
+  | Xtra.Join { kind = Xtra.Inner; pred = Some _; left; right } ->
+      check bb "left side got its filter" true
+        (match left with Xtra.Filter { input = Xtra.Get _; _ } -> true | _ -> false);
+      check bb "right side got its filter" true
+        (match right with Xtra.Filter { input = Xtra.Get _; _ } -> true | _ -> false)
+  | other ->
+      Alcotest.failf "expected inner join with pushed filters, got\n%s"
+        (Xtra_pp.rel_to_string other));
+  check ib "no top-level filter remains" 2
+    (count_nodes (function Xtra.Filter _ -> true | _ -> false) opt)
+
+let test_correlated_conjunct_stays () =
+  (* a conjunct referencing an outer column (id 99, not produced here) must
+     stay above the join rather than being pushed onto one side *)
+  let outer = col 99 "OUTER_C" in
+  let pred = Xtra.conj [ eq a1 b1; Xtra.Cmp (Xtra.Eq, Xtra.Col_ref a2, Xtra.Col_ref outer) ] in
+  let opt = Optimizer.optimize_rel (Xtra.Filter { input = cross; pred }) in
+  match opt with
+  | Xtra.Filter { input = Xtra.Join { kind = Xtra.Inner; _ }; pred = Xtra.Cmp _ } -> ()
+  | other ->
+      Alcotest.failf "expected residual filter above the join, got\n%s"
+        (Xtra_pp.rel_to_string other)
+
+let test_outer_join_not_rewritten () =
+  let left_join =
+    Xtra.Join { kind = Xtra.Left_outer; left = get_a; right = get_b; pred = Some (eq a1 b1) }
+  in
+  let filtered = Xtra.Filter { input = left_join; pred = gt b2 7 } in
+  let opt = Optimizer.optimize_rel filtered in
+  (* pushing [b2 > 7] below a left join would change NULL-extended rows *)
+  match opt with
+  | Xtra.Filter { input = Xtra.Join { kind = Xtra.Left_outer; _ }; _ } -> ()
+  | other ->
+      Alcotest.failf "outer join must not be rewritten, got\n%s"
+        (Xtra_pp.rel_to_string other)
+
+let test_or_factoring () =
+  (* (j AND p1) OR (j AND p2) -> j AND (p1 OR p2): Q19's shape *)
+  let j = eq a1 b1 in
+  let p1 = gt a2 5 and p2 = gt b2 7 in
+  let pred = Xtra.Logic_or (Xtra.Logic_and (j, p1), Xtra.Logic_and (j, p2)) in
+  let opt = Optimizer.optimize_rel (Xtra.Filter { input = cross; pred }) in
+  (* after factoring, j is hashable: the join becomes inner with a pred *)
+  match opt with
+  | Xtra.Join { kind = Xtra.Inner; pred = Some _; _ } -> ()
+  | Xtra.Filter { input = Xtra.Join { kind = Xtra.Inner; pred = Some _; _ }; _ } -> ()
+  | other ->
+      Alcotest.failf "expected the common equi conjunct factored out, got\n%s"
+        (Xtra_pp.rel_to_string other)
+
+let test_filter_merge () =
+  (* filter over filter collapses *)
+  let stacked =
+    Xtra.Filter
+      { input = Xtra.Filter { input = get_a; pred = gt a1 1 }; pred = gt a2 2 }
+  in
+  let opt = Optimizer.optimize_rel stacked in
+  check ib "single filter" 1
+    (count_nodes (function Xtra.Filter _ -> true | _ -> false) opt)
+
+let test_idempotent () =
+  let filtered =
+    Xtra.Filter { input = cross; pred = Xtra.conj [ eq a1 b1; gt a2 5 ] }
+  in
+  let once = Optimizer.optimize_rel filtered in
+  let twice = Optimizer.optimize_rel once in
+  check bb "optimize is idempotent" true (once = twice)
+
+let suite =
+  [
+    ("pushdown splits conjuncts", `Quick, test_pushdown_splits_conjuncts);
+    ("correlated conjunct stays above", `Quick, test_correlated_conjunct_stays);
+    ("outer joins untouched", `Quick, test_outer_join_not_rewritten);
+    ("OR factoring (Q19 shape)", `Quick, test_or_factoring);
+    ("stacked filters merge", `Quick, test_filter_merge);
+    ("idempotent", `Quick, test_idempotent);
+  ]

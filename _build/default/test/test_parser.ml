@@ -1,0 +1,300 @@
+(* Lexer and parser tests: token streams, the Teradata dialect surface
+   (paper §5.1), ANSI mode restrictions, and error reporting. *)
+
+open Hyperq_sqlvalue
+open Hyperq_sqlparser
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+let ib = Alcotest.int
+let sb = Alcotest.string
+
+let td = Dialect.Teradata
+let ansi = Dialect.Ansi
+
+let parse ?(dialect = td) s = Parser.parse_statement ~dialect s
+let parse_ok ?dialect s =
+  match Sql_error.protect (fun () -> parse ?dialect s) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let expr ?(dialect = td) s = Parser.parse_expr_string ~dialect s
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let kinds s = List.map (fun t -> t.Token.kind) (Lexer.tokenize s)
+
+let test_lexer_basics () =
+  check ib "word count" 4 (List.length (kinds "SELECT a FROM t") - 1);
+  (match kinds "sel x" with
+  | [ Token.Word "SEL"; Token.Word "X"; Token.Eof ] -> ()
+  | _ -> Alcotest.fail "words uppercased");
+  (match kinds "'it''s'" with
+  | [ Token.String_lit "it's"; Token.Eof ] -> ()
+  | _ -> Alcotest.fail "string escape");
+  (match kinds "\"Mixed Case\"" with
+  | [ Token.Quoted_ident "Mixed Case"; Token.Eof ] -> ()
+  | _ -> Alcotest.fail "quoted ident keeps case");
+  (match kinds "12 3.5 .5 1e3 1.5e-2" with
+  | [
+   Token.Int_lit 12L;
+   Token.Number_lit "3.5";
+   Token.Number_lit ".5";
+   Token.Number_lit "1e3";
+   Token.Number_lit "1.5e-2";
+   Token.Eof;
+  ] ->
+      ()
+  | _ -> Alcotest.fail "numbers")
+
+let test_lexer_comments () =
+  check ib "line comment stripped" 2
+    (List.length (kinds "a -- comment here\nb") - 1);
+  check ib "block comment stripped" 2 (List.length (kinds "a /* x\ny */ b") - 1);
+  check bb "unterminated block comment raises" true
+    (match Sql_error.protect (fun () -> kinds "a /* oops") with
+    | Error e -> e.Sql_error.kind = Sql_error.Parse_error
+    | Ok _ -> false)
+
+let test_lexer_operators () =
+  (match kinds "a <> b != c ^= d || e ** f" with
+  | [
+   Token.Word "A"; Token.Symbol "<>"; Token.Word "B"; Token.Symbol "!=";
+   Token.Word "C"; Token.Symbol "^="; Token.Word "D"; Token.Symbol "||";
+   Token.Word "E"; Token.Symbol "**"; Token.Word "F"; Token.Eof;
+  ] ->
+      ()
+  | _ -> Alcotest.fail "multi-char operators")
+
+(* ------------------------------------------------------------------ *)
+(* Teradata dialect surface                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sel_abbreviations () =
+  check bb "SEL" true (parse_ok "SEL A FROM T");
+  check bb "INS bare values" true (parse_ok "INS T (1, 2)");
+  check bb "UPD" true (parse_ok "UPD T SET A = 1");
+  check bb "DEL" true (parse_ok "DEL T WHERE A = 1");
+  check bb "DEL ... ALL" true (parse_ok "DEL FROM T ALL");
+  check bb "BT/ET" true (parse_ok "BT" && parse_ok "ET");
+  check bb "SEL rejected in ANSI mode" false (parse_ok ~dialect:ansi "SEL A FROM T")
+
+let test_permissive_clause_order () =
+  (* paper Example 1: ORDER BY before WHERE *)
+  check bb "ORDER BY before WHERE (paper Example 1)" true
+    (parse_ok
+       "SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS SALES_OFFSET \
+        FROM PRODUCT QUALIFY 10 < SUM(SALES) OVER (PARTITION BY STORE) ORDER BY \
+        STORE, PRODUCT_NAME WHERE CHARS(PRODUCT_NAME) > 4");
+  check bb "GROUP BY after HAVING" true
+    (parse_ok "SEL A, COUNT(*) FROM T HAVING COUNT(*) > 1 GROUP BY A")
+
+let test_qualify_and_top () =
+  (match parse "SEL TOP 10 WITH TIES A FROM T QUALIFY RANK(B DESC) <= 3" with
+  | Ast.S_select { Ast.body = Ast.Q_select s; _ } ->
+      check bb "qualify present" true (s.Ast.qualify <> None);
+      (match s.Ast.top with
+      | Some { Ast.with_ties = true; percent = false; _ } -> ()
+      | _ -> Alcotest.fail "top with ties")
+  | _ -> Alcotest.fail "statement shape");
+  (match parse "SEL TOP 10 PERCENT A FROM T" with
+  | Ast.S_select { Ast.body = Ast.Q_select { Ast.top = Some { Ast.percent = true; _ }; _ }; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "top percent");
+  check bb "QUALIFY rejected in ANSI" false
+    (parse_ok ~dialect:ansi "SELECT A FROM T QUALIFY RANK() OVER (ORDER BY B) <= 3")
+
+let test_vector_subquery_parse () =
+  match expr "(A, B * 0.85) > ANY (SEL G, N FROM H)" with
+  | Ast.E_quantified { lhs = [ _; _ ]; op = Ast.Cgt; quant = Ast.Any; _ } -> ()
+  | _ -> Alcotest.fail "vector quantified comparison"
+
+let test_td_rank () =
+  (match expr "RANK(AMOUNT DESC)" with
+  | Ast.E_td_rank [ { Ast.dir = Ast.Desc; _ } ] -> ()
+  | _ -> Alcotest.fail "td rank");
+  (* plain RANK() OVER is a window, not td_rank *)
+  match expr "RANK() OVER (ORDER BY A)" with
+  | Ast.E_window { func = "RANK"; _ } -> ()
+  | _ -> Alcotest.fail "ansi rank window"
+
+let test_expression_precedence () =
+  (match expr "1 + 2 * 3" with
+  | Ast.E_binop (Ast.Add, _, Ast.E_binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "mul binds tighter");
+  (match expr "A OR B AND C" with
+  | Ast.E_binop (Ast.Or, _, Ast.E_binop (Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "and binds tighter");
+  (match expr "NOT A = 1" with
+  | Ast.E_unop (Ast.Not, Ast.E_binop (Ast.Eq, _, _)) -> ()
+  | _ -> Alcotest.fail "not over comparison");
+  match expr "A MOD 2" with
+  | Ast.E_binop (Ast.Modulo, _, _) -> ()
+  | _ -> Alcotest.fail "MOD keyword operator"
+
+let test_special_forms () =
+  (match expr "CAST(A AS DECIMAL(10,2))" with
+  | Ast.E_cast (_, Ast.Ty_decimal (10, 2)) -> ()
+  | _ -> Alcotest.fail "cast");
+  (match expr "EXTRACT(YEAR FROM D)" with
+  | Ast.E_extract (Ast.Year, _) -> ()
+  | _ -> Alcotest.fail "extract");
+  (match expr "SUBSTRING(S FROM 1 FOR 2)" with
+  | Ast.E_fun { name = "SUBSTRING"; args = [ _; _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "substring from/for");
+  (match expr "POSITION('x' IN S)" with
+  | Ast.E_fun { name = "POSITION"; args = [ _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "position");
+  (match expr "TRIM(LEADING FROM S)" with
+  | Ast.E_fun { name = "LTRIM"; _ } -> ()
+  | _ -> Alcotest.fail "trim leading");
+  (match expr "CASE WHEN A THEN 1 ELSE 2 END" with
+  | Ast.E_case { operand = None; branches = [ _ ]; else_branch = Some _ } -> ()
+  | _ -> Alcotest.fail "searched case");
+  (match expr "CASE A WHEN 1 THEN 'x' END" with
+  | Ast.E_case { operand = Some _; _ } -> ()
+  | _ -> Alcotest.fail "simple case");
+  match expr "DATE '2014-01-01'" with
+  | Ast.E_lit (Ast.L_date "2014-01-01") -> ()
+  | _ -> Alcotest.fail "date literal"
+
+let test_predicates () =
+  (match expr "A NOT IN (1, 2, 3)" with
+  | Ast.E_in { negated = true; rhs = Ast.In_list [ _; _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "not in list");
+  (match expr "A BETWEEN 1 AND 10" with
+  | Ast.E_between { negated = false; _ } -> ()
+  | _ -> Alcotest.fail "between");
+  (match expr "S NOT LIKE 'x%' ESCAPE '#'" with
+  | Ast.E_like { negated = true; escape = Some _; _ } -> ()
+  | _ -> Alcotest.fail "not like escape");
+  (match expr "A IS NOT NULL" with
+  | Ast.E_is_null (_, true) -> ()
+  | _ -> Alcotest.fail "is not null");
+  match expr "EXISTS (SEL 1 FROM T)" with
+  | Ast.E_exists _ -> ()
+  | _ -> Alcotest.fail "exists"
+
+let test_joins () =
+  match parse "SEL * FROM A LEFT OUTER JOIN B ON A.X = B.X CROSS JOIN C" with
+  | Ast.S_select { Ast.body = Ast.Q_select { Ast.from = [ Ast.T_join { kind = Ast.Cross; left = Ast.T_join { kind = Ast.Left; _ }; _ } ]; _ }; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "join nesting"
+
+let test_set_operations () =
+  (match parse "SEL A FROM T UNION ALL SEL B FROM S INTERSECT SEL C FROM U" with
+  | Ast.S_select { Ast.body = Ast.Q_setop (Ast.Union, true, _, Ast.Q_setop (Ast.Intersect, false, _, _)); _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "setop precedence: INTERSECT binds tighter");
+  check bb "MINUS accepted" true (parse_ok "SEL A FROM T MINUS SEL A FROM S")
+
+let test_ddl () =
+  (match
+     parse
+       "CREATE SET TABLE T, NO FALLBACK (A INTEGER NOT NULL, B DECIMAL(10,2) \
+        DEFAULT 0, C VARCHAR(20) CASESPECIFIC, P PERIOD(DATE)) PRIMARY INDEX (A)"
+   with
+  | Ast.S_create_table { kind = Ast.Persistent { set_semantics = true }; columns; primary_index = [ "A" ]; _ }
+    ->
+      check ib "4 columns" 4 (List.length columns);
+      let p = List.nth columns 3 in
+      check bb "period type" true (p.Ast.col_type = Ast.Ty_period `Date)
+  | _ -> Alcotest.fail "create set table");
+  (match parse "CREATE VOLATILE TABLE V AS (SEL A FROM T) WITH DATA ON COMMIT PRESERVE ROWS" with
+  | Ast.S_create_table_as { kind = Ast.Volatile; with_data = true; _ } -> ()
+  | _ -> Alcotest.fail "volatile ctas");
+  (match parse ~dialect:ansi "CREATE TEMPORARY TABLE X (A INTEGER)" with
+  | Ast.S_create_table { kind = Ast.Volatile; _ } -> ()
+  | _ -> Alcotest.fail "ansi temporary");
+  match parse ~dialect:ansi "ALTER TABLE A RENAME TO B" with
+  | Ast.S_rename_table _ -> ()
+  | _ -> Alcotest.fail "alter rename"
+
+let test_macro_and_admin () =
+  (match parse "CREATE MACRO M (X INTEGER, Y VARCHAR(5)) AS (SEL * FROM T WHERE A = :X;)" with
+  | Ast.S_create_macro { params = [ _; _ ]; body = [ _ ]; _ } -> ()
+  | _ -> Alcotest.fail "create macro");
+  (match parse "EXEC M(1, 'a')" with
+  | Ast.S_exec_macro { args = Ast.Macro_positional [ _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "exec positional");
+  (match parse "EXEC M(Y = 'a', X = 1)" with
+  | Ast.S_exec_macro { args = Ast.Macro_named [ _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "exec named");
+  (match parse "HELP SESSION" with
+  | Ast.S_help Ast.Help_session -> ()
+  | _ -> Alcotest.fail "help session");
+  (match parse "SHOW TABLE T" with
+  | Ast.S_show (Ast.Show_table _) -> ()
+  | _ -> Alcotest.fail "show table");
+  match parse "COLLECT STATISTICS ON T" with
+  | Ast.S_collect_stats _ -> ()
+  | _ -> Alcotest.fail "collect stats"
+
+let test_merge_parse () =
+  match
+    parse
+      "MERGE INTO T USING (SEL A, B FROM S) X ON (T.A = X.A) WHEN MATCHED THEN \
+       UPDATE SET B = X.B WHEN NOT MATCHED THEN INSERT (A, B) VALUES (X.A, X.B)"
+  with
+  | Ast.S_merge { when_matched = Some (Ast.Merge_update _); when_not_matched = Some (Ast.Merge_insert _); _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "merge clauses"
+
+let test_multi_statement () =
+  check ib "parse_many splits on semicolons" 3
+    (List.length (Parser.parse_many ~dialect:td "SEL 1 FROM A; SEL 2 FROM B;; SEL 3 FROM C"))
+
+let test_parenthesized_setop_in_from () =
+  check bb "((SELECT..) UNION ALL (SELECT..)) AS T" true
+    (parse_ok ~dialect:ansi
+       "SELECT * FROM ((SELECT A FROM T) UNION ALL (SELECT A FROM S)) AS U")
+
+let test_parse_errors () =
+  let fails s =
+    match Sql_error.protect (fun () -> parse s) with
+    | Error e -> e.Sql_error.kind = Sql_error.Parse_error
+    | Ok _ -> false
+  in
+  check bb "garbage" true (fails "FROBNICATE THE DATABASE");
+  check bb "unbalanced parens" true (fails "SEL (A FROM T");
+  check bb "trailing junk" true (fails "SEL A FROM T WAT WAT");
+  check bb "CASE without WHEN" true (fails "SEL CASE END FROM T");
+  check bb "empty IN list" true (fails "SEL A FROM T WHERE A IN ()")
+
+let prop_roundtrip_identifier_case =
+  QCheck.Test.make ~name:"bare identifiers normalize to uppercase" ~count:100
+    QCheck.(string_gen_of_size (Gen.return 5) (Gen.char_range 'a' 'z'))
+    (fun name ->
+      match expr name with
+      | Ast.E_column [ n ] -> n = String.uppercase_ascii name
+      | _ -> false)
+
+let suite =
+  [
+    ("lexer basics", `Quick, test_lexer_basics);
+    ("lexer comments", `Quick, test_lexer_comments);
+    ("lexer operators", `Quick, test_lexer_operators);
+    ("SEL abbreviations", `Quick, test_sel_abbreviations);
+    ("permissive clause order", `Quick, test_permissive_clause_order);
+    ("QUALIFY and TOP", `Quick, test_qualify_and_top);
+    ("vector subquery", `Quick, test_vector_subquery_parse);
+    ("td RANK", `Quick, test_td_rank);
+    ("expression precedence", `Quick, test_expression_precedence);
+    ("special forms", `Quick, test_special_forms);
+    ("predicates", `Quick, test_predicates);
+    ("joins", `Quick, test_joins);
+    ("set operations", `Quick, test_set_operations);
+    ("DDL", `Quick, test_ddl);
+    ("macros and admin commands", `Quick, test_macro_and_admin);
+    ("MERGE", `Quick, test_merge_parse);
+    ("multi-statement scripts", `Quick, test_multi_statement);
+    ("parenthesized set op in FROM", `Quick, test_parenthesized_setop_in_from);
+    ("parse errors", `Quick, test_parse_errors);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_identifier_case ]

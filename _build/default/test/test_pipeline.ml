@@ -1,0 +1,390 @@
+(* End-to-end pipeline tests: full Teradata-to-engine flows, every emulation
+   path (macros, recursion, MERGE, DML on views, SET tables, HELP/SHOW),
+   session state, the wire client path, and the feature tracker. *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+module Session = Hyperq_core.Session
+module Gateway = Hyperq_core.Gateway
+module Client = Hyperq_core.Client
+module FT = Hyperq_core.Feature_tracker
+module Capability = Hyperq_transform.Capability
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+let ib = Alcotest.int
+let sb = Alcotest.string
+
+let strings o =
+  List.map
+    (fun (r : Value.t array) ->
+      String.concat "," (Array.to_list (Array.map Value.to_string r)))
+    o.Pipeline.out_rows
+
+let fresh ?cap () =
+  let p = match cap with None -> Pipeline.create () | Some c -> Pipeline.create ~cap:c () in
+  let run sql = Pipeline.run_sql p sql in
+  List.iter
+    (fun sql -> ignore (run sql))
+    [
+      "CREATE TABLE EMP (EMPNO INTEGER NOT NULL, MGRNO INTEGER, NAME VARCHAR(20), SAL DECIMAL(10,2))";
+      "INS EMP (1, 7, 'E1', 100.50)";
+      "INS EMP (7, 8, 'E7', 200)";
+      "INS EMP (8, 10, 'E8', 300)";
+      "INS EMP (9, 10, 'E9', 250)";
+      "INS EMP (10, 11, 'E10', 400)";
+      "INS EMP (11, NULL, 'E11', 1000)";
+    ];
+  (p, run)
+
+(* ------------------------------------------------------------------ *)
+
+let test_end_to_end_select () =
+  let _, run = fresh () in
+  let o = run "SEL NAME FROM EMP WHERE SAL > 250 ORDER BY SAL DESC" in
+  check (Alcotest.list sb) "rows" [ "E11"; "E10"; "E8" ] (strings o);
+  check bb "translated SQL went to the backend" true (o.Pipeline.out_sql <> []);
+  (* the WP-A record path decodes back to the same values *)
+  let decoded =
+    Hyperq_core.Result_converter.decode_records o.Pipeline.out_columns
+      o.Pipeline.out_records
+  in
+  check ib "records equal rows" (List.length o.Pipeline.out_rows) (List.length decoded)
+
+let test_qualify_end_to_end () =
+  let _, run = fresh () in
+  check (Alcotest.list sb) "top-2 by salary with QUALIFY" [ "E11"; "E10" ]
+    (strings (run "SEL NAME FROM EMP QUALIFY RANK(SAL DESC) <= 2 ORDER BY SAL DESC"))
+
+let test_example2_semantics () =
+  (* the paper's Example 2 filter semantics, on known data *)
+  let p = Pipeline.create () in
+  let run sql = Pipeline.run_sql p sql in
+  List.iter
+    (fun sql -> ignore (run sql))
+    [
+      "CREATE TABLE SALES (AMOUNT DECIMAL(12,2), SALES_DATE DATE)";
+      "CREATE TABLE SALES_HISTORY (GROSS DECIMAL(12,2), NET DECIMAL(12,2))";
+      "INS SALES (100.00, DATE '2014-02-01')";
+      "INS SALES (95.00, DATE '2014-02-02')";
+      "INS SALES (50.00, DATE '2013-02-01')";
+      "INS SALES_HISTORY (95.00, 90.00)";
+    ];
+  (* 100 > 95 qualifies outright; 95 = 95 ties and 95*0.85 < 90 fails;
+     50 predates the date filter *)
+  check (Alcotest.list sb) "vector subquery semantics" [ "100.00,2014-02-01" ]
+    (strings
+       (run
+          "SEL AMOUNT, SALES_DATE FROM SALES WHERE SALES_DATE > 1140101 AND \
+           (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET FROM SALES_HISTORY) \
+           QUALIFY RANK(AMOUNT DESC) <= 10"))
+
+let test_example1_semantics () =
+  (* the paper's Example 1: SEL, named expressions (SALES_BASE reused in the
+     same block), SUM OVER (PARTITION BY), QUALIFY, ORDER BY before WHERE,
+     and the CHARS built-in — all in one statement *)
+  let p = Pipeline.create () in
+  let run sql = Pipeline.run_sql p sql in
+  ignore
+    (run
+       "CREATE TABLE PRODUCT (PRODUCT_NAME VARCHAR(30), SALES DECIMAL(10,2), \
+        STORE INTEGER)");
+  List.iter
+    (fun (n, s, st) ->
+      ignore (run (Printf.sprintf "INS PRODUCT ('%s', %s, %d)" n s st)))
+    [
+      ("ab", "5.00", 1);       (* name too short: filtered by WHERE *)
+      ("widget", "4.00", 1);   (* store 1 sums to 9 < 10: filtered by QUALIFY *)
+      ("gadget", "8.00", 2);
+      ("sprocket", "7.00", 2); (* store 2 sums to 15 > 10: kept *)
+    ];
+  let o =
+    run
+      {|SEL PRODUCT_NAME, SALES AS SALES_BASE, SALES_BASE + 100 AS SALES_OFFSET
+        FROM PRODUCT
+        QUALIFY 10 < SUM(SALES) OVER (PARTITION BY STORE)
+        ORDER BY STORE, PRODUCT_NAME
+        WHERE CHARS(PRODUCT_NAME) > 4|}
+  in
+  check (Alcotest.list sb) "Example 1 rows"
+    [ "gadget,8.00,108.00"; "sprocket,7.00,107.00" ]
+    (strings o);
+  (* all three feature classes observed on one statement *)
+  let fs = o.Pipeline.out_observation.FT.query_features in
+  check bb "SEL tracked" true (List.mem "sel_abbreviation" fs);
+  check bb "qualify tracked" true (List.mem "qualify" fs);
+  check bb "chained projection tracked" true (List.mem "chained_projection" fs);
+  check bb "clause order tracked" true (List.mem "permissive_clause_order" fs);
+  check bb "CHARS tracked" true (List.mem "td_builtin_function_names" fs)
+
+let test_macro_emulation () =
+  let _, run = fresh () in
+  ignore
+    (run
+       "CREATE MACRO RAISE_DEPT (M INTEGER, PCT DECIMAL(6,2)) AS (UPD EMP SET \
+        SAL = SAL * :PCT WHERE MGRNO = :M; SEL NAME, SAL FROM EMP WHERE MGRNO \
+        = :M ORDER BY NAME;)");
+  let o = run "EXEC RAISE_DEPT(10, 2.00)" in
+  check (Alcotest.list sb) "macro ran both statements, returned the last"
+    [ "E8,600.00"; "E9,500.00" ]
+    (strings o);
+  check bb "tracked as emulation" true
+    (List.mem "macros" o.Pipeline.out_observation.FT.query_features);
+  (* named arguments *)
+  ignore (run "EXEC RAISE_DEPT(PCT = 0.50, M = 10)");
+  check (Alcotest.list sb) "named args" [ "E8,300.00"; "E9,250.00" ]
+    (strings (run "SEL NAME, SAL FROM EMP WHERE MGRNO = 10 ORDER BY NAME"));
+  (* missing macro *)
+  check bb "unknown macro fails" true
+    (match Sql_error.protect (fun () -> run "EXEC NO_SUCH_MACRO(1)") with
+    | Error _ -> true
+    | Ok _ -> false);
+  ignore (run "DROP MACRO RAISE_DEPT");
+  check bb "dropped" true
+    (match Sql_error.protect (fun () -> run "EXEC RAISE_DEPT(1, 1.0)") with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let recursive_query =
+  "WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS (SEL EMPNO, MGRNO FROM EMP WHERE \
+   MGRNO = 10 UNION ALL SEL EMP.EMPNO, EMP.MGRNO FROM EMP, REPORTS WHERE \
+   REPORTS.EMPNO = EMP.MGRNO) SEL EMPNO FROM REPORTS ORDER BY EMPNO"
+
+let test_recursive_native_vs_emulated () =
+  (* identical answers whether the backend supports recursion or not — the
+     property the paper's §6 claims ("exactly the same behavior") *)
+  let _, run_native = fresh ~cap:Capability.ansi_engine () in
+  let _, run_emulated = fresh ~cap:Capability.ansi_engine_norec () in
+  let native = strings (run_native recursive_query) in
+  let o = run_emulated recursive_query in
+  check (Alcotest.list sb) "emulated = native" native (strings o);
+  check (Alcotest.list sb) "paper Figure 7 answer" [ "1"; "7"; "8"; "9" ] native;
+  check bb "trace recorded" true (o.Pipeline.out_emulation_trace <> []);
+  check bb "work tables cleaned up" true
+    (not
+       (List.exists
+          (fun (t : Hyperq_catalog.Catalog.table) ->
+            String.length t.Hyperq_catalog.Catalog.tbl_name >= 3
+            && String.sub t.Hyperq_catalog.Catalog.tbl_name 0 3 = "HQ_")
+          (Hyperq_catalog.Catalog.tables
+             (let p, _ = fresh ~cap:Capability.ansi_engine_norec () in
+              ignore (Pipeline.run_sql p recursive_query);
+              p.Pipeline.backend.Hyperq_engine.Backend.catalog))))
+
+let test_merge_emulation () =
+  let _, run = fresh () in
+  (* matched -> update, not matched -> insert *)
+  ignore
+    (run
+       "MERGE INTO EMP AS T USING (SEL 1 AS K, 'E1X' AS NM FROM EMP WHERE \
+        EMPNO = 1) S ON (T.EMPNO = S.K) WHEN MATCHED THEN UPDATE SET NAME = \
+        S.NM WHEN NOT MATCHED THEN INSERT (EMPNO, NAME) VALUES (S.K, S.NM)");
+  check (Alcotest.list sb) "matched row updated" [ "E1X" ]
+    (strings (run "SEL NAME FROM EMP WHERE EMPNO = 1"));
+  ignore
+    (run
+       "MERGE INTO EMP AS T USING (SEL 99 AS K, 'E99' AS NM FROM EMP WHERE \
+        EMPNO = 1) S ON (T.EMPNO = S.K) WHEN MATCHED THEN UPDATE SET NAME = \
+        S.NM WHEN NOT MATCHED THEN INSERT (EMPNO, NAME) VALUES (S.K, S.NM)");
+  check (Alcotest.list sb) "unmatched row inserted" [ "E99" ]
+    (strings (run "SEL NAME FROM EMP WHERE EMPNO = 99"))
+
+let test_dml_on_views () =
+  let _, run = fresh () in
+  ignore (run "CREATE VIEW SENIOR (ID, NM) AS SEL EMPNO, NAME FROM EMP WHERE SAL > 250");
+  check ib "view rows" 3 (run "SEL * FROM SENIOR").Pipeline.out_count;
+  (* update through the view: only rows in the view's scope *)
+  ignore (run "UPD SENIOR SET NM = 'BIG' WHERE ID = 11");
+  check (Alcotest.list sb) "base updated" [ "BIG" ]
+    (strings (run "SEL NAME FROM EMP WHERE EMPNO = 11"));
+  (* the view predicate guards the DML: E1 (SAL 100.50) is outside *)
+  ignore (run "UPD SENIOR SET NM = 'NOPE' WHERE ID = 1");
+  check (Alcotest.list sb) "out-of-view row untouched" [ "E1" ]
+    (strings (run "SEL NAME FROM EMP WHERE EMPNO = 1"));
+  ignore (run "DEL FROM SENIOR WHERE ID = 8");
+  check ib "deleted through view" 0 (run "SEL * FROM EMP WHERE EMPNO = 8").Pipeline.out_count;
+  (* insert through the view maps view columns onto base columns *)
+  ignore (run "INSERT INTO SENIOR (ID, NM) VALUES (50, 'NEWB')");
+  check (Alcotest.list sb) "inserted through view" [ "NEWB" ]
+    (strings (run "SEL NAME FROM EMP WHERE EMPNO = 50"));
+  (* non-updatable view *)
+  ignore (run "CREATE VIEW AGG_V AS SEL MGRNO, COUNT(*) AS C FROM EMP GROUP BY MGRNO");
+  check bb "aggregating view rejects DML" true
+    (match Sql_error.protect (fun () -> run "UPD AGG_V SET C = 0") with
+    | Error e -> e.Sql_error.kind = Sql_error.Unsupported
+    | Ok _ -> false)
+
+let test_set_table_emulation () =
+  let p = Pipeline.create () in
+  let run sql = Pipeline.run_sql p sql in
+  ignore (run "CREATE SET TABLE UNIQ (A INTEGER, B VARCHAR(5))");
+  check ib "first insert" 1 (run "INS UNIQ (1, 'x')").Pipeline.out_count;
+  check ib "duplicate silently dropped" 0 (run "INS UNIQ (1, 'x')").Pipeline.out_count;
+  check ib "different row accepted" 1 (run "INS UNIQ (1, 'y')").Pipeline.out_count;
+  (* multi-row insert with internal duplicates *)
+  ignore (run "CREATE TABLE STAGE (A INTEGER, B VARCHAR(5))");
+  ignore (run "INS STAGE (2, 'z')");
+  ignore (run "INS STAGE (2, 'z')");
+  check ib "insert-select dedups" 1
+    (run "INSERT INTO UNIQ (A, B) SEL A, B FROM STAGE").Pipeline.out_count;
+  check (Alcotest.list sb) "total" [ "3" ] (strings (run "SEL COUNT(*) FROM UNIQ"))
+
+let test_help_show_session () =
+  let p, run = fresh () in
+  let o = run "HELP SESSION" in
+  check bb "session attributes" true (o.Pipeline.out_count > 3);
+  let o = run "HELP TABLE EMP" in
+  check ib "one row per column" 4 (o.Pipeline.out_count);
+  let o = run "SHOW TABLE EMP" in
+  check bb "ddl text" true
+    (match strings o with [ s ] -> String.length s > 20 | _ -> false);
+  (* session settings persist only within one session *)
+  let session = Session.create () in
+  ignore (Pipeline.run_sql p ~session "SET SESSION DATEFORM ANSIDATE");
+  let o = Pipeline.run_sql p ~session "HELP SESSION" in
+  check bb "setting visible in the same session" true
+    (List.exists (fun s -> s = "DATEFORM,ANSIDATE") (strings o));
+  let o2 = run "HELP SESSION" in
+  check bb "other sessions unaffected" false
+    (List.exists (fun s -> s = "DATEFORM,ANSIDATE") (strings o2))
+
+let test_collect_stats_elided () =
+  let _, run = fresh () in
+  let o = run "COLLECT STATISTICS ON EMP" in
+  check bb "no SQL executed" true
+    (List.for_all
+       (fun s -> String.length s >= 2 && String.sub s 0 2 = "--")
+       o.Pipeline.out_sql)
+
+let test_volatile_session_cleanup () =
+  let p = Pipeline.create () in
+  let session = Session.create () in
+  ignore
+    (Pipeline.run_sql p ~session
+       "CREATE VOLATILE TABLE SCRATCH (A INTEGER) ON COMMIT PRESERVE ROWS");
+  ignore (Pipeline.run_sql p ~session "INS SCRATCH (1)");
+  check ib "volatile table usable" 1
+    (Pipeline.run_sql p ~session "SEL * FROM SCRATCH").Pipeline.out_count;
+  Pipeline.end_session p session;
+  check bb "dropped at logoff" true
+    (match
+       Sql_error.protect (fun () -> Pipeline.run_sql p "SEL * FROM SCRATCH")
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_transactions_through_pipeline () =
+  let _, run = fresh () in
+  ignore (run "BT");
+  ignore (run "DEL EMP ALL");
+  check ib "deleted in tx" 0 (run "SEL * FROM EMP").Pipeline.out_count;
+  ignore (run "ROLLBACK");
+  check ib "rolled back" 6 (run "SEL * FROM EMP").Pipeline.out_count
+
+let test_feature_observation () =
+  let _, run = fresh () in
+  let features sql = (run sql).Pipeline.out_observation.FT.query_features in
+  check bb "SEL tracked" true (List.mem "sel_abbreviation" (features "SEL NAME FROM EMP"));
+  check bb "qualify tracked" true
+    (List.mem "qualify" (features "SELECT NAME FROM EMP QUALIFY RANK(SAL DESC) <= 1"));
+  check bb "classes derived" true
+    (FT.classes_of_observation
+       ((run "SEL NAME FROM EMP QUALIFY RANK(SAL DESC) <= 1").Pipeline.out_observation)
+    = [ FT.Translation; FT.Transformation ])
+
+let test_wire_client_path () =
+  let p, _ = fresh () in
+  let gw = Gateway.create ~users:[ ("DBC", "DBC") ] p in
+  (match Client.logon gw ~username:"DBC" ~password:"WRONG" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad password accepted");
+  match Client.logon gw ~username:"DBC" ~password:"DBC" with
+  | Error e -> Alcotest.fail e
+  | Ok client ->
+      (match Client.run client "SEL NAME FROM EMP WHERE EMPNO = 11" with
+      | Ok r ->
+          check ib "one row over the wire" 1 r.Client.activity_count;
+          check sb "value decoded from WP-A record" "E11"
+            (match r.Client.rows with row :: _ -> Value.to_string row.(0) | [] -> "?")
+      | Error e -> Alcotest.fail e);
+      (match Client.run client "SEL BROKEN SYNTAX !!!" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "error must round-trip as a Failure parcel");
+      (* the session survives an error *)
+      (match Client.run client "SEL COUNT(*) FROM EMP" with
+      | Ok r -> check ib "session still usable" 1 r.Client.activity_count
+      | Error e -> Alcotest.fail e);
+      Client.logoff client;
+      check ib "no sessions left" 0 (Gateway.active_sessions gw)
+
+let test_concurrent_sessions () =
+  (* several threads share one pipeline: translation runs in parallel while
+     the backend mutex serializes execution; results must be correct and
+     complete under contention *)
+  let p, _ = fresh () in
+  let errors = ref 0 and counted = ref 0 in
+  let lock = Mutex.create () in
+  let worker i =
+    let session = Session.create ~username:(Printf.sprintf "W%d" i) () in
+    for _ = 1 to 20 do
+      match
+        Sql_error.protect (fun () ->
+            Pipeline.run_sql p ~session "SEL COUNT(*) FROM EMP WHERE SAL > 0")
+      with
+      | Ok o when strings o = [ "6" ] ->
+          Mutex.lock lock;
+          incr counted;
+          Mutex.unlock lock
+      | _ ->
+          Mutex.lock lock;
+          incr errors;
+          Mutex.unlock lock
+    done
+  in
+  let threads = List.init 6 (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  check ib "no errors under concurrency" 0 !errors;
+  check ib "all queries answered" 120 !counted
+
+let test_error_taxonomy () =
+  let _, run = fresh () in
+  let kind sql =
+    match Sql_error.protect (fun () -> run sql) with
+    | Error e -> Some e.Sql_error.kind
+    | Ok _ -> None
+  in
+  check bb "parse error" true (kind "THIS IS NOT SQL" = Some Sql_error.Parse_error);
+  check bb "bind error" true (kind "SEL NOPE FROM EMP" = Some Sql_error.Bind_error);
+  check bb "execution error" true
+    (kind "SEL SAL / 0 FROM EMP" = Some Sql_error.Execution_error)
+
+let test_multi_statement_script () =
+  let p = Pipeline.create () in
+  let outs =
+    Pipeline.run_script p
+      "CREATE TABLE S1 (A INTEGER); INS S1 (1); INS S1 (2); SEL COUNT(*) FROM S1;"
+  in
+  check ib "four statements" 4 (List.length outs);
+  check (Alcotest.list sb) "final count" [ "2" ] (strings (List.nth outs 3))
+
+let suite =
+  [
+    ("end-to-end select", `Quick, test_end_to_end_select);
+    ("QUALIFY end-to-end", `Quick, test_qualify_end_to_end);
+    ("Example 1 semantics (paper §2.1)", `Quick, test_example1_semantics);
+    ("Example 2 semantics", `Quick, test_example2_semantics);
+    ("macro emulation", `Quick, test_macro_emulation);
+    ("recursion: native = emulated", `Quick, test_recursive_native_vs_emulated);
+    ("MERGE emulation", `Quick, test_merge_emulation);
+    ("DML on views", `Quick, test_dml_on_views);
+    ("SET table emulation", `Quick, test_set_table_emulation);
+    ("HELP / SHOW / SET SESSION", `Quick, test_help_show_session);
+    ("COLLECT STATISTICS elided", `Quick, test_collect_stats_elided);
+    ("volatile table session cleanup", `Quick, test_volatile_session_cleanup);
+    ("transactions", `Quick, test_transactions_through_pipeline);
+    ("feature observation", `Quick, test_feature_observation);
+    ("wire client path", `Quick, test_wire_client_path);
+    ("concurrent sessions", `Quick, test_concurrent_sessions);
+    ("error taxonomy", `Quick, test_error_taxonomy);
+    ("multi-statement script", `Quick, test_multi_statement_script);
+  ]

@@ -1,0 +1,334 @@
+(* TDF binary format, result-store spilling, WP-A wire codec and the
+   protocol handler state machine. Codec round-trips are the "bit-identical"
+   property the paper demands of protocol emulation (§4.1). *)
+
+open Hyperq_sqlvalue
+module Tdf = Hyperq_tdf.Tdf
+module Result_store = Hyperq_tdf.Result_store
+module Record = Hyperq_wire.Record
+module Message = Hyperq_wire.Message
+module Auth = Hyperq_wire.Auth
+module Protocol_handler = Hyperq_wire.Protocol_handler
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+let ib = Alcotest.int
+let sb = Alcotest.string
+
+let d y m dd = Sql_date.make ~year:y ~month:m ~day:dd
+
+let sample_columns =
+  [
+    { Tdf.cd_name = "I"; cd_type = Dtype.Int };
+    { Tdf.cd_name = "S"; cd_type = Dtype.varchar () };
+    { Tdf.cd_name = "D"; cd_type = Dtype.Decimal { precision = 12; scale = 2 } };
+    { Tdf.cd_name = "DT"; cd_type = Dtype.Date };
+    { Tdf.cd_name = "F"; cd_type = Dtype.Float };
+    { Tdf.cd_name = "B"; cd_type = Dtype.Bool };
+    { Tdf.cd_name = "IV"; cd_type = Dtype.Interval_ds };
+    { Tdf.cd_name = "PD"; cd_type = Dtype.Period Dtype.Pdate };
+  ]
+
+let sample_rows =
+  [
+    [|
+      Value.Int 42L; Value.Varchar "hello"; Value.Decimal (Decimal.of_string "12.34");
+      Value.Date (d 2014 1 1); Value.Float 2.5; Value.Bool true;
+      Value.Interval (Interval.of_days 3);
+      Value.Period_date (d 2014 1 1, d 2014 6 30);
+    |];
+    [|
+      Value.Null; Value.Varchar ""; Value.Null; Value.Null; Value.Null;
+      Value.Bool false; Value.Null; Value.Null;
+    |];
+    [|
+      Value.Int (-7L); Value.Varchar "it's"; Value.Decimal (Decimal.of_string "-0.01");
+      Value.Date (d 1999 12 31); Value.Float (-0.0); Value.Null;
+      (* negative components exercise the sign-extension path *)
+      Value.Interval (Interval.sub Interval.zero (Interval.of_days 45));
+      Value.Period_date (d 1999 1 1, d 1999 12 31);
+    |];
+  ]
+
+let rows_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Value.t array) (y : Value.t array) ->
+         Array.length x = Array.length y
+         && Array.for_all2 (fun u v -> Value.compare_total u v = 0) x y)
+       a b
+
+(* ------------------------------------------------------------------ *)
+(* TDF                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_tdf_roundtrip () =
+  let batch = { Tdf.columns = sample_columns; rows = sample_rows } in
+  let decoded = Tdf.decode (Tdf.encode batch) in
+  check ib "column count" 8 (List.length decoded.Tdf.columns);
+  check bb "rows identical" true (rows_equal sample_rows decoded.Tdf.rows);
+  check
+    (Alcotest.list sb)
+    "column names preserved"
+    (List.map (fun c -> c.Tdf.cd_name) sample_columns)
+    (List.map (fun c -> c.Tdf.cd_name) decoded.Tdf.columns)
+
+let test_tdf_bad_input () =
+  check bb "bad magic" true
+    (match Sql_error.protect (fun () -> Tdf.decode "NOPE....") with
+    | Error e -> e.Sql_error.kind = Sql_error.Conversion_error
+    | Ok _ -> false);
+  check bb "truncated" true
+    (let good = Tdf.encode { Tdf.columns = sample_columns; rows = sample_rows } in
+     match
+       Sql_error.protect (fun () ->
+           Tdf.decode (String.sub good 0 (String.length good - 3)))
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let prop_tdf_int_rows_roundtrip =
+  QCheck.Test.make ~name:"TDF round-trips arbitrary int/null rows" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) (option small_signed_int))
+    (fun cells ->
+      let columns = [ { Tdf.cd_name = "X"; cd_type = Dtype.Int } ] in
+      let rows =
+        List.map
+          (fun c ->
+            [| (match c with Some n -> Value.Int (Int64.of_int n) | None -> Value.Null) |])
+          cells
+      in
+      let decoded = Tdf.decode (Tdf.encode { Tdf.columns; rows }) in
+      rows_equal rows decoded.Tdf.rows)
+
+let test_result_store_spill () =
+  let columns = [ { Tdf.cd_name = "X"; cd_type = Dtype.Int } ] in
+  (* a tiny memory budget forces the spill path *)
+  let store = Result_store.create ~memory_budget:256 columns in
+  let batch i = List.init 50 (fun j -> [| Value.Int (Int64.of_int ((i * 50) + j)) |]) in
+  for i = 0 to 9 do
+    Result_store.add_rows store (batch i)
+  done;
+  check ib "row count" 500 (Result_store.row_count store);
+  check bb "spilled to disk" true (Result_store.spilled store);
+  let rows = Result_store.all_rows store in
+  check ib "all rows back" 500 (List.length rows);
+  (* order preserved across memory + spill segments *)
+  check bb "order preserved" true
+    (List.mapi (fun i _ -> i) rows
+    = List.map (fun (r : Value.t array) -> Int64.to_int (Value.to_int64_exn r.(0))) rows)
+
+(* ------------------------------------------------------------------ *)
+(* WP-A records                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_record_roundtrip () =
+  let cols =
+    List.map
+      (fun (c : Tdf.column_desc) -> { Record.rc_name = c.Tdf.cd_name; rc_type = c.Tdf.cd_type })
+      sample_columns
+  in
+  List.iter
+    (fun row ->
+      let encoded = Record.encode_row cols row in
+      let decoded = Record.decode_row cols encoded in
+      check bb "row round-trips" true (rows_equal [ row ] [ decoded ]))
+    sample_rows
+
+let test_record_decimal_rescale () =
+  (* the record format stores decimals at the column's declared scale *)
+  let cols = [ { Record.rc_name = "D"; rc_type = Dtype.Decimal { precision = 10; scale = 2 } } ] in
+  let row = [| Value.Decimal (Decimal.of_string "5") |] in
+  let decoded = Record.decode_row cols (Record.encode_row cols row) in
+  check sb "rescaled to 2" "5.00" (Value.to_string decoded.(0))
+
+let test_record_encoding_is_bit_stable () =
+  (* "bit-identical": same row encodes to the same bytes, every time *)
+  let cols = [ { Record.rc_name = "I"; rc_type = Dtype.Int } ] in
+  let row = [| Value.Int 123456789L |] in
+  check sb "deterministic bytes" (Record.encode_row cols row) (Record.encode_row cols row)
+
+(* ------------------------------------------------------------------ *)
+(* Wire frames                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all_messages =
+  [
+    Message.Logon_request { username = "DBC" };
+    Message.Logon_challenge { salt = "abc123" };
+    Message.Logon_auth { username = "DBC"; proof = "deadbeef" };
+    Message.Logon_response { success = true; session_id = 7; message = "ok" };
+    Message.Run_request { sql = "SEL * FROM T" };
+    Message.Response_header
+      {
+        columns =
+          [
+            { Message.col_name = "A"; col_type = Dtype.Int };
+            { Message.col_name = "B"; col_type = Dtype.Decimal { precision = 10; scale = 2 } };
+          ];
+      };
+    Message.Records { payload = [ "\x00\x01\x02"; "" ] };
+    Message.Success { activity_count = 42; activity = "SELECT" };
+    Message.Failure { code = 3706; message = "syntax error" };
+    Message.Logoff;
+  ]
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun m ->
+      let bytes = Message.encode_frame m in
+      match Message.decode_frame bytes 0 with
+      | Some (m', n) ->
+          check bb (Message.to_string m) true (m = m');
+          check ib "consumed everything" (String.length bytes) n
+      | None -> Alcotest.fail "frame did not decode")
+    all_messages
+
+let test_frame_stream_reassembly () =
+  (* several frames concatenated, delivered byte by byte *)
+  let stream = String.concat "" (List.map Message.encode_frame all_messages) in
+  let decoded = ref [] in
+  let buffer = Buffer.create 64 in
+  String.iter
+    (fun c ->
+      Buffer.add_char buffer c;
+      let data = Buffer.contents buffer in
+      let rec drain pos =
+        match Message.decode_frame data pos with
+        | Some (m, next) ->
+            decoded := m :: !decoded;
+            drain next
+        | None -> pos
+      in
+      let consumed = drain 0 in
+      if consumed > 0 then begin
+        let rest = String.sub data consumed (String.length data - consumed) in
+        Buffer.clear buffer;
+        Buffer.add_string buffer rest
+      end)
+    stream;
+  check ib "all frames recovered" (List.length all_messages) (List.length !decoded);
+  check bb "in order and equal" true (List.rev !decoded = all_messages)
+
+let test_parallel_result_conversion () =
+  (* large results cross the parallel threshold: conversion fans out across
+     domains (paper §4.6 "this conversion operation happens in parallel")
+     and must preserve order and values *)
+  let columns =
+    [
+      { Tdf.cd_name = "I"; cd_type = Dtype.Int };
+      { Tdf.cd_name = "S"; cd_type = Dtype.varchar () };
+    ]
+  in
+  let n = 10_000 in
+  let rows =
+    List.init n (fun i ->
+        [|
+          (if i mod 97 = 0 then Value.Null else Value.Int (Int64.of_int i));
+          Value.Varchar (Printf.sprintf "row-%d" i);
+        |])
+  in
+  let store = Hyperq_tdf.Result_store.create columns in
+  Hyperq_tdf.Result_store.add_rows store rows;
+  let records = Hyperq_core.Result_converter.convert columns store in
+  check ib "all rows converted" n (List.length records);
+  let decoded = Hyperq_core.Result_converter.decode_records columns records in
+  check bb "order and values preserved" true (rows_equal rows decoded)
+
+let test_auth () =
+  let salt = Auth.fresh_salt () in
+  check bb "valid proof accepted" true
+    (Auth.verify ~salt ~password:"secret" ~given:(Auth.proof ~salt ~password:"secret"));
+  check bb "wrong password rejected" false
+    (Auth.verify ~salt ~password:"secret" ~given:(Auth.proof ~salt ~password:"wrong"));
+  check bb "salts are unique" true (Auth.fresh_salt () <> Auth.fresh_salt ())
+
+let test_protocol_handler_state_machine () =
+  let executor ~sql =
+    ignore sql;
+    Ok
+      {
+        Protocol_handler.qr_columns = [ { Message.col_name = "X"; col_type = Dtype.Int } ];
+        qr_rows = [ [| Value.Int 1L |] ];
+        qr_activity = "SELECT";
+        qr_count = 1;
+      }
+  in
+  let handler = Protocol_handler.create ~users:[ ("DBC", "PW") ] ~executor () in
+  (* queries before authentication are protocol violations *)
+  (match
+     Protocol_handler.handle_message handler (Message.Run_request { sql = "SEL 1" })
+   with
+  | [ Message.Failure { code = 1001; _ } ] -> ()
+  | _ -> Alcotest.fail "unauthenticated query must fail");
+  (* full handshake *)
+  let salt =
+    match
+      Protocol_handler.handle_message handler (Message.Logon_request { username = "DBC" })
+    with
+    | [ Message.Logon_challenge { salt } ] -> salt
+    | _ -> Alcotest.fail "expected challenge"
+  in
+  (match
+     Protocol_handler.handle_message handler
+       (Message.Logon_auth { username = "DBC"; proof = Auth.proof ~salt ~password:"PW" })
+   with
+  | [ Message.Logon_response { success = true; _ } ] -> ()
+  | _ -> Alcotest.fail "logon should succeed");
+  check bb "authenticated" true (Protocol_handler.is_authenticated handler);
+  (match
+     Protocol_handler.handle_message handler (Message.Run_request { sql = "SEL 1" })
+   with
+  | [ Message.Response_header _; Message.Records { payload = [ _ ] }; Message.Success _ ]
+    ->
+      ()
+  | msgs ->
+      Alcotest.failf "unexpected response: %s"
+        (String.concat "; " (List.map Message.to_string msgs)));
+  ignore (Protocol_handler.handle_message handler Message.Logoff);
+  check bb "closed" true (Protocol_handler.is_closed handler)
+
+let test_protocol_handler_bad_password () =
+  let executor ~sql = ignore sql; Error { Sql_error.kind = Sql_error.Internal_error; message = "unused" } in
+  let handler = Protocol_handler.create ~users:[ ("DBC", "PW") ] ~executor () in
+  let salt =
+    match
+      Protocol_handler.handle_message handler (Message.Logon_request { username = "DBC" })
+    with
+    | [ Message.Logon_challenge { salt } ] -> salt
+    | _ -> Alcotest.fail "expected challenge"
+  in
+  match
+    Protocol_handler.handle_message handler
+      (Message.Logon_auth { username = "DBC"; proof = Auth.proof ~salt ~password:"NOPE" })
+  with
+  | [ Message.Logon_response { success = false; _ } ] ->
+      check bb "not authenticated" false (Protocol_handler.is_authenticated handler)
+  | _ -> Alcotest.fail "bad password must be rejected"
+
+let prop_frame_roundtrip_run_request =
+  QCheck.Test.make ~name:"Run_request frames round-trip any SQL text" ~count:100
+    QCheck.printable_string
+    (fun sql ->
+      let m = Message.Run_request { sql } in
+      match Message.decode_frame (Message.encode_frame m) 0 with
+      | Some (m', _) -> m = m'
+      | None -> false)
+
+let suite =
+  [
+    ("TDF round-trip", `Quick, test_tdf_roundtrip);
+    ("TDF bad input", `Quick, test_tdf_bad_input);
+    ("result store spill", `Quick, test_result_store_spill);
+    ("WP-A record round-trip", `Quick, test_record_roundtrip);
+    ("record decimal rescaling", `Quick, test_record_decimal_rescale);
+    ("record encoding bit-stable", `Quick, test_record_encoding_is_bit_stable);
+    ("parallel result conversion", `Quick, test_parallel_result_conversion);
+    ("wire frame round-trip", `Quick, test_frame_roundtrip);
+    ("frame stream reassembly", `Quick, test_frame_stream_reassembly);
+    ("auth challenge/response", `Quick, test_auth);
+    ("protocol handler state machine", `Quick, test_protocol_handler_state_machine);
+    ("protocol handler bad password", `Quick, test_protocol_handler_bad_password);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_tdf_int_rows_roundtrip; prop_frame_roundtrip_run_request ]

@@ -1,0 +1,240 @@
+(* Transformer tests: each rewrite rule in isolation, capability gating, the
+   fixed-point driver, and the schema-preservation property. *)
+
+open Hyperq_sqlvalue
+open Hyperq_sqlparser
+module Xtra = Hyperq_xtra.Xtra
+module Xtra_pp = Hyperq_xtra.Xtra_pp
+module Catalog = Hyperq_catalog.Catalog
+module Binder = Hyperq_binder.Binder
+module Capability = Hyperq_transform.Capability
+module Transformer = Hyperq_transform.Transformer
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+
+let catalog = Catalog.create ()
+
+let () =
+  let col ?(cs = true) name ty =
+    {
+      Catalog.col_name = name;
+      col_type = ty;
+      col_not_null = false;
+      col_default = None;
+      col_case_specific = cs;
+    }
+  in
+  Catalog.add_table catalog
+    {
+      Catalog.tbl_name = "SALES";
+      tbl_columns =
+        [
+          col "AMOUNT" Dtype.default_decimal;
+          col "SALES_DATE" Dtype.Date;
+          col "STORE" Dtype.Int;
+          col ~cs:false "REGION" (Dtype.varchar ~case_sensitive:false ());
+        ];
+      tbl_set_semantics = false;
+      tbl_temporary = false;
+    };
+  Catalog.add_table catalog
+    {
+      Catalog.tbl_name = "SALES_HISTORY";
+      tbl_columns =
+        [ col "GROSS" Dtype.default_decimal; col "NET" Dtype.default_decimal ];
+      tbl_set_semantics = false;
+      tbl_temporary = false;
+    }
+
+let transform ?(cap = Capability.ansi_engine) sql =
+  let ctx = Binder.create_ctx catalog in
+  let bound =
+    Binder.bind_statement ctx (Parser.parse_statement ~dialect:Dialect.Teradata sql)
+  in
+  let counter = ref 1_000_000 in
+  let st, applied = Transformer.transform ~cap ~counter bound in
+  (st, List.map fst applied, bound)
+
+let fired ?cap sql rule =
+  let _, applied, _ = transform ?cap sql in
+  List.mem rule applied
+
+let shape ?cap sql =
+  let st, _, _ = transform ?cap sql in
+  Xtra_pp.statement_to_string st
+
+let contains hay needle =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let test_comp_date_to_int () =
+  let sql = "SEL STORE FROM SALES WHERE SALES_DATE > 1140101" in
+  check bb "rule fires" true (fired sql "comp_date_to_int");
+  let s = shape sql in
+  (* the paper's expansion: DAY + MONTH*100 + (YEAR-1900)*10000 *)
+  check bb "day term" true (contains s "extract(DAY, ident(SALES_DATE))");
+  check bb "month*100 term" true
+    (contains s "arith(*, extract(MONTH, ident(SALES_DATE)), const(100))");
+  check bb "(year-1900)*10000 term" true
+    (contains s
+       "arith(*, arith(-, extract(YEAR, ident(SALES_DATE)), const(1900)), const(10000))");
+  (* normalization is target-independent: fires for every profile *)
+  check bb "fires for all targets" true
+    (List.for_all
+       (fun cap -> fired ~cap sql "comp_date_to_int")
+       Capability.all_targets)
+
+let vector_sql =
+  "SEL STORE FROM SALES WHERE (AMOUNT, AMOUNT * 0.85) > ANY (SEL GROSS, NET \
+   FROM SALES_HISTORY)"
+
+let test_expand_vector_subquery () =
+  check bb "fires when target lacks vector comparison" true
+    (fired vector_sql "expand_vector_subquery");
+  let s = shape vector_sql in
+  check bb "becomes EXISTS" true (contains s "subq(EXISTS, ...)");
+  (* paper Figure 6: (A > G) OR (A = G AND A*0.85 > N) *)
+  check bb "lexicographic tie-break" true
+    (contains s
+       "boolexpr(OR, comp(GT, ident(AMOUNT), ident(GROSS)), boolexpr(AND, \
+        comp(EQ, ident(AMOUNT), ident(GROSS)), comp(GT, arith(*, \
+        ident(AMOUNT), const(0.85)), ident(NET))))");
+  check bb "SELECT 1 projection (remap consts)" true (contains s "project[ONE=const(1)]");
+  (* a vector-capable target keeps the construct *)
+  check bb "not fired for vector-capable target" false
+    (fired ~cap:Capability.cloud_crimson vector_sql "expand_vector_subquery")
+
+let test_vector_all_negates () =
+  let sql =
+    "SEL STORE FROM SALES WHERE (AMOUNT, AMOUNT) > ALL (SEL GROSS, NET FROM \
+     SALES_HISTORY)"
+  in
+  let s = shape sql in
+  check bb "ALL becomes NOT EXISTS with negated comparison" true
+    (contains s "boolexpr(NOT, subq(EXISTS, ...))")
+
+let test_expand_grouping_sets () =
+  let sql = "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY ROLLUP(STORE)" in
+  check bb "fires" true (fired sql "expand_grouping_sets");
+  let s = shape sql in
+  check bb "union all of the grouping sets" true (contains s "union_all");
+  check bb "null padding on the total row" true (contains s "cast(const(NULL)");
+  check bb "kept native on a capable target" false
+    (fired ~cap:Capability.cloud_nimbus sql "expand_grouping_sets")
+
+let test_with_ties () =
+  let sql = "SEL TOP 2 WITH TIES STORE FROM SALES ORDER BY AMOUNT DESC" in
+  check bb "fires" true (fired sql "with_ties_to_window");
+  let s = shape sql in
+  check bb "rank window injected" true (contains s "TIES_RANK=RANK()");
+  check bb "kept native when the target has WITH TIES" false
+    (fired ~cap:Capability.cloud_nimbus sql "with_ties_to_window")
+
+let test_percent_limit () =
+  let sql = "SEL TOP 10 PERCENT STORE FROM SALES ORDER BY AMOUNT DESC" in
+  check bb "fires" true (fired sql "percent_limit");
+  let s = shape sql in
+  check bb "row_number + count over ()" true
+    (contains s "PCT_RN=ROW_NUMBER()" && contains s "PCT_CNT=COUNT(*)")
+
+let test_case_insensitive_compare () =
+  let sql = "SEL STORE FROM SALES WHERE REGION = 'emea'" in
+  check bb "fires for NOT CASESPECIFIC column" true
+    (fired sql "case_insensitive_compare");
+  let s = shape sql in
+  check bb "both sides UPPER-wrapped" true
+    (contains s "comp(EQ, upper(ident(REGION)), upper(const(emea)))");
+  (* CASESPECIFIC columns are left alone *)
+  check bb "case-sensitive column untouched" false
+    (fired "SEL STORE FROM SALES WHERE REGION = REGION AND STORE = 1"
+       "never_fires"
+    |> fun _ ->
+    fired "SEL AMOUNT FROM SALES WHERE AMOUNT = 5" "case_insensitive_compare")
+
+let test_decompose_period_ddl () =
+  let sql = "CREATE TABLE SPANS (ID INTEGER, VALIDITY PERIOD(DATE))" in
+  let st, applied, _ = transform ~cap:Capability.cloud_polaris sql in
+  check bb "fires for a period-less target" true
+    (List.mem "decompose_period_ddl" applied);
+  (match st with
+  | Xtra.Create_table { specs; _ } ->
+      check
+        Alcotest.(list string)
+        "period split into begin/end"
+        [ "ID"; "VALIDITY_BEGIN"; "VALIDITY_END" ]
+        (List.map (fun s -> s.Xtra.spec_name) specs)
+  | _ -> Alcotest.fail "create table expected");
+  (* the engine stores PERIOD natively *)
+  let _, applied, _ = transform ~cap:Capability.ansi_engine sql in
+  check bb "not fired for the engine" false
+    (List.mem "decompose_period_ddl" applied)
+
+let test_fixed_point_terminates_and_is_idempotent () =
+  let sql =
+    "SEL TOP 2 WITH TIES STORE FROM SALES WHERE SALES_DATE > 1140101 AND \
+     (AMOUNT, AMOUNT) > ANY (SEL GROSS, NET FROM SALES_HISTORY) GROUP BY \
+     ROLLUP(STORE), STORE ORDER BY STORE DESC"
+  in
+  let st1, _, _ = transform sql in
+  (* transforming the result again must change nothing *)
+  let counter = ref 5_000_000 in
+  let st2, applied2 =
+    Transformer.transform ~cap:Capability.ansi_engine ~counter st1
+  in
+  check bb "idempotent" true (st1 = st2);
+  check bb "no rules on second pass" true (applied2 = [])
+
+let test_schema_preserved () =
+  (* every rule preserves the output schema's arity and names *)
+  List.iter
+    (fun sql ->
+      let st, _, bound = transform sql in
+      match (st, bound) with
+      | Xtra.Query a, Xtra.Query b ->
+          let names r =
+            List.map (fun (c : Xtra.col) -> c.Xtra.name) (Xtra.schema_of r)
+          in
+          check Alcotest.(list string) ("schema of " ^ sql) (names b) (names a)
+      | _ -> ())
+    [
+      "SEL STORE FROM SALES WHERE SALES_DATE > 1140101";
+      vector_sql;
+      "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY ROLLUP(STORE)";
+      "SEL TOP 2 WITH TIES STORE FROM SALES ORDER BY AMOUNT DESC";
+      "SEL TOP 10 PERCENT STORE, AMOUNT FROM SALES ORDER BY AMOUNT DESC";
+    ]
+
+let test_rule_counts () =
+  let sql =
+    "SEL STORE FROM SALES WHERE SALES_DATE > 1140101 AND SALES_DATE < 1151231"
+  in
+  let ctx = Binder.create_ctx catalog in
+  let bound =
+    Binder.bind_statement ctx (Parser.parse_statement ~dialect:Dialect.Teradata sql)
+  in
+  let counter = ref 1_000_000 in
+  let tctx = Transformer.create_ctx ~cap:Capability.ansi_engine ~counter in
+  ignore (Transformer.run tctx bound);
+  check Alcotest.int "date/int rule fired twice" 2
+    (List.assoc "comp_date_to_int" tctx.Transformer.applied)
+
+let suite =
+  [
+    ("date/int comparison (paper §5.2)", `Quick, test_comp_date_to_int);
+    ("vector subquery -> EXISTS (paper §5.3)", `Quick, test_expand_vector_subquery);
+    ("vector ALL negation", `Quick, test_vector_all_negates);
+    ("grouping sets -> UNION ALL", `Quick, test_expand_grouping_sets);
+    ("TOP WITH TIES -> RANK window", `Quick, test_with_ties);
+    ("TOP PERCENT -> ROW_NUMBER/COUNT", `Quick, test_percent_limit);
+    ("NOT CASESPECIFIC comparison", `Quick, test_case_insensitive_compare);
+    ("PERIOD DDL decomposition", `Quick, test_decompose_period_ddl);
+    ("fixed point terminates, idempotent", `Quick, test_fixed_point_terminates_and_is_idempotent);
+    ("rules preserve output schema", `Quick, test_schema_preserved);
+    ("per-rule fire counts", `Quick, test_rule_counts);
+  ]

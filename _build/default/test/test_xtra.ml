@@ -1,0 +1,202 @@
+(* Unit and property tests for the XTRA IR itself: schema computation,
+   traversal laws (map/rewrite identity and composition), type derivation,
+   and the paper-style pretty printer. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+module Xtra_pp = Hyperq_xtra.Xtra_pp
+
+let check = Alcotest.check
+let bb = Alcotest.bool
+let ib = Alcotest.int
+let sb = Alcotest.string
+
+let col id name ty = { Xtra.id; name; ty }
+
+let sales_schema =
+  [
+    col 1 "AMOUNT" Dtype.default_decimal;
+    col 2 "SALES_DATE" Dtype.Date;
+    col 3 "STORE" Dtype.Int;
+  ]
+
+let get_sales = Xtra.Get { table = "SALES"; table_schema = sales_schema; alias = "SALES" }
+
+let sample_rel =
+  (* project(filter(get)) with a window in between *)
+  let rank_col = col 10 "R" Dtype.Int in
+  Xtra.Project
+    {
+      input =
+        Xtra.Filter
+          {
+            input =
+              Xtra.Window
+                {
+                  input = get_sales;
+                  windows =
+                    [
+                      ( rank_col,
+                        {
+                          Xtra.wfunc = Xtra.W_rank;
+                          wargs = [];
+                          partition = [];
+                          worder =
+                            [
+                              {
+                                Xtra.key = Xtra.Col_ref (List.hd sales_schema);
+                                dir = Xtra.Desc;
+                                nulls = Xtra.Nulls_last;
+                              };
+                            ];
+                          wframe = None;
+                        } );
+                    ];
+                };
+            pred = Xtra.Cmp (Xtra.Lte, Xtra.Col_ref rank_col, Xtra.cint 10);
+          };
+      proj =
+        [
+          (col 20 "AMOUNT" Dtype.default_decimal, Xtra.Col_ref (List.hd sales_schema));
+          (col 21 "STORE" Dtype.Int, Xtra.Col_ref (List.nth sales_schema 2));
+        ];
+    }
+
+let test_schema_of () =
+  check ib "get schema" 3 (List.length (Xtra.schema_of get_sales));
+  check ib "project narrows" 2 (List.length (Xtra.schema_of sample_rel));
+  let names = List.map (fun (c : Xtra.col) -> c.Xtra.name) (Xtra.schema_of sample_rel) in
+  check (Alcotest.list sb) "projected names" [ "AMOUNT"; "STORE" ] names;
+  (* window appends *)
+  match sample_rel with
+  | Xtra.Project { input = Xtra.Filter { input = w; _ }; _ } ->
+      check ib "window appends a column" 4 (List.length (Xtra.schema_of w))
+  | _ -> Alcotest.fail "shape"
+
+let test_rewrite_identity () =
+  let id_rel = Xtra.rewrite ~frel:(fun r -> r) ~fscalar:(fun s -> s) sample_rel in
+  check bb "identity rewrite is structurally equal" true (id_rel = sample_rel)
+
+let test_rewrite_replaces_consts () =
+  let doubled =
+    Xtra.rewrite
+      ~frel:(fun r -> r)
+      ~fscalar:(fun s ->
+        match s with
+        | Xtra.Const (Value.Int n) -> Xtra.Const (Value.Int (Int64.mul 2L n))
+        | s -> s)
+      sample_rel
+  in
+  let found = ref [] in
+  ignore
+    (Xtra.rewrite
+       ~frel:(fun r -> r)
+       ~fscalar:(fun s ->
+         (match s with
+         | Xtra.Const (Value.Int n) -> found := Int64.to_int n :: !found
+         | _ -> ());
+         s)
+       doubled);
+  check (Alcotest.list ib) "const doubled" [ 20 ] !found
+
+let test_fold_rel_visits_subqueries () =
+  let sub = get_sales in
+  let with_sub =
+    Xtra.Filter { input = get_sales; pred = Xtra.Exists sub }
+  in
+  let count = Xtra.fold_rel (fun acc _ -> acc + 1) 0 with_sub in
+  (* filter + its input get + the subquery's get *)
+  check ib "all nodes visited" 3 count
+
+let test_type_derivation () =
+  let d = Xtra.Col_ref (List.nth sales_schema 1) in
+  let n = Xtra.cint 5 in
+  check sb "date + int" "DATE"
+    (Dtype.to_string (Xtra.type_of_scalar (Xtra.Arith (Xtra.Add, d, n))));
+  check sb "date - date" "BIGINT"
+    (Dtype.to_string (Xtra.type_of_scalar (Xtra.Arith (Xtra.Sub, d, d))));
+  check sb "comparison is boolean" "BOOLEAN"
+    (Dtype.to_string (Xtra.type_of_scalar (Xtra.Cmp (Xtra.Gt, n, n))));
+  check sb "case common type" "BIGINT"
+    (Dtype.to_string
+       (Xtra.type_of_scalar
+          (Xtra.Case
+             {
+               branches = [ (Xtra.ctrue, n) ];
+               else_branch = Some (Xtra.cint 7);
+               ty = Dtype.Int;
+             })))
+
+let test_pp_shapes () =
+  let s = Xtra_pp.rel_to_string sample_rel in
+  let has n =
+    let nl = String.length n in
+    let rec go i = i + nl <= String.length s && (String.sub s i nl = n || go (i + 1)) in
+    go 0
+  in
+  check bb "paper-style labels" true
+    (has "project[" && has "select[" && has "window(" && has "get(SALES)");
+  check bb "tree indentation" true (has "  +-" || has "| ")
+
+(* --- qcheck: scalar generator + traversal laws ----------------------- *)
+
+let rec scalar_gen depth rand =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun n -> Xtra.cint n) small_signed_int;
+        map (fun s -> Xtra.cstring s) (string_size ~gen:(char_range 'a' 'z') (return 3));
+        return (Xtra.Col_ref (List.hd sales_schema));
+        return Xtra.cnull;
+      ]
+      rand
+  else
+    let sub () = scalar_gen (depth - 1) rand in
+    match int_range 0 5 rand with
+    | 0 -> Xtra.Arith (Xtra.Add, sub (), sub ())
+    | 1 -> Xtra.Cmp (Xtra.Eq, sub (), sub ())
+    | 2 -> Xtra.Logic_and (sub (), sub ())
+    | 3 -> Xtra.Logic_not (sub ())
+    | 4 -> Xtra.Func { name = "COALESCE"; args = [ sub (); sub () ]; ty = Dtype.Int }
+    | _ ->
+        Xtra.Case
+          {
+            branches = [ (sub (), sub ()) ];
+            else_branch = Some (sub ());
+            ty = Dtype.Int;
+          }
+
+let prop_map_scalar_identity =
+  QCheck.Test.make ~name:"map_scalar id = id" ~count:200
+    (QCheck.make (scalar_gen 4))
+    (fun s -> Xtra.map_scalar (fun x -> x) s = s)
+
+let prop_map_scalar_composes =
+  let f x =
+    match x with
+    | Xtra.Const (Value.Int n) -> Xtra.Const (Value.Int (Int64.add n 1L))
+    | x -> x
+  in
+  let g x =
+    match x with
+    | Xtra.Const (Value.Int n) -> Xtra.Const (Value.Int (Int64.mul n 2L))
+    | x -> x
+  in
+  QCheck.Test.make ~name:"map f . map g = map (f . g) on constants" ~count:200
+    (QCheck.make (scalar_gen 4))
+    (fun s ->
+      Xtra.map_scalar f (Xtra.map_scalar g s)
+      = Xtra.map_scalar (fun x -> f (g x)) s)
+
+let suite =
+  [
+    ("schema_of", `Quick, test_schema_of);
+    ("rewrite identity", `Quick, test_rewrite_identity);
+    ("rewrite replaces constants", `Quick, test_rewrite_replaces_consts);
+    ("fold_rel visits subqueries", `Quick, test_fold_rel_visits_subqueries);
+    ("type derivation", `Quick, test_type_derivation);
+    ("paper-style pretty printer", `Quick, test_pp_shapes);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_map_scalar_identity; prop_map_scalar_composes ]
