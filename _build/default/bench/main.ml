@@ -7,7 +7,8 @@
    Run one experiment:  dune exec bench/main.exe -- fig9a
    Scale factor:        HYPERQ_SF=0.02 dune exec bench/main.exe -- fig9a
 
-   Experiment ids: table1 fig2 fig8a fig8b baseline table2 fig9a fig9b micro *)
+   Experiment ids: table1 fig2 fig8a fig8b baseline table2 fig9a fig9b
+   targets ablation cache micro *)
 
 open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
@@ -353,6 +354,50 @@ let ablation () =
   Printf.printf "  row counts agree: %s = %s\n" (count p1) (count p2)
 
 (* ------------------------------------------------------------------ *)
+(* Plan cache: repeated TPC-H replay, cache on vs off                   *)
+(* ------------------------------------------------------------------ *)
+
+let cache () =
+  hr "Plan cache: repeated TPC-H mix, translation cache on vs off";
+  let iters =
+    match Sys.getenv_opt "HYPERQ_CACHE_ITERS" with
+    | Some s -> int_of_string s
+    | None -> 50
+  in
+  let replay p =
+    let session = Session.create () in
+    let tr = ref 0. in
+    for _ = 1 to iters do
+      List.iter
+        (fun (_, sql) ->
+          let o = Pipeline.run_sql p ~session sql in
+          tr := !tr +. o.Pipeline.out_timings.Pipeline.translate_s)
+        Tpch_queries.all
+    done;
+    !tr
+  in
+  let cold_p = Pipeline.create ~plan_cache_capacity:0 () in
+  let _ = Tpch.setup ~sf:(sf ()) cold_p in
+  let warm_p = Pipeline.create () in
+  let _ = Tpch.setup ~sf:(sf ()) warm_p in
+  let cold = replay cold_p in
+  let warm = replay warm_p in
+  let s = Pipeline.cache_stats warm_p in
+  let module PC = Hyperq_core.Plan_cache in
+  Printf.printf
+    "{\"experiment\": \"cache\", \"iterations\": %d, \"queries\": %d, \
+     \"cold_translate_s\": %.6f, \"warm_translate_s\": %.6f, \"speedup\": \
+     %.2f, \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
+     \"invalidations\": %d, \"saved_translate_s\": %.6f}\n"
+    iters
+    (List.length Tpch_queries.all)
+    cold warm
+    (cold /. warm)
+    s.PC.hits s.PC.misses (PC.hit_rate s) s.PC.invalidations
+    s.PC.saved_translate_s;
+  Printf.printf "cache stats: %s\n" (PC.stats_to_string s)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the translation stages                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -442,6 +487,7 @@ let experiments =
     ("fig9b", fig9b);
     ("targets", targets);
     ("ablation", ablation);
+    ("cache", cache);
     ("micro", micro);
   ]
 

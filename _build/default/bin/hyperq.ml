@@ -64,7 +64,9 @@ let repl pipeline verbose =
   Printf.printf
     "hyperq interactive session #%d — Teradata dialect in, statements end with ;\n"
     session.Session.session_id;
-  print_endline "type \\q to quit, \\timing to toggle timing output";
+  print_endline
+    "type \\q to quit, \\timing to toggle timing output, \\cache for plan-cache \
+     stats";
   let timing = ref verbose in
   let buffer = Buffer.create 256 in
   let rec loop () =
@@ -75,6 +77,10 @@ let repl pipeline verbose =
     | "\\timing" ->
         timing := not !timing;
         Printf.printf "timing %s\n" (if !timing then "on" else "off");
+        loop ()
+    | "\\cache" ->
+        print_endline
+          (Hyperq_core.Plan_cache.stats_to_string (Pipeline.cache_stats pipeline));
         loop ()
     | line ->
         Buffer.add_string buffer line;
@@ -139,20 +145,24 @@ let script_cmd =
     let session = Session.create () in
     (match
        Sql_error.protect (fun () ->
-           Hyperq_sqlparser.Parser.parse_many
+           Hyperq_sqlparser.Parser.parse_many_spanned
              ~dialect:Hyperq_sqlparser.Dialect.Teradata text)
      with
     | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e)
-    | Ok asts ->
+    | Ok spanned ->
         List.iter
-          (fun ast ->
+          (fun (ast, stmt_text) ->
             match
               Sql_error.protect (fun () ->
-                  Pipeline.run_statement_ast pipeline ~session ~sql_text:text ast)
+                  Pipeline.run_statement_ast pipeline ~session
+                    ~sql_text:stmt_text ast)
             with
             | Ok o -> render_outcome ~verbose o
             | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e))
-          asts);
+          spanned);
+    if verbose then
+      Printf.printf "-- plan cache: %s\n"
+        (Hyperq_core.Plan_cache.stats_to_string (Pipeline.cache_stats pipeline));
     Pipeline.end_session pipeline session
   in
   Cmd.v (Cmd.info "script" ~doc:"Run a ;-separated SQL script file")

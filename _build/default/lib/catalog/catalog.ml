@@ -48,6 +48,10 @@ type t = {
   views : (string, view) Hashtbl.t;
   macros : (string, macro) Hashtbl.t;
   procedures : (string, procedure) Hashtbl.t;
+  mutable version : int;
+      (** monotonic DDL counter; bumped on every successful mutation so
+          downstream consumers (the translation plan cache) can detect that
+          previously-derived plans are stale *)
 }
 
 let create () =
@@ -56,7 +60,11 @@ let create () =
     views = Hashtbl.create 8;
     macros = Hashtbl.create 8;
     procedures = Hashtbl.create 8;
+    version = 0;
   }
+
+let version t = t.version
+let bump t = t.version <- t.version + 1
 
 (* Object names are case-insensitive in both dialects we model. *)
 let key name = String.uppercase_ascii name
@@ -71,13 +79,18 @@ let view_exists t name = find_view t name <> None
 let add_table t (tbl : table) =
   if Hashtbl.mem t.tables (key tbl.tbl_name) then
     Sql_error.execution_error "table %s already exists" tbl.tbl_name;
-  Hashtbl.replace t.tables (key tbl.tbl_name) { tbl with tbl_name = key tbl.tbl_name }
+  Hashtbl.replace t.tables (key tbl.tbl_name) { tbl with tbl_name = key tbl.tbl_name };
+  bump t
 
 let replace_table t (tbl : table) =
-  Hashtbl.replace t.tables (key tbl.tbl_name) { tbl with tbl_name = key tbl.tbl_name }
+  Hashtbl.replace t.tables (key tbl.tbl_name) { tbl with tbl_name = key tbl.tbl_name };
+  bump t
 
 let drop_table t ~if_exists name =
-  if Hashtbl.mem t.tables (key name) then Hashtbl.remove t.tables (key name)
+  if Hashtbl.mem t.tables (key name) then begin
+    Hashtbl.remove t.tables (key name);
+    bump t
+  end
   else if not if_exists then
     Sql_error.execution_error "table %s does not exist" name
 
@@ -88,15 +101,20 @@ let rename_table t ~from_name ~to_name =
       if Hashtbl.mem t.tables (key to_name) then
         Sql_error.execution_error "table %s already exists" to_name;
       Hashtbl.remove t.tables (key from_name);
-      Hashtbl.replace t.tables (key to_name) { tbl with tbl_name = key to_name }
+      Hashtbl.replace t.tables (key to_name) { tbl with tbl_name = key to_name };
+      bump t
 
 let add_view t ~replace (v : view) =
   if (not replace) && Hashtbl.mem t.views (key v.view_name) then
     Sql_error.execution_error "view %s already exists" v.view_name;
-  Hashtbl.replace t.views (key v.view_name) { v with view_name = key v.view_name }
+  Hashtbl.replace t.views (key v.view_name) { v with view_name = key v.view_name };
+  bump t
 
 let drop_view t ~if_exists name =
-  if Hashtbl.mem t.views (key name) then Hashtbl.remove t.views (key name)
+  if Hashtbl.mem t.views (key name) then begin
+    Hashtbl.remove t.views (key name);
+    bump t
+  end
   else if not if_exists then
     Sql_error.execution_error "view %s does not exist" name
 
@@ -104,10 +122,14 @@ let add_macro t ~replace (m : macro) =
   if (not replace) && Hashtbl.mem t.macros (key m.macro_name) then
     Sql_error.execution_error "macro %s already exists" m.macro_name;
   Hashtbl.replace t.macros (key m.macro_name)
-    { m with macro_name = key m.macro_name }
+    { m with macro_name = key m.macro_name };
+  bump t
 
 let drop_macro t ~if_exists name =
-  if Hashtbl.mem t.macros (key name) then Hashtbl.remove t.macros (key name)
+  if Hashtbl.mem t.macros (key name) then begin
+    Hashtbl.remove t.macros (key name);
+    bump t
+  end
   else if not if_exists then
     Sql_error.execution_error "macro %s does not exist" name
 
@@ -117,11 +139,14 @@ let add_procedure t ~replace (pr : procedure) =
   if (not replace) && Hashtbl.mem t.procedures (key pr.proc_name) then
     Sql_error.execution_error "procedure %s already exists" pr.proc_name;
   Hashtbl.replace t.procedures (key pr.proc_name)
-    { pr with proc_name = key pr.proc_name }
+    { pr with proc_name = key pr.proc_name };
+  bump t
 
 let drop_procedure t ~if_exists name =
-  if Hashtbl.mem t.procedures (key name) then
-    Hashtbl.remove t.procedures (key name)
+  if Hashtbl.mem t.procedures (key name) then begin
+    Hashtbl.remove t.procedures (key name);
+    bump t
+  end
   else if not if_exists then
     Sql_error.execution_error "procedure %s does not exist" name
 
@@ -154,4 +179,5 @@ let copy t =
     views = Hashtbl.copy t.views;
     macros = Hashtbl.copy t.macros;
     procedures = Hashtbl.copy t.procedures;
+    version = t.version;
   }

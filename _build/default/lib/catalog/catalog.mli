@@ -48,6 +48,12 @@ type t
 
 val create : unit -> t
 
+(** Monotonic DDL version: starts at 0 and increases on every successful
+    mutation (add/drop/rename/replace of any object). Consumers that derive
+    state from catalog contents — notably the translation plan cache — key
+    on it to detect staleness. *)
+val version : t -> int
+
 val find_table : t -> string -> table option
 val find_view : t -> string -> view option
 val find_macro : t -> string -> macro option

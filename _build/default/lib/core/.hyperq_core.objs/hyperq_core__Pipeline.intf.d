@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Dtype Feature_tracker Hyperq_catalog Hyperq_engine Hyperq_sqlparser Hyperq_sqlvalue Hyperq_tdf Hyperq_transform Mutex Odbc_server Session Value
+lib/core/pipeline.mli: Dtype Feature_tracker Hyperq_catalog Hyperq_engine Hyperq_sqlparser Hyperq_sqlvalue Hyperq_tdf Hyperq_transform Mutex Odbc_server Plan_cache Session Value

@@ -1,0 +1,1 @@
+lib/core/plan_cache.ml: Fun Hashtbl Hyperq_xtra Mutex Printf

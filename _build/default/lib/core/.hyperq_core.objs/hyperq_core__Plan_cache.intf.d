@@ -1,0 +1,1 @@
+lib/core/plan_cache.mli: Hyperq_xtra

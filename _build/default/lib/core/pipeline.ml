@@ -36,6 +36,7 @@ type t = {
   backend : Backend.t;
   cap : Capability.t;
   odbc : Odbc_server.t;
+  cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   mutable temp_counter : int;
   mutable queries_translated : int;
@@ -54,7 +55,8 @@ type outcome = {
   out_emulation_trace : string list;
 }
 
-let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.) () =
+let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
+    ?(plan_cache_capacity = 512) () =
   let backend = Backend.create () in
   {
     vcatalog = Catalog.create ();
@@ -62,6 +64,7 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.) () =
     cap;
     odbc =
       Odbc_server.create ~request_latency_s (Odbc_server.engine_driver backend);
+    cache = Plan_cache.create ~capacity:plan_cache_capacity;
     lock = Mutex.create ();
     temp_counter = 0;
     queries_translated = 0;
@@ -87,18 +90,47 @@ type call_ctx = {
   mutable binder_features : string list;
   mutable transformer_rules : string list;
   mutable emulation_tags : string list;
+  mutable nested : bool;
+      (** true once the emulation layer re-enters the pipeline for inner
+          statements; suppresses plan-cache capture for those *)
+  mutable last_no_op : bool;
+      (** the last {!run_bound} transformed its statement away entirely *)
+  mutable cache_candidate : Plan_cache.entry option;
+      (** translation captured on the plain path, ready to be cached *)
+  mutable parse_s : float;
+      (** parse cost paid by the caller before this context existed *)
   trace : string list ref;
 }
 
+let make_cc t session params =
+  {
+    pipeline = t;
+    session;
+    timing = zero_timings ();
+    params;
+    sql_sent = [];
+    binder_features = [];
+    transformer_rules = [];
+    emulation_tags = [];
+    nested = false;
+    last_no_op = false;
+    cache_candidate = None;
+    parse_s = 0.;
+    trace = ref [];
+  }
+
+(* record elapsed time even when the wrapped stage raises, so timing buckets
+   aren't silently dropped on emulation/bind errors *)
 let timed bucket cc f =
   let t0 = now () in
-  let r = f () in
-  let dt = now () -. t0 in
-  (match bucket with
-  | `Translate -> cc.timing.translate_s <- cc.timing.translate_s +. dt
-  | `Execute -> cc.timing.execute_s <- cc.timing.execute_s +. dt
-  | `Convert -> cc.timing.convert_s <- cc.timing.convert_s +. dt);
-  r
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = now () -. t0 in
+      match bucket with
+      | `Translate -> cc.timing.translate_s <- cc.timing.translate_s +. dt
+      | `Execute -> cc.timing.execute_s <- cc.timing.execute_s +. dt
+      | `Convert -> cc.timing.convert_s <- cc.timing.convert_s +. dt)
+    f
 
 let note_tag cc tag =
   if not (List.mem tag cc.emulation_tags) then
@@ -201,8 +233,10 @@ let run_bound cc (bound : Xtra.statement) : Backend.result =
   cc.sql_sent <- sql :: cc.sql_sent;
   match transformed with
   | Xtra.No_op _ ->
+      cc.last_no_op <- true;
       { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
   | _ ->
+      cc.last_no_op <- false;
       timed `Execute cc (fun () ->
           Mutex.lock t.lock;
           Fun.protect
@@ -216,8 +250,14 @@ let make_runner cc run_ast =
     Emulation.cap = cc.pipeline.cap;
     vcatalog = cc.pipeline.vcatalog;
     session = cc.session;
-    run_ast;
-    run_xtra = (fun st -> run_bound cc st);
+    run_ast =
+      (fun a ->
+        cc.nested <- true;
+        run_ast a);
+    run_xtra =
+      (fun st ->
+        cc.nested <- true;
+        run_bound cc st);
     fresh_name = (fun prefix -> fresh_name cc.pipeline prefix);
     trace = cc.trace;
   }
@@ -233,6 +273,26 @@ let recursive_parts = function
          }) ->
       Some (name, left, right, body)
   | _ -> None
+
+(* Decide whether a bound statement may be memoized in the plan cache: only
+   plain queries / DML that take the direct [run_bound] path and leave the
+   virtual catalog (and session state) untouched. DDL, transaction control
+   and anything the emulation layer owns (unsupported recursion, MERGE, SET
+   tables) is excluded. *)
+let cacheable_bound ~cap vcatalog (bound : Xtra.statement) =
+  match bound with
+  | Xtra.Query _ -> (
+      match recursive_parts bound with
+      | Some _ -> cap.Capability.recursive_cte
+      | None -> true)
+  | Xtra.Insert { target; _ } ->
+      cap.Capability.set_tables
+      || (match Catalog.find_table vcatalog target with
+         | Some tbl -> not tbl.Catalog.tbl_set_semantics
+         | None -> true)
+  | Xtra.Update _ | Xtra.Delete _ -> true
+  | Xtra.Merge _ -> cap.Capability.merge_stmt
+  | _ -> false
 
 let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
   let t = cc.pipeline in
@@ -397,10 +457,16 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
       Emulation.emulate_dml_on_view runner view ast
   (* ---- everything else: bind, then decide ----------------------------- *)
   | ast ->
+      let bind_t0 = now () in
       let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
+      (* the pre-substitution bound form is what the plan cache stores, so a
+         parameterized statement hits under different bindings *)
+      let bound0 =
+        timed `Translate cc (fun () -> Binder.bind_statement bctx ast)
+      in
+      let bind_s = now () -. bind_t0 in
       let bound =
-        timed `Translate cc (fun () ->
-            substitute_params cc.params (Binder.bind_statement bctx ast))
+        timed `Translate cc (fun () -> substitute_params cc.params bound0)
       in
       cc.binder_features <- bctx.Binder.features @ cc.binder_features;
       (match ast with
@@ -435,30 +501,54 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
             | bound ->
                 let r = run_bound cc bound in
                 sync_ddl cc ast bound;
+                (if (not cc.nested)
+                    && cacheable_bound ~cap:t.cap t.vcatalog bound
+                 then
+                   let has_params = Plan_cache.bound_has_params bound0 in
+                   cc.cache_candidate <-
+                     Some
+                       {
+                         Plan_cache.e_bound = bound0;
+                         e_has_params = has_params;
+                         e_binder_features = bctx.Binder.features;
+                         e_rules = cc.transformer_rules;
+                         e_plan =
+                           (if has_params then None
+                            else
+                              Some
+                                {
+                                  Plan_cache.p_target_sql =
+                                    (match cc.sql_sent with
+                                    | s :: _ -> s
+                                    | [] -> "");
+                                  p_no_op = cc.last_no_op;
+                                });
+                         e_bind_s = cc.parse_s +. bind_s;
+                         e_translate_s = cc.timing.translate_s;
+                       });
                 r)
       in
       result
 
 (* --- public entry points ------------------------------------------------ *)
 
-let run_statement_ast t ?(session = Session.create ()) ?(params = []) ~sql_text ast : outcome =
+(* gateway sessions may run on multiple domains; both counters are guarded
+   by the pipeline lock so concurrent increments aren't lost *)
+let bump_counters t (session : Session.t) =
+  Mutex.lock t.lock;
   t.queries_translated <- t.queries_translated + 1;
   session.Session.queries_run <- session.Session.queries_run + 1;
-  let cc =
-    {
-      pipeline = t;
-      session;
-      timing = zero_timings ();
-      params;
-      sql_sent = [];
-      binder_features = [];
-      transformer_rules = [];
-      emulation_tags = [];
-      trace = ref [];
-    }
-  in
-  let result = run_ast_statement cc ast in
-  (* package into TDF then convert to WP-A records (paper §4.5/4.6) *)
+  Mutex.unlock t.lock
+
+let cache_key ~cap sql =
+  Plan_cache.key ~sql
+    ~dialect:(Dialect.to_string Dialect.Teradata)
+    ~cap:cap.Capability.name
+
+let cache_stats t = Plan_cache.stats t.cache
+
+(* package into TDF then convert to WP-A records (paper §4.5/4.6) *)
+let finish_outcome cc ~sql_text (result : Backend.result) : outcome =
   let columns =
     List.map
       (fun (name, ty) -> { Tdf.cd_name = name; cd_type = ty })
@@ -489,16 +579,98 @@ let run_statement_ast t ?(session = Session.create ()) ?(params = []) ~sql_text 
     out_emulation_trace = List.rev !(cc.trace);
   }
 
-(** Run one source-dialect SQL statement end to end. [params] binds
-    positional [?] markers, left to right. *)
-let run_sql t ?session ?params sql : outcome =
-  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
-  run_statement_ast t ?session ?params ~sql_text:sql ast
+(* Replay a cached translation. Param-free entries skip straight to
+   execution of the stored target SQL; parameterized entries substitute the
+   fresh bindings into the stored bound form and re-run only
+   transform + serialize. [lookup_s] (the cache probe) is all that remains
+   of the translate bucket on the fast path. *)
+let run_cached t ~session ~params ~sql_text ~lookup_s
+    (entry : Plan_cache.entry) : outcome =
+  bump_counters t session;
+  let cc = make_cc t session params in
+  cc.timing.translate_s <- lookup_s;
+  cc.binder_features <- entry.Plan_cache.e_binder_features;
+  let result =
+    match entry.Plan_cache.e_plan with
+    | Some plan ->
+        cc.transformer_rules <- entry.Plan_cache.e_rules;
+        cc.sql_sent <-
+          (if plan.Plan_cache.p_target_sql = "" then []
+           else [ plan.Plan_cache.p_target_sql ]);
+        if plan.Plan_cache.p_no_op then
+          { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
+        else
+          timed `Execute cc (fun () ->
+              Mutex.lock t.lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.lock)
+                (fun () ->
+                  Odbc_server.submit t.odbc ~sql:plan.Plan_cache.p_target_sql))
+    | None ->
+        let bound =
+          timed `Translate cc (fun () ->
+              substitute_params params entry.Plan_cache.e_bound)
+        in
+        run_bound cc bound
+  in
+  finish_outcome cc ~sql_text result
 
-(** Run a [;]-separated script; returns one outcome per statement. *)
+(* The uncached path: run the statement and store any captured translation
+   under the catalog version observed before the statement ran (a concurrent
+   DDL then simply leaves a stale entry that the next lookup invalidates). *)
+let run_uncached t ~session ~params ~sql_text ~parse_s ~version ast : outcome =
+  let cc = make_cc t session params in
+  cc.parse_s <- parse_s;
+  cc.timing.translate_s <- parse_s;
+  let result = run_ast_statement cc ast in
+  (match cc.cache_candidate with
+  | Some entry when Plan_cache.enabled t.cache ->
+      Plan_cache.add t.cache ~version (cache_key ~cap:t.cap sql_text) entry
+  | _ -> ());
+  finish_outcome cc ~sql_text result
+
+(** Run an already-parsed statement (used by the gateway, scripts and
+    scale-out). Checks the plan cache by [sql_text] — a hit skips
+    bind/transform/serialize; the parse already paid for by the caller is
+    reported via [parse_s]. *)
+let run_statement_ast t ?(session = Session.create ()) ?(params = [])
+    ?(parse_s = 0.) ~sql_text ast : outcome =
+  let version = Catalog.version t.vcatalog in
+  let t0 = now () in
+  match Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql_text) with
+  | Some entry ->
+      let lookup_s = now () -. t0 in
+      run_cached t ~session ~params ~sql_text ~lookup_s:(parse_s +. lookup_s)
+        entry
+  | None ->
+      bump_counters t session;
+      run_uncached t ~session ~params ~sql_text ~parse_s ~version ast
+
+(** Run one source-dialect SQL statement end to end. [params] binds
+    positional [?] markers, left to right. On a plan-cache hit the parse is
+    skipped along with the rest of the translation. *)
+let run_sql t ?(session = Session.create ()) ?(params = []) sql : outcome =
+  let version = Catalog.version t.vcatalog in
+  let t0 = now () in
+  match Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql) with
+  | Some entry ->
+      let lookup_s = now () -. t0 in
+      run_cached t ~session ~params ~sql_text:sql ~lookup_s entry
+  | None ->
+      bump_counters t session;
+      let t0 = now () in
+      let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+      let parse_s = now () -. t0 in
+      run_uncached t ~session ~params ~sql_text:sql ~parse_s ~version ast
+
+(** Run a [;]-separated script; returns one outcome per statement. Each
+    statement's own source text (not the whole script) is attributed to its
+    observation and plan-cache entry. *)
 let run_script t ?(session = Session.create ()) sql : outcome list =
-  let asts = Parser.parse_many ~dialect:Dialect.Teradata sql in
-  List.map (fun ast -> run_statement_ast t ~session ~sql_text:sql ast) asts
+  let spanned = Parser.parse_many_spanned ~dialect:Dialect.Teradata sql in
+  List.map
+    (fun (ast, text) -> run_statement_ast t ~session ~sql_text:text ast)
+    spanned
 
 (* ------------------------------------------------------------------ *)
 (* Single-row DML batching (paper §4.3)                                 *)
@@ -507,56 +679,115 @@ let run_script t ?(session = Session.create ()) sql : outcome list =
 (** "If the target database incurs a large overhead in executing single-row
     DML requests, a transformation that groups a large number of contiguous
     single-row DML statements into one large statement could be applied."
-    Returns the rewritten statement list and the number of statements
-    absorbed into a batch. *)
-let batch_single_row_dml (asts : Ast.statement list) : Ast.statement list * int
-    =
+    Works over (statement, source text) pairs so each merged statement keeps
+    the concatenated text of the statements it absorbed. Row chunks are
+    accumulated in reverse and concatenated once, so batching n contiguous
+    INSERTs is linear in n (not quadratic). *)
+let batch_single_row_dml_spanned (asts : (Ast.statement * string) list) :
+    (Ast.statement * string) list * int =
   let rec go acc merged = function
     | [] -> (List.rev acc, merged)
-    | Ast.S_insert { table; columns; source = Ast.Ins_values rows } :: rest ->
-        let rec absorb rows m = function
-          | Ast.S_insert { table = t2; columns = c2; source = Ast.Ins_values r2 }
+    | (Ast.S_insert { table; columns; source = Ast.Ins_values rows }, text)
+      :: rest ->
+        let rec absorb rev_chunks rev_texts m = function
+          | ( Ast.S_insert
+                { table = t2; columns = c2; source = Ast.Ins_values r2 },
+              txt )
             :: tl
             when t2 = table && c2 = columns ->
-              absorb (rows @ r2) (m + 1) tl
-          | tl -> (rows, m, tl)
+              absorb (r2 :: rev_chunks) (txt :: rev_texts) (m + 1) tl
+          | tl ->
+              ( List.concat (List.rev rev_chunks),
+                String.concat ";\n" (List.rev rev_texts),
+                m,
+                tl )
         in
-        let rows, m, rest = absorb rows 0 rest in
+        let rows, text, m, rest = absorb [ rows ] [ text ] 0 rest in
         go
-          (Ast.S_insert { table; columns; source = Ast.Ins_values rows } :: acc)
+          ((Ast.S_insert { table; columns; source = Ast.Ins_values rows }, text)
+          :: acc)
           (merged + m) rest
     | st :: rest -> go (st :: acc) merged rest
   in
   go [] 0 asts
+
+(** {!batch_single_row_dml_spanned} over bare statements. Returns the
+    rewritten statement list and the number of statements absorbed. *)
+let batch_single_row_dml (asts : Ast.statement list) : Ast.statement list * int
+    =
+  let spanned, merged =
+    batch_single_row_dml_spanned (List.map (fun a -> (a, "")) asts)
+  in
+  (List.map fst spanned, merged)
 
 (** [run_script] with contiguous single-row INSERTs coalesced into multi-row
     statements before translation. Returns one outcome per *executed*
     statement plus the number of original statements absorbed. *)
 let run_script_batched t ?(session = Session.create ()) sql :
     outcome list * int =
-  let asts = Parser.parse_many ~dialect:Dialect.Teradata sql in
-  let asts, merged = batch_single_row_dml asts in
-  (List.map (fun ast -> run_statement_ast t ~session ~sql_text:sql ast) asts, merged)
+  let spanned = Parser.parse_many_spanned ~dialect:Dialect.Teradata sql in
+  let spanned, merged = batch_single_row_dml_spanned spanned in
+  ( List.map
+      (fun (ast, text) -> run_statement_ast t ~session ~sql_text:text ast)
+      spanned,
+    merged )
 
 (** Translate only (no execution): the serialized target SQL. Used by tests
     and by the Figure 2 / Table 2 benches against non-executing targets.
     Raises [Capability_gap] for statements the emulation layer owns (EXEC,
-    HELP, DML on views, ...), which have no single target statement. *)
+    HELP, DML on views, ...), which have no single target statement.
+    Consults and populates the plan cache: a param-free hit returns the
+    stored target SQL outright; a parameterized hit reuses the stored bound
+    form and re-runs only transform + serialize. *)
 let translate t ?(cap = t.cap) sql : string =
-  let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
-  (match ast with
-  | Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ }
-    when Catalog.find_view t.vcatalog (List.nth table (List.length table - 1)) <> None
-    ->
-      Sql_error.capability_gap
-        "DML on view %s is handled by the emulation layer"
-        (List.nth table (List.length table - 1))
-  | _ -> ());
-  let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
-  let bound = Binder.bind_statement bctx ast in
-  let counter = ref 1_000_000 in
-  let transformed, _ = Transformer.transform ~cap ~counter bound in
-  Serializer.serialize ~cap transformed
+  let version = Catalog.version t.vcatalog in
+  let key = cache_key ~cap sql in
+  match Plan_cache.find t.cache ~version key with
+  | Some { Plan_cache.e_plan = Some plan; _ } -> plan.Plan_cache.p_target_sql
+  | Some { Plan_cache.e_plan = None; e_bound; _ } ->
+      let counter = ref 1_000_000 in
+      let transformed, _ = Transformer.transform ~cap ~counter e_bound in
+      Serializer.serialize ~cap transformed
+  | None ->
+      let t0 = now () in
+      let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
+      (match ast with
+      | Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ }
+        when Catalog.find_view t.vcatalog (List.nth table (List.length table - 1)) <> None
+        ->
+          Sql_error.capability_gap
+            "DML on view %s is handled by the emulation layer"
+            (List.nth table (List.length table - 1))
+      | _ -> ());
+      let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
+      let bound = Binder.bind_statement bctx ast in
+      let bind_s = now () -. t0 in
+      let counter = ref 1_000_000 in
+      let transformed, applied = Transformer.transform ~cap ~counter bound in
+      let target_sql = Serializer.serialize ~cap transformed in
+      let translate_s = now () -. t0 in
+      if cacheable_bound ~cap t.vcatalog bound then begin
+        let has_params = Plan_cache.bound_has_params bound in
+        Plan_cache.add t.cache ~version key
+          {
+            Plan_cache.e_bound = bound;
+            e_has_params = has_params;
+            e_binder_features = bctx.Binder.features;
+            e_rules = List.map fst applied;
+            e_plan =
+              (if has_params then None
+               else
+                 Some
+                   {
+                     Plan_cache.p_target_sql = target_sql;
+                     p_no_op =
+                       (match transformed with Xtra.No_op _ -> true | _ -> false);
+                   });
+            e_bind_s = bind_s;
+            e_translate_s = translate_s;
+          }
+      end;
+      target_sql
 
 (** Instrument a statement without executing it: parse → bind → transform,
     plus static detection of emulation-class features. This is the paper's
@@ -564,6 +795,17 @@ let translate t ?(cap = t.cap) sql : string =
     track a selection of 27 commonly used non-standard features") and lets
     the Figure 8 study run over hundreds of thousands of queries quickly. *)
 let observe_sql t sql : Feature_tracker.observation =
+  match
+    Plan_cache.find t.cache
+      ~version:(Catalog.version t.vcatalog)
+      (cache_key ~cap:t.cap sql)
+  with
+  | Some entry ->
+      (* cached entries are never emulation-routed, so tags are empty *)
+      Feature_tracker.observe ~sql
+        ~binder_features:entry.Plan_cache.e_binder_features
+        ~transformer_rules:entry.Plan_cache.e_rules ~emulation_tags:[]
+  | None ->
   let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
   let binder_features = ref [] in
   let transformer_rules = ref [] in

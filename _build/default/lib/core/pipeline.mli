@@ -20,9 +20,10 @@ type t = {
   backend : Hyperq_engine.Backend.t;  (** the target warehouse substrate *)
   cap : Hyperq_transform.Capability.t;
   odbc : Odbc_server.t;
+  cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   mutable temp_counter : int;
-  mutable queries_translated : int;
+  mutable queries_translated : int;  (** guarded by [lock] *)
 }
 
 type outcome = {
@@ -38,12 +39,18 @@ type outcome = {
   out_emulation_trace : string list;  (** §6-style step log, when emulated *)
 }
 
-(** [create ~cap ~request_latency_s ()] builds a pipeline over a fresh
-    backend engine. [cap] selects the target profile (default: the executing
-    [ansi_engine]); [request_latency_s] simulates a per-request round trip
-    (default 0; used by the DML-batching ablation). *)
+(** [create ~cap ~request_latency_s ~plan_cache_capacity ()] builds a
+    pipeline over a fresh backend engine. [cap] selects the target profile
+    (default: the executing [ansi_engine]); [request_latency_s] simulates a
+    per-request round trip (default 0; used by the DML-batching ablation);
+    [plan_cache_capacity] bounds the translation cache (default 512; 0
+    disables caching). *)
 val create :
-  ?cap:Hyperq_transform.Capability.t -> ?request_latency_s:float -> unit -> t
+  ?cap:Hyperq_transform.Capability.t ->
+  ?request_latency_s:float ->
+  ?plan_cache_capacity:int ->
+  unit ->
+  t
 
 (** Run one source-dialect (Teradata) SQL statement end to end. [params]
     binds positional [?] markers left to right; [session] carries settings,
@@ -51,11 +58,14 @@ val create :
 val run_sql :
   t -> ?session:Session.t -> ?params:Value.t list -> string -> outcome
 
-(** Run an already-parsed statement (used by the gateway and scale-out). *)
+(** Run an already-parsed statement (used by the gateway and scale-out).
+    [parse_s] carries the caller's parse cost into the translate timing
+    bucket. *)
 val run_statement_ast :
   t ->
   ?session:Session.t ->
   ?params:Value.t list ->
+  ?parse_s:float ->
   sql_text:string ->
   Hyperq_sqlparser.Ast.statement ->
   outcome
@@ -77,8 +87,12 @@ val run_script_batched :
 
 (** Translate only (no execution): the serialized target SQL for [cap]
     (default: the pipeline's own target). Raises [Capability_gap] for
-    statements owned by the emulation layer. *)
+    statements owned by the emulation layer. Consults and populates the
+    plan cache. *)
 val translate : t -> ?cap:Hyperq_transform.Capability.t -> string -> string
+
+(** Counters of the pipeline's translation cache. *)
+val cache_stats : t -> Plan_cache.stats
 
 (** Instrument a statement without executing it (parse → bind → transform
     plus static emulation detection) — the §7.1 measurement methodology. *)

@@ -1754,6 +1754,26 @@ let parse_many ~dialect input =
   in
   go []
 
+(** Parse a [;]-separated statement sequence, pairing each statement with
+    its own source text (the byte span from its first token up to, but not
+    including, the terminating [;]). Lets callers attribute per-statement
+    text instead of the whole script. *)
+let parse_many_spanned ~dialect input =
+  let p = make ~dialect input in
+  let rec go acc =
+    finish_one p;
+    match peek_kind p with
+    | Token.Eof -> List.rev acc
+    | _ ->
+        let start = (cur p).Token.off in
+        let s = parse_statement_after_keyword p in
+        let stop = (cur p).Token.off in
+        let text = String.trim (String.sub input start (stop - start)) in
+        finish_one p;
+        go ((s, text) :: acc)
+  in
+  go []
+
 let parse_query_string ~dialect input =
   let p = make ~dialect input in
   let q = parse_query p in

@@ -13,6 +13,12 @@ val parse_statement : dialect:Dialect.t -> string -> Ast.statement
 (** Parse a [;]-separated statement sequence. *)
 val parse_many : dialect:Dialect.t -> string -> Ast.statement list
 
+(** Like {!parse_many}, but pairs each statement with its own source text
+    (trimmed byte span up to the terminating [;]), so scripts can attribute
+    per-statement text rather than the whole script. *)
+val parse_many_spanned :
+  dialect:Dialect.t -> string -> (Ast.statement * string) list
+
 (** Parse a bare query (no DML/DDL). *)
 val parse_query_string : dialect:Dialect.t -> string -> Ast.query
 

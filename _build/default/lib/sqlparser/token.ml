@@ -12,7 +12,10 @@ type kind =
   | Symbol of string  (** operator or punctuation *)
   | Eof
 
-type t = { kind : kind; line : int; col : int }
+type t = { kind : kind; line : int; col : int; off : int }
+(** [off] is the byte offset of the token's first character in the input
+    (input length for [Eof]); lets the parser recover the exact source text
+    of a statement span. *)
 
 let kind_to_string = function
   | Word w -> w

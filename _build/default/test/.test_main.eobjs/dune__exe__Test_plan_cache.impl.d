@@ -1,0 +1,1 @@
+test/test_plan_cache.ml: Alcotest Hyperq_core Hyperq_sqlparser Hyperq_sqlvalue List Printf Sql_error Unix Value

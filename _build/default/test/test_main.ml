@@ -14,6 +14,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("tdf+wire", Test_tdf_wire.suite);
       ("pipeline", Test_pipeline.suite);
+      ("plan_cache", Test_plan_cache.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
     ]
