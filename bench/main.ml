@@ -8,7 +8,7 @@
    Scale factor:        HYPERQ_SF=0.02 dune exec bench/main.exe -- fig9a
 
    Experiment ids: table1 fig2 fig8a fig8b baseline table2 fig9a fig9b
-   targets ablation cache micro *)
+   targets ablation cache resilience micro *)
 
 open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
@@ -398,6 +398,121 @@ let cache () =
   Printf.printf "cache stats: %s\n" (PC.stats_to_string s)
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: fault-free overhead, absorption, recovery latency        *)
+(* ------------------------------------------------------------------ *)
+
+let resilience () =
+  hr "Resilience: fault-free overhead, transient absorption, recovery latency";
+  let module R = Hyperq_core.Resilience in
+  let module Fault = Hyperq_engine.Fault in
+  let iters =
+    match Sys.getenv_opt "HYPERQ_RESIL_ITERS" with
+    | Some s -> int_of_string s
+    | None -> 200
+  in
+  let setup p =
+    ignore
+      (Pipeline.run_sql p "CREATE TABLE RES (ID INTEGER, V VARCHAR(20))");
+    ignore (Pipeline.run_sql p "INS RES (1, 'seed')")
+  in
+  let workload p on_error =
+    let session = Session.create () in
+    for i = 1 to iters do
+      (match
+         Sql_error.protect (fun () ->
+             Pipeline.run_sql p ~session "SEL ID, V FROM RES WHERE ID = 1")
+       with
+      | Ok _ -> ()
+      | Error e -> on_error e);
+      match
+        Sql_error.protect (fun () ->
+            Pipeline.run_sql p ~session
+              (Printf.sprintf "INS RES (%d, 'x')" (i + 1)))
+      with
+      | Ok _ -> ()
+      | Error e -> on_error e
+    done
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* 1. fault-free overhead: the resilience wrapper on vs bypassed, over a
+     read-only loop so per-iteration cost is constant *)
+  let read_loop p =
+    let session = Session.create () in
+    for _ = 1 to 2 * iters do
+      ignore (Pipeline.run_sql p ~session "SEL ID, V FROM RES WHERE ID = 1")
+    done
+  in
+  let p_off = Pipeline.create ~resil:(R.create ~enabled:false ()) () in
+  setup p_off;
+  let p_on = Pipeline.create () in
+  setup p_on;
+  (* one untimed pass each, so neither measurement pays the cold start *)
+  read_loop p_off;
+  read_loop p_on;
+  let t_off = time (fun () -> read_loop p_off) in
+  let t_on = time (fun () -> read_loop p_on) in
+  let overhead_pct = 100. *. (t_on -. t_off) /. t_off in
+  (* 2. seeded transient faults, fake clock: retries absorb the failures *)
+  let clock = R.fake_clock () in
+  let injector = Fault.create ~seed:11 ~sleep:clock.R.sleep () in
+  let p_fault = Pipeline.create ~fault:injector ~resil:(R.create ~clock ()) () in
+  setup p_fault;
+  Fault.random_transients injector ~p:0.1 ~first_n:((2 * iters) + 8);
+  let client_errors = ref 0 in
+  workload p_fault (fun _ -> incr client_errors);
+  let s = Pipeline.resilience_stats p_fault in
+  let inj_t, _, _ = Fault.injected injector in
+  (* 3. recovery latency: outage opens the breaker; after the fault lifts,
+     how long until the first statement succeeds again (the cooldown) *)
+  let policy =
+    {
+      R.retry =
+        { R.default_retry with max_attempts = 2; base_delay_s = 0.0005;
+          max_delay_s = 0.002 };
+      breaker =
+        { R.default_breaker with failure_threshold = 3; cooldown_s = 0.02 };
+      deadline_s = None;
+    }
+  in
+  let outage = Fault.create () in
+  let p_rec = Pipeline.create ~fault:outage ~resil:(R.create ~policy ()) () in
+  setup p_rec;
+  Fault.persistent_outage outage ~from_request:(Fault.requests_seen outage);
+  let outage_errors = ref 0 in
+  while Pipeline.breaker_state p_rec <> R.Open do
+    match Sql_error.protect (fun () -> Pipeline.run_sql p_rec "SEL ID FROM RES")
+    with
+    | Ok _ -> ()
+    | Error _ -> incr outage_errors
+  done;
+  Fault.clear outage;
+  let t0 = Unix.gettimeofday () in
+  let recovered = ref false in
+  while not !recovered do
+    match Sql_error.protect (fun () -> Pipeline.run_sql p_rec "SEL ID FROM RES")
+    with
+    | Ok _ -> recovered := true
+    | Error _ -> Thread.delay 0.002
+  done;
+  let recovery_s = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "{\"experiment\": \"resilience\", \"iterations\": %d, \
+     \"fault_free_overhead_pct\": %.2f, \"transient_p\": 0.1, \
+     \"injected_transients\": %d, \"attempts\": %d, \"retries\": %d, \
+     \"absorbed\": %d, \"client_errors\": %d, \"breaker_opens_outage\": %d, \
+     \"recovery_ms\": %.1f}\n"
+    iters overhead_pct inj_t s.R.st_attempts s.R.st_retries s.R.st_absorbed
+    !client_errors
+    (Pipeline.resilience_stats p_rec).R.st_breaker_opens
+    (recovery_s *. 1000.);
+  Printf.printf "faulty pipeline: %s\n" (Pipeline.health_to_string p_fault);
+  Printf.printf "recovered pipeline: %s\n" (Pipeline.health_to_string p_rec)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the translation stages                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -488,6 +603,7 @@ let experiments =
     ("targets", targets);
     ("ablation", ablation);
     ("cache", cache);
+    ("resilience", resilience);
     ("micro", micro);
   ]
 

@@ -66,7 +66,7 @@ let repl pipeline verbose =
     session.Session.session_id;
   print_endline
     "type \\q to quit, \\timing to toggle timing output, \\cache for plan-cache \
-     stats";
+     stats, \\health for breaker/retry counters";
   let timing = ref verbose in
   let buffer = Buffer.create 256 in
   let rec loop () =
@@ -81,6 +81,9 @@ let repl pipeline verbose =
     | "\\cache" ->
         print_endline
           (Hyperq_core.Plan_cache.stats_to_string (Pipeline.cache_stats pipeline));
+        loop ()
+    | "\\health" ->
+        print_endline (Pipeline.health_to_string pipeline);
         loop ()
     | line ->
         Buffer.add_string buffer line;

@@ -48,12 +48,14 @@ let executor t session ~sql :
     {!feed}. *)
 let connect t ?(username = "DBC") () =
   let session = Session.create ~username () in
-  Mutex.lock t.lock;
-  t.sessions <- (session.Session.session_id, session) :: t.sessions;
-  Mutex.unlock t.lock;
+  (* register only once the handler exists: if [Protocol_handler.create]
+     raises, no entry is left behind in [t.sessions] (a session leak). *)
   let handler =
     Protocol_handler.create ~users:t.users ~executor:(executor t session) ()
   in
+  Mutex.lock t.lock;
+  t.sessions <- (session.Session.session_id, session) :: t.sessions;
+  Mutex.unlock t.lock;
   { gateway = t; session; handler }
 
 let feed conn bytes = Protocol_handler.feed conn.handler bytes

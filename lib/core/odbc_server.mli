@@ -14,10 +14,17 @@ type t
 (** The driver for the in-repo engine. *)
 val engine_driver : Backend.t -> driver
 
-(** [create ~batch_rows ~request_latency_s driver] — results are packaged in
-    TDF batches of [batch_rows] rows (default 512); [request_latency_s]
-    simulates a per-request round trip to the target (default 0). *)
-val create : ?batch_rows:int -> ?request_latency_s:float -> driver -> t
+(** [create ~batch_rows ~request_latency_s ~fault driver] — results are
+    packaged in TDF batches of [batch_rows] rows (default 512);
+    [request_latency_s] simulates a per-request round trip to the target
+    (default 0); [fault] installs a fault-injection shim that runs before
+    every forwarded request. *)
+val create :
+  ?batch_rows:int ->
+  ?request_latency_s:float ->
+  ?fault:Hyperq_engine.Fault.t ->
+  driver ->
+  t
 
 (** Submit one request, paying the simulated round trip. *)
 val submit : t -> sql:string -> Backend.result

@@ -37,6 +37,7 @@ type t = {
   cap : Capability.t;
   odbc : Odbc_server.t;
   cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
+  resil : Resilience.t;  (** retry/backoff + circuit breaker for the backend *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   mutable temp_counter : int;
   mutable queries_translated : int;
@@ -56,15 +57,20 @@ type outcome = {
 }
 
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
-    ?(plan_cache_capacity = 512) () =
+    ?(plan_cache_capacity = 512) ?fault ?resil () =
   let backend = Backend.create () in
+  let resil =
+    match resil with Some r -> r | None -> Resilience.create ()
+  in
   {
     vcatalog = Catalog.create ();
     backend;
     cap;
     odbc =
-      Odbc_server.create ~request_latency_s (Odbc_server.engine_driver backend);
+      Odbc_server.create ~request_latency_s ?fault
+        (Odbc_server.engine_driver backend);
     cache = Plan_cache.create ~capacity:plan_cache_capacity;
+    resil;
     lock = Mutex.create ();
     temp_counter = 0;
     queries_translated = 0;
@@ -99,10 +105,18 @@ type call_ctx = {
       (** translation captured on the plain path, ready to be cached *)
   mutable parse_s : float;
       (** parse cost paid by the caller before this context existed *)
+  deadline_at : float option;
+      (** absolute clock time by which backend retries for this statement
+          must stop (session override, else the resilience policy) *)
   trace : string list ref;
 }
 
 let make_cc t session params =
+  let deadline_s =
+    match session.Session.deadline_s with
+    | Some _ as d -> d
+    | None -> (Resilience.policy t.resil).Resilience.deadline_s
+  in
   {
     pipeline = t;
     session;
@@ -116,6 +130,8 @@ let make_cc t session params =
     last_no_op = false;
     cache_candidate = None;
     parse_s = 0.;
+    deadline_at =
+      Option.map (fun d -> Resilience.now t.resil +. d) deadline_s;
     trace = ref [];
   }
 
@@ -216,6 +232,18 @@ let sync_ddl cc (ast : Ast.statement) (bound : Xtra.statement) =
 
 (* --- the bound-statement path ----------------------------------------- *)
 
+(* Every backend request goes through the resilience layer: transient
+   failures retry with backoff (the pipeline lock is held only inside each
+   attempt, never across a backoff sleep), sustained failures trip the
+   per-backend breaker and surface as [Unavailable]. *)
+let submit_backend cc ~sql =
+  let t = cc.pipeline in
+  Resilience.call t.resil ?deadline_at:cc.deadline_at (fun () ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () -> Odbc_server.submit t.odbc ~sql))
+
 let run_bound cc (bound : Xtra.statement) : Backend.result =
   let t = cc.pipeline in
   let counter = ref 1_000_000 in
@@ -237,11 +265,7 @@ let run_bound cc (bound : Xtra.statement) : Backend.result =
       { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
   | _ ->
       cc.last_no_op <- false;
-      timed `Execute cc (fun () ->
-          Mutex.lock t.lock;
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock t.lock)
-            (fun () -> Odbc_server.submit t.odbc ~sql))
+      timed `Execute cc (fun () -> submit_backend cc ~sql)
 
 (* --- emulation dispatch ------------------------------------------------ *)
 
@@ -440,10 +464,23 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
         match v with
         | Ast.E_lit (Ast.L_string s) -> s
         | Ast.E_lit (Ast.L_int n) -> Int64.to_string n
+        | Ast.E_lit (Ast.L_decimal d) -> d
+        | Ast.E_lit (Ast.L_float f) -> string_of_float f
         | Ast.E_column [ c ] -> c
         | _ -> Sql_error.unsupported "SET SESSION expects a literal value"
       in
       Session.set_setting cc.session name value;
+      (* QUERY_DEADLINE <seconds> caps backend retries per statement for this
+         session; OFF/NONE restores the pipeline policy's default *)
+      (if String.uppercase_ascii name = "QUERY_DEADLINE" then
+         match String.uppercase_ascii value with
+         | "OFF" | "NONE" -> cc.session.Session.deadline_s <- None
+         | v -> (
+             match float_of_string_opt v with
+             | Some d when d > 0. -> cc.session.Session.deadline_s <- Some d
+             | _ ->
+                 Sql_error.unsupported
+                   "SET SESSION QUERY_DEADLINE expects seconds or OFF"));
       { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "SET SESSION" }
   (* ---- DML on views --------------------------------------------------- *)
   | (Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ })
@@ -546,6 +583,9 @@ let cache_key ~cap sql =
     ~cap:cap.Capability.name
 
 let cache_stats t = Plan_cache.stats t.cache
+let resilience_stats t = Resilience.stats t.resil
+let breaker_state t = Resilience.breaker_state t.resil
+let health_to_string t = Resilience.stats_to_string t.resil
 
 (* package into TDF then convert to WP-A records (paper §4.5/4.6) *)
 let finish_outcome cc ~sql_text (result : Backend.result) : outcome =
@@ -601,11 +641,7 @@ let run_cached t ~session ~params ~sql_text ~lookup_s
           { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
         else
           timed `Execute cc (fun () ->
-              Mutex.lock t.lock;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock t.lock)
-                (fun () ->
-                  Odbc_server.submit t.odbc ~sql:plan.Plan_cache.p_target_sql))
+              submit_backend cc ~sql:plan.Plan_cache.p_target_sql)
     | None ->
         let bound =
           timed `Translate cc (fun () ->

@@ -21,6 +21,7 @@ type t = {
   cap : Hyperq_transform.Capability.t;
   odbc : Odbc_server.t;
   cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
+  resil : Resilience.t;  (** retry/backoff + circuit breaker for the backend *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   mutable temp_counter : int;
   mutable queries_translated : int;  (** guarded by [lock] *)
@@ -39,16 +40,20 @@ type outcome = {
   out_emulation_trace : string list;  (** §6-style step log, when emulated *)
 }
 
-(** [create ~cap ~request_latency_s ~plan_cache_capacity ()] builds a
-    pipeline over a fresh backend engine. [cap] selects the target profile
-    (default: the executing [ansi_engine]); [request_latency_s] simulates a
-    per-request round trip (default 0; used by the DML-batching ablation);
-    [plan_cache_capacity] bounds the translation cache (default 512; 0
-    disables caching). *)
+(** [create ~cap ~request_latency_s ~plan_cache_capacity ~fault ~resil ()]
+    builds a pipeline over a fresh backend engine. [cap] selects the target
+    profile (default: the executing [ansi_engine]); [request_latency_s]
+    simulates a per-request round trip (default 0; used by the DML-batching
+    ablation); [plan_cache_capacity] bounds the translation cache (default
+    512; 0 disables caching); [fault] installs a fault-injection shim on the
+    backend request path; [resil] supplies the resilience executor (default:
+    {!Resilience.create} with the default policy and real clock). *)
 val create :
   ?cap:Hyperq_transform.Capability.t ->
   ?request_latency_s:float ->
   ?plan_cache_capacity:int ->
+  ?fault:Hyperq_engine.Fault.t ->
+  ?resil:Resilience.t ->
   unit ->
   t
 
@@ -93,6 +98,16 @@ val translate : t -> ?cap:Hyperq_transform.Capability.t -> string -> string
 
 (** Counters of the pipeline's translation cache. *)
 val cache_stats : t -> Plan_cache.stats
+
+(** Retry/breaker counters of the pipeline's resilience layer. *)
+val resilience_stats : t -> Resilience.stats
+
+(** Current state of the backend circuit breaker. *)
+val breaker_state : t -> Resilience.breaker_state
+
+(** One-line rendering of breaker state + resilience counters (REPL
+    [\health]). *)
+val health_to_string : t -> string
 
 (** Instrument a statement without executing it (parse → bind → transform
     plus static emulation detection) — the §7.1 measurement methodology. *)

@@ -1,0 +1,113 @@
+(** Resilience layer: retry with exponential backoff, per-backend circuit
+    breaking, and per-statement deadline budgets.
+
+    Hyper-Q sits *in the hot path* between an unmodified application and the
+    target warehouse (paper Figure 1(b)); for production traffic the
+    middleware must survive a flaky backend rather than forward every hiccup
+    to the client. This module gives the pipeline a deterministic policy
+    engine: transient backend failures ({!Hyperq_sqlvalue.Sql_error.kind}
+    [Transient_error]) are retried with exponential backoff, sustained
+    failures open a circuit breaker that fails fast while the backend
+    recovers, and an optional deadline bounds the total time a statement may
+    spend on retries. The clock and the jitter RNG are injectable so every
+    schedule is reproducible in tests. *)
+
+(** Time source. [sleep] advances [now] in fake clocks, so backoff schedules
+    are observable without real waiting. *)
+type clock = { now : unit -> float; sleep : float -> unit }
+
+val real_clock : clock
+
+(** A virtual clock starting at [start] (default 0): [sleep d] just advances
+    [now] by [d]. *)
+val fake_clock : ?start:float -> unit -> clock
+
+type retry_policy = {
+  max_attempts : int;  (** total tries, including the first (>= 1) *)
+  base_delay_s : float;  (** delay before the first retry *)
+  multiplier : float;  (** backoff growth factor per retry *)
+  max_delay_s : float;  (** cap on a single backoff delay *)
+  jitter : float;  (** +/- fraction of the delay randomized (0..1) *)
+}
+
+val default_retry : retry_policy
+val no_retry : retry_policy
+
+type breaker_config = {
+  failure_threshold : int;
+      (** consecutive backend failures that trip the breaker open *)
+  cooldown_s : float;  (** open -> half-open after this long *)
+  half_open_probes : int;
+      (** successful half-open probes required to close again *)
+}
+
+val default_breaker : breaker_config
+
+(** Closed: traffic flows. Open: fail fast, no backend calls. Half_open:
+    cooldown elapsed, probe requests are let through. *)
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_to_string : breaker_state -> string
+
+type policy = {
+  retry : retry_policy;
+  breaker : breaker_config;
+  deadline_s : float option;
+      (** default per-statement budget; [None] = unbounded *)
+}
+
+val default_policy : policy
+
+type t
+
+(** [create ~policy ~seed ~clock ~enabled ()] builds one resilience executor
+    (one per backend: the breaker state is per-target). [seed] fixes the
+    jitter RNG; [enabled:false] turns {!call} into a zero-cost passthrough
+    (used to measure the fault-free overhead of the layer itself). *)
+val create :
+  ?policy:policy -> ?seed:int -> ?clock:clock -> ?enabled:bool -> unit -> t
+
+val policy : t -> policy
+val now : t -> float
+val enabled : t -> bool
+
+(** Current breaker state ([Open] is reported until a call actually probes,
+    even if the cooldown has elapsed). *)
+val breaker_state : t -> breaker_state
+
+(** [would_admit t] — whether a request issued now would reach the backend
+    (closed, half-open, or open with cooldown elapsed). Non-mutating; used
+    by the scale-out router to skip quarantined replicas. *)
+val would_admit : t -> bool
+
+(** The backoff delay after the [attempt]-th failure (1-based), jittered by
+    the executor's deterministic RNG. *)
+val backoff_delay : t -> attempt:int -> float
+
+(** [call t ~deadline_at f] runs [f] under the policy: transient errors are
+    retried with backoff while the breaker admits and the deadline (absolute
+    clock time) allows. Raises [Sql_error] [Unavailable] when the breaker is
+    open, retries are exhausted, or the deadline would be exceeded. Non-
+    transient errors pass through untouched and do not count against the
+    breaker (a bind error is the backend working fine). *)
+val call : t -> ?deadline_at:float -> (unit -> 'a) -> 'a
+
+type stats = {
+  st_attempts : int;  (** backend calls actually issued *)
+  st_retries : int;  (** backoff-then-retry cycles taken *)
+  st_absorbed : int;  (** statements that failed transiently, then succeeded *)
+  st_exhausted : int;  (** statements that ran out of retry budget *)
+  st_deadline_exceeded : int;
+  st_rejected_open : int;  (** calls failed fast by the open breaker *)
+  st_breaker_opens : int;
+  st_breaker_closes : int;
+}
+
+val stats : t -> stats
+val stats_to_string : t -> string
+
+(** Manual breaker feedback, for callers that talk to the backend outside
+    {!call} (the scale-out read router). *)
+val record_success : t -> unit
+
+val record_failure : t -> unit

@@ -8,34 +8,106 @@
     handle this scenario." — implemented here as an extension.
 
     Routing policy: statements without side effects (queries, HELP/SHOW)
-    round-robin across replicas; everything else (DML, DDL, macros — which
-    may contain DML — and session settings) is applied to *every* replica in
-    the same order, so deterministic replicas stay identical. *)
+    round-robin across healthy replicas; everything else (DML, DDL, macros —
+    which may contain DML — and session settings) is applied to *every*
+    replica in the same order, so deterministic replicas stay identical.
 
+    Health: each replica owns a fault injector and a resilience executor
+    (retry + circuit breaker) inside its pipeline. A replica is healthy when
+    its breaker would admit a request and it has applied every fanned-out
+    write ([lag] = 0). Reads fail over around unhealthy replicas; writes
+    skip them (recording [Skipped_behind]) and the missed writes are kept in
+    an ordered log that {!resync} replays. *)
+
+open Hyperq_sqlvalue
 open Hyperq_sqlparser
 module Capability = Hyperq_transform.Capability
+module Fault = Hyperq_engine.Fault
 
-type t = {
-  replicas : Pipeline.t array;
-  sessions : Session.t array;  (** one session per replica, kept in step *)
-  lock : Mutex.t;
-  mutable next : int;
-  mutable reads_routed : int;
-  mutable writes_fanned_out : int;
+type replica = {
+  pipeline : Pipeline.t;
+  session : Session.t;  (** kept in step with the other replicas' sessions *)
+  injector : Fault.t;
+  resil : Resilience.t;
+  mutable applied_writes : int;  (** prefix of the write log applied here *)
 }
 
-let create ?(cap = Capability.ansi_engine) ~replicas () =
+type replica_outcome =
+  | Applied
+  | Failed of Sql_error.t
+  | Skipped_behind of int
+
+type divergence = {
+  div_sql : string;
+  div_outcomes : replica_outcome array;
+}
+
+type t = {
+  replicas : replica array;
+  lock : Mutex.t;
+  mutable next : int;
+  mutable write_log : (string * Ast.statement) list;  (** newest first *)
+  mutable write_count : int;
+  mutable reads_routed : int;
+  mutable writes_fanned_out : int;
+  mutable failovers : int;
+  mutable divergences : int;
+  mutable resyncs : int;
+  mutable last_divergence : divergence option;
+}
+
+let create ?(cap = Capability.ansi_engine) ?(policy = Resilience.default_policy)
+    ?(clock = Resilience.real_clock) ?(seed = 0x5CA1E) ~replicas () =
   if replicas < 1 then invalid_arg "Scale_out.create: need at least 1 replica";
+  let mk i =
+    let injector = Fault.create ~seed:(seed + i) ~sleep:clock.Resilience.sleep () in
+    let resil = Resilience.create ~policy ~seed:(seed + i) ~clock () in
+    {
+      pipeline = Pipeline.create ~cap ~fault:injector ~resil ();
+      session = Session.create ();
+      injector;
+      resil;
+      applied_writes = 0;
+    }
+  in
   {
-    replicas = Array.init replicas (fun _ -> Pipeline.create ~cap ());
-    sessions = Array.init replicas (fun _ -> Session.create ());
+    replicas = Array.init replicas mk;
     lock = Mutex.create ();
     next = 0;
+    write_log = [];
+    write_count = 0;
     reads_routed = 0;
     writes_fanned_out = 0;
+    failovers = 0;
+    divergences = 0;
+    resyncs = 0;
+    last_divergence = None;
   }
 
 let replica_count t = Array.length t.replicas
+let pipeline t i = t.replicas.(i).pipeline
+let fault t i = t.replicas.(i).injector
+let lag t i = t.write_count - t.replicas.(i).applied_writes
+
+let healthy t i =
+  lag t i = 0 && Resilience.would_admit t.replicas.(i).resil
+
+let last_divergence t = t.last_divergence
+
+let outcome_to_string = function
+  | Applied -> "applied"
+  | Failed e -> Printf.sprintf "failed (%s)" (Sql_error.to_string e)
+  | Skipped_behind n -> Printf.sprintf "skipped (%d behind)" n
+
+let divergence_to_string d =
+  let per_replica =
+    Array.to_list
+      (Array.mapi
+         (fun i o -> Printf.sprintf "r%d %s" i (outcome_to_string o))
+         d.div_outcomes)
+  in
+  Printf.sprintf "replica divergence on %S: %s" d.div_sql
+    (String.concat "; " per_replica)
 
 (* A statement is read-only iff replaying it on one replica only cannot make
    the replicas diverge. *)
@@ -52,35 +124,167 @@ let is_read_only = function
 
 type routing = Read_one of int | Write_all
 
-(** Run one source-dialect statement through the load balancer. Returns the
-    outcome plus how it was routed. *)
+let is_routable_failure (e : Sql_error.t) =
+  match e.Sql_error.kind with
+  | Sql_error.Transient_error | Sql_error.Unavailable -> true
+  | _ -> false
+
+(* Reads: round-robin over healthy replicas, failing over past replicas
+   whose pipeline reports a transient/unavailable failure. Other error
+   kinds (bind, execution, ...) are the replica answering — re-raised. *)
+let run_read t sql ast =
+  let n = Array.length t.replicas in
+  Mutex.lock t.lock;
+  let start = t.next in
+  t.next <- (t.next + 1) mod n;
+  t.reads_routed <- t.reads_routed + 1;
+  Mutex.unlock t.lock;
+  let rec go k last_err tried =
+    if k >= n then
+      match last_err with
+      | Some e ->
+          Sql_error.unavailable
+            "read failed on every healthy replica (last: %s)"
+            (Sql_error.to_string e)
+      | None ->
+          Sql_error.unavailable
+            "no healthy replica available for read (%d of %d quarantined)"
+            (n - tried) n
+    else
+      let i = (start + k) mod n in
+      if not (healthy t i) then go (k + 1) last_err tried
+      else
+        let r = t.replicas.(i) in
+        match
+          Pipeline.run_statement_ast r.pipeline ~session:r.session
+            ~sql_text:sql ast
+        with
+        | o -> (o, Read_one i)
+        | exception Sql_error.Error e when is_routable_failure e ->
+            Mutex.lock t.lock;
+            t.failovers <- t.failovers + 1;
+            Mutex.unlock t.lock;
+            go (k + 1) (Some e) (tried + 1)
+  in
+  go 0 None 0
+
+(* Writes: fan out to every in-sync, admitted replica; skipped replicas fall
+   (further) behind. The write is logged as durable iff at least one replica
+   applied it. A *new* divergence — a replica that was in sync but did not
+   apply a write others applied — is recorded and surfaced once as a
+   structured [Unavailable] error. *)
+let run_write t sql ast =
+  let n = Array.length t.replicas in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      t.writes_fanned_out <- t.writes_fanned_out + 1;
+      let outcomes = Array.make n (Skipped_behind 0) in
+      let results = Array.make n None in
+      let pre_lag = Array.map (fun r -> t.write_count - r.applied_writes) t.replicas in
+      Array.iteri
+        (fun i r ->
+          if pre_lag.(i) > 0 || not (Resilience.would_admit r.resil) then
+            outcomes.(i) <- Skipped_behind pre_lag.(i)
+          else
+            match
+              Pipeline.run_statement_ast r.pipeline ~session:r.session
+                ~sql_text:sql ast
+            with
+            | o ->
+                results.(i) <- Some o;
+                outcomes.(i) <- Applied;
+                r.applied_writes <- r.applied_writes + 1
+            | exception Sql_error.Error e -> outcomes.(i) <- Failed e)
+        t.replicas;
+      let any_applied = Array.exists (fun o -> o = Applied) outcomes in
+      if not any_applied then begin
+        (* nothing durable: the replicas are still mutually consistent *)
+        let first_failure =
+          Array.fold_left
+            (fun acc o ->
+              match (acc, o) with None, Failed e -> Some e | _ -> acc)
+            None outcomes
+        in
+        match first_failure with
+        | Some e -> raise (Sql_error.Error e)
+        | None ->
+            Sql_error.unavailable
+              "write rejected: no replica admitted (all quarantined or \
+               lagging; resync required)"
+      end
+      else begin
+        t.write_count <- t.write_count + 1;
+        t.write_log <- (sql, ast) :: t.write_log;
+        let newly_diverged =
+          Array.exists
+            (fun i -> pre_lag.(i) = 0 && outcomes.(i) <> Applied)
+            (Array.init n (fun i -> i))
+        in
+        if newly_diverged then begin
+          let d = { div_sql = sql; div_outcomes = outcomes } in
+          t.divergences <- t.divergences + 1;
+          t.last_divergence <- Some d;
+          Sql_error.unavailable "%s" (divergence_to_string d)
+        end;
+        let first_result =
+          Array.fold_left
+            (fun acc r -> match acc with Some _ -> acc | None -> r)
+            None results
+        in
+        match first_result with
+        | Some o -> (o, Write_all)
+        | None -> assert false
+      end)
+
 let run_sql t sql : Pipeline.outcome * routing =
   let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
-  if is_read_only ast then begin
-    Mutex.lock t.lock;
-    let i = t.next in
-    t.next <- (t.next + 1) mod Array.length t.replicas;
-    t.reads_routed <- t.reads_routed + 1;
-    Mutex.unlock t.lock;
-    ( Pipeline.run_statement_ast t.replicas.(i) ~session:t.sessions.(i)
-        ~sql_text:sql ast,
-      Read_one i )
-  end
-  else begin
-    Mutex.lock t.lock;
-    t.writes_fanned_out <- t.writes_fanned_out + 1;
-    Mutex.unlock t.lock;
-    (* apply to every replica, in replica order; return the first outcome *)
-    let outcomes =
-      Array.mapi
-        (fun i p ->
-          Pipeline.run_statement_ast p ~session:t.sessions.(i) ~sql_text:sql ast)
-        t.replicas
-    in
-    (outcomes.(0), Write_all)
-  end
+  if is_read_only ast then run_read t sql ast else run_write t sql ast
+
+let resync t i =
+  let r = t.replicas.(i) in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let missed = t.write_count - r.applied_writes in
+      if missed = 0 then 0
+      else begin
+        let entries =
+          List.filteri
+            (fun idx _ -> idx >= r.applied_writes)
+            (List.rev t.write_log)
+        in
+        List.iter
+          (fun (sql, ast) ->
+            ignore
+              (Pipeline.run_statement_ast r.pipeline ~session:r.session
+                 ~sql_text:sql ast);
+            r.applied_writes <- r.applied_writes + 1)
+          entries;
+        t.resyncs <- t.resyncs + 1;
+        if Array.for_all (fun r -> t.write_count = r.applied_writes) t.replicas
+        then t.last_divergence <- None;
+        missed
+      end)
 
 let stats t = (t.reads_routed, t.writes_fanned_out)
+let fault_stats t = (t.failovers, t.divergences, t.resyncs)
+
+let health_to_string t =
+  let per_replica =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           Printf.sprintf "r%d: breaker=%s lag=%d %s" i
+             (Resilience.breaker_state_to_string
+                (Resilience.breaker_state r.resil))
+             (lag t i)
+             (if healthy t i then "healthy" else "quarantined"))
+         t.replicas)
+  in
+  String.concat "\n" per_replica
 
 (** Consistency probe used by tests and the example: run a read on *every*
     replica and report whether all answers agree. *)
@@ -95,11 +299,11 @@ let consistent t sql =
   let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
   let results =
     Array.to_list
-      (Array.mapi
-         (fun i p ->
+      (Array.map
+         (fun r ->
            render
-             (Pipeline.run_statement_ast p ~session:t.sessions.(i) ~sql_text:sql
-                ast))
+             (Pipeline.run_statement_ast r.pipeline ~session:r.session
+                ~sql_text:sql ast))
          t.replicas)
   in
   match results with

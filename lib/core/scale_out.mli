@@ -1,24 +1,97 @@
 (** Scaling out applications across warehouse replicas (paper Appendix B.3).
 
-    Statements without side effects round-robin across replicas; everything
-    else is applied to every replica in the same order so that deterministic
-    replicas stay identical — "without sacrificing consistency, and without
-    requiring changes to the application logic". *)
+    Statements without side effects round-robin across *healthy* replicas;
+    everything else is fanned out to every replica in the same order so that
+    deterministic replicas stay identical — "without sacrificing
+    consistency, and without requiring changes to the application logic".
+
+    Health tracking: each replica gets its own fault injector and resilience
+    executor. A replica is healthy when its circuit breaker would admit a
+    request and it has applied every fanned-out write. Unhealthy replicas
+    are quarantined out of read routing (reads fail over to the next healthy
+    replica); writes skip them and record the lag, to be repaired by
+    {!resync}. *)
+
+open Hyperq_sqlvalue
 
 type t
 
-val create : ?cap:Hyperq_transform.Capability.t -> replicas:int -> unit -> t
+(** [create ~cap ~policy ~clock ~seed ~replicas ()] — every replica gets its
+    own pipeline, fault injector and resilience executor (seeded [seed + i])
+    sharing [clock], so failure timelines are reproducible. *)
+val create :
+  ?cap:Hyperq_transform.Capability.t ->
+  ?policy:Resilience.policy ->
+  ?clock:Resilience.clock ->
+  ?seed:int ->
+  replicas:int ->
+  unit ->
+  t
+
 val replica_count : t -> int
+
+(** The [i]-th replica's pipeline (tests inspect its breaker directly). *)
+val pipeline : t -> int -> Pipeline.t
+
+(** The [i]-th replica's fault injector (tests script outages through it). *)
+val fault : t -> int -> Hyperq_engine.Fault.t
+
+(** Writes the [i]-th replica has missed (0 = in sync). *)
+val lag : t -> int -> int
+
+(** In sync and its breaker would admit a request. *)
+val healthy : t -> int -> bool
 
 type routing =
   | Read_one of int  (** served by one replica (its index) *)
   | Write_all  (** fanned out to every replica *)
 
-(** Run one source-dialect statement through the load balancer. *)
+(** Per-replica result of one fanned-out write. *)
+type replica_outcome =
+  | Applied
+  | Failed of Sql_error.t  (** attempted, but the replica's pipeline failed *)
+  | Skipped_behind of int
+      (** not attempted: already [n] writes behind, or breaker quarantined *)
+
+type divergence = {
+  div_sql : string;  (** the write on which the replica set diverged *)
+  div_outcomes : replica_outcome array;  (** outcome per replica *)
+}
+
+val divergence_to_string : divergence -> string
+
+(** The most recent divergence event, if any (cleared by a full resync). *)
+val last_divergence : t -> divergence option
+
+(** Run one source-dialect statement through the load balancer.
+
+    Reads are served by the next healthy replica; on a transient/unavailable
+    failure the read fails over to the following healthy replica. Raises
+    [Sql_error] [Unavailable] only when no healthy replica can answer.
+
+    Writes fan out to every in-sync, admitted replica. If some replicas
+    apply the write and a previously in-sync replica does not, the replica
+    set has *newly* diverged: the write is durable on the healthy replicas,
+    the event is recorded (see {!last_divergence}), and a structured
+    [Unavailable] error is raised once. Later writes on the degraded
+    cluster succeed, skipping the lagging replicas, until {!resync}. *)
 val run_sql : t -> string -> Pipeline.outcome * routing
+
+(** Replay the writes replica [i] missed, in order, and return how many were
+    replayed (0 if already in sync). The replica's own resilience policy
+    applies: clear its fault injector first and let the breaker cooldown
+    elapse, or the replay itself is rejected. *)
+val resync : t -> int -> int
 
 (** (reads balanced, writes fanned out) so far. *)
 val stats : t -> int * int
 
-(** Run a read on every replica and check that all answers agree. *)
+(** (read failovers, divergence events, resyncs) so far. *)
+val fault_stats : t -> int * int * int
+
+(** One line per replica: breaker state, lag, health. *)
+val health_to_string : t -> string
+
+(** Run a read on every replica — including quarantined ones — and check
+    that all answers agree. *)
 val consistent : t -> string -> bool

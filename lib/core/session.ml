@@ -13,6 +13,9 @@ type t = {
   mutable in_transaction : bool;
   mutable volatile_tables : string list;
   mutable queries_run : int;
+  mutable deadline_s : float option;
+      (** per-statement time budget for backend retries (SET SESSION
+          QUERY_DEADLINE); [None] falls back to the pipeline's policy *)
   created_at : float;
 }
 
@@ -37,6 +40,7 @@ let create ?(username = "HYPERQ") () =
     in_transaction = false;
     volatile_tables = [];
     queries_run = 0;
+    deadline_s = None;
     created_at = Unix.gettimeofday ();
   }
 

@@ -13,6 +13,12 @@ type kind =
       (** construct valid in SQL-A with no rewrite available for the chosen
           backend (candidate for emulation) *)
   | Execution_error  (** runtime failure inside the backend engine *)
+  | Transient_error
+      (** backend hiccup (lost connection, timeout, overload) that a retry
+          may absorb; the resilience layer owns these *)
+  | Unavailable
+      (** backend or replica out of service: retries exhausted, circuit
+          breaker open, deadline exceeded, or replica divergence *)
   | Protocol_error  (** malformed wire message *)
   | Conversion_error  (** result conversion (TDF -> WP-A) failure *)
   | Internal_error  (** invariant violation; a bug in Hyper-Q itself *)
@@ -27,6 +33,8 @@ let kind_to_string = function
   | Unsupported -> "unsupported"
   | Capability_gap -> "capability gap"
   | Execution_error -> "execution error"
+  | Transient_error -> "transient error"
+  | Unavailable -> "unavailable"
   | Protocol_error -> "protocol error"
   | Conversion_error -> "conversion error"
   | Internal_error -> "internal error"
@@ -42,6 +50,8 @@ let bind_error fmt = raise_error Bind_error fmt
 let unsupported fmt = raise_error Unsupported fmt
 let capability_gap fmt = raise_error Capability_gap fmt
 let execution_error fmt = raise_error Execution_error fmt
+let transient_error fmt = raise_error Transient_error fmt
+let unavailable fmt = raise_error Unavailable fmt
 let protocol_error fmt = raise_error Protocol_error fmt
 let conversion_error fmt = raise_error Conversion_error fmt
 let internal_error fmt = raise_error Internal_error fmt

@@ -13,6 +13,12 @@ type kind =
       (** construct valid in the source dialect with no rewrite available for
           the chosen backend (candidate for emulation) *)
   | Execution_error  (** runtime failure inside the backend engine *)
+  | Transient_error
+      (** backend hiccup (lost connection, timeout, overload) that a retry
+          may absorb; the resilience layer owns these *)
+  | Unavailable
+      (** backend or replica out of service: retries exhausted, circuit
+          breaker open, deadline exceeded, or replica divergence *)
   | Protocol_error  (** malformed wire message *)
   | Conversion_error  (** result conversion (TDF → WP-A) failure *)
   | Internal_error  (** invariant violation; a bug in Hyper-Q itself *)
@@ -32,6 +38,8 @@ val bind_error : ('a, unit, string, 'b) format4 -> 'a
 val unsupported : ('a, unit, string, 'b) format4 -> 'a
 val capability_gap : ('a, unit, string, 'b) format4 -> 'a
 val execution_error : ('a, unit, string, 'b) format4 -> 'a
+val transient_error : ('a, unit, string, 'b) format4 -> 'a
+val unavailable : ('a, unit, string, 'b) format4 -> 'a
 val protocol_error : ('a, unit, string, 'b) format4 -> 'a
 val conversion_error : ('a, unit, string, 'b) format4 -> 'a
 val internal_error : ('a, unit, string, 'b) format4 -> 'a

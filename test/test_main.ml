@@ -17,4 +17,5 @@ let () =
       ("plan_cache", Test_plan_cache.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -306,6 +306,57 @@ let test_protocol_handler_bad_password () =
       check bb "not authenticated" false (Protocol_handler.is_authenticated handler)
   | _ -> Alcotest.fail "bad password must be rejected"
 
+let test_wire_error_codes () =
+  (* every Sql_error kind maps onto a stable Teradata wire code *)
+  let expected =
+    [
+      (Sql_error.Parse_error, 3706);
+      (Sql_error.Bind_error, 3807);
+      (Sql_error.Unsupported, 5505);
+      (Sql_error.Capability_gap, 5505);
+      (Sql_error.Execution_error, 2616);
+      (Sql_error.Transient_error, 2631);
+      (Sql_error.Unavailable, 3897);
+      (Sql_error.Protocol_error, 1000);
+      (Sql_error.Conversion_error, 2620);
+      (Sql_error.Internal_error, 9999);
+    ]
+  in
+  let kind = ref Sql_error.Parse_error in
+  let executor ~sql =
+    ignore sql;
+    Error { Sql_error.kind = !kind; message = "boom" }
+  in
+  let handler = Protocol_handler.create ~users:[ ("DBC", "PW") ] ~executor () in
+  let salt =
+    match
+      Protocol_handler.handle_message handler (Message.Logon_request { username = "DBC" })
+    with
+    | [ Message.Logon_challenge { salt } ] -> salt
+    | _ -> Alcotest.fail "expected challenge"
+  in
+  (match
+     Protocol_handler.handle_message handler
+       (Message.Logon_auth { username = "DBC"; proof = Auth.proof ~salt ~password:"PW" })
+   with
+  | [ Message.Logon_response { success = true; _ } ] -> ()
+  | _ -> Alcotest.fail "logon should succeed");
+  List.iter
+    (fun (k, code) ->
+      kind := k;
+      match
+        Protocol_handler.handle_message handler (Message.Run_request { sql = "SEL 1" })
+      with
+      | [ Message.Failure { code = c; message } ] ->
+          check ib (Sql_error.kind_to_string k) code c;
+          check bb "message carries the error text" true
+            (String.length message > 0)
+      | msgs ->
+          Alcotest.failf "expected Failure for %s, got: %s"
+            (Sql_error.kind_to_string k)
+            (String.concat "; " (List.map Message.to_string msgs)))
+    expected
+
 let prop_frame_roundtrip_run_request =
   QCheck.Test.make ~name:"Run_request frames round-trip any SQL text" ~count:100
     QCheck.printable_string
@@ -329,6 +380,7 @@ let suite =
     ("auth challenge/response", `Quick, test_auth);
     ("protocol handler state machine", `Quick, test_protocol_handler_state_machine);
     ("protocol handler bad password", `Quick, test_protocol_handler_bad_password);
+    ("wire error-code mapping", `Quick, test_wire_error_codes);
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_tdf_int_rows_roundtrip; prop_frame_roundtrip_run_request ]
