@@ -14,6 +14,7 @@ open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
 module Session = Hyperq_core.Session
 module Capability = Hyperq_transform.Capability
+module Obs = Hyperq_obs.Obs
 
 let render_outcome ?(verbose = false) (o : Pipeline.outcome) =
   if o.Pipeline.out_schema <> [] then begin
@@ -66,9 +67,16 @@ let repl pipeline verbose =
     session.Session.session_id;
   print_endline
     "type \\q to quit, \\timing to toggle timing output, \\cache for plan-cache \
-     stats, \\health for breaker/retry counters";
+     stats, \\health for breaker/retry counters, \\metrics for Prometheus \
+     exposition, \\trace [n] for recent query traces, \\slow [ms] for the \
+     slow-query log/threshold";
   let timing = ref verbose in
   let buffer = Buffer.create 256 in
+  let obs = Pipeline.obs pipeline in
+  let print_traces traces =
+    if traces = [] then print_endline "no traces recorded"
+    else List.iter (fun qt -> print_string (Obs.trace_to_string qt)) traces
+  in
   let rec loop () =
     print_string (if Buffer.length buffer = 0 then "hyperq> " else "   ...> ");
     match read_line () with
@@ -84,6 +92,35 @@ let repl pipeline verbose =
         loop ()
     | "\\health" ->
         print_endline (Pipeline.health_to_string pipeline);
+        loop ()
+    | "\\metrics" ->
+        print_string (Obs.render_prometheus obs);
+        loop ()
+    | line when line = "\\trace" || String.length line > 7
+                                    && String.sub line 0 7 = "\\trace " ->
+        let n =
+          if line = "\\trace" then 5
+          else
+            match int_of_string_opt (String.trim (String.sub line 7 (String.length line - 7))) with
+            | Some n when n > 0 -> n
+            | _ -> 5
+        in
+        print_traces (Obs.recent_traces ~n obs);
+        loop ()
+    | line when line = "\\slow" || String.length line > 6
+                                   && String.sub line 0 6 = "\\slow " ->
+        (if line <> "\\slow" then
+           match
+             float_of_string_opt
+               (String.trim (String.sub line 6 (String.length line - 6)))
+           with
+           | Some ms when ms >= 0. ->
+               Obs.set_slow_threshold obs (ms /. 1000.);
+               Printf.printf "slow-query threshold set to %g ms\n" ms
+           | _ -> print_endline "usage: \\slow [threshold-ms]");
+        Printf.printf "slow-query threshold: %g ms\n"
+          (Obs.slow_threshold obs *. 1000.);
+        print_traces (Obs.slow_queries obs);
         loop ()
     | line ->
         Buffer.add_string buffer line;

@@ -32,6 +32,9 @@ type runner = {
       (** transform+serialize+execute for an already-bound statement *)
   fresh_name : string -> string;
   trace : string list ref;  (** human-readable emulation steps (Figure 7) *)
+  span : 'a. string -> (unit -> 'a) -> 'a;
+      (** wrap one emulation step in a telemetry span on the current query
+          trace (the pipeline supplies {!Hyperq_obs.Obs.with_span}) *)
 }
 
 let tracef r fmt = Printf.ksprintf (fun s -> r.trace := s :: !(r.trace)) fmt
@@ -325,15 +328,24 @@ let emulate_recursive_query r ~name ~seed ~step ~body =
               ct_if_not_exists = false;
             }))
   in
-  create work;
-  create temp;
+  r.span "recursive:setup" (fun () ->
+      create work;
+      create temp);
   tracef r "created %s and %s" work temp;
   let seed_count =
-    (r.run_xtra (Xtra.Insert { target = work; target_cols = col_names; source = seed }))
-      .Backend.res_rowcount
+    r.span "recursive:seed" (fun () ->
+        let n =
+          (r.run_xtra
+             (Xtra.Insert
+                { target = work; target_cols = col_names; source = seed }))
+            .Backend.res_rowcount
+        in
+        ignore
+          (r.run_xtra
+             (Xtra.Insert
+                { target = temp; target_cols = col_names; source = seed }));
+        n)
   in
-  ignore
-    (r.run_xtra (Xtra.Insert { target = temp; target_cols = col_names; source = seed }));
   tracef r "step 1: seeded %s and %s with %d row(s)" work temp seed_count;
   let finished = ref false in
   let iteration = ref 1 in
@@ -341,46 +353,58 @@ let emulate_recursive_query r ~name ~seed ~step ~body =
     incr iteration;
     if !iteration > 10_000 then
       Sql_error.execution_error "recursive emulation exceeded iteration limit";
-    let delta = r.fresh_name "DELTA" in
-    live_delta := Some delta;
-    let step' = replace_cte_ref ~name ~table:temp step in
-    let created =
-      r.run_xtra
-        (Xtra.Create_table_as
-           {
-             cta_name = delta;
-             cta_persistence = Xtra.Tp_temporary;
-             cta_source = step';
-             with_data = true;
-           })
-    in
-    let produced = created.Backend.res_rowcount in
-    if produced = 0 then begin
-      tracef r "step %d: recursive expression produced no rows; recursion stops"
-        !iteration;
-      ignore (r.run_xtra (Xtra.Drop_table { dt_name = delta; dt_if_exists = false }));
-      live_delta := None;
-      finished := true
-    end
-    else begin
-      tracef r "step %d: appended %d row(s) to %s" !iteration produced work;
-      ignore
-        (r.run_xtra
-           (Xtra.Insert
-              {
-                target = work;
-                target_cols = col_names;
-                source =
-                  Xtra.Get { table = delta; table_schema = cte_schema; alias = delta };
-              }));
-      ignore (r.run_xtra (Xtra.Drop_table { dt_name = temp; dt_if_exists = false }));
-      ignore (r.run_xtra (Xtra.Rename_table { rn_from = delta; rn_to = temp }));
-      live_delta := None
-    end
+    (* one span per iteration, so the trace shows how deep the recursion ran
+       and where the time went (Figure 7's WorkTable/TempTable loop) *)
+    r.span
+      (Printf.sprintf "recursive:step_%d" !iteration)
+      (fun () ->
+        let delta = r.fresh_name "DELTA" in
+        live_delta := Some delta;
+        let step' = replace_cte_ref ~name ~table:temp step in
+        let created =
+          r.run_xtra
+            (Xtra.Create_table_as
+               {
+                 cta_name = delta;
+                 cta_persistence = Xtra.Tp_temporary;
+                 cta_source = step';
+                 with_data = true;
+               })
+        in
+        let produced = created.Backend.res_rowcount in
+        if produced = 0 then begin
+          tracef r
+            "step %d: recursive expression produced no rows; recursion stops"
+            !iteration;
+          ignore
+            (r.run_xtra
+               (Xtra.Drop_table { dt_name = delta; dt_if_exists = false }));
+          live_delta := None;
+          finished := true
+        end
+        else begin
+          tracef r "step %d: appended %d row(s) to %s" !iteration produced work;
+          ignore
+            (r.run_xtra
+               (Xtra.Insert
+                  {
+                    target = work;
+                    target_cols = col_names;
+                    source =
+                      Xtra.Get
+                        { table = delta; table_schema = cte_schema; alias = delta };
+                  }));
+          ignore
+            (r.run_xtra
+               (Xtra.Drop_table { dt_name = temp; dt_if_exists = false }));
+          ignore
+            (r.run_xtra (Xtra.Rename_table { rn_from = delta; rn_to = temp }));
+          live_delta := None
+        end)
   done;
   let body' = replace_cte_ref ~name ~table:work body in
   tracef r "substituting %s references with %s in the main query" name work;
-  let result = r.run_xtra (Xtra.Query body') in
+  let result = r.span "recursive:final_query" (fun () -> r.run_xtra (Xtra.Query body')) in
   tracef r "dropped %s and %s; returning %d row(s)" temp work
     result.Backend.res_rowcount;
   result

@@ -11,15 +11,55 @@ module Message = Hyperq_wire.Message
 module Protocol_handler = Hyperq_wire.Protocol_handler
 module Tdf = Hyperq_tdf.Tdf
 
+module Obs = Hyperq_obs.Obs
+
 type t = {
   pipeline : Pipeline.t;
   users : Hyperq_wire.Auth.user_db;
   mutable sessions : (int * Session.t) list;
   lock : Mutex.t;
+  connections_total : Obs.counter;
 }
 
 let create ?(users = [ ("DBC", "DBC") ]) pipeline =
-  { pipeline; users; sessions = []; lock = Mutex.create () }
+  let obs = Pipeline.obs pipeline in
+  let t =
+    {
+      pipeline;
+      users;
+      sessions = [];
+      lock = Mutex.create ();
+      connections_total =
+        Obs.counter obs ~help:"Client connections accepted by the gateway"
+          "hyperq_connections_total";
+    }
+  in
+  (* sampled at render time under the gateway lock; per-session rows keep
+     the paper's "per-session query counts" visible in \metrics *)
+  Obs.register_collector obs ~kind:`Gauge
+    ~help:"Currently connected gateway sessions" "hyperq_active_sessions"
+    (fun () ->
+      Mutex.lock t.lock;
+      let n = List.length t.sessions in
+      Mutex.unlock t.lock;
+      [ ([], float_of_int n) ]);
+  Obs.register_collector obs ~kind:`Gauge
+    ~help:"Statements run by each currently connected session"
+    "hyperq_session_queries" (fun () ->
+      Mutex.lock t.lock;
+      let rows =
+        List.map
+          (fun (id, s) ->
+            ( [
+                ("session", string_of_int id);
+                ("user", s.Session.username);
+              ],
+              float_of_int s.Session.queries_run ))
+          t.sessions
+      in
+      Mutex.unlock t.lock;
+      rows);
+  t
 
 type connection = {
   gateway : t;
@@ -47,7 +87,11 @@ let executor t session ~sql :
 (** Open a server-side connection endpoint. Feed it client bytes with
     {!feed}. *)
 let connect t ?(username = "DBC") () =
-  let session = Session.create ~username () in
+  let session =
+    Session.create ~username
+      ~created_at:((Obs.clock (Pipeline.obs t.pipeline)).Obs.now ())
+      ()
+  in
   (* register only once the handler exists: if [Protocol_handler.create]
      raises, no entry is left behind in [t.sessions] (a session leak). *)
   let handler =
@@ -56,6 +100,7 @@ let connect t ?(username = "DBC") () =
   Mutex.lock t.lock;
   t.sessions <- (session.Session.session_id, session) :: t.sessions;
   Mutex.unlock t.lock;
+  Obs.inc t.connections_total;
   { gateway = t; session; handler }
 
 let feed conn bytes = Protocol_handler.feed conn.handler bytes

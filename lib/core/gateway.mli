@@ -7,7 +7,9 @@
 type t
 
 (** [create ~users pipeline] — [users] is the logon database (default:
-    [("DBC", "DBC")]). *)
+    [("DBC", "DBC")]). Registers gateway telemetry (connection counter,
+    active-session and per-session query-count gauges) on the pipeline's
+    observability registry. *)
 val create : ?users:Hyperq_wire.Auth.user_db -> Pipeline.t -> t
 
 type connection

@@ -22,6 +22,7 @@ module Transformer = Hyperq_transform.Transformer
 module Serializer = Hyperq_serialize.Serializer
 module Backend = Hyperq_engine.Backend
 module Tdf = Hyperq_tdf.Tdf
+module Obs = Hyperq_obs.Obs
 
 type timings = {
   mutable translate_s : float;
@@ -31,6 +32,73 @@ type timings = {
 
 let zero_timings () = { translate_s = 0.; execute_s = 0.; convert_s = 0. }
 
+(* The fine-grained stages a statement passes through; each gets a span on
+   the query trace and a cell in the hyperq_pipeline_stage_seconds
+   histogram. The three Figure 9 buckets are derived from them. *)
+type stage =
+  | Lex
+  | Parse
+  | Cache_lookup
+  | Bind
+  | Transform
+  | Serialize
+  | Execute
+  | Convert
+
+let stage_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Cache_lookup -> "cache_lookup"
+  | Bind -> "bind"
+  | Transform -> "transform"
+  | Serialize -> "serialize"
+  | Execute -> "execute"
+  | Convert -> "convert"
+
+let stage_index = function
+  | Lex -> 0
+  | Parse -> 1
+  | Cache_lookup -> 2
+  | Bind -> 3
+  | Transform -> 4
+  | Serialize -> 5
+  | Execute -> 6
+  | Convert -> 7
+
+let all_stages =
+  [ Lex; Parse; Cache_lookup; Bind; Transform; Serialize; Execute; Convert ]
+
+(* the coarse Figure 9 bucket each stage belongs to *)
+let stage_bucket = function
+  | Execute -> `Execute
+  | Convert -> `Convert
+  | Lex | Parse | Cache_lookup | Bind | Transform | Serialize -> `Translate
+
+let all_error_kinds =
+  [
+    Sql_error.Parse_error;
+    Sql_error.Bind_error;
+    Sql_error.Unsupported;
+    Sql_error.Capability_gap;
+    Sql_error.Execution_error;
+    Sql_error.Transient_error;
+    Sql_error.Unavailable;
+    Sql_error.Protocol_error;
+    Sql_error.Conversion_error;
+    Sql_error.Internal_error;
+  ]
+
+(* pre-built metric handles; one set per pipeline so scale-out replicas
+   sharing a registry stay distinguishable through their label sets *)
+type telemetry = {
+  obs : Obs.t;
+  stage_hists : Obs.histogram array;  (** indexed by the stage order above *)
+  query_hist : Obs.histogram;  (** end-to-end statement latency *)
+  queries_total : Obs.counter;
+  retries_total : Obs.counter;
+  error_counters : (Hyperq_sqlvalue.Sql_error.kind * Obs.counter) list;
+}
+
 type t = {
   vcatalog : Catalog.t;  (** virtual (source-side) catalog *)
   backend : Backend.t;
@@ -38,6 +106,8 @@ type t = {
   odbc : Odbc_server.t;
   cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
   resil : Resilience.t;  (** retry/backoff + circuit breaker for the backend *)
+  tel : telemetry;  (** metric handles into the pipeline's registry *)
+  clock : Obs.clock;  (** time source for stage timing and session stamps *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   mutable temp_counter : int;
   mutable queries_translated : int;
@@ -56,12 +126,116 @@ type outcome = {
   out_emulation_trace : string list;
 }
 
+let error_kind_label kind =
+  String.map
+    (fun c -> if c = ' ' then '_' else c)
+    (Sql_error.kind_to_string kind)
+
+(* Build this pipeline's metric handles and register its pull collectors.
+   The plan cache and the resilience layer keep their own counters (their
+   locks are fine-grained and pre-date the registry); the registry samples
+   them at render time, so [cache_stats]/[resilience_stats] and \metrics
+   read the same numbers with no dual-writing. [labels] distinguishes
+   replicas sharing one registry. Collector closures take subsystem locks
+   under the registry lock, so *record* calls must never run while holding
+   a subsystem lock (see [bump_counters]). *)
+let make_telemetry obs ~labels cache resil =
+  let tel =
+    {
+      obs;
+      stage_hists =
+        (let h stage =
+           Obs.histogram obs ~labels:(("stage", stage_name stage) :: labels)
+             ~help:"Per-stage pipeline latency (Figure 9 derives from this)"
+             "hyperq_pipeline_stage_seconds"
+         in
+         Array.of_list (List.map h all_stages));
+      query_hist =
+        Obs.histogram obs ~labels
+          ~help:"End-to-end statement latency through the pipeline"
+          "hyperq_query_seconds";
+      queries_total =
+        Obs.counter obs ~labels ~help:"Statements run through the pipeline"
+          "hyperq_queries_total";
+      retries_total =
+        Obs.counter obs ~labels ~help:"Backend retries taken by statements"
+          "hyperq_backend_retries_total";
+      error_counters =
+        List.map
+          (fun kind ->
+            ( kind,
+              Obs.counter obs
+                ~labels:(("kind", error_kind_label kind) :: labels)
+                ~help:"Statements failed, by error kind" "hyperq_errors_total"
+            ))
+          all_error_kinds;
+    }
+  in
+  let pull rows = List.map (fun (ls, v) -> (ls @ labels, v)) rows in
+  Obs.register_collector obs ~kind:`Counter
+    ~help:"Plan cache events (sampled from the cache's own counters)"
+    "hyperq_plan_cache_events_total" (fun () ->
+      let s = Plan_cache.stats cache in
+      pull
+        [
+          ([ ("event", "hit") ], float_of_int s.Plan_cache.hits);
+          ([ ("event", "miss") ], float_of_int s.Plan_cache.misses);
+          ([ ("event", "eviction") ], float_of_int s.Plan_cache.evictions);
+          ( [ ("event", "invalidation") ],
+            float_of_int s.Plan_cache.invalidations );
+        ]);
+  Obs.register_collector obs ~kind:`Gauge ~help:"Plan cache resident entries"
+    "hyperq_plan_cache_entries" (fun () ->
+      let s = Plan_cache.stats cache in
+      pull [ ([], float_of_int s.Plan_cache.entries) ]);
+  Obs.register_collector obs ~kind:`Counter
+    ~help:"Translation seconds saved by plan cache hits"
+    "hyperq_plan_cache_saved_seconds_total" (fun () ->
+      let s = Plan_cache.stats cache in
+      pull
+        [
+          ([ ("phase", "translate") ], s.Plan_cache.saved_translate_s);
+          ([ ("phase", "bind") ], s.Plan_cache.saved_bind_s);
+        ]);
+  Obs.register_collector obs ~kind:`Counter
+    ~help:"Resilience events (sampled from the executor's own counters)"
+    "hyperq_resilience_events_total" (fun () ->
+      let s = Resilience.stats resil in
+      pull
+        [
+          ([ ("event", "attempt") ], float_of_int s.Resilience.st_attempts);
+          ([ ("event", "retry") ], float_of_int s.Resilience.st_retries);
+          ([ ("event", "absorbed") ], float_of_int s.Resilience.st_absorbed);
+          ([ ("event", "exhausted") ], float_of_int s.Resilience.st_exhausted);
+          ( [ ("event", "deadline_exceeded") ],
+            float_of_int s.Resilience.st_deadline_exceeded );
+          ( [ ("event", "rejected_open") ],
+            float_of_int s.Resilience.st_rejected_open );
+          ( [ ("event", "breaker_open") ],
+            float_of_int s.Resilience.st_breaker_opens );
+          ( [ ("event", "breaker_close") ],
+            float_of_int s.Resilience.st_breaker_closes );
+        ]);
+  Obs.register_collector obs ~kind:`Gauge
+    ~help:"Circuit breaker state (0 closed, 1 half-open, 2 open)"
+    "hyperq_breaker_state" (fun () ->
+      let v =
+        match Resilience.breaker_state resil with
+        | Resilience.Closed -> 0.
+        | Resilience.Half_open -> 1.
+        | Resilience.Open -> 2.
+      in
+      pull [ ([], v) ]);
+  tel
+
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
-    ?(plan_cache_capacity = 512) ?fault ?resil () =
+    ?(plan_cache_capacity = 512) ?fault ?resil ?obs ?(obs_labels = []) () =
   let backend = Backend.create () in
   let resil =
     match resil with Some r -> r | None -> Resilience.create ()
   in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let cache = Plan_cache.create ~capacity:plan_cache_capacity in
   {
     vcatalog = Catalog.create ();
     backend;
@@ -69,14 +243,17 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
     odbc =
       Odbc_server.create ~request_latency_s ?fault
         (Odbc_server.engine_driver backend);
-    cache = Plan_cache.create ~capacity:plan_cache_capacity;
+    cache;
     resil;
+    tel = make_telemetry obs ~labels:obs_labels cache resil;
+    clock = Obs.clock obs;
     lock = Mutex.create ();
     temp_counter = 0;
     queries_translated = 0;
   }
 
-let now () = Unix.gettimeofday ()
+let obs t = t.tel.obs
+let now t = t.clock.Obs.now ()
 
 let fresh_name t prefix =
   Mutex.lock t.lock;
@@ -109,9 +286,10 @@ type call_ctx = {
       (** absolute clock time by which backend retries for this statement
           must stop (session override, else the resilience policy) *)
   trace : string list ref;
+  tracer : Obs.tracer;  (** span sink for this statement's query trace *)
 }
 
-let make_cc t session params =
+let make_cc ?(tracer = Obs.no_tracer) t session params =
   let deadline_s =
     match session.Session.deadline_s with
     | Some _ as d -> d
@@ -133,19 +311,27 @@ let make_cc t session params =
     deadline_at =
       Option.map (fun d -> Resilience.now t.resil +. d) deadline_s;
     trace = ref [];
+    tracer;
   }
 
-(* record elapsed time even when the wrapped stage raises, so timing buckets
-   aren't silently dropped on emulation/bind errors *)
-let timed bucket cc f =
-  let t0 = now () in
+(* Meter one pipeline stage: legacy Figure 9 bucket + per-stage histogram +
+   span on the query trace. The [Fun.protect] keeps all three recorded even
+   when the wrapped stage raises (emulation/bind errors), so timing buckets
+   aren't silently dropped and spans never leak open. The legacy buckets are
+   always filled — [out_timings] stays meaningful under the noop sink. *)
+let timed stage cc f =
+  let t = cc.pipeline in
+  let sp = Obs.span_open t.tel.obs cc.tracer (stage_name stage) in
+  let t0 = now t in
   Fun.protect
     ~finally:(fun () ->
-      let dt = now () -. t0 in
-      match bucket with
+      let dt = now t -. t0 in
+      (match stage_bucket stage with
       | `Translate -> cc.timing.translate_s <- cc.timing.translate_s +. dt
       | `Execute -> cc.timing.execute_s <- cc.timing.execute_s +. dt
-      | `Convert -> cc.timing.convert_s <- cc.timing.convert_s +. dt)
+      | `Convert -> cc.timing.convert_s <- cc.timing.convert_s +. dt);
+      Obs.observe t.tel.stage_hists.(stage_index stage) dt;
+      Obs.span_close t.tel.obs cc.tracer sp)
     f
 
 let note_tag cc tag =
@@ -238,7 +424,11 @@ let sync_ddl cc (ast : Ast.statement) (bound : Xtra.statement) =
    per-backend breaker and surface as [Unavailable]. *)
 let submit_backend cc ~sql =
   let t = cc.pipeline in
-  Resilience.call t.resil ?deadline_at:cc.deadline_at (fun () ->
+  Resilience.call t.resil ?deadline_at:cc.deadline_at
+    ~on_retry:(fun () ->
+      Obs.inc t.tel.retries_total;
+      Obs.trace_add_retry cc.tracer)
+    (fun () ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
@@ -250,13 +440,13 @@ let run_bound cc (bound : Xtra.statement) : Backend.result =
   (* transformer ids must not collide with binder ids; the binder counter is
      per-statement so a high floor is simplest *)
   let transformed, applied =
-    timed `Translate cc (fun () ->
+    timed Transform cc (fun () ->
         Transformer.transform ~cap:t.cap ~counter bound)
   in
   cc.transformer_rules <-
     List.map fst applied @ cc.transformer_rules;
   let sql =
-    timed `Translate cc (fun () -> Serializer.serialize ~cap:t.cap transformed)
+    timed Serialize cc (fun () -> Serializer.serialize ~cap:t.cap transformed)
   in
   cc.sql_sent <- sql :: cc.sql_sent;
   match transformed with
@@ -265,7 +455,7 @@ let run_bound cc (bound : Xtra.statement) : Backend.result =
       { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
   | _ ->
       cc.last_no_op <- false;
-      timed `Execute cc (fun () -> submit_backend cc ~sql)
+      timed Execute cc (fun () -> submit_backend cc ~sql)
 
 (* --- emulation dispatch ------------------------------------------------ *)
 
@@ -284,6 +474,9 @@ let make_runner cc run_ast =
         run_bound cc st);
     fresh_name = (fun prefix -> fresh_name cc.pipeline prefix);
     trace = cc.trace;
+    span =
+      (fun name f ->
+        Obs.with_span cc.pipeline.tel.obs cc.tracer ("emulate:" ^ name) f);
   }
 
 (* detect a top-level recursive CTE in a bound statement *)
@@ -329,7 +522,7 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
   | Ast.S_create_macro { name; params; body; replace } ->
       note_tag cc "macros";
       let mname = List.nth name (List.length name - 1) in
-      timed `Translate cc (fun () ->
+      timed Bind cc (fun () ->
           Catalog.add_macro t.vcatalog ~replace
             {
               Catalog.macro_name = mname;
@@ -346,7 +539,7 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
       note_tag cc "updatable_view_ddl";
       let vname = List.nth name (List.length name - 1) in
       (* validate the definition by binding it before storing *)
-      timed `Translate cc (fun () ->
+      timed Bind cc (fun () ->
           let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
           ignore (Binder.bind_statement bctx (Ast.S_select query));
           Catalog.add_view t.vcatalog ~replace
@@ -364,7 +557,7 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
   | Ast.S_create_procedure { name; params; body; replace } ->
       note_tag cc "stored_procedures";
       let pname = List.nth name (List.length name - 1) in
-      timed `Translate cc (fun () ->
+      timed Bind cc (fun () ->
           Catalog.add_procedure t.vcatalog ~replace
             {
               Catalog.proc_name = pname;
@@ -385,7 +578,7 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
       (* answered entirely by the virtualization layer: the algebrized plan
          and the SQL that would be sent to the target *)
       let lines =
-        timed `Translate cc (fun () ->
+        timed Transform cc (fun () ->
             match inner with
             | Ast.S_exec_macro _ | Ast.S_call _ | Ast.S_help _ | Ast.S_show _
             | Ast.S_create_macro _ | Ast.S_drop_macro _
@@ -494,16 +687,16 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
       Emulation.emulate_dml_on_view runner view ast
   (* ---- everything else: bind, then decide ----------------------------- *)
   | ast ->
-      let bind_t0 = now () in
+      let bind_t0 = now t in
       let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
       (* the pre-substitution bound form is what the plan cache stores, so a
          parameterized statement hits under different bindings *)
       let bound0 =
-        timed `Translate cc (fun () -> Binder.bind_statement bctx ast)
+        timed Bind cc (fun () -> Binder.bind_statement bctx ast)
       in
-      let bind_s = now () -. bind_t0 in
+      let bind_s = now t -. bind_t0 in
       let bound =
-        timed `Translate cc (fun () -> substitute_params cc.params bound0)
+        timed Bind cc (fun () -> substitute_params cc.params bound0)
       in
       cc.binder_features <- bctx.Binder.features @ cc.binder_features;
       (match ast with
@@ -575,7 +768,11 @@ let bump_counters t (session : Session.t) =
   Mutex.lock t.lock;
   t.queries_translated <- t.queries_translated + 1;
   session.Session.queries_run <- session.Session.queries_run + 1;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  (* after the unlock: registry calls never run under subsystem locks (the
+     registry's render path takes those locks through its pull collectors,
+     so nesting the other way around would invert the lock order) *)
+  Obs.inc t.tel.queries_total
 
 let cache_key ~cap sql =
   Plan_cache.key ~sql
@@ -597,7 +794,7 @@ let finish_outcome cc ~sql_text (result : Backend.result) : outcome =
   let records =
     if result.Backend.res_rows = [] then []
     else
-      timed `Convert cc (fun () ->
+      timed Convert cc (fun () ->
           let store = Hyperq_tdf.Result_store.create columns in
           Hyperq_tdf.Result_store.add_rows store result.Backend.res_rows;
           Result_converter.convert columns store)
@@ -619,15 +816,56 @@ let finish_outcome cc ~sql_text (result : Backend.result) : outcome =
     out_emulation_trace = List.rev !(cc.trace);
   }
 
+(* Meter a stage that runs before any call context exists (lexing, parsing,
+   the cache probe): span + per-stage histogram, no legacy bucket — the
+   caller folds the elapsed time into [parse_s]/[lookup_s] itself. *)
+let stage_timed t tracer stage f =
+  let sp = Obs.span_open t.tel.obs tracer (stage_name stage) in
+  let t0 = now t in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.observe t.tel.stage_hists.(stage_index stage) (now t -. t0);
+      Obs.span_close t.tel.obs tracer sp)
+    f
+
+(* Start a query trace and guarantee it finishes exactly once — with the
+   rewrite features fired on success, with the error text (and an
+   error-kind counter bump) on failure. Applied at the public entry points
+   only, so emulation re-entering the pipeline never double-counts. *)
+let with_query_telemetry t ~session ~sql f =
+  let tracer =
+    Obs.trace_start t.tel.obs ~session_id:session.Session.session_id ~sql ()
+  in
+  let t0 = now t in
+  match f tracer with
+  | (o : outcome) ->
+      Obs.observe t.tel.query_hist (now t -. t0);
+      Obs.trace_finish t.tel.obs
+        ~features:o.out_observation.Feature_tracker.query_features tracer;
+      o
+  | exception e ->
+      let error =
+        match e with
+        | Sql_error.Error err ->
+            (match List.assoc_opt err.Sql_error.kind t.tel.error_counters with
+            | Some c -> Obs.inc c
+            | None -> ());
+            Sql_error.to_string err
+        | e -> Printexc.to_string e
+      in
+      Obs.observe t.tel.query_hist (now t -. t0);
+      Obs.trace_finish t.tel.obs ~error tracer;
+      raise e
+
 (* Replay a cached translation. Param-free entries skip straight to
    execution of the stored target SQL; parameterized entries substitute the
    fresh bindings into the stored bound form and re-run only
    transform + serialize. [lookup_s] (the cache probe) is all that remains
    of the translate bucket on the fast path. *)
-let run_cached t ~session ~params ~sql_text ~lookup_s
+let run_cached t ~tracer ~session ~params ~sql_text ~lookup_s
     (entry : Plan_cache.entry) : outcome =
   bump_counters t session;
-  let cc = make_cc t session params in
+  let cc = make_cc ~tracer t session params in
   cc.timing.translate_s <- lookup_s;
   cc.binder_features <- entry.Plan_cache.e_binder_features;
   let result =
@@ -640,11 +878,11 @@ let run_cached t ~session ~params ~sql_text ~lookup_s
         if plan.Plan_cache.p_no_op then
           { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "OK" }
         else
-          timed `Execute cc (fun () ->
+          timed Execute cc (fun () ->
               submit_backend cc ~sql:plan.Plan_cache.p_target_sql)
     | None ->
         let bound =
-          timed `Translate cc (fun () ->
+          timed Bind cc (fun () ->
               substitute_params params entry.Plan_cache.e_bound)
         in
         run_bound cc bound
@@ -654,8 +892,9 @@ let run_cached t ~session ~params ~sql_text ~lookup_s
 (* The uncached path: run the statement and store any captured translation
    under the catalog version observed before the statement ran (a concurrent
    DDL then simply leaves a stale entry that the next lookup invalidates). *)
-let run_uncached t ~session ~params ~sql_text ~parse_s ~version ast : outcome =
-  let cc = make_cc t session params in
+let run_uncached t ~tracer ~session ~params ~sql_text ~parse_s ~version ast :
+    outcome =
+  let cc = make_cc ~tracer t session params in
   cc.parse_s <- parse_s;
   cc.timing.translate_s <- parse_s;
   let result = run_ast_statement cc ast in
@@ -669,40 +908,70 @@ let run_uncached t ~session ~params ~sql_text ~parse_s ~version ast : outcome =
     scale-out). Checks the plan cache by [sql_text] — a hit skips
     bind/transform/serialize; the parse already paid for by the caller is
     reported via [parse_s]. *)
-let run_statement_ast t ?(session = Session.create ()) ?(params = [])
-    ?(parse_s = 0.) ~sql_text ast : outcome =
+let run_statement_ast t ?session ?(params = []) ?(parse_s = 0.) ~sql_text ast
+    : outcome =
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Session.create ~created_at:(now t) ()
+  in
+  with_query_telemetry t ~session ~sql:sql_text @@ fun tracer ->
   let version = Catalog.version t.vcatalog in
-  let t0 = now () in
-  match Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql_text) with
+  let t0 = now t in
+  match
+    stage_timed t tracer Cache_lookup (fun () ->
+        Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql_text))
+  with
   | Some entry ->
-      let lookup_s = now () -. t0 in
-      run_cached t ~session ~params ~sql_text ~lookup_s:(parse_s +. lookup_s)
-        entry
+      Obs.trace_set_cache_hit tracer true;
+      let lookup_s = now t -. t0 in
+      run_cached t ~tracer ~session ~params ~sql_text
+        ~lookup_s:(parse_s +. lookup_s) entry
   | None ->
       bump_counters t session;
-      run_uncached t ~session ~params ~sql_text ~parse_s ~version ast
+      run_uncached t ~tracer ~session ~params ~sql_text ~parse_s ~version ast
 
 (** Run one source-dialect SQL statement end to end. [params] binds
     positional [?] markers, left to right. On a plan-cache hit the parse is
     skipped along with the rest of the translation. *)
-let run_sql t ?(session = Session.create ()) ?(params = []) sql : outcome =
+let run_sql t ?session ?(params = []) sql : outcome =
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Session.create ~created_at:(now t) ()
+  in
+  with_query_telemetry t ~session ~sql @@ fun tracer ->
   let version = Catalog.version t.vcatalog in
-  let t0 = now () in
-  match Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql) with
+  let t0 = now t in
+  match
+    stage_timed t tracer Cache_lookup (fun () ->
+        Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql))
+  with
   | Some entry ->
-      let lookup_s = now () -. t0 in
-      run_cached t ~session ~params ~sql_text:sql ~lookup_s entry
+      Obs.trace_set_cache_hit tracer true;
+      let lookup_s = now t -. t0 in
+      run_cached t ~tracer ~session ~params ~sql_text:sql ~lookup_s entry
   | None ->
       bump_counters t session;
-      let t0 = now () in
-      let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
-      let parse_s = now () -. t0 in
-      run_uncached t ~session ~params ~sql_text:sql ~parse_s ~version ast
+      let t0 = now t in
+      let tokens = stage_timed t tracer Lex (fun () -> Lexer.tokenize sql) in
+      let ast =
+        stage_timed t tracer Parse (fun () ->
+            Parser.parse_statement_tokens ~dialect:Dialect.Teradata tokens)
+      in
+      let parse_s = now t -. t0 in
+      run_uncached t ~tracer ~session ~params ~sql_text:sql ~parse_s ~version
+        ast
 
 (** Run a [;]-separated script; returns one outcome per statement. Each
     statement's own source text (not the whole script) is attributed to its
     observation and plan-cache entry. *)
-let run_script t ?(session = Session.create ()) sql : outcome list =
+let run_script t ?session sql : outcome list =
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Session.create ~created_at:(now t) ()
+  in
   let spanned = Parser.parse_many_spanned ~dialect:Dialect.Teradata sql in
   List.map
     (fun (ast, text) -> run_statement_ast t ~session ~sql_text:text ast)
@@ -759,8 +1028,12 @@ let batch_single_row_dml (asts : Ast.statement list) : Ast.statement list * int
 (** [run_script] with contiguous single-row INSERTs coalesced into multi-row
     statements before translation. Returns one outcome per *executed*
     statement plus the number of original statements absorbed. *)
-let run_script_batched t ?(session = Session.create ()) sql :
-    outcome list * int =
+let run_script_batched t ?session sql : outcome list * int =
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Session.create ~created_at:(now t) ()
+  in
   let spanned = Parser.parse_many_spanned ~dialect:Dialect.Teradata sql in
   let spanned, merged = batch_single_row_dml_spanned spanned in
   ( List.map
@@ -785,7 +1058,7 @@ let translate t ?(cap = t.cap) sql : string =
       let transformed, _ = Transformer.transform ~cap ~counter e_bound in
       Serializer.serialize ~cap transformed
   | None ->
-      let t0 = now () in
+      let t0 = now t in
       let ast = Parser.parse_statement ~dialect:Dialect.Teradata sql in
       (match ast with
       | Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ }
@@ -797,11 +1070,11 @@ let translate t ?(cap = t.cap) sql : string =
       | _ -> ());
       let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
       let bound = Binder.bind_statement bctx ast in
-      let bind_s = now () -. t0 in
+      let bind_s = now t -. t0 in
       let counter = ref 1_000_000 in
       let transformed, applied = Transformer.transform ~cap ~counter bound in
       let target_sql = Serializer.serialize ~cap transformed in
-      let translate_s = now () -. t0 in
+      let translate_s = now t -. t0 in
       if cacheable_bound ~cap t.vcatalog bound then begin
         let has_params = Plan_cache.bound_has_params bound in
         Plan_cache.add t.cache ~version key

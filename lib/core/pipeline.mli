@@ -15,6 +15,39 @@ type timings = {
   mutable convert_s : float;  (** TDF packaging + WP-A record conversion *)
 }
 
+(** Fine-grained pipeline stages; each is a span on the query trace and a
+    cell of the [hyperq_pipeline_stage_seconds] histogram. The coarse
+    Figure 9 buckets in {!timings} are derived from them ([Execute] →
+    execute, [Convert] → convert, everything else → translate). *)
+type stage =
+  | Lex
+  | Parse
+  | Cache_lookup
+  | Bind
+  | Transform
+  | Serialize
+  | Execute
+  | Convert
+
+val stage_name : stage -> string
+val stage_index : stage -> int
+val all_stages : stage list
+
+(** Pre-built metric handles into the pipeline's registry (see
+    {!Hyperq_obs.Obs}); benches read the stage histograms through these. *)
+type telemetry = {
+  obs : Hyperq_obs.Obs.t;
+  stage_hists : Hyperq_obs.Obs.histogram array;
+      (** indexed by {!stage_index} *)
+  query_hist : Hyperq_obs.Obs.histogram;  (** end-to-end statement latency *)
+  queries_total : Hyperq_obs.Obs.counter;
+  retries_total : Hyperq_obs.Obs.counter;
+  error_counters :
+    (Hyperq_sqlvalue.Sql_error.kind * Hyperq_obs.Obs.counter) list;
+      (** one counter per error kind, pre-registered so all ten kinds render
+          (at zero) before any failure occurs *)
+}
+
 type t = {
   vcatalog : Hyperq_catalog.Catalog.t;  (** virtual (source-side) catalog *)
   backend : Hyperq_engine.Backend.t;  (** the target warehouse substrate *)
@@ -22,6 +55,9 @@ type t = {
   odbc : Odbc_server.t;
   cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
   resil : Resilience.t;  (** retry/backoff + circuit breaker for the backend *)
+  tel : telemetry;  (** metric handles into the pipeline's registry *)
+  clock : Hyperq_obs.Obs.clock;
+      (** time source for stage timing and session stamps (the registry's) *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   mutable temp_counter : int;
   mutable queries_translated : int;  (** guarded by [lock] *)
@@ -40,22 +76,32 @@ type outcome = {
   out_emulation_trace : string list;  (** §6-style step log, when emulated *)
 }
 
-(** [create ~cap ~request_latency_s ~plan_cache_capacity ~fault ~resil ()]
-    builds a pipeline over a fresh backend engine. [cap] selects the target
-    profile (default: the executing [ansi_engine]); [request_latency_s]
-    simulates a per-request round trip (default 0; used by the DML-batching
-    ablation); [plan_cache_capacity] bounds the translation cache (default
-    512; 0 disables caching); [fault] installs a fault-injection shim on the
-    backend request path; [resil] supplies the resilience executor (default:
-    {!Resilience.create} with the default policy and real clock). *)
+(** [create ~cap ~request_latency_s ~plan_cache_capacity ~fault ~resil ~obs
+    ~obs_labels ()] builds a pipeline over a fresh backend engine. [cap]
+    selects the target profile (default: the executing [ansi_engine]);
+    [request_latency_s] simulates a per-request round trip (default 0; used
+    by the DML-batching ablation); [plan_cache_capacity] bounds the
+    translation cache (default 512; 0 disables caching); [fault] installs a
+    fault-injection shim on the backend request path; [resil] supplies the
+    resilience executor (default: {!Resilience.create} with the default
+    policy and real clock). [obs] supplies the observability registry
+    (default: a fresh enabled one; pass {!Hyperq_obs.Obs.noop} to disable
+    telemetry); [obs_labels] is baked into every metric this pipeline
+    registers (scale-out passes [("replica", i)]). The pipeline's stage
+    timing runs on the registry's clock. *)
 val create :
   ?cap:Hyperq_transform.Capability.t ->
   ?request_latency_s:float ->
   ?plan_cache_capacity:int ->
   ?fault:Hyperq_engine.Fault.t ->
   ?resil:Resilience.t ->
+  ?obs:Hyperq_obs.Obs.t ->
+  ?obs_labels:(string * string) list ->
   unit ->
   t
+
+(** The pipeline's observability registry. *)
+val obs : t -> Hyperq_obs.Obs.t
 
 (** Run one source-dialect (Teradata) SQL statement end to end. [params]
     binds positional [?] markers left to right; [session] carries settings,
@@ -96,10 +142,14 @@ val run_script_batched :
     plan cache. *)
 val translate : t -> ?cap:Hyperq_transform.Capability.t -> string -> string
 
-(** Counters of the pipeline's translation cache. *)
+(** Counters of the pipeline's translation cache. Thin view over
+    {!Plan_cache.stats}; the same numbers are exported through the registry
+    as [hyperq_plan_cache_*] via pull collectors. *)
 val cache_stats : t -> Plan_cache.stats
 
-(** Retry/breaker counters of the pipeline's resilience layer. *)
+(** Retry/breaker counters of the pipeline's resilience layer. Thin view
+    over {!Resilience.stats}; exported as [hyperq_resilience_events_total]
+    and [hyperq_breaker_state] via pull collectors. *)
 val resilience_stats : t -> Resilience.stats
 
 (** Current state of the backend circuit breaker. *)

@@ -7,14 +7,16 @@
 
 open Hyperq_sqlvalue
 
-type clock = { now : unit -> float; sleep : float -> unit }
+(* The clock now lives in the observability library so spans, backoff
+   schedules and session timestamps all advance together; the alias keeps
+   [Resilience.clock] (and its field accesses) source-compatible. *)
+type clock = Hyperq_obs.Obs.clock = {
+  now : unit -> float;
+  sleep : float -> unit;
+}
 
-let real_clock =
-  { now = Unix.gettimeofday; sleep = (fun s -> if s > 0. then Unix.sleepf s) }
-
-let fake_clock ?(start = 0.) () =
-  let t = ref start in
-  { now = (fun () -> !t); sleep = (fun s -> if s > 0. then t := !t +. s) }
+let real_clock = Hyperq_obs.Obs.real_clock
+let fake_clock = Hyperq_obs.Obs.fake_clock
 
 type retry_policy = {
   max_attempts : int;
@@ -111,6 +113,7 @@ let create ?(policy = default_policy) ?(seed = 0x5EED) ?(clock = real_clock)
 
 let policy t = t.pol
 let now t = t.clock.now ()
+let clock t = t.clock
 let enabled t = t.on
 
 let locked t f =
@@ -192,7 +195,7 @@ let breaker_state t = locked t (fun () -> t.state)
 
 let transient (e : Sql_error.t) = e.Sql_error.kind = Sql_error.Transient_error
 
-let call t ?deadline_at f =
+let call t ?deadline_at ?(on_retry = fun () -> ()) f =
   if not t.on then f ()
   else begin
     let deadline_at =
@@ -243,6 +246,9 @@ let call t ?deadline_at f =
               | _ ->
                   t.clock.sleep delay;
                   locked t (fun () -> t.retries <- t.retries + 1);
+                  (* outside [lock]: the hook may record telemetry, whose
+                     registry lock must never nest inside ours *)
+                  on_retry ();
                   attempt (n + 1)
             end
     in

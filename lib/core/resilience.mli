@@ -12,9 +12,14 @@
     spend on retries. The clock and the jitter RNG are injectable so every
     schedule is reproducible in tests. *)
 
-(** Time source. [sleep] advances [now] in fake clocks, so backoff schedules
-    are observable without real waiting. *)
-type clock = { now : unit -> float; sleep : float -> unit }
+(** Time source — an alias of {!Hyperq_obs.Obs.clock}, so the whole stack
+    (spans, backoff schedules, session timestamps) shares one injectable
+    clock. [sleep] advances [now] in fake clocks, so backoff schedules are
+    observable without real waiting. *)
+type clock = Hyperq_obs.Obs.clock = {
+  now : unit -> float;
+  sleep : float -> unit;
+}
 
 val real_clock : clock
 
@@ -69,6 +74,10 @@ val create :
 
 val policy : t -> policy
 val now : t -> float
+
+(** The executor's injected time source (shared with telemetry spans). *)
+val clock : t -> clock
+
 val enabled : t -> bool
 
 (** Current breaker state ([Open] is reported until a call actually probes,
@@ -84,13 +93,17 @@ val would_admit : t -> bool
     the executor's deterministic RNG. *)
 val backoff_delay : t -> attempt:int -> float
 
-(** [call t ~deadline_at f] runs [f] under the policy: transient errors are
-    retried with backoff while the breaker admits and the deadline (absolute
-    clock time) allows. Raises [Sql_error] [Unavailable] when the breaker is
-    open, retries are exhausted, or the deadline would be exceeded. Non-
-    transient errors pass through untouched and do not count against the
-    breaker (a bind error is the backend working fine). *)
-val call : t -> ?deadline_at:float -> (unit -> 'a) -> 'a
+(** [call t ~deadline_at ~on_retry f] runs [f] under the policy: transient
+    errors are retried with backoff while the breaker admits and the
+    deadline (absolute clock time) allows. [on_retry] fires once per
+    backoff-then-retry cycle, after the sleep and outside the executor's
+    lock (the pipeline uses it to count retries on the query trace). Raises
+    [Sql_error] [Unavailable] when the breaker is open, retries are
+    exhausted, or the deadline would be exceeded. Non-transient errors pass
+    through untouched and do not count against the breaker (a bind error is
+    the backend working fine). *)
+val call :
+  t -> ?deadline_at:float -> ?on_retry:(unit -> unit) -> (unit -> 'a) -> 'a
 
 type stats = {
   st_attempts : int;  (** backend calls actually issued *)

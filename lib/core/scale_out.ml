@@ -56,33 +56,76 @@ type t = {
   mutable last_divergence : divergence option;
 }
 
+module Obs = Hyperq_obs.Obs
+
 let create ?(cap = Capability.ansi_engine) ?(policy = Resilience.default_policy)
-    ?(clock = Resilience.real_clock) ?(seed = 0x5CA1E) ~replicas () =
+    ?(clock = Resilience.real_clock) ?(seed = 0x5CA1E) ?obs ~replicas () =
   if replicas < 1 then invalid_arg "Scale_out.create: need at least 1 replica";
+  (* one registry shared by all replicas; each replica's pipeline bakes a
+     ("replica", i) label into its metrics so the families don't collide *)
+  let obs = match obs with Some o -> o | None -> Obs.create ~clock () in
   let mk i =
     let injector = Fault.create ~seed:(seed + i) ~sleep:clock.Resilience.sleep () in
     let resil = Resilience.create ~policy ~seed:(seed + i) ~clock () in
     {
-      pipeline = Pipeline.create ~cap ~fault:injector ~resil ();
-      session = Session.create ();
+      pipeline =
+        Pipeline.create ~cap ~fault:injector ~resil ~obs
+          ~obs_labels:[ ("replica", string_of_int i) ]
+          ();
+      session = Session.create ~created_at:(clock.Resilience.now ()) ();
       injector;
       resil;
       applied_writes = 0;
     }
   in
-  {
-    replicas = Array.init replicas mk;
-    lock = Mutex.create ();
-    next = 0;
-    write_log = [];
-    write_count = 0;
-    reads_routed = 0;
-    writes_fanned_out = 0;
-    failovers = 0;
-    divergences = 0;
-    resyncs = 0;
-    last_divergence = None;
-  }
+  let t =
+    {
+      replicas = Array.init replicas mk;
+      lock = Mutex.create ();
+      next = 0;
+      write_log = [];
+      write_count = 0;
+      reads_routed = 0;
+      writes_fanned_out = 0;
+      failovers = 0;
+      divergences = 0;
+      resyncs = 0;
+      last_divergence = None;
+    }
+  in
+  (* Router gauges/counters, sampled at render time. The closures read the
+     router's fields without taking [t.lock] — single word reads, and the
+     registry render must not nest the router lock (collectors registered by
+     each replica's pipeline already sample replica-local state). *)
+  let n = Array.length t.replicas in
+  Obs.register_collector obs ~kind:`Gauge
+    ~help:"Writes each replica is behind the fanned-out write log"
+    "hyperq_replica_lag" (fun () ->
+      List.init n (fun i ->
+          ( [ ("replica", string_of_int i) ],
+            float_of_int (t.write_count - t.replicas.(i).applied_writes) )));
+  Obs.register_collector obs ~kind:`Gauge
+    ~help:"1 when the replica is in sync and its breaker admits requests"
+    "hyperq_replica_healthy" (fun () ->
+      List.init n (fun i ->
+          ( [ ("replica", string_of_int i) ],
+            if
+              t.write_count = t.replicas.(i).applied_writes
+              && Resilience.would_admit t.replicas.(i).resil
+            then 1.
+            else 0. )));
+  Obs.register_collector obs ~kind:`Counter
+    ~help:"Scale-out router events" "hyperq_scaleout_events_total" (fun () ->
+      [
+        ([ ("event", "read_routed") ], float_of_int t.reads_routed);
+        ([ ("event", "write_fanned_out") ], float_of_int t.writes_fanned_out);
+        ([ ("event", "failover") ], float_of_int t.failovers);
+        ([ ("event", "divergence") ], float_of_int t.divergences);
+        ([ ("event", "resync") ], float_of_int t.resyncs);
+      ]);
+  t
+
+let obs t = Pipeline.obs t.replicas.(0).pipeline
 
 let replica_count t = Array.length t.replicas
 let pipeline t i = t.replicas.(i).pipeline

@@ -16,17 +16,24 @@ open Hyperq_sqlvalue
 
 type t
 
-(** [create ~cap ~policy ~clock ~seed ~replicas ()] — every replica gets its
-    own pipeline, fault injector and resilience executor (seeded [seed + i])
-    sharing [clock], so failure timelines are reproducible. *)
+(** [create ~cap ~policy ~clock ~seed ~obs ~replicas ()] — every replica
+    gets its own pipeline, fault injector and resilience executor (seeded
+    [seed + i]) sharing [clock], so failure timelines are reproducible. All
+    replicas report into one observability registry ([obs], default a fresh
+    one on [clock]) with a [replica] label per instance; the router adds
+    per-replica lag/health gauges and its own event counters. *)
 val create :
   ?cap:Hyperq_transform.Capability.t ->
   ?policy:Resilience.policy ->
   ?clock:Resilience.clock ->
   ?seed:int ->
+  ?obs:Hyperq_obs.Obs.t ->
   replicas:int ->
   unit ->
   t
+
+(** The registry shared by the router and every replica pipeline. *)
+val obs : t -> Hyperq_obs.Obs.t
 
 val replica_count : t -> int
 

@@ -31,7 +31,9 @@ let default_settings =
     ("DEFAULT_DATABASE", "DBC");
   ]
 
-let create ?(username = "HYPERQ") () =
+(* [created_at] lets the gateway/pipeline stamp sessions from their
+   injectable clock; the wall clock is only a fallback for bare callers *)
+let create ?(username = "HYPERQ") ?created_at () =
   incr counter;
   {
     session_id = !counter;
@@ -41,7 +43,8 @@ let create ?(username = "HYPERQ") () =
     volatile_tables = [];
     queries_run = 0;
     deadline_s = None;
-    created_at = Unix.gettimeofday ();
+    created_at =
+      (match created_at with Some c -> c | None -> Unix.gettimeofday ());
   }
 
 let set_setting t name value =

@@ -17,7 +17,11 @@ type t = {
   created_at : float;
 }
 
-val create : ?username:string -> unit -> t
+(** [create ~username ~created_at ()] — [created_at] should come from the
+    caller's injectable clock (gateway/pipeline pass theirs), so session
+    timestamps are deterministic under fake time; bare callers fall back to
+    the wall clock. *)
+val create : ?username:string -> ?created_at:float -> unit -> t
 val set_setting : t -> string -> string -> unit
 val get_setting : t -> string -> string option
 val register_volatile : t -> string -> unit

@@ -1740,6 +1740,15 @@ let parse_statement ~dialect input =
   check_eof p;
   s
 
+(** Parse one statement from an already-lexed token stream. Lets callers
+    that meter the pipeline attribute lexing and parsing separately. *)
+let parse_statement_tokens ~dialect tokens =
+  let p = { tokens = Array.of_list tokens; pos = 0; dialect } in
+  let s = parse_statement_after_keyword p in
+  finish_one p;
+  check_eof p;
+  s
+
 (** Parse a [;]-separated statement sequence. *)
 let parse_many ~dialect input =
   let p = make ~dialect input in

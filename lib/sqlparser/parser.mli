@@ -10,6 +10,12 @@
 (** Parse exactly one statement (an optional trailing [;] is consumed). *)
 val parse_statement : dialect:Dialect.t -> string -> Ast.statement
 
+(** Parse one statement from tokens produced by [Lexer.tokenize]. Callers
+    that meter the pipeline use this to time lexing and parsing as separate
+    stages. *)
+val parse_statement_tokens :
+  dialect:Dialect.t -> Token.t list -> Ast.statement
+
 (** Parse a [;]-separated statement sequence. *)
 val parse_many : dialect:Dialect.t -> string -> Ast.statement list
 

@@ -18,4 +18,5 @@ let () =
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("resilience", Test_resilience.suite);
+      ("obs", Test_obs.suite);
     ]
