@@ -8,7 +8,7 @@
    Scale factor:        HYPERQ_SF=0.02 dune exec bench/main.exe -- fig9a
 
    Experiment ids: table1 fig2 fig8a fig8b baseline table2 fig9a fig9b
-   targets ablation cache resilience telemetry micro *)
+   targets ablation cache resilience telemetry analyze micro *)
 
 open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
@@ -693,6 +693,96 @@ let telemetry () =
   Printf.printf "(targets: <1%% disabled, <3%% enabled)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Offline workload compatibility analysis (lib/analyze)                *)
+(* ------------------------------------------------------------------ *)
+
+let analyze () =
+  hr "Analyze: offline workload compatibility (no execution)";
+  let module Analyzer = Hyperq_analyze.Analyzer in
+  let scripts =
+    [
+      ( "health",
+        String.concat ";\n"
+          (Customer.health_setup @ Customer.health_queries ()) );
+      ( "telco",
+        String.concat ";\n" (Customer.telco_setup @ Customer.telco_queries ())
+      );
+      ("tpch", String.concat ";\n" (Tpch.ddl @ List.map snd Tpch_queries.all));
+    ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.map
+      (fun (name, sql) -> Analyzer.analyze_script ~script_name:name sql)
+      scripts
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stmts =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Analyzer.rep_statements)
+      0 reports
+  in
+  List.iter
+    (fun rep ->
+      Printf.printf "%s: %d statements\n" rep.Analyzer.rep_script
+        (List.length rep.Analyzer.rep_statements);
+      List.iter
+        (fun ts ->
+          Printf.printf "  %-18s direct %4d  rewrite %4d  emulate %4d  \
+                         unsupported %4d  compat %5.1f%%\n"
+            ts.Analyzer.ts_name ts.Analyzer.ts_direct ts.Analyzer.ts_rewrite
+            ts.Analyzer.ts_emulate ts.Analyzer.ts_unsupported
+            ts.Analyzer.ts_compat_pct)
+        (Analyzer.summarize rep))
+    reports;
+  Printf.printf
+    "%d statements x %d targets analyzed in %.3f s (%.0f statements/s)\n"
+    stmts
+    (List.length Analyzer.default_targets)
+    elapsed
+    (float_of_int stmts /. elapsed);
+  let errors =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + List.length
+            (List.filter
+               (fun d ->
+                 d.Hyperq_analyze.Diag.severity = Hyperq_analyze.Diag.Error)
+               (Analyzer.all_diags r)))
+      0 reports
+  in
+  write_json "BENCH_analyze.json"
+    (Printf.sprintf
+       "{\"experiment\": \"analyze\", \"statements\": %d, \"targets\": %d, \
+        \"elapsed_s\": %.6f, \"statements_per_s\": %.1f, \"error_diags\": \
+        %d, \"reports\": [%s]}"
+       stmts
+       (List.length Analyzer.default_targets)
+       elapsed
+       (float_of_int stmts /. elapsed)
+       errors
+       (String.concat ","
+          (List.map
+             (fun rep ->
+               Printf.sprintf "{\"script\": \"%s\", \"targets\": [%s]}"
+                 rep.Analyzer.rep_script
+                 (String.concat ","
+                    (List.map
+                       (fun ts ->
+                         Printf.sprintf
+                           "{\"name\": \"%s\", \"direct\": %d, \"rewrite\": \
+                            %d, \"emulate\": %d, \"unsupported\": %d, \
+                            \"compat_pct\": %.1f}"
+                           ts.Analyzer.ts_name ts.Analyzer.ts_direct
+                           ts.Analyzer.ts_rewrite ts.Analyzer.ts_emulate
+                           ts.Analyzer.ts_unsupported ts.Analyzer.ts_compat_pct)
+                       (Analyzer.summarize rep))))
+             reports)));
+  if errors > 0 then Printf.printf "!! %d error diagnostic(s)\n" errors
+  else Printf.printf "(all statements parse, bind, and validate clean)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the translation stages                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -785,6 +875,7 @@ let experiments =
     ("cache", cache);
     ("resilience", resilience);
     ("telemetry", telemetry);
+    ("analyze", analyze);
     ("micro", micro);
   ]
 

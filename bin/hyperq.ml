@@ -7,6 +7,7 @@
      hyperq run -e "SEL ..."              one statement
      hyperq script FILE.sql               run a ;-separated script
      hyperq translate --target nimbus -e "SEL ..."   print target SQL only
+     hyperq analyze FILE.sql [--json]     offline compatibility report
      hyperq targets                       list modeled target profiles
      hyperq tpch --sf 0.005               load TPC-H and drop into the repl *)
 
@@ -15,6 +16,17 @@ module Pipeline = Hyperq_core.Pipeline
 module Session = Hyperq_core.Session
 module Capability = Hyperq_transform.Capability
 module Obs = Hyperq_obs.Obs
+module Analyzer = Hyperq_analyze.Analyzer
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let analyze_file ?targets file =
+  Analyzer.analyze_script ?targets ~script_name:file (read_file file)
 
 let render_outcome ?(verbose = false) (o : Pipeline.outcome) =
   if o.Pipeline.out_schema <> [] then begin
@@ -69,7 +81,8 @@ let repl pipeline verbose =
     "type \\q to quit, \\timing to toggle timing output, \\cache for plan-cache \
      stats, \\health for breaker/retry counters, \\metrics for Prometheus \
      exposition, \\trace [n] for recent query traces, \\slow [ms] for the \
-     slow-query log/threshold";
+     slow-query log/threshold, \\analyze FILE.sql for an offline \
+     compatibility report";
   let timing = ref verbose in
   let buffer = Buffer.create 256 in
   let obs = Pipeline.obs pipeline in
@@ -106,6 +119,15 @@ let repl pipeline verbose =
             | _ -> 5
         in
         print_traces (Obs.recent_traces ~n obs);
+        loop ()
+    | line when String.length line > 9 && String.sub line 0 9 = "\\analyze " ->
+        let file = String.trim (String.sub line 9 (String.length line - 9)) in
+        (if not (Sys.file_exists file) then
+           Printf.printf "no such file: %s\n" file
+         else
+           match Sql_error.protect (fun () -> analyze_file file) with
+           | Ok rep -> print_string (Analyzer.render_text rep)
+           | Error e -> Printf.printf "!! %s\n" (Sql_error.to_string e));
         loop ()
     | line when line = "\\slow" || String.length line > 6
                                    && String.sub line 0 6 = "\\slow " ->
@@ -253,6 +275,58 @@ let translate_cmd =
              --ddl to prime the catalog with a schema script first.")
     Term.(const run $ target_arg $ ddl_arg $ sql_arg)
 
+let analyze_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.sql")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let targets_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "t"; "target" ] ~docv:"TARGET"
+          ~doc:"Target profile(s) to assess (repeatable; default: all).")
+  in
+  let run json target_names file =
+    let targets =
+      match target_names with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun name ->
+                 match Capability.find name with
+                 | Some cap -> cap
+                 | None ->
+                     Printf.eprintf "unknown target %s; try: %s\n" name
+                       (String.concat ", "
+                          (List.map
+                             (fun c -> c.Capability.name)
+                             Capability.all_targets));
+                     exit 1)
+               names)
+    in
+    match Sql_error.protect (fun () -> analyze_file ?targets file) with
+    | Error e ->
+        Printf.eprintf "!! %s\n" (Sql_error.to_string e);
+        exit 1
+    | Ok rep ->
+        print_string
+          (if json then Analyzer.render_json rep else Analyzer.render_text rep);
+        if Analyzer.has_errors rep then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Offline workload compatibility analysis: classify every \
+             statement of a SQL script (direct / rewrite / emulate / \
+             unsupported) per target, with lint and plan-validator \
+             diagnostics — no execution. Exits 1 if any statement fails to \
+             parse, bind, or validate.")
+    Term.(const run $ json_arg $ targets_arg $ file_arg)
+
 let targets_cmd =
   let run () =
     List.iter
@@ -283,4 +357,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "hyperq" ~version:"1.0.0" ~doc)
-          [ repl_cmd; run_cmd; script_cmd; translate_cmd; targets_cmd; tpch_cmd ]))
+          [
+            repl_cmd; run_cmd; script_cmd; translate_cmd; analyze_cmd;
+            targets_cmd; tpch_cmd;
+          ]))

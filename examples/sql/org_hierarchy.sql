@@ -1,0 +1,32 @@
+-- Hyper-Q workload analysis demo: recursive hierarchy traversal.
+-- Recursive CTEs are native on some targets and emulated by iterative
+-- middle-tier execution (paper section 6) on others; the analyzer report
+-- shows which targets need the emulation path.
+
+CREATE TABLE EMPLOYEES (
+  EMP_ID INTEGER NOT NULL,
+  MGR_ID INTEGER,
+  NAME VARCHAR(40),
+  HIRED DATE,
+  SALARY DECIMAL(10,2)
+);
+
+INSERT INTO EMPLOYEES (EMP_ID, MGR_ID, NAME, HIRED, SALARY)
+  VALUES (1, NULL, 'CEO', DATE '2010-01-04', 300000);
+
+WITH RECURSIVE REPORTS (EMP_ID, MGR_ID) AS (
+  SEL EMP_ID, MGR_ID FROM EMPLOYEES WHERE MGR_ID IS NULL
+  UNION ALL
+  SEL E.EMP_ID, E.MGR_ID FROM EMPLOYEES E, REPORTS R WHERE E.MGR_ID = R.EMP_ID
+)
+SEL EMP_ID FROM REPORTS;
+
+-- Vector subquery (paper section 5.3): rewritten to EXISTS on targets
+-- without scalar-subquery-in-comparison support.
+SELECT NAME FROM EMPLOYEES
+ WHERE SALARY = (SELECT MAX(SALARY) FROM EMPLOYEES);
+
+SELECT NAME, RANK() OVER (ORDER BY SALARY DESC) FROM EMPLOYEES QUALIFY RANK() OVER (ORDER BY SALARY DESC) <= 10;
+
+-- Teradata null-handling shorthand.
+SELECT NVL(MGR_ID, 0), COUNT(*) FROM EMPLOYEES GROUP BY 1;

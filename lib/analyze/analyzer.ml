@@ -1,0 +1,603 @@
+(** Offline workload compatibility analyzer (paper §2.1, Figure 2).
+
+    Scans a SQL script without executing anything: each statement is parsed,
+    fingerprinted with {!Feature_tracker} signals, bound against a virtual
+    catalog maintained from the script's own DDL, and joined against every
+    {!Capability.t} profile to classify how Hyper-Q would serve it on that
+    target:
+
+    - [Direct]: passes through with at most syntactic re-rendering;
+    - [Rewrite]: needs binder/transformer rewrites (single statement out);
+    - [Emulate]: needs the multi-statement/stateful middle tier (§6);
+    - [Unsupported]: cannot be served (parse/bind failure).
+
+    On top of the classification it runs the {!Validator} over every bound
+    plan (and over each target's transformed plan) and a set of lint rules
+    for porting hazards; the aggregate report reproduces the Figure 2
+    support percentages straight from the live capability matrices. *)
+
+open Hyperq_sqlvalue
+module Ast = Hyperq_sqlparser.Ast
+module Dialect = Hyperq_sqlparser.Dialect
+module Parser = Hyperq_sqlparser.Parser
+module Xtra = Hyperq_xtra.Xtra
+module Catalog = Hyperq_catalog.Catalog
+module Binder = Hyperq_binder.Binder
+module Transformer = Hyperq_transform.Transformer
+module Capability = Hyperq_transform.Capability
+module Serializer = Hyperq_serialize.Serializer
+
+type support = Direct | Rewrite | Emulate | Unsupported
+
+let support_to_string = function
+  | Direct -> "direct"
+  | Rewrite -> "rewrite"
+  | Emulate -> "emulate"
+  | Unsupported -> "unsupported"
+
+type stmt_report = {
+  sr_index : int;
+  sr_kind : string;  (** {!Ast.statement_kind}, or ["PARSE ERROR"] *)
+  sr_span : int * int;  (** byte span of the statement in the script *)
+  sr_features : string list;  (** tracked features the statement exercises *)
+  sr_support : (string * support) list;  (** per-target classification *)
+  sr_rules : (string * string list) list;
+      (** per-target transformer rules that fired *)
+  sr_diags : Diag.t list;
+}
+
+type target_summary = {
+  ts_name : string;
+  ts_direct : int;
+  ts_rewrite : int;
+  ts_emulate : int;
+  ts_unsupported : int;
+  ts_compat_pct : float;  (** share of statements served at all *)
+}
+
+type report = {
+  rep_script : string;
+  rep_targets : Capability.t list;
+  rep_statements : stmt_report list;
+  rep_script_diags : Diag.t list;  (** script-level (e.g. parse failure) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Feature → capability join                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Is the observed feature signal natively available on the target, i.e.
+   servable without a rewrite? Unknown signals conservatively require a
+   rewrite. The reference profile serves its own dialect natively. *)
+let feature_native (cap : Capability.t) feature =
+  if cap.Capability.name = "teradata" then true
+  else
+    match feature with
+    | "qualify" -> cap.Capability.qualify_clause
+    | "implicit_join" -> cap.Capability.implicit_joins
+    | "chained_projection" -> cap.Capability.named_expressions
+    | "derived_table_column_aliases" ->
+        cap.Capability.derived_table_column_aliases
+    | "merge" -> cap.Capability.merge_stmt
+    | "recursive_query" -> cap.Capability.recursive_cte
+    | "set_tables" -> cap.Capability.set_tables
+    | "macros" -> cap.Capability.macros
+    | "period_type" -> cap.Capability.period_type
+    | "vector_subquery" -> cap.Capability.vector_subquery
+    | "olap_grouping_extensions" -> cap.Capability.grouping_sets
+    | "top_n" -> cap.Capability.top_n
+    | "date_int_comparison" -> cap.Capability.date_int_comparison
+    | "ordinal_group_by" | "ordinal_order_by" -> cap.Capability.ordinal_group_by
+    | "casespecific_columns" | "case_insensitive_compare" ->
+        cap.Capability.case_insensitive_collation
+    | _ -> false
+
+let normalize_features signals =
+  List.sort_uniq compare (List.filter_map Feature_tracker.normalize signals)
+
+(* ------------------------------------------------------------------ *)
+(* Lint rules (AST-level porting hazards)                               *)
+(* ------------------------------------------------------------------ *)
+
+let lint ~span add (ast : Ast.statement) =
+  let warn code fmt = Printf.ksprintf (fun m ->
+      add (Diag.make ~severity:Diag.Warning ~span ~code "%s" m)) fmt
+  in
+  let rec lint_query (q : Ast.query) =
+    List.iter (fun (c : Ast.cte) -> lint_query c.Ast.cte_query) q.Ast.ctes;
+    lint_body ~ordered:(q.Ast.order_by <> []) q.Ast.body
+  and lint_body ~ordered = function
+    | Ast.Q_select s ->
+        (match s.Ast.top with
+        | Some _ when not ordered ->
+            warn "L001" "TOP without ORDER BY returns nondeterministic rows"
+        | _ -> ());
+        (match s.Ast.from with
+        | _ :: _ :: _ ->
+            if s.Ast.where = None then
+              warn "L002"
+                "comma-separated FROM without WHERE is a cross join; use \
+                 explicit JOIN syntax"
+            else
+              warn "L002"
+                "implicit (comma) join syntax; not accepted by every target"
+        | _ -> ());
+        List.iter lint_table_ref s.Ast.from
+    | Ast.Q_setop (_, _, a, b) ->
+        (* a branch-level TOP is nondeterministic regardless of the outer
+           ORDER BY, which sorts only the combined result *)
+        lint_body ~ordered:false a;
+        lint_body ~ordered:false b
+    | Ast.Q_values _ -> ()
+  and lint_table_ref = function
+    | Ast.T_named _ -> ()
+    | Ast.T_subquery { query; _ } -> lint_query query
+    | Ast.T_join { left; right; _ } ->
+        lint_table_ref left;
+        lint_table_ref right
+  in
+  match ast with
+  | Ast.S_select q -> lint_query q
+  | Ast.S_insert { source = Ast.Ins_query q; _ } -> lint_query q
+  | Ast.S_create_table_as { query; _ } -> lint_query query
+  | Ast.S_create_view { query; _ } -> lint_query query
+  | Ast.S_update { where = None; _ } ->
+      warn "L005" "UPDATE without WHERE modifies every row"
+  | Ast.S_delete { where = None; _ } ->
+      warn "L005" "DELETE without WHERE removes every row"
+  | Ast.S_create_table { kind = Ast.Persistent { set_semantics = true }; name; _ }
+    ->
+      warn "L004"
+        "SET table %s relies on automatic row deduplication; inserts need \
+         emulation on targets without SET semantics"
+        (List.nth name (List.length name - 1))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Virtual catalog maintenance from the script's own DDL                *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_column_of_ast (c : Ast.column_def) : Catalog.column =
+  {
+    Catalog.col_name = String.uppercase_ascii c.Ast.col_name;
+    col_type = Binder.dtype_of_typename c.Ast.col_type;
+    col_not_null = c.Ast.col_not_null;
+    col_default = c.Ast.col_default;
+    col_case_specific = c.Ast.col_case_specific;
+  }
+
+let apply_ddl catalog (ast : Ast.statement) (bound : Xtra.statement) =
+  match (ast, bound) with
+  | Ast.S_create_table { columns; kind; _ }, Xtra.Create_table { ct_name; _ } ->
+      Catalog.replace_table catalog
+        {
+          Catalog.tbl_name = ct_name;
+          tbl_columns = List.map catalog_column_of_ast columns;
+          tbl_set_semantics =
+            (match kind with
+            | Ast.Persistent { set_semantics } -> set_semantics
+            | _ -> false);
+          tbl_temporary =
+            (match kind with Ast.Persistent _ -> false | _ -> true);
+        }
+  | _, Xtra.Create_table_as { cta_name; cta_source; cta_persistence; _ } ->
+      Catalog.replace_table catalog
+        {
+          Catalog.tbl_name = cta_name;
+          tbl_columns =
+            List.map
+              (fun (c : Xtra.col) ->
+                {
+                  Catalog.col_name = c.Xtra.name;
+                  col_type =
+                    (match c.Xtra.ty with
+                    | Dtype.Unknown -> Dtype.varchar ()
+                    | ty -> ty);
+                  col_not_null = false;
+                  col_default = None;
+                  col_case_specific = true;
+                })
+              (Xtra.schema_of cta_source);
+          tbl_set_semantics = false;
+          tbl_temporary = cta_persistence = Xtra.Tp_temporary;
+        }
+  | _, Xtra.Drop_table { dt_name; _ } ->
+      Catalog.drop_table catalog ~if_exists:true dt_name
+  | _, Xtra.Rename_table { rn_from; rn_to } ->
+      Catalog.rename_table catalog ~from_name:rn_from ~to_name:rn_to
+  | _ -> ()
+
+let last_name (q : string list) = List.nth q (List.length q - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Per-statement analysis                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Statements the middle tier owns outright: classify per target without
+   binding, but keep the analyzer's catalog in sync so later statements
+   resolve (views/macros/procedures defined by the script itself). *)
+let static_class catalog ~dialect (ast : Ast.statement) :
+    ((Capability.t -> support) * string list) option =
+  let if_native f = fun (cap : Capability.t) -> if f cap then Direct else Emulate in
+  match ast with
+  | Ast.S_create_macro { name; params; body; replace } ->
+      Catalog.add_macro catalog ~replace
+        {
+          Catalog.macro_name = last_name name;
+          macro_params =
+            List.map (fun (n, ty) -> (n, Binder.dtype_of_typename ty)) params;
+          macro_body = body;
+        };
+      Some (if_native (fun c -> c.Capability.macros), [ "macros" ])
+  | Ast.S_drop_macro { name; if_exists } ->
+      Catalog.drop_macro catalog ~if_exists (last_name name);
+      Some (if_native (fun c -> c.Capability.macros), [ "macros" ])
+  | Ast.S_exec_macro { name; _ } ->
+      if Catalog.find_macro catalog (last_name name) = None then
+        Some ((fun _ -> Unsupported), [ "macros" ])
+      else Some (if_native (fun c -> c.Capability.macros), [ "macros" ])
+  | Ast.S_create_view { name; columns; query; replace } -> (
+      match
+        Sql_error.protect (fun () ->
+            (* validate the definition by binding it before storing *)
+            let bctx = Binder.create_ctx ~dialect catalog in
+            ignore (Binder.bind_statement bctx (Ast.S_select query)))
+      with
+      | Error _ -> Some ((fun _ -> Unsupported), [ "updatable_view_ddl" ])
+      | Ok () ->
+          Catalog.add_view catalog ~replace
+            {
+              Catalog.view_name = last_name name;
+              view_columns = columns;
+              view_query = query;
+              view_dialect = dialect;
+            };
+          Some
+            ( if_native (fun c -> c.Capability.updatable_views),
+              [ "updatable_view_ddl" ] ))
+  | Ast.S_drop_view { name; if_exists } ->
+      Catalog.drop_view catalog ~if_exists (last_name name);
+      Some
+        ( if_native (fun c -> c.Capability.updatable_views),
+          [ "updatable_view_ddl" ] )
+  | Ast.S_create_procedure { name; params; body; replace } ->
+      Catalog.add_procedure catalog ~replace
+        {
+          Catalog.proc_name = last_name name;
+          proc_params =
+            List.map (fun (n, ty) -> (n, Binder.dtype_of_typename ty)) params;
+          proc_body = body;
+        };
+      Some (if_native (fun c -> c.Capability.stored_procedures), [])
+  | Ast.S_drop_procedure { name; if_exists } ->
+      Catalog.drop_procedure catalog ~if_exists (last_name name);
+      Some (if_native (fun c -> c.Capability.stored_procedures), [])
+  | Ast.S_call { name; _ } ->
+      if Catalog.find_procedure catalog (last_name name) = None then
+        Some ((fun _ -> Unsupported), [])
+      else Some (if_native (fun c -> c.Capability.stored_procedures), [])
+  | Ast.S_update { table; _ } | Ast.S_delete { table; _ }
+  | Ast.S_insert { table; _ }
+    when Catalog.find_view catalog (last_name table) <> None ->
+      (* the pipeline routes DML through views to the emulation layer
+         before binding; mirror that dispatch here *)
+      Some
+        ( if_native (fun c -> c.Capability.updatable_views),
+          [ "dml_on_views" ] )
+  | Ast.S_help _ -> Some ((fun _ -> Emulate), [ "help_commands" ])
+  | Ast.S_show _ -> Some ((fun _ -> Emulate), [ "show_commands" ])
+  | Ast.S_set_session _ -> Some ((fun _ -> Emulate), [ "set_session" ])
+  | Ast.S_explain _ -> Some ((fun _ -> Emulate), [])
+  | _ -> None
+
+(* Mirror of the pipeline's emulation dispatch for bound statements. *)
+let emulation_need catalog (bound : Xtra.statement) :
+    (string * (Capability.t -> bool)) option =
+  let has_recursive_cte st =
+    let found = ref false in
+    let scan rel =
+      ignore
+        (Xtra.fold_rel
+           (fun () r ->
+             match r with
+             | Xtra.With_cte { cte_recursive = true; _ } -> found := true
+             | _ -> ())
+           () rel)
+    in
+    (match st with
+    | Xtra.Query r -> scan r
+    | Xtra.Insert { source; _ } -> scan source
+    | Xtra.Create_table_as { cta_source; _ } -> scan cta_source
+    | _ -> ());
+    !found
+  in
+  match bound with
+  | Xtra.Merge _ -> Some ("merge", fun c -> c.Capability.merge_stmt)
+  | Xtra.Insert { target; _ }
+    when match Catalog.find_table catalog target with
+         | Some tbl -> tbl.Catalog.tbl_set_semantics
+         | None -> false ->
+      Some ("set_tables", fun c -> c.Capability.set_tables)
+  | st when has_recursive_cte st ->
+      Some ("recursive_query", fun c -> c.Capability.recursive_cte)
+  | _ -> None
+
+let classify_bound ~counter_base cap bound ~bfeatures ~lexical =
+  match
+    let counter = ref counter_base in
+    Transformer.transform ~cap ~counter bound
+  with
+  | exception Sql_error.Error e -> (
+      match e.Sql_error.kind with
+      | Sql_error.Capability_gap -> (Emulate, [], None, [])
+      | _ -> (Unsupported, [], None, []))
+  | transformed, applied -> (
+      let rules = List.map fst applied in
+      match Serializer.serialize ~cap transformed with
+      | exception Sql_error.Error e -> (
+          match e.Sql_error.kind with
+          | Sql_error.Capability_gap -> (Emulate, rules, Some transformed, [])
+          | _ -> (Unsupported, rules, Some transformed, []))
+      | _sql ->
+          let needs_rewrite =
+            rules <> [] || lexical <> []
+            || List.exists (fun f -> not (feature_native cap f)) bfeatures
+          in
+          ( (if needs_rewrite then Rewrite else Direct),
+            rules,
+            Some transformed,
+            Validator.validate transformed ))
+
+let analyze_statement ~dialect ~targets catalog index (l : Parser.located) :
+    stmt_report =
+  let span = (l.Parser.loc_start, l.Parser.loc_stop) in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let ast = l.Parser.loc_stmt in
+  let kind = Ast.statement_kind ast in
+  lint ~span add ast;
+  let lexical = Feature_tracker.scan_sql_text l.Parser.loc_text in
+  let finish ?(rules = []) support_by_target signals =
+    {
+      sr_index = index;
+      sr_kind = kind;
+      sr_span = span;
+      sr_features = normalize_features (lexical @ signals);
+      sr_support = support_by_target;
+      sr_rules = rules;
+      sr_diags = Diag.sort (List.rev !diags);
+    }
+  in
+  match static_class catalog ~dialect ast with
+  | Some (class_of_cap, tags) ->
+      finish
+        (List.map
+           (fun (cap : Capability.t) -> (cap.Capability.name, class_of_cap cap))
+           targets)
+        tags
+  | None -> (
+      let bctx = Binder.create_ctx ~dialect catalog in
+      match Sql_error.protect (fun () -> Binder.bind_statement bctx ast) with
+      | Error e ->
+          let code, cls =
+            match e.Sql_error.kind with
+            | Sql_error.Capability_gap -> ("A003", Emulate)
+            | _ -> ("A002", Unsupported)
+          in
+          let severity =
+            if cls = Emulate then Diag.Info else Diag.Error
+          in
+          add (Diag.make ~severity ~span ~code "%s" (Sql_error.to_string e));
+          let tags =
+            if cls = Emulate then [ "dml_on_views" ] else []
+          in
+          finish
+            (List.map
+               (fun (cap : Capability.t) -> (cap.Capability.name, cls))
+               targets)
+            tags
+      | Ok bound ->
+          let bfeatures = bctx.Binder.features in
+          List.iter
+            (fun d -> add { d with Diag.span = Some span })
+            (Validator.validate bound);
+          if List.mem "date_int_comparison" bfeatures then
+            add
+              (Diag.make ~severity:Diag.Warning ~span ~code:"L003"
+                 "DATE/INT comparison relies on Teradata's integer date \
+                  encoding; rewritten via the \xc2\xa75.2 arithmetic");
+          let emu = emulation_need catalog bound in
+          let per_target =
+            List.map
+              (fun (cap : Capability.t) ->
+                match emu with
+                | Some (tag, native) when not (native cap) ->
+                    ((cap.Capability.name, Emulate), (cap.Capability.name, [ tag ]))
+                | _ ->
+                    let cls, rules, _transformed, vdiags =
+                      classify_bound ~counter_base:1_000_000 cap bound
+                        ~bfeatures ~lexical
+                    in
+                    List.iter
+                      (fun d ->
+                        add
+                          {
+                            d with
+                            Diag.span = Some span;
+                            message =
+                              Printf.sprintf "[%s] %s" cap.Capability.name
+                                d.Diag.message;
+                          })
+                      vdiags;
+                    ((cap.Capability.name, cls), (cap.Capability.name, rules)))
+              targets
+          in
+          apply_ddl catalog ast bound;
+          let emu_tags = match emu with Some (tag, _) -> [ tag ] | None -> [] in
+          finish
+            ~rules:
+              (List.filter (fun (_, rs) -> rs <> []) (List.map snd per_target))
+            (List.map fst per_target)
+            (bfeatures @ emu_tags))
+
+(* ------------------------------------------------------------------ *)
+(* Script-level entry point                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_targets = Capability.all_targets
+
+let analyze_script ?(dialect = Dialect.Teradata) ?(targets = default_targets)
+    ?catalog ~script_name sql : report =
+  let catalog =
+    match catalog with Some c -> Catalog.copy c | None -> Catalog.create ()
+  in
+  match Sql_error.protect (fun () -> Parser.parse_many_located ~dialect sql) with
+  | Error e ->
+      {
+        rep_script = script_name;
+        rep_targets = targets;
+        rep_statements = [];
+        rep_script_diags =
+          [
+            Diag.make ~code:"A001" ~span:(0, String.length sql) "%s"
+              (Sql_error.to_string e);
+          ];
+      }
+  | Ok located ->
+      {
+        rep_script = script_name;
+        rep_targets = targets;
+        rep_statements =
+          List.mapi (analyze_statement ~dialect ~targets catalog) located;
+        rep_script_diags = [];
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation + rendering                                              *)
+(* ------------------------------------------------------------------ *)
+
+let summarize (rep : report) : target_summary list =
+  let total = List.length rep.rep_statements in
+  List.map
+    (fun (cap : Capability.t) ->
+      let count cls =
+        List.length
+          (List.filter
+             (fun sr ->
+               List.assoc_opt cap.Capability.name sr.sr_support = Some cls)
+             rep.rep_statements)
+      in
+      let unsupported = count Unsupported in
+      {
+        ts_name = cap.Capability.name;
+        ts_direct = count Direct;
+        ts_rewrite = count Rewrite;
+        ts_emulate = count Emulate;
+        ts_unsupported = unsupported;
+        ts_compat_pct =
+          (if total = 0 then 100.
+           else 100. *. float_of_int (total - unsupported) /. float_of_int total);
+      })
+    rep.rep_targets
+
+let feature_counts (rep : report) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun sr ->
+      List.iter
+        (fun f ->
+          Hashtbl.replace tbl f (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f)))
+        sr.sr_features)
+    rep.rep_statements;
+  List.sort
+    (fun (fa, ca) (fb, cb) -> match compare cb ca with 0 -> compare fa fb | c -> c)
+    (Hashtbl.fold (fun f c acc -> (f, c) :: acc) tbl [])
+
+let all_diags (rep : report) =
+  rep.rep_script_diags
+  @ List.concat_map (fun sr -> sr.sr_diags) rep.rep_statements
+
+let has_errors (rep : report) = Diag.has_errors (all_diags rep)
+
+let render_text (rep : report) =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "Workload compatibility report — %s\n" rep.rep_script;
+  pr "Statements analyzed: %d\n\n" (List.length rep.rep_statements);
+  pr "Per-target support:\n";
+  pr "  %-18s %7s %8s %8s %12s %8s\n" "target" "direct" "rewrite" "emulate"
+    "unsupported" "compat%";
+  List.iter
+    (fun ts ->
+      pr "  %-18s %7d %8d %8d %12d %7.1f%%\n" ts.ts_name ts.ts_direct
+        ts.ts_rewrite ts.ts_emulate ts.ts_unsupported ts.ts_compat_pct)
+    (summarize rep);
+  pr "\nFigure 2 — native support across the modeled cloud targets:\n";
+  List.iter
+    (fun (label, check) ->
+      pr "  %-32s %5.1f%%\n" label (Capability.support_percentage check))
+    Capability.figure2_features;
+  (match feature_counts rep with
+  | [] -> ()
+  | counts ->
+      pr "\nTracked features observed in the workload:\n";
+      List.iter (fun (f, c) -> pr "  %-32s %d statement(s)\n" f c) counts);
+  let diags = all_diags rep in
+  if diags <> [] then begin
+    pr "\nDiagnostics (%d error(s), %d warning(s)):\n"
+      (Diag.count Diag.Error diags)
+      (Diag.count Diag.Warning diags);
+    List.iter (fun d -> pr "  %s\n" (Diag.to_string d)) (Diag.sort diags)
+  end;
+  Buffer.contents b
+
+let render_json (rep : report) =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let str s = "\"" ^ Diag.json_escape s ^ "\"" in
+  pr "{%s:%s," (str "script") (str rep.rep_script);
+  pr "%s:%d," (str "statement_count") (List.length rep.rep_statements);
+  pr "%s:[" (str "targets");
+  List.iteri
+    (fun i ts ->
+      if i > 0 then pr ",";
+      pr
+        "{%s:%s,%s:%d,%s:%d,%s:%d,%s:%d,%s:%.1f}"
+        (str "name") (str ts.ts_name) (str "direct") ts.ts_direct
+        (str "rewrite") ts.ts_rewrite (str "emulate") ts.ts_emulate
+        (str "unsupported") ts.ts_unsupported (str "compat_pct")
+        ts.ts_compat_pct)
+    (summarize rep);
+  pr "],%s:[" (str "figure2");
+  List.iteri
+    (fun i (label, check) ->
+      if i > 0 then pr ",";
+      pr "{%s:%s,%s:%.1f}" (str "feature") (str label) (str "support_pct")
+        (Capability.support_percentage check))
+    Capability.figure2_features;
+  pr "],%s:[" (str "features");
+  List.iteri
+    (fun i (f, c) ->
+      if i > 0 then pr ",";
+      pr "{%s:%s,%s:%d}" (str "feature") (str f) (str "count") c)
+    (feature_counts rep);
+  pr "],%s:[" (str "statements");
+  List.iteri
+    (fun i sr ->
+      if i > 0 then pr ",";
+      let a, z = sr.sr_span in
+      pr "{%s:%d,%s:%s,%s:[%d,%d],%s:[%s],%s:{%s},%s:[%s]}" (str "index")
+        sr.sr_index (str "kind") (str sr.sr_kind) (str "span") a z
+        (str "features")
+        (String.concat "," (List.map str sr.sr_features))
+        (str "support")
+        (String.concat ","
+           (List.map
+              (fun (t, s) -> str t ^ ":" ^ str (support_to_string s))
+              sr.sr_support))
+        (str "diagnostics")
+        (String.concat "," (List.map Diag.to_json sr.sr_diags)))
+    rep.rep_statements;
+  pr "],%s:[%s]}" (str "script_diagnostics")
+    (String.concat "," (List.map Diag.to_json rep.rep_script_diags));
+  Buffer.contents b

@@ -1,0 +1,111 @@
+(** The diagnostic type shared by both static-analysis engines: the XTRA
+    plan {!Validator} and the offline workload {!Analyzer}.
+
+    A diagnostic carries a severity, a stable code ([Vxxx] for plan-validator
+    invariants, [Lxxx] for workload lint rules, [Axxx] for analyzer-level
+    conditions), a human-readable message, an optional byte span into the
+    source script (from {!Hyperq_sqlparser.Parser.parse_many_located}), and
+    — for violations introduced by a transformer rewrite — the name of the
+    rule whose fixed-point pass introduced it. *)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Ordering used to sort reports: errors first, then by code. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  severity : severity;
+  code : string;  (** stable diagnostic code, e.g. ["V101"], ["L003"] *)
+  message : string;
+  span : (int * int) option;
+      (** byte span [(start, stop)] of the offending statement in its source
+          script; [stop] is exclusive *)
+  rule : string option;
+      (** the transformer rewrite rule(s) whose pass introduced the
+          violation, when the validator ran inside the fixed-point driver *)
+}
+
+let make ?(severity = Error) ?span ?rule ~code fmt =
+  Printf.ksprintf
+    (fun message -> { severity; code; message; span; rule })
+    fmt
+
+(** Stamp [rules] (comma-joined) as the attribution of every diagnostic that
+    does not already carry one. The transformer's fixed-point driver calls
+    this with the rules that fired during the pass that broke the plan. *)
+let attribute ~rules diags =
+  match rules with
+  | [] -> diags
+  | rules ->
+      let r = String.concat "," rules in
+      List.map
+        (fun d -> match d.rule with Some _ -> d | None -> { d with rule = Some r })
+        diags
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> compare a.code b.code
+      | c -> c)
+    diags
+
+let to_string d =
+  let span =
+    match d.span with
+    | Some (a, b) -> Printf.sprintf " [bytes %d-%d]" a b
+    | None -> ""
+  in
+  let rule =
+    match d.rule with
+    | Some r -> Printf.sprintf " (introduced by rule %s)" r
+    | None -> ""
+  in
+  Printf.sprintf "%s %s:%s %s%s"
+    (severity_to_string d.severity)
+    d.code span d.message rule
+
+(* JSON rendering (shared with the analyzer report writer; hand-rolled like
+   Obs.render_json so the library stays dependency-free). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [
+      Printf.sprintf "\"severity\":\"%s\"" (severity_to_string d.severity);
+      Printf.sprintf "\"code\":\"%s\"" (json_escape d.code);
+      Printf.sprintf "\"message\":\"%s\"" (json_escape d.message);
+    ]
+    @ (match d.span with
+      | Some (a, b) -> [ Printf.sprintf "\"span\":[%d,%d]" a b ]
+      | None -> [])
+    @
+    match d.rule with
+    | Some r -> [ Printf.sprintf "\"rule\":\"%s\"" (json_escape r) ]
+    | None -> []
+  in
+  "{" ^ String.concat "," fields ^ "}"

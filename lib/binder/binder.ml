@@ -569,7 +569,7 @@ and bind_table_ref ctx scope (t : Ast.table_ref) : Xtra.rel * range list =
       in
       (Xtra.Join { kind = xkind; left = lrel; right = rrel; pred }, ranges)
 
-and resolve_in_ranges ctx ranges name =
+and resolve_in_ranges _ctx ranges name =
   let hits = List.filter_map (fun r -> find_in_range r name) ranges in
   match hits with
   | [ c ] -> Xtra.Col_ref c

@@ -1,169 +1,6 @@
-(** Instrumentation of the rewrite engine (paper §7.1).
+(** Compatibility re-export: {!Hyperq_analyze.Feature_tracker} moved into
+    the static-analysis library so the offline workload analyzer can reuse
+    it without a dependency cycle. Existing call sites keep addressing it as
+    [Hyperq_core.Feature_tracker]. *)
 
-    Tracks "a selection of 27 commonly used non-standard features ... from
-    each of the three categories presented in Section 2.1 (translation,
-    transformation, and features that require emulation in the mid tier; we
-    chose 9 features of each class)". Feature occurrences are collected from
-    the parser (lexical translation features), the binder, the transformer
-    (fired rules) and the emulation layer, and aggregated per workload to
-    regenerate Figure 8. *)
-
-type feature_class = Translation | Transformation | Emulation
-
-let class_to_string = function
-  | Translation -> "Translation"
-  | Transformation -> "Transformation"
-  | Emulation -> "Emulation"
-
-(** The 27 tracked features: exactly 9 per class. *)
-let tracked : (string * feature_class) list =
-  [
-    (* --- translation: local, often textual rewrites ------------------- *)
-    ("sel_abbreviation", Translation);
-    ("dml_abbreviation", Translation);  (* INS/UPD/DEL *)
-    ("bt_et_transactions", Translation);
-    ("td_builtin_function_names", Translation);  (* CHARS, INDEX, OREPLACE *)
-    ("td_null_functions", Translation);  (* ZEROIFNULL / NULLIFZERO *)
-    ("permissive_clause_order", Translation);
-    ("format_title_attributes", Translation);
-    ("collect_statistics", Translation);
-    ("top_n", Translation);  (* TOP n -> LIMIT n *)
-    (* --- transformation: structural rewrites over XTRA ---------------- *)
-    ("qualify", Transformation);
-    ("td_rank", Transformation);
-    ("date_int_comparison", Transformation);
-    ("vector_subquery", Transformation);
-    ("implicit_join", Transformation);
-    ("chained_projection", Transformation);  (* named expressions *)
-    ("ordinal_group_by", Transformation);  (* incl. ordinal ORDER BY *)
-    ("olap_grouping_extensions", Transformation);
-    ("top_ties_percent", Transformation);
-    (* --- emulation: multi-statement / stateful middle-tier features --- *)
-    ("macros", Emulation);
-    ("recursive_query", Emulation);
-    ("merge", Emulation);
-    ("dml_on_views", Emulation);
-    ("help_commands", Emulation);
-    ("show_commands", Emulation);
-    ("set_tables", Emulation);
-    ("set_session", Emulation);
-    ("updatable_view_ddl", Emulation);  (* CREATE/REPLACE VIEW kept virtual *)
-  ]
-
-let class_of feature = List.assoc_opt feature tracked
-
-(* Map raw signals (binder notes, transformer rule names, emulation tags)
-   onto tracked feature names. *)
-let normalize = function
-  | "ordinal_order_by" -> Some "ordinal_group_by"
-  | "comp_date_to_int" -> Some "date_int_comparison"
-  | "expand_vector_subquery" -> Some "vector_subquery"
-  | "expand_grouping_sets" -> Some "olap_grouping_extensions"
-  | "with_ties_to_window" | "percent_limit" -> Some "top_ties_percent"
-  | "sample" -> Some "top_n"
-  | "volatile_tables" | "global_temporary_tables" -> None
-  | "derived_table_column_aliases" -> None
-  | "casespecific_columns" | "case_insensitive_compare" -> None
-  | "period_type" | "decompose_period_ddl" -> None
-  | "explicit_nulls_ordering" | "interval_to_functions" -> None
-  | s -> if class_of s <> None then Some s else None
-
-(** Lexical detection of translation-class features on the raw SQL text. *)
-let scan_sql_text sql : string list =
-  let upper = String.uppercase_ascii sql in
-  let words =
-    String.split_on_char ' '
-      (String.map
-         (fun c ->
-           match c with '\n' | '\t' | '\r' | '(' | ')' | ',' | ';' -> ' ' | c -> c)
-         upper)
-    |> List.filter (fun w -> w <> "")
-  in
-  let has w = List.mem w words in
-  let found = ref [] in
-  let note f = if not (List.mem f !found) then found := f :: !found in
-  if has "SEL" then note "sel_abbreviation";
-  if has "INS" || has "UPD" || has "DEL" then note "dml_abbreviation";
-  if has "BT" || has "ET" then note "bt_et_transactions";
-  if has "CHARS" || has "CHARACTERS" || has "INDEX" || has "OREPLACE" || has "NVL"
-  then note "td_builtin_function_names";
-  if has "ZEROIFNULL" || has "NULLIFZERO" then note "td_null_functions";
-  if has "FORMAT" || has "TITLE" then note "format_title_attributes";
-  if has "TOP" then note "top_n";
-  (* ORDER BY textually before WHERE within one statement *)
-  let find_word w =
-    let rec go i = function
-      | [] -> None
-      | x :: tl -> if x = w then Some i else go (i + 1) tl
-    in
-    go 0 words
-  in
-  (match (find_word "ORDER", find_word "WHERE") with
-  | Some o, Some w when o < w -> note "permissive_clause_order"
-  | _ -> ());
-  !found
-
-(** Per-query observation: which tracked features (by class) this query
-    exercised. *)
-type observation = { query_features : string list }
-
-let observe ~sql ~binder_features ~transformer_rules ~emulation_tags =
-  let raw =
-    scan_sql_text sql @ binder_features @ transformer_rules @ emulation_tags
-  in
-  let features =
-    List.sort_uniq String.compare (List.filter_map normalize raw)
-  in
-  { query_features = features }
-
-let classes_of_observation o =
-  List.sort_uniq compare (List.filter_map class_of o.query_features)
-
-(* --- workload-level aggregation (Figure 8) --------------------------- *)
-
-type stats = {
-  mutable total_queries : int;
-  mutable feature_seen : (string * int) list;  (** feature -> #queries *)
-  mutable class_affected : (feature_class * int) list;  (** class -> #queries *)
-}
-
-let create_stats () =
-  { total_queries = 0; feature_seen = []; class_affected = [] }
-
-let record ?(count = 1) stats (o : observation) =
-  stats.total_queries <- stats.total_queries + count;
-  List.iter
-    (fun f ->
-      stats.feature_seen <-
-        (match List.assoc_opt f stats.feature_seen with
-        | Some n -> (f, n + count) :: List.remove_assoc f stats.feature_seen
-        | None -> (f, count) :: stats.feature_seen))
-    o.query_features;
-  List.iter
-    (fun c ->
-      stats.class_affected <-
-        (match List.assoc_opt c stats.class_affected with
-        | Some n -> (c, n + count) :: List.remove_assoc c stats.class_affected
-        | None -> (c, count) :: stats.class_affected))
-    (classes_of_observation o)
-
-(** Figure 8(a): fraction of the 9 tracked features of [cls] that occur at
-    least once in the workload. *)
-let features_present_pct stats cls =
-  let tracked_in_class =
-    List.filter (fun (_, c) -> c = cls) tracked |> List.map fst
-  in
-  let present =
-    List.filter (fun f -> List.mem_assoc f stats.feature_seen) tracked_in_class
-  in
-  100. *. float_of_int (List.length present)
-  /. float_of_int (List.length tracked_in_class)
-
-(** Figure 8(b): fraction of queries affected by at least one feature of
-    [cls]. *)
-let queries_affected_pct stats cls =
-  if stats.total_queries = 0 then 0.
-  else
-    100.
-    *. float_of_int (Option.value (List.assoc_opt cls stats.class_affected) ~default:0)
-    /. float_of_int stats.total_queries
+include Hyperq_analyze.Feature_tracker

@@ -23,6 +23,8 @@ module Serializer = Hyperq_serialize.Serializer
 module Backend = Hyperq_engine.Backend
 module Tdf = Hyperq_tdf.Tdf
 module Obs = Hyperq_obs.Obs
+module Validator = Hyperq_analyze.Validator
+module Diag = Hyperq_analyze.Diag
 
 type timings = {
   mutable translate_s : float;
@@ -97,6 +99,8 @@ type telemetry = {
   queries_total : Obs.counter;
   retries_total : Obs.counter;
   error_counters : (Hyperq_sqlvalue.Sql_error.kind * Obs.counter) list;
+  validator_runs_total : Obs.counter;
+  validator_violations_total : Obs.counter;
 }
 
 type t = {
@@ -109,6 +113,10 @@ type t = {
   tel : telemetry;  (** metric handles into the pipeline's registry *)
   clock : Obs.clock;  (** time source for stage timing and session stamps *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
+  validate : bool;
+      (** run the plan validator after bind and after each transform pass *)
+  mutable validator_diags : Diag.t list;
+      (** most recent validator diagnostics, newest first (capped) *)
   mutable temp_counter : int;
   mutable queries_translated : int;
 }
@@ -169,6 +177,14 @@ let make_telemetry obs ~labels cache resil =
                 ~help:"Statements failed, by error kind" "hyperq_errors_total"
             ))
           all_error_kinds;
+      validator_runs_total =
+        Obs.counter obs ~labels
+          ~help:"Plan validator invocations (post-bind and per transform pass)"
+          "hyperq_validator_runs_total";
+      validator_violations_total =
+        Obs.counter obs ~labels
+          ~help:"Invariant violations reported by the plan validator"
+          "hyperq_validator_violations_total";
     }
   in
   let pull rows = List.map (fun (ls, v) -> (ls @ labels, v)) rows in
@@ -229,7 +245,8 @@ let make_telemetry obs ~labels cache resil =
   tel
 
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
-    ?(plan_cache_capacity = 512) ?fault ?resil ?obs ?(obs_labels = []) () =
+    ?(plan_cache_capacity = 512) ?fault ?resil ?obs ?(obs_labels = [])
+    ?(validate = false) () =
   let backend = Backend.create () in
   let resil =
     match resil with Some r -> r | None -> Resilience.create ()
@@ -248,6 +265,8 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
     tel = make_telemetry obs ~labels:obs_labels cache resil;
     clock = Obs.clock obs;
     lock = Mutex.create ();
+    validate;
+    validator_diags = [];
     temp_counter = 0;
     queries_translated = 0;
   }
@@ -418,6 +437,49 @@ let sync_ddl cc (ast : Ast.statement) (bound : Xtra.statement) =
 
 (* --- the bound-statement path ----------------------------------------- *)
 
+(* --- plan validation (lib/analyze wired into the hot path) ------------- *)
+
+let validator_diag_cap = 64
+
+(* Validate a plan, attributing any fresh violation to the rewrite [rules]
+   that produced it. Violations never abort the statement: they are counted
+   in hyperq_validator_violations_total and retained (newest first, capped)
+   for \validator in the repl and for tests. *)
+let record_validation t ~phase ~rules bound =
+  Obs.inc t.tel.validator_runs_total;
+  match Validator.validate bound with
+  | [] -> ()
+  | diags ->
+      let diags =
+        Diag.attribute ~rules
+          (List.map
+             (fun d ->
+               {
+                 d with
+                 Diag.message =
+                   Printf.sprintf "[%s] %s" phase d.Diag.message;
+               })
+             diags)
+      in
+      let errors =
+        List.length
+          (List.filter (fun d -> d.Diag.severity = Diag.Error) diags)
+      in
+      if errors > 0 then
+        Obs.add t.tel.validator_violations_total (float_of_int errors);
+      Mutex.lock t.lock;
+      t.validator_diags <-
+        List.filteri
+          (fun i _ -> i < validator_diag_cap)
+          (diags @ t.validator_diags);
+      Mutex.unlock t.lock
+
+let validator_diagnostics t =
+  Mutex.lock t.lock;
+  let d = t.validator_diags in
+  Mutex.unlock t.lock;
+  d
+
 (* Every backend request goes through the resilience layer: transient
    failures retry with backoff (the pipeline lock is held only inside each
    attempt, never across a backoff sleep), sustained failures trip the
@@ -436,12 +498,22 @@ let submit_backend cc ~sql =
 
 let run_bound cc (bound : Xtra.statement) : Backend.result =
   let t = cc.pipeline in
+  if t.validate then record_validation t ~phase:"bind" ~rules:[] bound;
   let counter = ref 1_000_000 in
   (* transformer ids must not collide with binder ids; the binder counter is
      per-statement so a high floor is simplest *)
+  let on_pass =
+    if t.validate then
+      Some
+        (fun i rules st' ->
+          record_validation t
+            ~phase:(Printf.sprintf "transform pass %d" i)
+            ~rules st')
+    else None
+  in
   let transformed, applied =
     timed Transform cc (fun () ->
-        Transformer.transform ~cap:t.cap ~counter bound)
+        Transformer.transform ?on_pass ~cap:t.cap ~counter bound)
   in
   cc.transformer_rules <-
     List.map fst applied @ cc.transformer_rules;
@@ -1071,8 +1143,20 @@ let translate t ?(cap = t.cap) sql : string =
       let bctx = Binder.create_ctx ~dialect:Dialect.Teradata t.vcatalog in
       let bound = Binder.bind_statement bctx ast in
       let bind_s = now t -. t0 in
+      if t.validate then record_validation t ~phase:"bind" ~rules:[] bound;
       let counter = ref 1_000_000 in
-      let transformed, applied = Transformer.transform ~cap ~counter bound in
+      let on_pass =
+        if t.validate then
+          Some
+            (fun i rules st' ->
+              record_validation t
+                ~phase:(Printf.sprintf "transform pass %d" i)
+                ~rules st')
+        else None
+      in
+      let transformed, applied =
+        Transformer.transform ?on_pass ~cap ~counter bound
+      in
       let target_sql = Serializer.serialize ~cap transformed in
       let translate_s = now t -. t0 in
       if cacheable_bound ~cap t.vcatalog bound then begin

@@ -46,6 +46,8 @@ type telemetry = {
     (Hyperq_sqlvalue.Sql_error.kind * Hyperq_obs.Obs.counter) list;
       (** one counter per error kind, pre-registered so all ten kinds render
           (at zero) before any failure occurs *)
+  validator_runs_total : Hyperq_obs.Obs.counter;
+  validator_violations_total : Hyperq_obs.Obs.counter;
 }
 
 type t = {
@@ -59,6 +61,11 @@ type t = {
   clock : Hyperq_obs.Obs.clock;
       (** time source for stage timing and session stamps (the registry's) *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
+  validate : bool;
+      (** run the plan validator after bind and after each transform pass *)
+  mutable validator_diags : Hyperq_analyze.Diag.t list;
+      (** most recent validator diagnostics, newest first (capped);
+          guarded by [lock] *)
   mutable temp_counter : int;
   mutable queries_translated : int;  (** guarded by [lock] *)
 }
@@ -97,11 +104,21 @@ val create :
   ?resil:Resilience.t ->
   ?obs:Hyperq_obs.Obs.t ->
   ?obs_labels:(string * string) list ->
+  ?validate:bool ->
   unit ->
   t
 
 (** The pipeline's observability registry. *)
 val obs : t -> Hyperq_obs.Obs.t
+
+(** With [~validate:true], the plan validator ({!Hyperq_analyze.Validator})
+    runs over every bound statement and after each transformer fixed-point
+    pass; violations introduced by a pass are attributed to the rules that
+    fired in it. This returns the most recent diagnostics, newest first
+    (capped); runs and violations are also counted in the
+    [hyperq_validator_runs_total] / [hyperq_validator_violations_total]
+    metrics. *)
+val validator_diagnostics : t -> Hyperq_analyze.Diag.t list
 
 (** Run one source-dialect (Teradata) SQL statement end to end. [params]
     binds positional [?] markers left to right; [session] carries settings,

@@ -160,7 +160,9 @@ let symbol2 = [ "<>"; "!="; "<="; ">="; "||"; "**"; "^=" ]
 let next_token st =
   skip_trivia st;
   let line = st.line and col = st.col and off = st.pos in
-  let mk kind = { Token.kind; line; col; off } in
+  (* [mk] is applied only after the token's characters were consumed, so
+     [st.pos] is the end offset (exclusive) of the token being built *)
+  let mk kind = { Token.kind; line; col; off; stop = st.pos } in
   match peek st with
   | None -> mk Token.Eof
   | Some c when is_ident_start c -> mk (Token.Word (lex_word st))

@@ -1763,11 +1763,23 @@ let parse_many ~dialect input =
   in
   go []
 
+type located = {
+  loc_stmt : Ast.statement;
+  loc_text : string;  (** exact source text, first token to last token *)
+  loc_start : int;  (** byte offset of the statement's first token *)
+  loc_stop : int;  (** byte offset one past its last token *)
+}
+
 (** Parse a [;]-separated statement sequence, pairing each statement with
-    its own source text (the byte span from its first token up to, but not
-    including, the terminating [;]). Lets callers attribute per-statement
-    text instead of the whole script. *)
-let parse_many_spanned ~dialect input =
+    its byte-accurate source span: from the first byte of its first token to
+    the last byte of its last token. Leading trivia (comments, whitespace)
+    is excluded because the span starts at the first *token*; trailing
+    trivia — including a trailing comment on an unterminated last statement
+    — is excluded because the span ends at the last token actually consumed,
+    not at the [;] / end of input. Offline analyzers attribute their
+    diagnostics to these offsets, so they must hold byte-for-byte:
+    [String.sub input loc_start (loc_stop - loc_start) = loc_text]. *)
+let parse_many_located ~dialect input =
   let p = make ~dialect input in
   let rec go acc =
     finish_one p;
@@ -1776,12 +1788,22 @@ let parse_many_spanned ~dialect input =
     | _ ->
         let start = (cur p).Token.off in
         let s = parse_statement_after_keyword p in
-        let stop = (cur p).Token.off in
-        let text = String.trim (String.sub input start (stop - start)) in
+        (* the span ends at the last token consumed by the statement — the
+           token *before* the current one (the terminating [;] or [Eof]),
+           which keeps trailing comments and whitespace out of the span *)
+        let stop = p.tokens.(p.pos - 1).Token.stop in
+        let text = String.sub input start (stop - start) in
         finish_one p;
-        go ((s, text) :: acc)
+        go ({ loc_stmt = s; loc_text = text; loc_start = start; loc_stop = stop } :: acc)
   in
   go []
+
+(** {!parse_many_located} without the offsets (statement + its own source
+    text); callers that only attribute text use this. *)
+let parse_many_spanned ~dialect input =
+  List.map
+    (fun l -> (l.loc_stmt, l.loc_text))
+    (parse_many_located ~dialect input)
 
 let parse_query_string ~dialect input =
   let p = make ~dialect input in

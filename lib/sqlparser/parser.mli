@@ -19,9 +19,24 @@ val parse_statement_tokens :
 (** Parse a [;]-separated statement sequence. *)
 val parse_many : dialect:Dialect.t -> string -> Ast.statement list
 
-(** Like {!parse_many}, but pairs each statement with its own source text
-    (trimmed byte span up to the terminating [;]), so scripts can attribute
-    per-statement text rather than the whole script. *)
+type located = {
+  loc_stmt : Ast.statement;
+  loc_text : string;  (** exact source text, first token to last token *)
+  loc_start : int;  (** byte offset of the statement's first token *)
+  loc_stop : int;  (** byte offset one past its last token *)
+}
+
+(** Like {!parse_many}, but pairs each statement with its byte-accurate
+    source span. Invariant:
+    [String.sub input loc_start (loc_stop - loc_start) = loc_text]. Leading
+    and trailing trivia (comments, whitespace, the [;] terminator) are
+    outside the span — including for a trailing statement with no [;] — so
+    offline analyzers can anchor diagnostics to exact byte offsets. *)
+val parse_many_located : dialect:Dialect.t -> string -> located list
+
+(** {!parse_many_located} without the offsets: each statement with its own
+    source text, so scripts can attribute per-statement text rather than the
+    whole script. *)
 val parse_many_spanned :
   dialect:Dialect.t -> string -> (Ast.statement * string) list
 

@@ -12,10 +12,13 @@ type kind =
   | Symbol of string  (** operator or punctuation *)
   | Eof
 
-type t = { kind : kind; line : int; col : int; off : int }
+type t = { kind : kind; line : int; col : int; off : int; stop : int }
 (** [off] is the byte offset of the token's first character in the input
-    (input length for [Eof]); lets the parser recover the exact source text
-    of a statement span. *)
+    (input length for [Eof]); [stop] is the byte offset one past its last
+    character ([off = stop] for [Eof]). Together they let the parser recover
+    the exact source text of a statement span — including for a trailing
+    statement with no [;] terminator, whose span must end at its last token
+    rather than at the end of the input (which may hold trailing trivia). *)
 
 let kind_to_string = function
   | Word w -> w

@@ -507,18 +507,43 @@ let apply_first rules ctx x =
 
 let max_passes = 12
 
+(* Rule names whose fire count increased between two [ctx.applied]
+   snapshots: the rules responsible for one fixed-point pass. *)
+let fired_since before after =
+  List.filter_map
+    (fun (name, n) ->
+      match List.assoc_opt name before with
+      | Some m when m >= n -> None
+      | _ -> Some name)
+    after
+
 (** Run normalization + target-dependent rules to a fixed point over the
     statement. Returns the transformed statement; fired-rule counts are in
-    [ctx.applied]. *)
-let run ctx (st : Xtra.statement) : Xtra.statement =
+    [ctx.applied].
+
+    [on_pass i rules st'] is invoked after every pass that changed the
+    statement, with the pass index, the rules that fired during it and the
+    statement as it stands — the plan validator hooks in here to attribute a
+    fresh invariant violation to the rewrite that introduced it.
+    [extra_scalar_rules]/[extra_rel_rules] append caller-supplied rules to
+    the built-in sets (tests inject deliberately broken rewrites to prove
+    the validator catches them). *)
+let run ?on_pass ?(extra_scalar_rules = []) ?(extra_rel_rules = []) ctx
+    (st : Xtra.statement) : Xtra.statement =
   let pass st =
     let fscalar s =
-      match apply_first (normalization_scalar_rules @ scalar_rules) ctx s with
+      match
+        apply_first
+          (normalization_scalar_rules @ scalar_rules @ extra_scalar_rules)
+          ctx s
+      with
       | Some s' -> s'
       | None -> s
     in
     let frel r =
-      match apply_first rel_rules ctx r with Some r' -> r' | None -> r
+      match apply_first (rel_rules @ extra_rel_rules) ctx r with
+      | Some r' -> r'
+      | None -> r
     in
     let st = Xtra.rewrite_statement ~frel ~fscalar st in
     match apply_first statement_rules ctx st with Some s -> s | None -> st
@@ -526,13 +551,20 @@ let run ctx (st : Xtra.statement) : Xtra.statement =
   let rec fix st n =
     if n >= max_passes then st
     else
+      let before = ctx.applied in
       let st' = pass st in
-      if st' = st then st else fix st' (n + 1)
+      if st' = st then st
+      else begin
+        (match on_pass with
+        | Some f -> f n (fired_since before ctx.applied) st'
+        | None -> ());
+        fix st' (n + 1)
+      end
   in
   fix st 0
 
 (** Convenience wrapper used by the pipeline. *)
-let transform ~cap ~counter st =
+let transform ?on_pass ?extra_scalar_rules ?extra_rel_rules ~cap ~counter st =
   let ctx = create_ctx ~cap ~counter in
-  let st = run ctx st in
+  let st = run ?on_pass ?extra_scalar_rules ?extra_rel_rules ctx st in
   (st, ctx.applied)

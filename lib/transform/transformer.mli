@@ -21,13 +21,30 @@ val create_ctx : cap:Capability.t -> counter:int ref -> ctx
 (** The paper's §5.2 arithmetic: [DAY + MONTH*100 + (YEAR-1900)*10000]. *)
 val date_to_int_expr : Xtra.scalar -> Xtra.scalar
 
+(** Record that [rule] fired (bumps its count in [ctx.applied]). Exposed so
+    caller-injected rules participate in attribution. *)
+val fired : ctx -> string -> unit
+
 (** Run all rules to a fixed point; fired counts accumulate in
-    [ctx.applied]. *)
-val run : ctx -> Xtra.statement -> Xtra.statement
+    [ctx.applied]. [on_pass i rules st'] runs after each pass that changed
+    the statement, with the rules that fired during it — the plan validator
+    hooks in here to attribute fresh violations to the responsible rewrite.
+    [extra_scalar_rules]/[extra_rel_rules] append caller-supplied rules to
+    the built-in sets. *)
+val run :
+  ?on_pass:(int -> string list -> Xtra.statement -> unit) ->
+  ?extra_scalar_rules:(ctx -> Xtra.scalar -> Xtra.scalar option) list ->
+  ?extra_rel_rules:(ctx -> Xtra.rel -> Xtra.rel option) list ->
+  ctx ->
+  Xtra.statement ->
+  Xtra.statement
 
 (** One-shot wrapper: returns the transformed statement and the fired-rule
     counts. *)
 val transform :
+  ?on_pass:(int -> string list -> Xtra.statement -> unit) ->
+  ?extra_scalar_rules:(ctx -> Xtra.scalar -> Xtra.scalar option) list ->
+  ?extra_rel_rules:(ctx -> Xtra.rel -> Xtra.rel option) list ->
   cap:Capability.t ->
   counter:int ref ->
   Xtra.statement ->

@@ -19,4 +19,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
+      ("analyze", Test_analyze.suite);
     ]

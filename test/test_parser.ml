@@ -275,6 +275,73 @@ let prop_roundtrip_identifier_case =
       | Ast.E_column [ n ] -> n = String.uppercase_ascii name
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Byte-accurate statement spans                                        *)
+(* ------------------------------------------------------------------ *)
+
+let located ?(dialect = td) s = Parser.parse_many_located ~dialect s
+
+let check_invariant input (l : Parser.located) =
+  check sb "substring invariant" l.Parser.loc_text
+    (String.sub input l.Parser.loc_start (l.Parser.loc_stop - l.Parser.loc_start))
+
+let test_spans_basic () =
+  let input = "SELECT 1;  SELECT 2 ; SELECT 3" in
+  let ls = located input in
+  check ib "three statements" 3 (List.length ls);
+  List.iter (check_invariant input) ls;
+  check sb "first text" "SELECT 1" (List.nth ls 0).Parser.loc_text;
+  check sb "second text" "SELECT 2" (List.nth ls 1).Parser.loc_text;
+  (* trailing statement with no terminator still gets an exact span *)
+  check sb "third text" "SELECT 3" (List.nth ls 2).Parser.loc_text;
+  check ib "third stop is end of input" (String.length input)
+    (List.nth ls 2).Parser.loc_stop
+
+let test_spans_trivia () =
+  let input =
+    "-- header comment\n/* block\n comment */ SELECT 1 ; \n-- tail\nSELECT 2  "
+  in
+  let ls = located input in
+  check ib "two statements" 2 (List.length ls);
+  List.iter (check_invariant input) ls;
+  (* leading comments and whitespace are outside the span *)
+  check sb "first text skips comments" "SELECT 1" (List.nth ls 0).Parser.loc_text;
+  check sb "second text" "SELECT 2" (List.nth ls 1).Parser.loc_text;
+  (* trailing spaces after the last statement are outside the span too *)
+  check ib "second stop before trailing blanks"
+    (String.length input - 2)
+    (List.nth ls 1).Parser.loc_stop
+
+let test_spans_interior_trivia () =
+  let input = "SELECT /* hint */ A\nFROM T -- projection\nWHERE A > 1" in
+  match located input with
+  | [ l ] ->
+      check_invariant input l;
+      check ib "span covers whole statement" (String.length input)
+        l.Parser.loc_stop;
+      check ib "span starts at 0" 0 l.Parser.loc_start
+  | ls -> Alcotest.failf "expected 1 statement, got %d" (List.length ls)
+
+let test_spans_match_parse_many () =
+  let input =
+    "CREATE TABLE SP (A INTEGER);\nINS SP (1);\nSEL TOP 2 A FROM SP ORDER BY \
+     A"
+  in
+  let ls = located input in
+  let plain = Parser.parse_many ~dialect:td input in
+  check ib "same count" (List.length plain) (List.length ls);
+  List.iter2
+    (fun ast l ->
+      check sb "same statements" (Ast.statement_kind ast)
+        (Ast.statement_kind l.Parser.loc_stmt))
+    plain ls;
+  (* parse_many_spanned is a thin view over the located form *)
+  let spanned = Parser.parse_many_spanned ~dialect:td input in
+  List.iter2
+    (fun (_, s_text) l ->
+      check sb "spanned text agrees" l.Parser.loc_text s_text)
+    spanned ls
+
 let suite =
   [
     ("lexer basics", `Quick, test_lexer_basics);
@@ -296,5 +363,10 @@ let suite =
     ("multi-statement scripts", `Quick, test_multi_statement);
     ("parenthesized set op in FROM", `Quick, test_parenthesized_setop_in_from);
     ("parse errors", `Quick, test_parse_errors);
+    ("statement spans: basics", `Quick, test_spans_basic);
+    ("statement spans: comments and trivia", `Quick, test_spans_trivia);
+    ("statement spans: interior trivia", `Quick, test_spans_interior_trivia);
+    ("statement spans: agree with parse_many", `Quick,
+     test_spans_match_parse_many);
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_identifier_case ]
