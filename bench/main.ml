@@ -20,6 +20,8 @@ module Customer = Hyperq_workload.Customer
 module Tpch = Hyperq_workload.Tpch
 module Tpch_queries = Hyperq_workload.Tpch_queries
 module Baseline = Hyperq_workload.Textual_baseline
+module Backend = Hyperq_engine.Backend
+module Batch_exec = Hyperq_engine.Batch_exec
 
 let sf () =
   match Sys.getenv_opt "HYPERQ_SF" with
@@ -857,6 +859,132 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Executor: vectorized batch path vs row interpreter                   *)
+(* ------------------------------------------------------------------ *)
+
+let exec_bench () =
+  hr "Executor: columnar batch path vs row interpreter (TPC-H join/agg)";
+  let pipeline = Pipeline.create () in
+  let _ = Tpch.setup ~sf:(sf ()) pipeline in
+  let iters =
+    match Sys.getenv_opt "HYPERQ_EXEC_ITERS" with
+    | Some s -> int_of_string s
+    | None -> 3
+  in
+  (* the hash-join / hash-aggregation heavy queries of the suite *)
+  let subset =
+    match Sys.getenv_opt "HYPERQ_EXEC_QUERIES" with
+    | Some s when String.contains s ';' -> String.split_on_char ';' s
+    | Some s -> String.split_on_char ',' s
+    | None ->
+        [ "Q1"; "Q3"; "Q5"; "Q6"; "Q10"; "Q12"; "Q13"; "Q14"; "Q18" ]
+  in
+  let queries =
+    List.filter_map
+      (fun n ->
+        match List.assoc_opt n Tpch_queries.all with
+        | Some sql -> Some (n, sql)
+        | None when String.length n > 3 && String.sub n 0 4 = "SEL " ->
+            (* ad-hoc probe query passed directly in the env var *)
+            Some ("adhoc", n)
+        | None -> None)
+      subset
+  in
+  let be = pipeline.Pipeline.backend in
+  let canon rows =
+    List.sort compare
+      (List.map
+         (fun (r : Value.t array) ->
+           Array.to_list (Array.map Value.to_sql_literal r))
+         rows)
+  in
+  (* Best-of-N execution-stage time; translation is cached and not counted.
+     Row and batch iterations interleave so slow stretches of the host hit
+     both executors alike. *)
+  let dbg = Sys.getenv_opt "HYPERQ_EXEC_DEBUG" <> None in
+  let one mode sql =
+    be.Backend.exec_mode <- mode;
+    let w0 = Gc.minor_words () in
+    let o = Pipeline.run_sql pipeline sql in
+    if dbg then
+      Printf.printf "    [%s] %.1f Mwords minor\n"
+        (match mode with Backend.Row -> "row  " | Backend.Batch -> "batch")
+        ((Gc.minor_words () -. w0) /. 1e6);
+    (o.Pipeline.out_timings.Pipeline.execute_s, o.Pipeline.out_rows)
+  in
+  let time_pair sql =
+    let row_best = ref infinity and batch_best = ref infinity in
+    let row_rows = ref [] and batch_rows = ref [] in
+    ignore (one Backend.Batch sql) (* warm storage and plan cache *);
+    for _ = 1 to iters do
+      let t, r = one Backend.Row sql in
+      if t < !row_best then row_best := t;
+      row_rows := r;
+      let t, r = one Backend.Batch sql in
+      if t < !batch_best then batch_best := t;
+      batch_rows := r
+    done;
+    ((!row_best, canon !row_rows), (!batch_best, canon !batch_rows))
+  in
+  Batch_exec.reset_counters ();
+  Printf.printf "TPC-H at SF %.3f; best of %d runs per executor\n\n" (sf ())
+    iters;
+  let mismatches = ref 0 in
+  let results =
+    List.map
+      (fun (name, sql) ->
+        let (row_s, row_rows), (batch_s, batch_rows) = time_pair sql in
+        let ok = row_rows = batch_rows in
+        if not ok then incr mismatches;
+        Printf.printf
+          "  %-4s row %9.2f ms   batch %9.2f ms   speedup %5.2fx%s\n" name
+          (row_s *. 1000.) (batch_s *. 1000.)
+          (row_s /. batch_s)
+          (if ok then "" else "   ROW/BATCH MISMATCH");
+        (name, row_s, batch_s))
+      queries
+  in
+  let row_total = List.fold_left (fun a (_, r, _) -> a +. r) 0. results in
+  let batch_total = List.fold_left (fun a (_, _, b) -> a +. b) 0. results in
+  let speedup = row_total /. batch_total in
+  Printf.printf "\n  total row %.2f ms, batch %.2f ms: %.2fx speedup\n"
+    (row_total *. 1000.) (batch_total *. 1000.) speedup;
+  Printf.printf "  result mismatches: %d\n" !mismatches;
+  let counters = Batch_exec.counters () in
+  Printf.printf "  batch-path counters: %s\n"
+    (String.concat ", "
+       (List.filter_map
+          (fun (k, v) -> if v > 0 then Some (Printf.sprintf "%s=%d" k v) else None)
+          counters));
+  let query_json =
+    String.concat ", "
+      (List.map
+         (fun (name, r, b) ->
+           Printf.sprintf
+             "{\"query\": \"%s\", \"row_s\": %.6f, \"batch_s\": %.6f, \
+              \"speedup\": %.3f}"
+             name r b (r /. b))
+         results)
+  in
+  let counter_json =
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) counters)
+  in
+  write_json "BENCH_exec.json"
+    (Printf.sprintf
+       "{\"experiment\": \"exec\", \"sf\": %g, \"iters\": %d, \
+        \"row_total_s\": %.6f, \"batch_total_s\": %.6f, \"speedup\": %.3f, \
+        \"diff_mismatches\": %d, \"queries\": [%s], \"counters\": {%s}}"
+       (sf ()) iters row_total batch_total speedup !mismatches query_json
+       counter_json);
+  (* a result divergence between the two executors is a correctness bug, not
+     a benchmark data point — fail the smoke run loudly *)
+  if !mismatches > 0 then begin
+    Printf.eprintf "exec: %d row/batch result mismatch(es)\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -876,6 +1004,7 @@ let experiments =
     ("resilience", resilience);
     ("telemetry", telemetry);
     ("analyze", analyze);
+    ("exec", exec_bench);
     ("micro", micro);
   ]
 

@@ -242,6 +242,14 @@ let make_telemetry obs ~labels cache resil =
         | Resilience.Open -> 2.
       in
       pull [ ([], v) ]);
+  Obs.register_collector obs ~kind:`Counter
+    ~help:
+      "Vectorized-executor events (sampled from the engine's own counters)"
+    "hyperq_exec_batch_events_total" (fun () ->
+      pull
+        (List.map
+           (fun (k, v) -> ([ ("event", k) ], float_of_int v))
+           (Hyperq_engine.Batch_exec.counters ())));
   tel
 
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)

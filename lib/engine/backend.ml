@@ -18,7 +18,10 @@ type t = {
   storage : Storage.t;
   mutable session_user : string;
   mutable queries_executed : int;
+  mutable exec_mode : exec_mode;
 }
+
+and exec_mode = Row | Batch
 
 type result = {
   res_schema : (string * Dtype.t) list;
@@ -27,12 +30,20 @@ type result = {
   res_message : string;
 }
 
+(* The vectorized executor is the default; [HYPERQ_EXEC_MODE=row] selects the
+   row interpreter (baseline for benchmarks and differential testing). *)
+let default_exec_mode () =
+  match Sys.getenv_opt "HYPERQ_EXEC_MODE" with
+  | Some "row" -> Row
+  | _ -> Batch
+
 let create () =
   {
     catalog = Catalog.create ();
     storage = Storage.create ();
     session_user = "HYPERQ";
     queries_executed = 0;
+    exec_mode = default_exec_mode ();
   }
 
 let query_result schema rows =
@@ -232,10 +243,19 @@ let exec_delete t ~target ~extra_from ~pred ~(schema : Xtra.schema) =
 let rec exec_statement t (st : Xtra.statement) : result =
   t.queries_executed <- t.queries_executed + 1;
   let st = Optimizer.optimize_statement st in
+  (if Sys.getenv_opt "HYPERQ_PLAN_DEBUG" <> None then
+     match st with
+     | Xtra.Query rel -> prerr_endline (Hyperq_xtra.Xtra_pp.rel_to_string rel)
+     | _ -> ());
   match st with
   | Xtra.Query rel ->
       let ctx = Executor.create_ctx ~session_user:t.session_user t.storage in
-      query_result (Xtra.schema_of rel) (Executor.exec ctx rel)
+      let rows =
+        match t.exec_mode with
+        | Batch -> Batch_exec.exec_rows ctx rel
+        | Row -> Executor.exec ctx rel
+      in
+      query_result (Xtra.schema_of rel) rows
   | Xtra.Insert { target; target_cols; source } ->
       exec_insert t ~target ~target_cols ~source
   | Xtra.Update { target; assignments; extra_from; upd_pred; upd_schema; _ } ->

@@ -13,7 +13,12 @@ type t = {
   storage : Storage.t;
   mutable session_user : string;
   mutable queries_executed : int;
+  mutable exec_mode : exec_mode;
+      (** which executor runs [Query] statements; DML always uses the row
+          path. Defaults to [Batch] unless [HYPERQ_EXEC_MODE=row] is set. *)
 }
+
+and exec_mode = Row | Batch  (** row interpreter vs vectorized executor *)
 
 type result = {
   res_schema : (string * Dtype.t) list;

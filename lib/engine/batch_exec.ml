@@ -1,0 +1,1167 @@
+(* Vectorized executor: compiles an XTRA plan into a tree of pull-based
+   operators exchanging columnar {!Batch.t} values.
+
+   Scans, filters, projections, equi-hash-joins, hash aggregation, DISTINCT,
+   and LIMIT stream batch-at-a-time; blocking operators (sort, window, set
+   operations) drain their compiled input and reuse the row-path
+   implementations in {!Executor}; plan shapes the batch path does not cover
+   (CTEs, cross/residual joins, grouping sets) fall back to the row
+   interpreter wholesale. Scalar expressions compile to closures with column
+   positions resolved at compile time — no per-row frame pushes or id
+   hashtable lookups — and scalars the batch path cannot compile (subqueries,
+   parameters) evaluate through a per-row adapter frame on the row path, so
+   every plan executes. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+
+type op = { schema : Xtra.schema; next : unit -> Batch.t option }
+
+(* --- per-operator batch counters (sampled by the obs registry) --------- *)
+
+let batch_counts : (string * int ref) list =
+  [
+    ("scan", ref 0);
+    ("filter", ref 0);
+    ("project", ref 0);
+    ("join", ref 0);
+    ("aggregate", ref 0);
+    ("limit", ref 0);
+    ("distinct", ref 0);
+    ("materialized", ref 0);
+  ]
+
+let bump name = incr (List.assoc name batch_counts)
+let c_scan_rows = ref 0
+let c_join_build_rows = ref 0
+let c_join_probe_rows = ref 0
+let c_agg_groups = ref 0
+let c_fallback_ops = ref 0
+let c_fallback_scalars = ref 0
+
+let counters () =
+  List.map (fun (k, r) -> ("batches_" ^ k, !r)) batch_counts
+  @ [
+      ("scan_rows", !c_scan_rows);
+      ("join_build_rows", !c_join_build_rows);
+      ("join_probe_rows", !c_join_probe_rows);
+      ("agg_groups", !c_agg_groups);
+      ("fallback_ops", !c_fallback_ops);
+      ("fallback_scalars", !c_fallback_scalars);
+    ]
+
+let reset_counters () =
+  List.iter (fun (_, r) -> r := 0) batch_counts;
+  List.iter
+    (fun r -> r := 0)
+    [
+      c_scan_rows;
+      c_join_build_rows;
+      c_join_probe_rows;
+      c_agg_groups;
+      c_fallback_ops;
+      c_fallback_scalars;
+    ]
+
+(* --- small growable array --------------------------------------------- *)
+
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+  let length v = v.len
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+
+  let push v x =
+    if v.len >= Array.length v.data then begin
+      let d = Array.make (2 * Array.length v.data) v.dummy in
+      Array.blit v.data 0 d 0 v.len;
+      v.data <- d
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1;
+    v.len - 1
+end
+
+let tys_of (schema : Xtra.schema) =
+  Array.of_list (List.map (fun (c : Xtra.col) -> c.Xtra.ty) schema)
+
+(* --- scalar compilation ------------------------------------------------ *)
+
+(* Pure expressions over constants only: no column, parameter, aggregate or
+   subquery references, and no function calls (some are volatile). These
+   evaluate once at compile time — the batch path's analogue of constant
+   folding, and what lets [DATE '...' + INTERVAL '1' YEAR] feed a
+   comparison kernel. *)
+let rec is_const (s : Xtra.scalar) =
+  match s with
+  | Xtra.Const _ -> true
+  | Xtra.Arith (_, a, b)
+  | Xtra.Cmp (_, a, b)
+  | Xtra.Logic_and (a, b)
+  | Xtra.Logic_or (a, b)
+  | Xtra.Concat (a, b) ->
+      is_const a && is_const b
+  | Xtra.Logic_not a | Xtra.Is_null (a, _) | Xtra.Cast (a, _)
+  | Xtra.Extract (_, a) ->
+      is_const a
+  | _ -> false
+
+(* The folded value, or None if the expression is not constant or folding
+   raises (a constant error like 1/0 must surface per ROW, as the row
+   interpreter would — not at compile time over an empty input). *)
+let folded_const ctx (s : Xtra.scalar) =
+  match s with
+  | Xtra.Const v -> Some v
+  | s when is_const s -> ( try Some (Executor.eval ctx s) with _ -> None)
+  | _ -> None
+
+(* A compiled scalar takes the batch and a PHYSICAL row index. [index] maps
+   column ids of the operator's input schema to column positions; it doubles
+   as the frame index for the row-path fallback. *)
+let rec compile_scalar ctx (index : (int, int) Hashtbl.t) (s : Xtra.scalar) :
+    Batch.t -> int -> Value.t =
+  match folded_const ctx s with
+  | Some v -> fun _ _ -> v
+  | None -> compile_scalar_node ctx index s
+
+and compile_scalar_node ctx (index : (int, int) Hashtbl.t) (s : Xtra.scalar) :
+    Batch.t -> int -> Value.t =
+  match s with
+  | Xtra.Const v -> fun _ _ -> v
+  | Xtra.Col_ref c -> (
+      match Hashtbl.find_opt index c.Xtra.id with
+      | Some pos -> fun b i -> Batch.get b pos i
+      | None -> fallback_scalar ctx index s)
+  | Xtra.Arith (op, a, b) ->
+      let fa = compile_scalar ctx index a and fb = compile_scalar ctx index b in
+      let vop =
+        match op with
+        | Xtra.Add -> Value.Add
+        | Xtra.Sub -> Value.Sub
+        | Xtra.Mul -> Value.Mul
+        | Xtra.Div -> Value.Div
+        | Xtra.Modulo -> Value.Modulo
+      in
+      fun bt i -> Value.arith vop (fa bt i) (fb bt i)
+  | Xtra.Cmp (op, a, b) ->
+      let fa = compile_scalar ctx index a and fb = compile_scalar ctx index b in
+      fun bt i ->
+        Scalar_func.value_of_bool3 (Scalar_func.eval_cmp op (fa bt i) (fb bt i))
+  | Xtra.Logic_and (a, b) -> (
+      let fa = compile_scalar ctx index a and fb = compile_scalar ctx index b in
+      fun bt i ->
+        match Scalar_func.bool3_of_value (fa bt i) with
+        | Some false -> Value.Bool false
+        | Some true -> fb bt i
+        | None -> (
+            match Scalar_func.bool3_of_value (fb bt i) with
+            | Some false -> Value.Bool false
+            | _ -> Value.Null))
+  | Xtra.Logic_or (a, b) -> (
+      let fa = compile_scalar ctx index a and fb = compile_scalar ctx index b in
+      fun bt i ->
+        match Scalar_func.bool3_of_value (fa bt i) with
+        | Some true -> Value.Bool true
+        | Some false -> fb bt i
+        | None -> (
+            match Scalar_func.bool3_of_value (fb bt i) with
+            | Some true -> Value.Bool true
+            | _ -> Value.Null))
+  | Xtra.Logic_not a -> (
+      let fa = compile_scalar ctx index a in
+      fun bt i ->
+        match Scalar_func.bool3_of_value (fa bt i) with
+        | Some b -> Value.Bool (not b)
+        | None -> Value.Null)
+  | Xtra.Is_null (a, negated) ->
+      let fa = compile_scalar ctx index a in
+      fun bt i ->
+        let v = fa bt i in
+        Value.Bool (if negated then not (Value.is_null v) else Value.is_null v)
+  | Xtra.Case { branches; else_branch; _ } ->
+      let fbranches =
+        List.map
+          (fun (c, v) ->
+            (compile_scalar ctx index c, compile_scalar ctx index v))
+          branches
+      in
+      let felse = Option.map (compile_scalar ctx index) else_branch in
+      fun bt i ->
+        let rec go = function
+          | [] -> ( match felse with Some f -> f bt i | None -> Value.Null)
+          | (fc, fv) :: rest -> (
+              match Scalar_func.bool3_of_value (fc bt i) with
+              | Some true -> fv bt i
+              | _ -> go rest)
+        in
+        go fbranches
+  | Xtra.Cast (a, t) ->
+      let fa = compile_scalar ctx index a in
+      fun bt i -> Value.cast (fa bt i) t
+  | Xtra.Func { name; args; _ } ->
+      let fargs = List.map (compile_scalar ctx index) args in
+      let env = Executor.scalar_env ctx in
+      fun bt i ->
+        Scalar_func.eval_function env name (List.map (fun f -> f bt i) fargs)
+  | Xtra.Extract (f, a) ->
+      let fa = compile_scalar ctx index a in
+      fun bt i -> Scalar_func.eval_extract f (fa bt i)
+  | Xtra.Concat (a, b) -> (
+      let fa = compile_scalar ctx index a and fb = compile_scalar ctx index b in
+      fun bt i ->
+        match (fa bt i, fb bt i) with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | a, b -> Value.Varchar (Value.to_string a ^ Value.to_string b))
+  | Xtra.Like { arg; pattern; escape; negated } -> (
+      let farg = compile_scalar ctx index arg
+      and fpat = compile_scalar ctx index pattern in
+      let fesc = Option.map (compile_scalar ctx index) escape in
+      fun bt i ->
+        match (farg bt i, fpat bt i) with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | v, p ->
+            let esc =
+              match Option.map (fun f -> f bt i) fesc with
+              | Some (Value.Varchar e) when String.length e = 1 -> Some e.[0]
+              | Some Value.Null | None -> None
+              | Some v ->
+                  Sql_error.execution_error "bad ESCAPE %s" (Value.to_string v)
+            in
+            let m =
+              Scalar_func.like_match ?escape:esc
+                ~pattern:(Value.to_string p) (Value.to_string v)
+            in
+            Value.Bool (if negated then not m else m))
+  | Xtra.In_list { arg; items; negated } ->
+      let farg = compile_scalar ctx index arg in
+      let fitems = List.map (compile_scalar ctx index) items in
+      fun bt i ->
+        let v = farg bt i in
+        let r =
+          List.fold_left
+            (fun acc fitem ->
+              match acc with
+              | Some true -> acc
+              | _ -> (
+                  match Scalar_func.eval_cmp Xtra.Eq v (fitem bt i) with
+                  | Some true -> Some true
+                  | Some false -> (
+                      match acc with None -> None | _ -> Some false)
+                  | None -> None))
+            (Some false) fitems
+        in
+        Scalar_func.value_of_bool3 (if negated then Option.map not r else r)
+  | Xtra.In_subquery { args = [ arg ]; subquery; negated }
+    when not (Executor.is_correlated ctx subquery) ->
+      (* Hash semi-join: the row path rescans the materialized subquery rows
+         for EVERY probe value (O(probes x rows)); here integer results build
+         a hash set once. Non-integer values take a linear pass that mirrors
+         the interpreter's three-valued fold exactly, so semantics — NULL
+         cells make the answer unknown rather than false — are identical. *)
+      let farg = compile_scalar ctx index arg in
+      let state =
+        lazy
+          (let rows = Executor.exec_subquery ctx subquery in
+           let tbl = Hashtbl.create (List.length rows) in
+           let has_null = ref false and all_int = ref true in
+           List.iter
+             (fun (row : Executor.row) ->
+               match row.(0) with
+               | Value.Int n -> Hashtbl.replace tbl n ()
+               | Value.Null -> has_null := true
+               | _ -> all_int := false)
+             rows;
+           (rows, tbl, !has_null, !all_int))
+      in
+      let linear v rows =
+        List.fold_left
+          (fun acc (row : Executor.row) ->
+            match acc with
+            | Some true -> acc
+            | _ -> (
+                match (Scalar_func.eval_cmp Xtra.Eq v row.(0), acc) with
+                | Some true, _ -> Some true
+                | Some false, Some false -> Some false
+                | Some false, None -> None
+                | None, _ -> None
+                | _, _ -> acc))
+          (Some false) rows
+      in
+      fun b i ->
+        let rows, tbl, has_null, all_int = Lazy.force state in
+        let r =
+          match farg b i with
+          | Value.Int n when all_int ->
+              if Hashtbl.mem tbl n then Some true
+              else if has_null then None
+              else Some false
+          | v -> linear v rows
+        in
+        Scalar_func.value_of_bool3 (if negated then Option.map not r else r)
+  | Xtra.Param _ | Xtra.Scalar_subquery _ | Xtra.Exists _ | Xtra.In_subquery _
+  | Xtra.Quantified _ | Xtra.Agg_ref _ | Xtra.Window_ref _ ->
+      fallback_scalar ctx index s
+
+(* Scalars outside the compiled subset (subqueries, parameters, out-of-scope
+   column refs) evaluate on the row path: materialize the row, push it as a
+   frame, and let {!Executor.eval} do the rest — including correlated
+   subquery decorrelation, which reads outer columns through that frame. *)
+and fallback_scalar ctx index s =
+  incr c_fallback_scalars;
+  let frame = { Executor.index; row = [||] } in
+  fun b i ->
+    frame.Executor.row <- Batch.to_row b i;
+    Executor.push_frame ctx frame;
+    Fun.protect
+      ~finally:(fun () -> Executor.pop_frame ctx)
+      (fun () -> Executor.eval ctx s)
+
+(* Comparison kernels: a conjunct comparing a column to an integer or date
+   constant runs directly over the unboxed vector when the column
+   materialized as V_int / V_date — one branch per row, no boxing, NULLs
+   rejected by the validity byte. *)
+let flip_cmp = function
+  | Xtra.Eq -> Xtra.Eq
+  | Xtra.Neq -> Xtra.Neq
+  | Xtra.Lt -> Xtra.Gt
+  | Xtra.Lte -> Xtra.Gte
+  | Xtra.Gt -> Xtra.Lt
+  | Xtra.Gte -> Xtra.Lte
+
+(* [true] iff [c op 0] — turns a three-way comparison into the conjunct's
+   boolean with the same truth table as {!Scalar_func.eval_cmp}. *)
+let cmp_sign op (c : int) =
+  match op with
+  | Xtra.Eq -> c = 0
+  | Xtra.Neq -> c <> 0
+  | Xtra.Lt -> c < 0
+  | Xtra.Lte -> c <= 0
+  | Xtra.Gt -> c > 0
+  | Xtra.Gte -> c >= 0
+
+let fast_cmp_kernel ctx (index : (int, int) Hashtbl.t) (conj : Xtra.scalar) :
+    (Batch.t -> (int -> bool) option) option =
+  let for_col c (op, k) =
+    match Hashtbl.find_opt index c.Xtra.id with
+    | None -> None
+    | Some pos ->
+        (* Filtering truth: a row passes only on [Some true]; [Some false]
+           and NULL (None) both reject, so errors aside the kernel returns
+           plain bool. *)
+        let generic v =
+          match Scalar_func.eval_cmp op v k with Some true -> true | _ -> false
+        in
+        (* Boxed vectors still skip the compiled-closure plumbing: direct
+           array read, constructor fast path, [eval_cmp] only on mixed
+           representations. *)
+        let boxed : Value.t array -> int -> bool =
+          match k with
+          | Value.Null -> fun _ _ -> false
+          | Value.Decimal kd ->
+              fun a i -> (
+                match a.(i) with
+                | Value.Decimal d -> cmp_sign op (Decimal.compare d kd)
+                | Value.Null -> false
+                | v -> generic v)
+          | Value.Varchar _ ->
+              fun a i -> (
+                match a.(i) with Value.Null -> false | v -> generic v)
+          | _ -> fun a i -> generic a.(i)
+        in
+        Some
+          (fun b ->
+            match (Batch.col b pos, k) with
+            | Batch.V_int { data; valid }, Value.Int ik ->
+                Some
+                  (fun i ->
+                    Bytes.unsafe_get valid i = '\001'
+                    && cmp_sign op (Int64.compare data.(i) ik))
+            | Batch.V_date { data; valid }, Value.Date d ->
+                (* teradata date ints are monotonic in date order *)
+                let dk = Sql_date.to_teradata_int d in
+                Some
+                  (fun i ->
+                    Bytes.unsafe_get valid i = '\001'
+                    && cmp_sign op (compare data.(i) dk))
+            | Batch.V_any a, _ -> Some (boxed a)
+            | _ -> None)
+  in
+  (* column-vs-column comparison (e.g. L_COMMITDATE < L_RECEIPTDATE): both
+     sides unboxed runs on flat ints; both boxed still skips the closures *)
+  let col_col a b op =
+    match (Hashtbl.find_opt index a.Xtra.id, Hashtbl.find_opt index b.Xtra.id)
+    with
+    | Some pa, Some pb ->
+        Some
+          (fun bt ->
+            match (Batch.col bt pa, Batch.col bt pb) with
+            | Batch.V_date va, Batch.V_date vb ->
+                Some
+                  (fun i ->
+                    Bytes.unsafe_get va.valid i = '\001'
+                    && Bytes.unsafe_get vb.valid i = '\001'
+                    && cmp_sign op (compare va.data.(i) vb.data.(i)))
+            | Batch.V_int va, Batch.V_int vb ->
+                Some
+                  (fun i ->
+                    Bytes.unsafe_get va.valid i = '\001'
+                    && Bytes.unsafe_get vb.valid i = '\001'
+                    && cmp_sign op (Int64.compare va.data.(i) vb.data.(i)))
+            | Batch.V_any va, Batch.V_any vb ->
+                Some
+                  (fun i ->
+                    match Scalar_func.eval_cmp op va.(i) vb.(i) with
+                    | Some true -> true
+                    | _ -> false)
+            | _ -> None)
+    | _ -> None
+  in
+  match conj with
+  | Xtra.Cmp (op, Xtra.Col_ref a, Xtra.Col_ref b) -> col_col a b op
+  | Xtra.Cmp (op, Xtra.Col_ref c, rhs) -> (
+      match folded_const ctx rhs with
+      | Some v -> for_col c (op, v)
+      | None -> None)
+  | Xtra.Cmp (op, lhs, Xtra.Col_ref c) -> (
+      match folded_const ctx lhs with
+      | Some v -> for_col c (flip_cmp op, v)
+      | None -> None)
+  | _ -> None
+
+(* --- operator construction --------------------------------------------- *)
+
+let drain op =
+  let acc = ref [] in
+  let rec go () =
+    match op.next () with
+    | None -> List.rev !acc
+    | Some b ->
+        Batch.iter (fun i -> acc := Batch.to_row b i :: !acc) b;
+        go ()
+  in
+  go ()
+
+(* Stream an (on-demand) materialized row list as batches. *)
+let op_of_lazy_rows label schema (rows : Executor.row list Lazy.t) =
+  let tys = tys_of schema in
+  let arr = lazy (Array.of_list (Lazy.force rows)) in
+  let pos = ref 0 in
+  {
+    schema;
+    next =
+      (fun () ->
+        let a = Lazy.force arr in
+        if !pos >= Array.length a then None
+        else begin
+          let n = min Batch.capacity (Array.length a - !pos) in
+          let b = Batch.of_rows tys a !pos n in
+          pos := !pos + n;
+          bump label;
+          Some b
+        end);
+  }
+
+let row_fallback ctx (r : Xtra.rel) =
+  incr c_fallback_ops;
+  op_of_lazy_rows "materialized" (Xtra.schema_of r)
+    (lazy (Executor.exec ctx r))
+
+(* Per-aggregate incremental state, mirroring {!Executor.finalize_agg}
+   exactly: SUM folds [Value.arith Add] in row order; AVG over integers
+   finalizes as an exact decimal; MIN/MAX fold with [compare_sql]. DISTINCT
+   aggregates collect raw values and defer to [finalize_agg]. *)
+type agg_acc = {
+  mutable a_count_all : int;
+  mutable a_count_nn : int;
+  mutable a_sum : Value.t;
+  mutable a_min : Value.t;
+  mutable a_max : Value.t;
+  mutable a_vals : Value.t list;  (** reversed; distinct aggregates only *)
+}
+
+let new_acc () =
+  {
+    a_count_all = 0;
+    a_count_nn = 0;
+    a_sum = Value.Null;
+    a_min = Value.Null;
+    a_max = Value.Null;
+    a_vals = [];
+  }
+
+(* Columns of [schema] that a conjunct-level comparison kernel will consume:
+   these want flat unboxed vectors. Only conjuncts eligible for
+   [fast_cmp_kernel] mark their column — unboxing a column that is then read
+   through the generic boxed path would re-box a value per access. *)
+let unbox_hint ctx (schema : Xtra.schema) (pred : Xtra.scalar) =
+  let hint = Array.make (List.length schema) false in
+  let mark (c : Xtra.col) =
+    List.iteri
+      (fun pos (sc : Xtra.col) ->
+        if sc.Xtra.id = c.Xtra.id then hint.(pos) <- true)
+      schema
+  in
+  List.iter
+    (fun conj ->
+      match conj with
+      | Xtra.Cmp (_, Xtra.Col_ref a, Xtra.Col_ref b) ->
+          (* the col-col kernel needs BOTH sides flat, and only runs on
+             integer/date vectors *)
+          let unboxable (c : Xtra.col) =
+            match c.Xtra.ty with Dtype.Int | Dtype.Date -> true | _ -> false
+          in
+          if unboxable a && unboxable b && a.Xtra.ty = b.Xtra.ty then begin
+            mark a;
+            mark b
+          end
+      | Xtra.Cmp (_, Xtra.Col_ref c, other)
+      | Xtra.Cmp (_, other, Xtra.Col_ref c) -> (
+          match folded_const ctx other with
+          | Some (Value.Int _ | Value.Date _) -> mark c
+          | _ -> ())
+      | _ -> ())
+    (Executor.split_conjuncts pred);
+  hint
+
+let dbg_times : (string, float ref) Hashtbl.t = Hashtbl.create 8
+let dbg_enabled = lazy (Sys.getenv_opt "HYPERQ_EXEC_DEBUG" <> None)
+
+let dbg_report () =
+  let all = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) dbg_times [] in
+  List.iter
+    (fun (k, t) -> Printf.eprintf "      %-12s %8.2f ms (incl. inputs)\n" k (1000. *. t))
+    (List.sort (fun (_, a) (_, b) -> compare b a) all);
+  Hashtbl.reset dbg_times
+
+let rel_label : Xtra.rel -> string = function
+  | Xtra.Get _ -> "get"
+  | Xtra.Values_rel _ -> "values"
+  | Xtra.Filter _ -> "filter"
+  | Xtra.Project _ -> "project"
+  | Xtra.Join _ -> "join"
+  | Xtra.Aggregate _ -> "aggregate"
+  | Xtra.Window _ -> "window"
+  | Xtra.Sort _ -> "sort"
+  | Xtra.Limit _ -> "limit"
+  | Xtra.Distinct _ -> "distinct"
+  | Xtra.Set_operation _ -> "set_op"
+  | Xtra.Cte_ref _ -> "cte_ref"
+  | Xtra.With_cte _ -> "with_cte"
+
+let rec compile ctx (r : Xtra.rel) : op =
+  if not (Lazy.force dbg_enabled) then compile_node ctx r
+  else begin
+    let op = compile_node ctx r in
+    let slot =
+      match Hashtbl.find_opt dbg_times (rel_label r) with
+      | Some s -> s
+      | None ->
+          let s = ref 0. in
+          Hashtbl.add dbg_times (rel_label r) s;
+          s
+    in
+    {
+      op with
+      next =
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let b = op.next () in
+          slot := !slot +. (Unix.gettimeofday () -. t0);
+          b);
+    }
+  end
+
+and compile_node ctx (r : Xtra.rel) : op =
+  match r with
+  | Xtra.Get _ -> compile_get ctx r ()
+  | Xtra.Filter { input = Xtra.Get _ as g; pred } ->
+      compile_filter ctx
+        (compile_get ctx g ~unbox:(unbox_hint ctx (Xtra.schema_of g) pred) ())
+        pred
+  | Xtra.Filter { input; pred } -> compile_filter ctx (compile ctx input) pred
+  | Xtra.Project { input; proj } ->
+      let iop = compile ctx input in
+      let index = Executor.make_index iop.schema in
+      let schema = Xtra.schema_of r in
+      let plans =
+        Array.of_list
+          (List.map
+             (fun ((_ : Xtra.col), e) ->
+               match e with
+               | Xtra.Col_ref c -> (
+                   match Hashtbl.find_opt index c.Xtra.id with
+                   | Some pos -> `Share pos
+                   | None -> `Compute (compile_scalar ctx index e))
+               | e -> `Compute (compile_scalar ctx index e))
+             proj)
+      in
+      {
+        schema;
+        next =
+          (fun () ->
+            match iop.next () with
+            | None -> None
+            | Some b ->
+                let cols =
+                  Array.map
+                    (function
+                      | `Share pos -> Batch.col b pos
+                      | `Compute f ->
+                          let a = Array.make b.Batch.nrows Value.Null in
+                          Batch.iter (fun i -> a.(i) <- f b i) b;
+                          Batch.V_any a)
+                    plans
+                in
+                bump "project";
+                Some
+                  (Batch.of_cols cols ~nrows:b.Batch.nrows ~sel:b.Batch.sel
+                     ~nsel:b.Batch.nsel));
+      }
+  | Xtra.Join { kind; left; right; pred } -> compile_join ctx r kind left right pred
+  | Xtra.Aggregate { grouping_sets = Some _; _ } -> row_fallback ctx r
+  | Xtra.Aggregate { input; group_by; aggs; grouping_sets = None } ->
+      compile_agg ctx r input group_by aggs
+  | Xtra.Window { input; windows } ->
+      let ischema = Xtra.schema_of input in
+      op_of_lazy_rows "materialized" (Xtra.schema_of r)
+        (lazy
+          (Executor.exec_window_rows ctx ischema
+             (drain (compile ctx input))
+             windows))
+  | Xtra.Sort { input; sort_keys } ->
+      let ischema = Xtra.schema_of input in
+      op_of_lazy_rows "materialized" (Xtra.schema_of r)
+        (lazy
+          (Executor.sort_rows ctx ischema sort_keys (drain (compile ctx input))))
+  | Xtra.Limit { input; count; offset; with_ties; percent } ->
+      if with_ties || percent then
+        Sql_error.internal_error
+          "TOP WITH TIES/PERCENT must be expanded before reaching the engine";
+      let iop = compile ctx input in
+      let eval_int = function
+        | None -> None
+        | Some e -> (
+            match Executor.eval ctx e with
+            | Value.Int n -> Some (Int64.to_int n)
+            | Value.Decimal d -> Some (Int64.to_int (Decimal.to_int64 d))
+            | v ->
+                Sql_error.execution_error "LIMIT expects an integer, got %s"
+                  (Value.to_string v))
+      in
+      let to_skip = ref (Option.value (eval_int offset) ~default:0) in
+      let remaining = ref (Option.map (fun n -> max 0 n) (eval_int count)) in
+      {
+        schema = iop.schema;
+        next =
+          (fun () ->
+            let rec loop () =
+              if !remaining = Some 0 then None
+              else
+                match iop.next () with
+                | None -> None
+                | Some b ->
+                    let n = Batch.num_rows b in
+                    if !to_skip >= n then begin
+                      to_skip := !to_skip - n;
+                      loop ()
+                    end
+                    else begin
+                      let avail = n - !to_skip in
+                      let take =
+                        match !remaining with
+                        | Some rem -> min rem avail
+                        | None -> avail
+                      in
+                      let sel =
+                        Array.init take (fun k ->
+                            Batch.phys_index b (!to_skip + k))
+                      in
+                      to_skip := 0;
+                      (match !remaining with
+                      | Some rem -> remaining := Some (rem - take)
+                      | None -> ());
+                      b.Batch.sel <- Some sel;
+                      b.Batch.nsel <- take;
+                      bump "limit";
+                      Some b
+                    end
+            in
+            loop ());
+      }
+  | Xtra.Distinct { input } ->
+      let iop = compile ctx input in
+      let ht = Hash_table.create ~null_equal:true 64 in
+      {
+        schema = iop.schema;
+        next =
+          (fun () ->
+            let rec loop () =
+              match iop.next () with
+              | None -> None
+              | Some b ->
+                  let sel = Array.make (Batch.num_rows b) 0 in
+                  let cnt = ref 0 in
+                  Batch.iter
+                    (fun i ->
+                      let key = Batch.to_row b i in
+                      let h = Hash_table.hash_key key in
+                      let _, inserted = Hash_table.find_or_insert ht key h in
+                      if inserted then begin
+                        sel.(!cnt) <- i;
+                        incr cnt
+                      end)
+                    b;
+                  if !cnt = 0 then loop ()
+                  else begin
+                    b.Batch.sel <- Some sel;
+                    b.Batch.nsel <- !cnt;
+                    bump "distinct";
+                    Some b
+                  end
+            in
+            loop ());
+      }
+  | Xtra.Set_operation { op; all; left; right } ->
+      op_of_lazy_rows "materialized" (Xtra.schema_of r)
+        (lazy
+          (Executor.set_op_rows op all
+             (drain (compile ctx left))
+             (drain (compile ctx right))))
+  | Xtra.Values_rel _ | Xtra.Cte_ref _ | Xtra.With_cte _ -> row_fallback ctx r
+
+and compile_get ctx (r : Xtra.rel) ?unbox () : op =
+  match r with
+  | Xtra.Get { table; table_schema; _ } ->
+      let schema = Xtra.schema_of r in
+      let tys = tys_of schema in
+      let width = List.length table_schema in
+      let arr =
+        lazy
+          (let rows = Storage.scan ctx.Executor.storage table in
+           List.iter
+             (fun (row : Executor.row) ->
+               if Array.length row <> width then
+                 Sql_error.internal_error "width mismatch scanning %s" table)
+             rows;
+           Array.of_list rows)
+      in
+      let pos = ref 0 in
+      {
+        schema;
+        next =
+          (fun () ->
+            let a = Lazy.force arr in
+            if !pos >= Array.length a then None
+            else begin
+              let n = min Batch.capacity (Array.length a - !pos) in
+              let b = Batch.of_rows ?unbox tys a !pos n in
+              pos := !pos + n;
+              bump "scan";
+              c_scan_rows := !c_scan_rows + n;
+              Some b
+            end);
+      }
+  | _ -> Sql_error.internal_error "compile_get expects a Get node"
+
+(* Conjunct-at-a-time filtering: each AND-conjunct narrows the selection
+   vector in place before the next one runs, so later (often more
+   expensive) conjuncts only see survivors, and conjuncts with a
+   comparison kernel never box a value. Order is preserved — a row dropped
+   by conjunct N never reaches conjunct N+1, matching the row path's
+   short-circuit. *)
+and compile_filter ctx iop pred : op =
+  let index = Executor.make_index iop.schema in
+  let conjs =
+    List.map
+      (fun conj ->
+        let f = compile_scalar ctx index conj in
+        let generic b i = Scalar_func.bool3_of_value (f b i) = Some true in
+        match fast_cmp_kernel ctx index conj with
+        | Some kern -> (
+            fun b -> match kern b with Some k -> k | None -> generic b)
+        | None -> fun b -> generic b)
+      (Executor.split_conjuncts pred)
+  in
+  {
+    schema = iop.schema;
+    next =
+      (fun () ->
+        let rec loop () =
+          match iop.next () with
+          | None -> None
+          | Some b ->
+              let sel =
+                match b.Batch.sel with
+                | Some s -> s
+                | None -> Array.init b.Batch.nrows (fun i -> i)
+              in
+              let n = ref (match b.Batch.sel with Some _ -> b.Batch.nsel | None -> b.Batch.nrows) in
+              List.iter
+                (fun conj ->
+                  if !n > 0 then begin
+                    let keep = conj b in
+                    let cnt = ref 0 in
+                    for k = 0 to !n - 1 do
+                      let i = sel.(k) in
+                      if keep i then begin
+                        sel.(!cnt) <- i;
+                        incr cnt
+                      end
+                    done;
+                    n := !cnt
+                  end)
+                conjs;
+              if !n = 0 then loop ()
+              else begin
+                b.Batch.sel <- Some sel;
+                b.Batch.nsel <- !n;
+                bump "filter";
+                Some b
+              end
+        in
+        loop ());
+  }
+
+(* Equi-hash-join on the radix-partitioned table. Build drains the right
+   side into a row store plus per-entry duplicate chains ([heads]/[nexts]);
+   probe streams left batches, hashing each key row once. NULL keys never
+   enter the table on either side — SQL equality can never match them — and
+   the table itself (join mode) asserts none slip through. Joins the batch
+   path does not cover (cross, residual conjuncts) fall back wholesale. *)
+and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
+  let lschema = Xtra.schema_of left and rschema = Xtra.schema_of right in
+  let lids = List.map (fun (c : Xtra.col) -> c.Xtra.id) lschema in
+  let rids = List.map (fun (c : Xtra.col) -> c.Xtra.id) rschema in
+  let conjuncts =
+    match pred with Some p -> Executor.split_conjuncts p | None -> []
+  in
+  let subset ids of_ids = List.for_all (fun i -> List.mem i of_ids) ids in
+  let equi, residual =
+    List.partition_map
+      (fun c ->
+        match c with
+        | Xtra.Cmp (Xtra.Eq, a, b)
+          when subset (Executor.scalar_col_ids a) lids
+               && subset (Executor.scalar_col_ids b) rids ->
+            Left (a, b)
+        | Xtra.Cmp (Xtra.Eq, a, b)
+          when subset (Executor.scalar_col_ids b) lids
+               && subset (Executor.scalar_col_ids a) rids ->
+            Left (b, a)
+        | c -> Right c)
+      conjuncts
+  in
+  let vectorizable =
+    (match kind with Xtra.Cross -> false | _ -> true) && equi <> []
+  in
+  if not vectorizable then row_fallback ctx jnode
+  else begin
+    let lop = compile ctx left and rop = compile ctx right in
+    let lindex = Executor.make_index lop.schema in
+    let rindex = Executor.make_index rop.schema in
+    (* Residual conjuncts check each candidate pair on the row path, exactly
+       as the row interpreter does: a pair joins only when every residual is
+       [Some true]; a probe row none of whose candidates survive counts as
+       unmatched for outer-join purposes. *)
+    let lframe = { Executor.index = lindex; row = [||] } in
+    let rframe = { Executor.index = rindex; row = [||] } in
+    let residual_ok lrow rrow =
+      residual = []
+      || begin
+           lframe.Executor.row <- lrow;
+           rframe.Executor.row <- rrow;
+           Executor.push_frame ctx lframe;
+           Executor.push_frame ctx rframe;
+           let ok =
+             List.for_all
+               (fun c ->
+                 Scalar_func.bool3_of_value (Executor.eval ctx c) = Some true)
+               residual
+           in
+           Executor.pop_frame ctx;
+           Executor.pop_frame ctx;
+           ok
+         end
+    in
+    let lkey_fs =
+      Array.of_list (List.map (fun (a, _) -> compile_scalar ctx lindex a) equi)
+    in
+    let rkey_fs =
+      Array.of_list (List.map (fun (_, b) -> compile_scalar ctx rindex b) equi)
+    in
+    let schema = Xtra.schema_of jnode in
+    let tys = tys_of schema in
+    let rwidth = List.length rschema and lwidth = List.length lschema in
+    let null_right = Array.make rwidth Value.Null in
+    let null_left = Array.make lwidth Value.Null in
+    let keep_left =
+      kind = Xtra.Left_outer || kind = Xtra.Full_outer
+    in
+    let keep_right =
+      kind = Xtra.Right_outer || kind = Xtra.Full_outer
+    in
+    let ht = Hash_table.create ~null_equal:false 1024 in
+    let rrows : Executor.row Vec.t = Vec.create [||] in
+    let nexts = Vec.create (-1) in
+    let heads = Vec.create (-1) in
+    let matched = ref [||] in
+    let built = ref false in
+    let build () =
+      let rec go () =
+        match rop.next () with
+        | None -> ()
+        | Some rb ->
+            Batch.iter
+              (fun i ->
+                let row = Batch.to_row rb i in
+                let ri = Vec.push rrows row in
+                ignore (Vec.push nexts (-1));
+                let key = Array.map (fun f -> f rb i) rkey_fs in
+                if not (Array.exists Value.is_null key) then begin
+                  let h = Hash_table.hash_key key in
+                  let e, inserted = Hash_table.find_or_insert ht key h in
+                  if inserted then ignore (Vec.push heads ri)
+                  else begin
+                    Vec.set nexts ri (Vec.get heads e);
+                    Vec.set heads e ri
+                  end
+                end)
+              rb;
+            go ()
+      in
+      go ();
+      c_join_build_rows := !c_join_build_rows + Vec.length rrows;
+      if keep_right then matched := Array.make (Vec.length rrows) false
+    in
+    (* output rows buffered between pulls: one probe batch can produce more
+       than [Batch.capacity] matches *)
+    let buf : Executor.row Vec.t = Vec.create [||] in
+    let emit_pos = ref 0 in
+    let exhausted = ref false in
+    let probe_batch lb =
+      Batch.iter
+        (fun i ->
+          incr c_join_probe_rows;
+          let key = Array.map (fun f -> f lb i) lkey_fs in
+          let e =
+            if Array.exists Value.is_null key then -1
+            else Hash_table.find ht key (Hash_table.hash_key key)
+          in
+          if e < 0 then begin
+            if keep_left then
+              ignore (Vec.push buf (Array.append (Batch.to_row lb i) null_right))
+          end
+          else begin
+            let lrow = Batch.to_row lb i in
+            let any = ref false in
+            let j = ref (Vec.get heads e) in
+            while !j >= 0 do
+              let rrow = Vec.get rrows !j in
+              if residual_ok lrow rrow then begin
+                any := true;
+                if keep_right then !matched.(!j) <- true;
+                ignore (Vec.push buf (Array.append lrow rrow))
+              end;
+              j := Vec.get nexts !j
+            done;
+            if (not !any) && keep_left then
+              ignore (Vec.push buf (Array.append lrow null_right))
+          end)
+        lb
+    in
+    let emit_tail_right () =
+      if keep_right then
+        for j = 0 to Vec.length rrows - 1 do
+          if not !matched.(j) then
+            ignore (Vec.push buf (Array.append null_left (Vec.get rrows j)))
+        done
+    in
+    let emit_slice () =
+      let n = min Batch.capacity (Vec.length buf - !emit_pos) in
+      (* copy the row POINTERS out: batches share rows with their source
+         window, so the buffer must not be recycled underneath them *)
+      let rows = Array.sub buf.Vec.data !emit_pos n in
+      let b = Batch.of_rows tys rows 0 n in
+      emit_pos := !emit_pos + n;
+      if !emit_pos >= Vec.length buf then begin
+        (* fully drained: recycle the buffer *)
+        buf.Vec.len <- 0;
+        emit_pos := 0
+      end;
+      bump "join";
+      Some b
+    in
+    {
+      schema;
+      next =
+        (fun () ->
+          if not !built then begin
+            let t0 = Unix.gettimeofday () in
+            build ();
+            if Lazy.force dbg_enabled then
+              Printf.eprintf "      join build: %.2f ms (%d rows)\n"
+                (1000. *. (Unix.gettimeofday () -. t0))
+                (Vec.length rrows);
+            built := true
+          end;
+          let rec loop () =
+            if Vec.length buf - !emit_pos >= Batch.capacity then emit_slice ()
+            else if !exhausted then
+              if Vec.length buf - !emit_pos > 0 then emit_slice () else None
+            else
+              match lop.next () with
+              | Some lb ->
+                  probe_batch lb;
+                  loop ()
+              | None ->
+                  emit_tail_right ();
+                  exhausted := true;
+                  loop ()
+          in
+          loop ());
+    }
+  end
+
+(* Hash aggregation over the same table: keys hash once per row, groups keep
+   O(1) incremental accumulators instead of retained row lists, and output
+   preserves first-seen group order like the row path. *)
+and compile_agg ctx (anode : Xtra.rel) input group_by aggs : op =
+  let schema = Xtra.schema_of anode in
+  let aggs_a = Array.of_list (List.map snd aggs) in
+  let rows =
+    lazy
+      (let iop = compile ctx input in
+       let index = Executor.make_index iop.schema in
+       let key_fs =
+         Array.of_list
+           (List.map
+              (fun ((_ : Xtra.col), e) -> compile_scalar ctx index e)
+              group_by)
+       in
+       let arg_fs =
+         Array.map
+           (fun (a : Xtra.agg_def) ->
+             Option.map (compile_scalar ctx index) a.Xtra.aarg)
+           aggs_a
+       in
+       let update accs b i =
+         Array.iteri
+           (fun j (a : Xtra.agg_def) ->
+             let acc = accs.(j) in
+             let arg () =
+               match arg_fs.(j) with
+               | Some f -> f b i
+               | None -> Value.Bool true
+             in
+             if a.Xtra.adistinct then acc.a_vals <- arg () :: acc.a_vals
+             else
+               match a.Xtra.afunc with
+               | Xtra.Count_star -> acc.a_count_all <- acc.a_count_all + 1
+               | Xtra.Count ->
+                   if not (Value.is_null (arg ())) then
+                     acc.a_count_nn <- acc.a_count_nn + 1
+               | Xtra.Sum ->
+                   let v = arg () in
+                   if not (Value.is_null v) then
+                     acc.a_sum <-
+                       (if Value.is_null acc.a_sum then v
+                        else Value.arith Value.Add acc.a_sum v)
+               | Xtra.Avg ->
+                   let v = arg () in
+                   if not (Value.is_null v) then begin
+                     acc.a_count_nn <- acc.a_count_nn + 1;
+                     acc.a_sum <-
+                       (if Value.is_null acc.a_sum then v
+                        else Value.arith Value.Add acc.a_sum v)
+                   end
+               | Xtra.Min ->
+                   let v = arg () in
+                   if not (Value.is_null v) then
+                     if Value.is_null acc.a_min then acc.a_min <- v
+                     else (
+                       match Value.compare_sql v acc.a_min with
+                       | Some c when c < 0 -> acc.a_min <- v
+                       | _ -> ())
+               | Xtra.Max ->
+                   let v = arg () in
+                   if not (Value.is_null v) then
+                     if Value.is_null acc.a_max then acc.a_max <- v
+                     else (
+                       match Value.compare_sql v acc.a_max with
+                       | Some c when c > 0 -> acc.a_max <- v
+                       | _ -> ()))
+           aggs_a
+       in
+       let finalize (a : Xtra.agg_def) acc =
+         if a.Xtra.adistinct then Executor.finalize_agg a (List.rev acc.a_vals)
+         else
+           match a.Xtra.afunc with
+           | Xtra.Count_star -> Value.of_int acc.a_count_all
+           | Xtra.Count -> Value.of_int acc.a_count_nn
+           | Xtra.Sum -> acc.a_sum
+           | Xtra.Avg -> (
+               match acc.a_sum with
+               | Value.Null -> Value.Null
+               | Value.Int n ->
+                   (* AVG over integers is exact, not integer division *)
+                   Value.Decimal
+                     (Decimal.div (Decimal.of_int64 n)
+                        (Decimal.of_int acc.a_count_nn))
+               | s -> Value.arith Value.Div s (Value.of_int acc.a_count_nn))
+           | Xtra.Min -> acc.a_min
+           | Xtra.Max -> acc.a_max
+       in
+       let finalized accs =
+         Array.to_list (Array.mapi (fun j acc -> finalize aggs_a.(j) acc) accs)
+       in
+       if group_by = [] then begin
+         (* global aggregate: exactly one output row *)
+         let accs = Array.map (fun _ -> new_acc ()) aggs_a in
+         let rec go () =
+           match iop.next () with
+           | None -> ()
+           | Some b ->
+               Batch.iter (fun i -> update accs b i) b;
+               go ()
+         in
+         go ();
+         [ Array.of_list (finalized accs) ]
+       end
+       else begin
+         let ht = Hash_table.create ~null_equal:true 256 in
+         let gaccs : agg_acc array Vec.t = Vec.create [||] in
+         let rec go () =
+           match iop.next () with
+           | None -> ()
+           | Some b ->
+               Batch.iter
+                 (fun i ->
+                   let key = Array.map (fun f -> f b i) key_fs in
+                   let h = Hash_table.hash_key key in
+                   let e, inserted = Hash_table.find_or_insert ht key h in
+                   if inserted then
+                     ignore (Vec.push gaccs (Array.map (fun _ -> new_acc ()) aggs_a));
+                   update (Vec.get gaccs e) b i)
+                 b;
+               go ()
+         in
+         go ();
+         c_agg_groups := !c_agg_groups + Hash_table.count ht;
+         List.init (Hash_table.count ht) (fun g ->
+             Array.append
+               (Hash_table.entry_key ht g)
+               (Array.of_list (finalized (Vec.get gaccs g))))
+       end)
+  in
+  op_of_lazy_rows "aggregate" schema rows
+
+(* --- entry point -------------------------------------------------------- *)
+
+(* Execute [rel] on the batch path, returning materialized rows (the
+   backend's result representation). *)
+let exec_rows ctx (rel : Xtra.rel) : Executor.row list =
+  let rows = drain (compile ctx rel) in
+  if Lazy.force dbg_enabled then dbg_report ();
+  rows

@@ -20,13 +20,36 @@ let make_index (schema : Xtra.schema) =
   List.iteri (fun i (c : Xtra.col) -> Hashtbl.replace h c.Xtra.id i) schema;
   h
 
+(* Physical-identity hash table over plan nodes. The executor memoizes
+   per-node facts (correlation analysis, uncorrelated subquery results,
+   decorrelation candidates) keyed by the node's identity within the plan
+   being executed; plan nodes are immutable, so the structural [Hashtbl.hash]
+   is stable and compatible with [( == )]. *)
+module Rel_tbl = Hashtbl.Make (struct
+  type t = Hyperq_xtra.Xtra.rel
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Uncorrelated-subquery memo bound. The cache lives for one statement (a
+   fresh ctx per [Backend.exec_statement]); on overflow it resets wholesale
+   rather than evicting — pathological plans with hundreds of distinct
+   subquery nodes re-execute instead of growing without bound. *)
+let subquery_cache_cap = 256
+
 type ctx = {
   storage : Storage.t;
   mutable frames : frame list;
   mutable ctes : (string * row list) list;
-  mutable subquery_cache : (Xtra.rel * row list) list;
-  mutable correlated : (Xtra.rel * bool) list;
-  mutable hashed_subqueries : (Xtra.rel * hashed_subquery option) list;
+  mutable cte_version : int;
+      (** bumped on every [ctes] rebind (see [set_ctes]); guards
+          CTE-dependent entries in [subquery_cache] *)
+  subquery_cache : (int * bool * row list) Rel_tbl.t;
+      (** uncorrelated subquery ↦ (cte_version at insert, references-a-CTE
+          flag, rows); invariant documented at [exec_subquery] *)
+  correlated : bool Rel_tbl.t;
+  hashed_subqueries : hashed_subquery option Rel_tbl.t;
   session_user : string;
   current_date : Sql_date.t;
 }
@@ -50,12 +73,19 @@ let create_ctx ?(session_user = "HYPERQ") ?(current_date = Sql_date.make ~year:2
     storage;
     frames = [];
     ctes = [];
-    subquery_cache = [];
-    correlated = [];
-    hashed_subqueries = [];
+    cte_version = 0;
+    subquery_cache = Rel_tbl.create 64;
+    correlated = Rel_tbl.create 64;
+    hashed_subqueries = Rel_tbl.create 16;
     session_user;
     current_date;
   }
+
+(* Every CTE-environment rebind goes through here so the subquery memo can
+   tell whether a CTE-referencing entry is still current. *)
+let set_ctes ctx ctes =
+  ctx.ctes <- ctes;
+  ctx.cte_version <- ctx.cte_version + 1
 
 let push_frame ctx f = ctx.frames <- f :: ctx.frames
 let pop_frame ctx =
@@ -92,259 +122,34 @@ let referenced_and_produced rel =
   (!refs, !prods)
 
 let is_correlated ctx rel =
-  match List.assq_opt rel ctx.correlated with
+  match Rel_tbl.find_opt ctx.correlated rel with
   | Some b -> b
   | None ->
       let refs, prods = referenced_and_produced rel in
       let b = List.exists (fun id -> not (List.mem id prods)) refs in
-      ctx.correlated <- (rel, b) :: ctx.correlated;
+      Rel_tbl.replace ctx.correlated rel b;
       b
 
-(* --- LIKE matching --------------------------------------------------- *)
+(* LIKE / EXTRACT / function library / 3-valued booleans live in
+   Scalar_func; the executor re-exports thin wrappers so existing call sites
+   (and tests poking at the row path) keep working. *)
 
-let like_match ?escape ~pattern s =
-  let plen = String.length pattern and slen = String.length s in
-  let esc = escape in
-  (* memoized recursion over (pi, si) *)
-  let memo = Hashtbl.create 64 in
-  let rec go pi si =
-    match Hashtbl.find_opt memo (pi, si) with
-    | Some r -> r
-    | None ->
-        let r =
-          if pi >= plen then si >= slen
-          else
-            let c = pattern.[pi] in
-            match esc with
-            | Some e when c = e && pi + 1 < plen ->
-                si < slen && pattern.[pi + 1] = s.[si] && go (pi + 2) (si + 1)
-            | _ -> (
-                match c with
-                | '%' -> go (pi + 1) si || (si < slen && go pi (si + 1))
-                | '_' -> si < slen && go (pi + 1) (si + 1)
-                | c -> si < slen && c = s.[si] && go (pi + 1) (si + 1))
-        in
-        Hashtbl.replace memo (pi, si) r;
-        r
-  in
-  go 0 0
+let like_match = Scalar_func.like_match
+let micros_per_day = Scalar_func.micros_per_day
+let date_of_value = Scalar_func.date_of_value
+let eval_extract = Scalar_func.eval_extract
 
-(* --- scalar functions ------------------------------------------------ *)
+let scalar_env ctx =
+  { Scalar_func.sf_user = ctx.session_user; sf_date = ctx.current_date }
 
-let micros_per_day = 86_400_000_000L
-
-let date_of_value = function
-  | Value.Date d -> d
-  | Value.Timestamp t ->
-      Sql_date.of_epoch_days (Int64.to_int (Int64.div t micros_per_day))
-  | v ->
-      Sql_error.execution_error "expected a date, got %s" (Value.to_string v)
-
-let eval_extract field v =
-  match v with
-  | Value.Null -> Value.Null
-  | Value.Date _ | Value.Timestamp _ -> (
-      let d = date_of_value v in
-      let time_part =
-        match v with
-        | Value.Timestamp t ->
-            let r = Int64.rem t micros_per_day in
-            if Int64.compare r 0L < 0 then Int64.add r micros_per_day else r
-        | _ -> 0L
-      in
-      let secs = Int64.div time_part 1_000_000L in
-      match field with
-      | Xtra.Year -> Value.of_int d.Sql_date.year
-      | Xtra.Month -> Value.of_int d.Sql_date.month
-      | Xtra.Day -> Value.of_int d.Sql_date.day
-      | Xtra.Hour -> Value.Int (Int64.div secs 3600L)
-      | Xtra.Minute -> Value.Int (Int64.rem (Int64.div secs 60L) 60L)
-      | Xtra.Second -> Value.Int (Int64.rem secs 60L))
-  | Value.Time t -> (
-      let secs = Int64.div t 1_000_000L in
-      match field with
-      | Xtra.Hour -> Value.Int (Int64.div secs 3600L)
-      | Xtra.Minute -> Value.Int (Int64.rem (Int64.div secs 60L) 60L)
-      | Xtra.Second -> Value.Int (Int64.rem secs 60L)
-      | _ -> Sql_error.execution_error "cannot EXTRACT a date field from a TIME")
-  | v ->
-      Sql_error.execution_error "cannot EXTRACT from %s" (Value.to_string v)
-
-let string_arg name = function
-  | Value.Varchar s -> s
-  | Value.Null -> ""
-  | v -> Sql_error.execution_error "%s expects a string, got %s" name (Value.to_string v)
-
-let rec eval_function ctx name (args : Value.t list) : Value.t =
-  let null_in = List.exists Value.is_null args in
-  match (name, args) with
-  | "COALESCE", args -> (
-      match List.find_opt (fun v -> not (Value.is_null v)) args with
-      | Some v -> v
-      | None -> Value.Null)
-  | "NULLIF", [ a; b ] -> if Value.equal_sql a b then Value.Null else a
-  | "CURRENT_DATE", [] -> Value.Date ctx.current_date
-  | "CURRENT_TIMESTAMP", [] ->
-      Value.Timestamp
-        (Int64.mul (Int64.of_int (Sql_date.to_epoch_days ctx.current_date)) micros_per_day)
-  | "CURRENT_TIME", [] -> Value.Time 0L
-  | "CURRENT_USER", [] -> Value.Varchar ctx.session_user
-  | _, _ when null_in -> Value.Null
-  | "CHARACTER_LENGTH", [ Value.Varchar s ] -> Value.of_int (String.length s)
-  | "UPPER", [ v ] -> Value.Varchar (String.uppercase_ascii (string_arg "UPPER" v))
-  | "LOWER", [ v ] -> Value.Varchar (String.lowercase_ascii (string_arg "LOWER" v))
-  | "TRIM", [ v ] -> Value.Varchar (String.trim (string_arg "TRIM" v))
-  | "LTRIM", [ v ] ->
-      let s = string_arg "LTRIM" v in
-      let i = ref 0 in
-      while !i < String.length s && s.[!i] = ' ' do
-        incr i
-      done;
-      Value.Varchar (String.sub s !i (String.length s - !i))
-  | "RTRIM", [ v ] ->
-      let s = string_arg "RTRIM" v in
-      let i = ref (String.length s) in
-      while !i > 0 && s.[!i - 1] = ' ' do
-        decr i
-      done;
-      Value.Varchar (String.sub s 0 !i)
-  | "REVERSE", [ v ] ->
-      let s = string_arg "REVERSE" v in
-      Value.Varchar (String.init (String.length s) (fun i -> s.[String.length s - 1 - i]))
-  | "SUBSTRING", (Value.Varchar s :: Value.Int start :: rest) ->
-      let start = Int64.to_int start in
-      let len =
-        match rest with
-        | [ Value.Int l ] -> Int64.to_int l
-        | [] -> max_int
-        | _ -> Sql_error.execution_error "bad SUBSTRING arguments"
-      in
-      (* SQL semantics: 1-based; positions before 1 consume length *)
-      let s_len = String.length s in
-      let from = max 1 start in
-      let eff_len =
-        if len = max_int then s_len - from + 1
-        else len - (from - start)
-      in
-      let eff_len = min eff_len (s_len - from + 1) in
-      if eff_len <= 0 || from > s_len then Value.Varchar ""
-      else Value.Varchar (String.sub s (from - 1) eff_len)
-  | "POSITION", [ needle; hay ] ->
-      let n = string_arg "POSITION" needle and h = string_arg "POSITION" hay in
-      let nl = String.length n and hl = String.length h in
-      let rec find i =
-        if i + nl > hl then 0
-        else if String.sub h i nl = n then i + 1
-        else find (i + 1)
-      in
-      Value.of_int (if nl = 0 then 1 else find 0)
-  | "REPLACE", [ s; from_s; to_s ] ->
-      let s = string_arg "REPLACE" s in
-      let f = string_arg "REPLACE" from_s and t = string_arg "REPLACE" to_s in
-      if f = "" then Value.Varchar s
-      else begin
-        let buf = Buffer.create (String.length s) in
-        let fl = String.length f in
-        let i = ref 0 in
-        while !i <= String.length s - fl do
-          if String.sub s !i fl = f then begin
-            Buffer.add_string buf t;
-            i := !i + fl
-          end
-          else begin
-            Buffer.add_char buf s.[!i];
-            incr i
-          end
-        done;
-        Buffer.add_string buf (String.sub s !i (String.length s - !i));
-        Value.Varchar (Buffer.contents buf)
-      end
-  | "ABS", [ v ] -> (
-      match v with
-      | Value.Int n -> Value.Int (Int64.abs n)
-      | Value.Float f -> Value.Float (Float.abs f)
-      | Value.Decimal d -> Value.Decimal (Decimal.abs d)
-      | v -> Sql_error.execution_error "ABS expects a number, got %s" (Value.to_string v))
-  | "ROUND", [ v ] -> eval_function ctx "ROUND" [ v; Value.of_int 0 ]
-  | "ROUND", [ v; Value.Int n ] -> (
-      let n = Int64.to_int n in
-      match v with
-      | Value.Int _ -> v
-      | Value.Decimal d -> Value.Decimal (Decimal.round d ~scale:(max 0 n))
-      | Value.Float f ->
-          let m = 10. ** float_of_int n in
-          Value.Float (Float.round (f *. m) /. m)
-      | v -> Sql_error.execution_error "ROUND expects a number, got %s" (Value.to_string v))
-  | "TRUNC", [ v ] -> eval_function ctx "TRUNC" [ v; Value.of_int 0 ]
-  | "TRUNC", [ v; Value.Int n ] -> (
-      let n = Int64.to_int n in
-      match v with
-      | Value.Int _ -> v
-      | Value.Decimal d ->
-          if n >= d.Decimal.scale then v
-          else Value.Decimal (Decimal.rescale d (max 0 n))
-      | Value.Float f ->
-          let m = 10. ** float_of_int n in
-          Value.Float (Float.trunc (f *. m) /. m)
-      | v -> Sql_error.execution_error "TRUNC expects a number, got %s" (Value.to_string v))
-  | "FLOOR", [ v ] -> (
-      match v with
-      | Value.Int _ -> v
-      | Value.Float f -> Value.Float (Float.floor f)
-      | Value.Decimal d ->
-          let f = Decimal.to_float d in
-          Value.Decimal (Decimal.of_float ~scale:0 (Float.floor f))
-      | v -> Sql_error.execution_error "FLOOR expects a number, got %s" (Value.to_string v))
-  | "CEILING", [ v ] -> (
-      match v with
-      | Value.Int _ -> v
-      | Value.Float f -> Value.Float (Float.ceil f)
-      | Value.Decimal d ->
-          let f = Decimal.to_float d in
-          Value.Decimal (Decimal.of_float ~scale:0 (Float.ceil f))
-      | v -> Sql_error.execution_error "CEILING expects a number, got %s" (Value.to_string v))
-  | "SQRT", [ v ] -> Value.Float (sqrt (Value.to_float_exn v))
-  | "EXP", [ v ] -> Value.Float (exp (Value.to_float_exn v))
-  | "LN", [ v ] -> Value.Float (log (Value.to_float_exn v))
-  | "LOG", [ v ] -> Value.Float (log10 (Value.to_float_exn v))
-  | "POWER", [ a; b ] ->
-      Value.Float (Float.pow (Value.to_float_exn a) (Value.to_float_exn b))
-  | "ADD_MONTHS", [ d; Value.Int n ] ->
-      Value.Date (Sql_date.add_months (date_of_value d) (Int64.to_int n))
-  | "ADD_DAYS", [ d; Value.Int n ] ->
-      Value.Date (Sql_date.add_days (date_of_value d) (Int64.to_int n))
-  | "LAST_DAY", [ d ] ->
-      let d = date_of_value d in
-      Value.Date
-        (Sql_date.make ~year:d.Sql_date.year ~month:d.Sql_date.month
-           ~day:(Sql_date.days_in_month d.Sql_date.year d.Sql_date.month))
-  | "DAY_OF_WEEK", [ d ] -> Value.of_int (Sql_date.day_of_week (date_of_value d))
-  | "GREATEST", args ->
-      List.fold_left
-        (fun acc v ->
-          match Value.compare_sql acc v with Some c when c >= 0 -> acc | _ -> v)
-        (List.hd args) (List.tl args)
-  | "LEAST", args ->
-      List.fold_left
-        (fun acc v ->
-          match Value.compare_sql acc v with Some c when c <= 0 -> acc | _ -> v)
-        (List.hd args) (List.tl args)
-  | "PERIOD_BEGIN", [ Value.Period_date (b, _) ] -> Value.Date b
-  | "PERIOD_END", [ Value.Period_date (_, e) ] -> Value.Date e
-  | name, _ -> Sql_error.execution_error "unimplemented function %s" name
+let eval_function ctx name args =
+  Scalar_func.eval_function (scalar_env ctx) name args
 
 (* --- scalar evaluation ------------------------------------------------ *)
 
-let bool3_of_value = function
-  | Value.Null -> None
-  | Value.Bool b -> Some b
-  | Value.Int n -> Some (n <> 0L)
-  | v ->
-      Sql_error.execution_error "expected a boolean, got %s" (Value.to_string v)
-
-let value_of_bool3 = function
-  | None -> Value.Null
-  | Some b -> Value.Bool b
+let bool3_of_value = Scalar_func.bool3_of_value
+let value_of_bool3 = Scalar_func.value_of_bool3
+let eval_cmp = Scalar_func.eval_cmp
 
 let rec eval ctx (s : Xtra.scalar) : Value.t =
   match s with
@@ -503,32 +308,29 @@ let rec eval ctx (s : Xtra.scalar) : Value.t =
   | Xtra.Agg_ref _ | Xtra.Window_ref _ ->
       Sql_error.internal_error "transient aggregate/window node at execution"
 
-and eval_cmp op a b : bool option =
-  match Value.compare_sql a b with
-  | None -> if Value.is_null a || Value.is_null b then None
-            else Sql_error.execution_error "cannot compare %s with %s"
-                   (Value.to_string a) (Value.to_string b)
-  | Some c ->
-      Some
-        (match op with
-        | Xtra.Eq -> c = 0
-        | Xtra.Neq -> c <> 0
-        | Xtra.Lt -> c < 0
-        | Xtra.Lte -> c <= 0
-        | Xtra.Gt -> c > 0
-        | Xtra.Gte -> c >= 0)
-
+(* Memo invariant: an uncorrelated subquery's rows are a function of
+   (storage, CTE environment) only. Storage never mutates mid-statement (DML
+   materializes its source before writing), so the only way the same physical
+   node can be re-entered with a different answer is under a rebound CTE
+   environment — recursive-CTE iterations and WITH-scope entry/exit, both of
+   which bump [cte_version] via [set_ctes]. An entry is therefore valid iff
+   it references no CTE or its recorded version is current. *)
 and exec_subquery ctx rel =
   if is_correlated ctx rel then
     match analyze_hashable ctx rel with
     | Some hsq -> probe_hashed ctx rel hsq
     | None -> exec ctx rel
   else
-    match List.assq_opt rel ctx.subquery_cache with
-    | Some rows -> rows
-    | None ->
+    match Rel_tbl.find_opt ctx.subquery_cache rel with
+    | Some (ver, refs_cte, rows) when (not refs_cte) || ver = ctx.cte_version
+      ->
+        rows
+    | _ ->
         let rows = exec ctx rel in
-        ctx.subquery_cache <- (rel, rows) :: ctx.subquery_cache;
+        let refs_cte = references_cte rel in
+        if Rel_tbl.length ctx.subquery_cache >= subquery_cache_cap then
+          Rel_tbl.reset ctx.subquery_cache;
+        Rel_tbl.replace ctx.subquery_cache rel (ctx.cte_version, refs_cte, rows);
         rows
 
 (* --- correlated-subquery decorrelation -------------------------------- *)
@@ -544,7 +346,7 @@ and references_cte rel =
    and, per outer row, re-running the plan with the Filter replaced by the
    probed rows. *)
 and analyze_hashable ctx rel =
-  match List.assq_opt rel ctx.hashed_subqueries with
+  match Rel_tbl.find_opt ctx.hashed_subqueries rel with
   | Some r -> r
   | None ->
       let result =
@@ -599,7 +401,7 @@ and analyze_hashable ctx rel =
             (fun acc f -> match acc with Some _ -> acc | None -> analyze_candidate f)
             None candidates
       in
-      ctx.hashed_subqueries <- (rel, result) :: ctx.hashed_subqueries;
+      Rel_tbl.replace ctx.hashed_subqueries rel result;
       result
 
 and replace_rel_node target replacement r =
@@ -816,8 +618,11 @@ and finalize_agg (a : Xtra.agg_def) (values : Value.t list) : Value.t =
 (* --- window functions --------------------------------------------------- *)
 
 and exec_window ctx input windows =
-  let input_schema = Xtra.schema_of input in
-  let rows = exec ctx input in
+  exec_window_rows ctx (Xtra.schema_of input) (exec ctx input) windows
+
+(* Row-level window evaluation over already-materialized input; the batch
+   executor drains its pipeline into this to keep one window implementation. *)
+and exec_window_rows ctx input_schema rows windows =
   let n_win = List.length windows in
   let rows_arr = Array.of_list rows in
   let n = Array.length rows_arr in
@@ -834,39 +639,38 @@ and exec_window ctx input windows =
   in
   List.iteri
     (fun wi ((_ : Xtra.col), (w : Xtra.window_def)) ->
-      (* partition rows *)
-      let parts : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
-      let part_keys : (int, Value.t list list ref) Hashtbl.t = Hashtbl.create 16 in
+      (* Partition rows, bucketing by the actual (hash, key) identity: the
+         hash table is keyed by [group_key_hash] alone and each bucket holds
+         an assoc list resolved with [group_key_equal], so two partitions
+         whose keys collide at the hash level can never merge.  (A previous
+         scheme derived a synthetic bucket id from the hash and the key's
+         position in a prepend-list; positions shifted as new colliding keys
+         arrived, merging and splitting partitions.) *)
+      let parts : (int, (Value.t list * int list ref) list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
       let order = ref [] in
       for i = n - 1 downto 0 do
         let key = List.map (eval_row rows_arr.(i)) w.Xtra.partition in
         let h = group_key_hash key in
-        let keys = match Hashtbl.find_opt part_keys h with
+        let bucket =
+          match Hashtbl.find_opt parts h with
           | Some l -> l
           | None ->
               let l = ref [] in
-              Hashtbl.replace part_keys h l;
+              Hashtbl.replace parts h l;
               l
         in
-        (if not (List.exists (group_key_equal key) !keys) then keys := key :: !keys);
-        (* bucket index: h combined with position of key among equal-hash keys *)
-        let rec pos i = function
-          | [] -> assert false
-          | k :: _ when group_key_equal k key -> i
-          | _ :: tl -> pos (i + 1) tl
-        in
-        let bucket = (h * 97) + pos 0 !keys in
-        (match Hashtbl.find_opt parts bucket with
-        | Some l -> l := i :: !l
+        match List.find_opt (fun (k, _) -> group_key_equal k key) !bucket with
+        | Some (_, idxs) -> idxs := i :: !idxs
         | None ->
-            let l = ref [ i ] in
-            Hashtbl.replace parts bucket l;
-            order := bucket :: !order)
+            let idxs = ref [ i ] in
+            bucket := (key, idxs) :: !bucket;
+            order := idxs :: !order
       done;
-      let buckets = List.sort_uniq compare !order in
       List.iter
-        (fun bucket ->
-          let idxs = !(Hashtbl.find parts bucket) in
+        (fun idxs_ref ->
+          let idxs = !idxs_ref in
           (* sort partition rows by the window order *)
           let key_values i =
             List.map (fun (k : Xtra.sort_key) -> eval_row rows_arr.(i) k.Xtra.key) w.Xtra.worder
@@ -1027,7 +831,7 @@ and exec_window ctx input windows =
                     { Xtra.afunc; adistinct = false; aarg = None }
                     values
               done)
-        buckets)
+        !order)
     windows;
   (* append window columns in original row order *)
   List.mapi
@@ -1365,72 +1169,8 @@ and exec ctx (r : Xtra.rel) : row list =
               Hashtbl.replace seen h (ref [ key ]);
               true)
         (exec ctx input)
-  | Xtra.Set_operation { op; all; left; right } -> (
-      let lrows = exec ctx left and rrows = exec ctx right in
-      let dedup rows =
-        let seen : (int, Value.t list list ref) Hashtbl.t = Hashtbl.create 64 in
-        List.filter
-          (fun row ->
-            let key = Array.to_list row in
-            let h = group_key_hash key in
-            match Hashtbl.find_opt seen h with
-            | Some l ->
-                if List.exists (group_key_equal key) !l then false
-                else begin
-                  l := key :: !l;
-                  true
-                end
-            | None ->
-                Hashtbl.replace seen h (ref [ key ]);
-                true)
-          rows
-      in
-      let contains rows row =
-        let key = Array.to_list row in
-        List.exists (fun r -> group_key_equal (Array.to_list r) key) rows
-      in
-      match (op, all) with
-      | Xtra.Union, true -> lrows @ rrows
-      | Xtra.Union, false -> dedup (lrows @ rrows)
-      | Xtra.Intersect, false ->
-          dedup (List.filter (contains rrows) lrows)
-      | Xtra.Intersect, true ->
-          (* bag intersect: multiplicity = min of the two sides *)
-          let remaining = ref rrows in
-          List.filter
-            (fun l ->
-              let rec remove acc = function
-                | [] -> None
-                | r :: tl ->
-                    if group_key_equal (Array.to_list r) (Array.to_list l) then
-                      Some (List.rev_append acc tl)
-                    else remove (r :: acc) tl
-              in
-              match remove [] !remaining with
-              | Some rest ->
-                  remaining := rest;
-                  true
-              | None -> false)
-            lrows
-      | Xtra.Except, false ->
-          dedup (List.filter (fun l -> not (contains rrows l)) lrows)
-      | Xtra.Except, true ->
-          let remaining = ref rrows in
-          List.filter
-            (fun l ->
-              let rec remove acc = function
-                | [] -> None
-                | r :: tl ->
-                    if group_key_equal (Array.to_list r) (Array.to_list l) then
-                      Some (List.rev_append acc tl)
-                    else remove (r :: acc) tl
-              in
-              match remove [] !remaining with
-              | Some rest ->
-                  remaining := rest;
-                  false
-              | None -> true)
-            lrows)
+  | Xtra.Set_operation { op; all; left; right } ->
+      set_op_rows op all (exec ctx left) (exec ctx right)
   | Xtra.Cte_ref { cte_name; _ } -> (
       match List.assoc_opt (String.uppercase_ascii cte_name) ctx.ctes with
       | Some rows -> rows
@@ -1440,10 +1180,10 @@ and exec ctx (r : Xtra.rel) : row list =
       List.iter
         (fun (name, rel) ->
           let rows = exec ctx rel in
-          ctx.ctes <- (String.uppercase_ascii name, rows) :: ctx.ctes)
+          set_ctes ctx ((String.uppercase_ascii name, rows) :: ctx.ctes))
         ctes;
       let rows = exec ctx body in
-      ctx.ctes <- saved;
+      set_ctes ctx saved;
       rows
   | Xtra.With_cte { ctes = [ (name, rel) ]; cte_recursive = true; body } -> (
       match rel with
@@ -1458,20 +1198,86 @@ and exec ctx (r : Xtra.rel) : row list =
             incr iterations;
             if !iterations > 100_000 then
               Sql_error.execution_error "recursive query exceeded iteration limit";
-            ctx.ctes <- (name, !delta) :: saved;
-            (* clear memoized subquery results that depend on the CTE *)
-            ctx.subquery_cache <- [];
+            (* the version bump invalidates memoized subquery results that
+               depend on the CTE; CTE-free memo entries stay valid *)
+            set_ctes ctx ((name, !delta) :: saved);
             let next = exec ctx step in
             delta := next;
             acc := !acc @ next
           done;
-          ctx.ctes <- (name, !acc) :: saved;
-          ctx.subquery_cache <- [];
+          set_ctes ctx ((name, !acc) :: saved);
           let rows = exec ctx body in
-          ctx.ctes <- saved;
+          set_ctes ctx saved;
           rows
       | _ ->
           Sql_error.execution_error
             "recursive CTE must be <seed> UNION ALL <recursive step>")
   | Xtra.With_cte { cte_recursive = true; _ } ->
       Sql_error.execution_error "multiple recursive CTEs are not supported"
+
+(* Set-operation semantics over materialized inputs; shared with the batch
+   executor, which drains both sides of its pipeline into this. *)
+and set_op_rows op all (lrows : row list) (rrows : row list) : row list =
+  let dedup rows =
+    let seen : (int, Value.t list list ref) Hashtbl.t = Hashtbl.create 64 in
+    List.filter
+      (fun row ->
+        let key = Array.to_list row in
+        let h = group_key_hash key in
+        match Hashtbl.find_opt seen h with
+        | Some l ->
+            if List.exists (group_key_equal key) !l then false
+            else begin
+              l := key :: !l;
+              true
+            end
+        | None ->
+            Hashtbl.replace seen h (ref [ key ]);
+            true)
+      rows
+  in
+  let contains rows row =
+    let key = Array.to_list row in
+    List.exists (fun r -> group_key_equal (Array.to_list r) key) rows
+  in
+  match (op, all) with
+  | Xtra.Union, true -> lrows @ rrows
+  | Xtra.Union, false -> dedup (lrows @ rrows)
+  | Xtra.Intersect, false -> dedup (List.filter (contains rrows) lrows)
+  | Xtra.Intersect, true ->
+      (* bag intersect: multiplicity = min of the two sides *)
+      let remaining = ref rrows in
+      List.filter
+        (fun l ->
+          let rec remove acc = function
+            | [] -> None
+            | r :: tl ->
+                if group_key_equal (Array.to_list r) (Array.to_list l) then
+                  Some (List.rev_append acc tl)
+                else remove (r :: acc) tl
+          in
+          match remove [] !remaining with
+          | Some rest ->
+              remaining := rest;
+              true
+          | None -> false)
+        lrows
+  | Xtra.Except, false ->
+      dedup (List.filter (fun l -> not (contains rrows l)) lrows)
+  | Xtra.Except, true ->
+      let remaining = ref rrows in
+      List.filter
+        (fun l ->
+          let rec remove acc = function
+            | [] -> None
+            | r :: tl ->
+                if group_key_equal (Array.to_list r) (Array.to_list l) then
+                  Some (List.rev_append acc tl)
+                else remove (r :: acc) tl
+          in
+          match remove [] !remaining with
+          | Some rest ->
+              remaining := rest;
+              false
+          | None -> true)
+        lrows

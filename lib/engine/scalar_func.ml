@@ -1,0 +1,307 @@
+(* Context-free scalar kernel shared by the row interpreter (Executor) and
+   the columnar path (Batch_exec): LIKE matching, EXTRACT, the scalar
+   function library, three-valued boolean helpers, and SQL comparison. These
+   depend only on the evaluated argument values plus a tiny session
+   environment — never on the executor's frame stack — which is what lets
+   the batch path compile them without per-row frame pushes. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+
+(* Session facts scalar functions may consult (CURRENT_DATE, CURRENT_USER). *)
+type env = { sf_user : string; sf_date : Sql_date.t }
+
+(* --- LIKE matching --------------------------------------------------- *)
+
+let like_match ?escape ~pattern s =
+  let plen = String.length pattern and slen = String.length s in
+  (* Two-pointer wildcard matching with greedy '%' backtracking: no
+     allocation, O(plen + slen) on typical patterns. [star_p]/[star_s]
+     remember the most recent '%' and the input position it is currently
+     assumed to cover up to. *)
+  let is_escape c = match escape with Some e -> c = e | None -> false in
+  (* at [pi], the pattern token and its width: an escape char followed by
+     anything matches that char literally; a trailing escape char is itself
+     a literal (mirrors the historical behavior) *)
+  let token pi =
+    let c = pattern.[pi] in
+    if is_escape c && pi + 1 < plen then (`Lit pattern.[pi + 1], 2)
+    else
+      match c with '%' -> (`Any, 1) | '_' -> (`One, 1) | c -> (`Lit c, 1)
+  in
+  let pi = ref 0 and si = ref 0 in
+  let star_p = ref (-1) and star_s = ref 0 in
+  let failed = ref false in
+  while (not !failed) && !si < slen do
+    let step =
+      if !pi < plen then
+        match token !pi with
+        | `Any, w ->
+            star_p := !pi;
+            star_s := !si;
+            pi := !pi + w;
+            true
+        | `One, w ->
+            pi := !pi + w;
+            si := !si + 1;
+            true
+        | `Lit c, w ->
+            if c = s.[!si] then begin
+              pi := !pi + w;
+              si := !si + 1;
+              true
+            end
+            else false
+      else false
+    in
+    if not step then
+      if !star_p >= 0 then begin
+        (* widen what the last '%' swallows and retry after it *)
+        pi := !star_p + 1;
+        incr star_s;
+        si := !star_s
+      end
+      else failed := true
+  done;
+  (not !failed)
+  &&
+  (* input consumed: the rest of the pattern must be bare '%'s *)
+  let rec only_any pi =
+    pi >= plen
+    || match token pi with `Any, w -> only_any (pi + w) | _ -> false
+  in
+  only_any !pi
+
+(* --- EXTRACT ---------------------------------------------------------- *)
+
+let micros_per_day = 86_400_000_000L
+
+let date_of_value = function
+  | Value.Date d -> d
+  | Value.Timestamp t ->
+      Sql_date.of_epoch_days (Int64.to_int (Int64.div t micros_per_day))
+  | v ->
+      Sql_error.execution_error "expected a date, got %s" (Value.to_string v)
+
+let eval_extract field v =
+  match v with
+  | Value.Null -> Value.Null
+  | Value.Date _ | Value.Timestamp _ -> (
+      let d = date_of_value v in
+      let time_part =
+        match v with
+        | Value.Timestamp t ->
+            let r = Int64.rem t micros_per_day in
+            if Int64.compare r 0L < 0 then Int64.add r micros_per_day else r
+        | _ -> 0L
+      in
+      let secs = Int64.div time_part 1_000_000L in
+      match field with
+      | Xtra.Year -> Value.of_int d.Sql_date.year
+      | Xtra.Month -> Value.of_int d.Sql_date.month
+      | Xtra.Day -> Value.of_int d.Sql_date.day
+      | Xtra.Hour -> Value.Int (Int64.div secs 3600L)
+      | Xtra.Minute -> Value.Int (Int64.rem (Int64.div secs 60L) 60L)
+      | Xtra.Second -> Value.Int (Int64.rem secs 60L))
+  | Value.Time t -> (
+      let secs = Int64.div t 1_000_000L in
+      match field with
+      | Xtra.Hour -> Value.Int (Int64.div secs 3600L)
+      | Xtra.Minute -> Value.Int (Int64.rem (Int64.div secs 60L) 60L)
+      | Xtra.Second -> Value.Int (Int64.rem secs 60L)
+      | _ -> Sql_error.execution_error "cannot EXTRACT a date field from a TIME")
+  | v ->
+      Sql_error.execution_error "cannot EXTRACT from %s" (Value.to_string v)
+
+(* --- scalar functions ------------------------------------------------ *)
+
+let string_arg name = function
+  | Value.Varchar s -> s
+  | Value.Null -> ""
+  | v -> Sql_error.execution_error "%s expects a string, got %s" name (Value.to_string v)
+
+let rec eval_function env name (args : Value.t list) : Value.t =
+  let null_in = List.exists Value.is_null args in
+  match (name, args) with
+  | "COALESCE", args -> (
+      match List.find_opt (fun v -> not (Value.is_null v)) args with
+      | Some v -> v
+      | None -> Value.Null)
+  | "NULLIF", [ a; b ] -> if Value.equal_sql a b then Value.Null else a
+  | "CURRENT_DATE", [] -> Value.Date env.sf_date
+  | "CURRENT_TIMESTAMP", [] ->
+      Value.Timestamp
+        (Int64.mul (Int64.of_int (Sql_date.to_epoch_days env.sf_date)) micros_per_day)
+  | "CURRENT_TIME", [] -> Value.Time 0L
+  | "CURRENT_USER", [] -> Value.Varchar env.sf_user
+  | _, _ when null_in -> Value.Null
+  | "CHARACTER_LENGTH", [ Value.Varchar s ] -> Value.of_int (String.length s)
+  | "UPPER", [ v ] -> Value.Varchar (String.uppercase_ascii (string_arg "UPPER" v))
+  | "LOWER", [ v ] -> Value.Varchar (String.lowercase_ascii (string_arg "LOWER" v))
+  | "TRIM", [ v ] -> Value.Varchar (String.trim (string_arg "TRIM" v))
+  | "LTRIM", [ v ] ->
+      let s = string_arg "LTRIM" v in
+      let i = ref 0 in
+      while !i < String.length s && s.[!i] = ' ' do
+        incr i
+      done;
+      Value.Varchar (String.sub s !i (String.length s - !i))
+  | "RTRIM", [ v ] ->
+      let s = string_arg "RTRIM" v in
+      let i = ref (String.length s) in
+      while !i > 0 && s.[!i - 1] = ' ' do
+        decr i
+      done;
+      Value.Varchar (String.sub s 0 !i)
+  | "REVERSE", [ v ] ->
+      let s = string_arg "REVERSE" v in
+      Value.Varchar (String.init (String.length s) (fun i -> s.[String.length s - 1 - i]))
+  | "SUBSTRING", (Value.Varchar s :: Value.Int start :: rest) ->
+      let start = Int64.to_int start in
+      let len =
+        match rest with
+        | [ Value.Int l ] -> Int64.to_int l
+        | [] -> max_int
+        | _ -> Sql_error.execution_error "bad SUBSTRING arguments"
+      in
+      (* SQL semantics: 1-based; positions before 1 consume length *)
+      let s_len = String.length s in
+      let from = max 1 start in
+      let eff_len =
+        if len = max_int then s_len - from + 1
+        else len - (from - start)
+      in
+      let eff_len = min eff_len (s_len - from + 1) in
+      if eff_len <= 0 || from > s_len then Value.Varchar ""
+      else Value.Varchar (String.sub s (from - 1) eff_len)
+  | "POSITION", [ needle; hay ] ->
+      let n = string_arg "POSITION" needle and h = string_arg "POSITION" hay in
+      let nl = String.length n and hl = String.length h in
+      let rec find i =
+        if i + nl > hl then 0
+        else if String.sub h i nl = n then i + 1
+        else find (i + 1)
+      in
+      Value.of_int (if nl = 0 then 1 else find 0)
+  | "REPLACE", [ s; from_s; to_s ] ->
+      let s = string_arg "REPLACE" s in
+      let f = string_arg "REPLACE" from_s and t = string_arg "REPLACE" to_s in
+      if f = "" then Value.Varchar s
+      else begin
+        let buf = Buffer.create (String.length s) in
+        let fl = String.length f in
+        let i = ref 0 in
+        while !i <= String.length s - fl do
+          if String.sub s !i fl = f then begin
+            Buffer.add_string buf t;
+            i := !i + fl
+          end
+          else begin
+            Buffer.add_char buf s.[!i];
+            incr i
+          end
+        done;
+        Buffer.add_string buf (String.sub s !i (String.length s - !i));
+        Value.Varchar (Buffer.contents buf)
+      end
+  | "ABS", [ v ] -> (
+      match v with
+      | Value.Int n -> Value.Int (Int64.abs n)
+      | Value.Float f -> Value.Float (Float.abs f)
+      | Value.Decimal d -> Value.Decimal (Decimal.abs d)
+      | v -> Sql_error.execution_error "ABS expects a number, got %s" (Value.to_string v))
+  | "ROUND", [ v ] -> eval_function env "ROUND" [ v; Value.of_int 0 ]
+  | "ROUND", [ v; Value.Int n ] -> (
+      let n = Int64.to_int n in
+      match v with
+      | Value.Int _ -> v
+      | Value.Decimal d -> Value.Decimal (Decimal.round d ~scale:(max 0 n))
+      | Value.Float f ->
+          let m = 10. ** float_of_int n in
+          Value.Float (Float.round (f *. m) /. m)
+      | v -> Sql_error.execution_error "ROUND expects a number, got %s" (Value.to_string v))
+  | "TRUNC", [ v ] -> eval_function env "TRUNC" [ v; Value.of_int 0 ]
+  | "TRUNC", [ v; Value.Int n ] -> (
+      let n = Int64.to_int n in
+      match v with
+      | Value.Int _ -> v
+      | Value.Decimal d ->
+          if n >= d.Decimal.scale then v
+          else Value.Decimal (Decimal.rescale d (max 0 n))
+      | Value.Float f ->
+          let m = 10. ** float_of_int n in
+          Value.Float (Float.trunc (f *. m) /. m)
+      | v -> Sql_error.execution_error "TRUNC expects a number, got %s" (Value.to_string v))
+  | "FLOOR", [ v ] -> (
+      match v with
+      | Value.Int _ -> v
+      | Value.Float f -> Value.Float (Float.floor f)
+      | Value.Decimal d ->
+          let f = Decimal.to_float d in
+          Value.Decimal (Decimal.of_float ~scale:0 (Float.floor f))
+      | v -> Sql_error.execution_error "FLOOR expects a number, got %s" (Value.to_string v))
+  | "CEILING", [ v ] -> (
+      match v with
+      | Value.Int _ -> v
+      | Value.Float f -> Value.Float (Float.ceil f)
+      | Value.Decimal d ->
+          let f = Decimal.to_float d in
+          Value.Decimal (Decimal.of_float ~scale:0 (Float.ceil f))
+      | v -> Sql_error.execution_error "CEILING expects a number, got %s" (Value.to_string v))
+  | "SQRT", [ v ] -> Value.Float (sqrt (Value.to_float_exn v))
+  | "EXP", [ v ] -> Value.Float (exp (Value.to_float_exn v))
+  | "LN", [ v ] -> Value.Float (log (Value.to_float_exn v))
+  | "LOG", [ v ] -> Value.Float (log10 (Value.to_float_exn v))
+  | "POWER", [ a; b ] ->
+      Value.Float (Float.pow (Value.to_float_exn a) (Value.to_float_exn b))
+  | "ADD_MONTHS", [ d; Value.Int n ] ->
+      Value.Date (Sql_date.add_months (date_of_value d) (Int64.to_int n))
+  | "ADD_DAYS", [ d; Value.Int n ] ->
+      Value.Date (Sql_date.add_days (date_of_value d) (Int64.to_int n))
+  | "LAST_DAY", [ d ] ->
+      let d = date_of_value d in
+      Value.Date
+        (Sql_date.make ~year:d.Sql_date.year ~month:d.Sql_date.month
+           ~day:(Sql_date.days_in_month d.Sql_date.year d.Sql_date.month))
+  | "DAY_OF_WEEK", [ d ] -> Value.of_int (Sql_date.day_of_week (date_of_value d))
+  | "GREATEST", args ->
+      List.fold_left
+        (fun acc v ->
+          match Value.compare_sql acc v with Some c when c >= 0 -> acc | _ -> v)
+        (List.hd args) (List.tl args)
+  | "LEAST", args ->
+      List.fold_left
+        (fun acc v ->
+          match Value.compare_sql acc v with Some c when c <= 0 -> acc | _ -> v)
+        (List.hd args) (List.tl args)
+  | "PERIOD_BEGIN", [ Value.Period_date (b, _) ] -> Value.Date b
+  | "PERIOD_END", [ Value.Period_date (_, e) ] -> Value.Date e
+  | name, _ -> Sql_error.execution_error "unimplemented function %s" name
+
+(* --- three-valued booleans and comparison ----------------------------- *)
+
+let bool3_of_value = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | Value.Int n -> Some (n <> 0L)
+  | v ->
+      Sql_error.execution_error "expected a boolean, got %s" (Value.to_string v)
+
+let value_of_bool3 = function
+  | None -> Value.Null
+  | Some b -> Value.Bool b
+
+let eval_cmp op a b : bool option =
+  match Value.compare_sql a b with
+  | None -> if Value.is_null a || Value.is_null b then None
+            else Sql_error.execution_error "cannot compare %s with %s"
+                   (Value.to_string a) (Value.to_string b)
+  | Some c ->
+      Some
+        (match op with
+        | Xtra.Eq -> c = 0
+        | Xtra.Neq -> c <> 0
+        | Xtra.Lt -> c < 0
+        | Xtra.Lte -> c <= 0
+        | Xtra.Gt -> c > 0
+        | Xtra.Gte -> c >= 0)

@@ -23,6 +23,22 @@ let is_null = function Null -> true | _ -> false
 let of_int n = Int (Int64.of_int n)
 let of_string s = Varchar s
 
+(* Typed column accessors for the columnar executor: a column whose declared
+   type is INTEGER or FLOAT unboxes into a flat array, and batches convert
+   cells to/from that representation without an option allocation. The [_exn]
+   readers are for loops that have already established the column type. *)
+let of_int64 n = Int n
+let is_int = function Int _ -> true | _ -> false
+let is_float = function Float _ -> true | _ -> false
+
+let int64_exn = function
+  | Int n -> n
+  | _ -> Sql_error.internal_error "expected an unboxed INTEGER cell"
+
+let float_exn = function
+  | Float f -> f
+  | _ -> Sql_error.internal_error "expected an unboxed FLOAT cell"
+
 let type_of = function
   | Null -> Dtype.Unknown
   | Bool _ -> Dtype.Bool

@@ -22,6 +22,20 @@ type t =
 val is_null : t -> bool
 val of_int : int -> t
 val of_string : string -> t
+
+(** {1 Typed column accessors}
+
+    The columnar executor unboxes INTEGER and FLOAT columns into flat
+    [int64 array] / [float array] vectors; these convert individual cells
+    to and from that representation. The [_exn] readers raise an internal
+    error when the cell does not carry the expected representation — they
+    are for loops that have already established the column type. *)
+
+val of_int64 : int64 -> t
+val is_int : t -> bool
+val is_float : t -> bool
+val int64_exn : t -> int64
+val float_exn : t -> float
 val type_of : t -> Dtype.t
 
 val micros_per_day : int64

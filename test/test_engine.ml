@@ -192,6 +192,38 @@ let test_range_frames_and_peers () =
        "SELECT SUM(P.V) OVER (PARTITION BY P.G ORDER BY P.V ASC RANGE BETWEEN \
         UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING) FROM P AS P WHERE P.G = 'a' ORDER BY 1")
 
+let test_window_partition_hash_collision () =
+  (* Adversarial keys: group_key_hash [Int 1; Int 0] = group_key_hash
+     [Int 0; Int 31] = 16368, so partitions (1,0) and (0,31) collide at the
+     hash level.  The bucketing must still keep them distinct. *)
+  let be = Backend.create () in
+  let run sql = Backend.execute_sql be sql in
+  ignore (run "CREATE TABLE COLL (A INTEGER, B INTEGER)");
+  ignore (run "INSERT INTO COLL (A, B) VALUES (1,0),(0,31),(1,0)");
+  let rows =
+    rows_of run
+      "SELECT C.A, C.B, COUNT(*) OVER (PARTITION BY C.A, C.B) FROM COLL AS C"
+  in
+  check ib "three rows" 3 (List.length rows);
+  List.iter
+    (fun (r : Value.t array) ->
+      let a = Value.to_string r.(0) and cnt = Value.to_string r.(2) in
+      let expect = if a = "1" then "2" else "1" in
+      check sb ("partition count for A=" ^ a) expect cnt)
+    rows;
+  (* Same collision through SUM with a RANGE frame (peer detection also
+     relies on correct partition identity). *)
+  let rows2 =
+    rows_of run
+      "SELECT C.A, SUM(C.B) OVER (PARTITION BY C.A, C.B) FROM COLL AS C"
+  in
+  List.iter
+    (fun (r : Value.t array) ->
+      let a = Value.to_string r.(0) and s = Value.to_string r.(1) in
+      let expect = if a = "1" then "0" else "31" in
+      check sb ("partition sum for A=" ^ a) expect s)
+    rows2
+
 let test_full_outer_non_equi () =
   let be = Backend.create () in
   let run sql = Backend.execute_sql be sql in
@@ -271,6 +303,22 @@ let test_recursion_native () =
        "WITH RECURSIVE REACH (V) AS (SELECT E.DST FROM EDGE AS E WHERE E.SRC = \
         1 UNION ALL SELECT E.DST FROM EDGE AS E, REACH AS R WHERE E.SRC = R.V) \
         SELECT R2.V FROM REACH AS R2 ORDER BY R2.V")
+
+let test_recursion_subquery_memo_invalidation () =
+  (* The uncorrelated subquery (SELECT MIN(R2.N) FROM R) references the
+     recursive CTE, so its memoized result must be invalidated on every
+     iteration.  Fresh evaluation doubles N each step: 1,2,4,8,16,32.
+     A stale memo (MIN pinned at 1) would instead count up by one. *)
+  let be = Backend.create () in
+  let run sql = Backend.execute_sql be sql in
+  ignore (run "CREATE TABLE ONE (X INTEGER)");
+  ignore (run "INSERT INTO ONE (X) VALUES (1)");
+  check (Alcotest.list sb) "doubling via CTE-referencing subquery"
+    [ "1"; "2"; "4"; "8"; "16"; "32" ]
+    (col run
+       "WITH RECURSIVE R (N) AS (SELECT O.X FROM ONE AS O UNION ALL SELECT \
+        R.N + (SELECT MIN(R2.N) FROM R AS R2) FROM R AS R WHERE R.N < 20) \
+        SELECT R3.N FROM R AS R3 ORDER BY R3.N")
 
 let test_dml_and_transactions () =
   let be = Backend.create () in
@@ -460,11 +508,13 @@ let suite =
     ("window functions", `Quick, test_window_functions);
     ("navigation window functions", `Quick, test_navigation_window_functions);
     ("RANGE frames and peers", `Quick, test_range_frames_and_peers);
+    ("window partition hash collision", `Quick, test_window_partition_hash_collision);
     ("full outer non-equi join", `Quick, test_full_outer_non_equi);
     ("sort and limit", `Quick, test_sort_and_limit);
     ("set operations", `Quick, test_set_operations);
     ("subqueries", `Quick, test_subqueries);
     ("native recursion", `Quick, test_recursion_native);
+    ("recursive CTE subquery memo invalidation", `Quick, test_recursion_subquery_memo_invalidation);
     ("DML and transactions", `Quick, test_dml_and_transactions);
     ("NOT NULL and SET semantics", `Quick, test_not_null_and_set_semantics);
     ("DDL lifecycle", `Quick, test_ddl_lifecycle);

@@ -1,0 +1,214 @@
+(* Differential tests for the vectorized executor: every query of the TPC-H
+   and customer corpora runs through BOTH executors (row interpreter and
+   batch path) and must produce the same multiset of rows. Plus targeted
+   unit tests for the semantic corners the batch path must preserve:
+   NULL join keys never match while GROUP BY coalesces NULLs, and
+   [compare_with_key] totality over NaN and mixed Int/Decimal keys. *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+module Backend = Hyperq_engine.Backend
+module Executor = Hyperq_engine.Executor
+module Batch_exec = Hyperq_engine.Batch_exec
+module Xtra = Hyperq_xtra.Xtra
+module Tpch = Hyperq_workload.Tpch
+module Q = Hyperq_workload.Tpch_queries
+module Customer = Hyperq_workload.Customer
+
+let check = Alcotest.check
+let ib = Alcotest.int
+let bb = Alcotest.bool
+
+(* Orderless multiset fingerprint: render every cell as a SQL literal and
+   sort the rows. Both executors evaluate scalar expressions in the same
+   per-row order, so even float-valued aggregates match exactly. *)
+let canon (rows : Value.t array list) =
+  List.sort compare
+    (List.map
+       (fun (r : Value.t array) ->
+         Array.to_list (Array.map Value.to_sql_literal r))
+       rows)
+
+type outcome = Rows of string list list | Err of string
+
+let run_mode p mode sql =
+  p.Pipeline.backend.Backend.exec_mode <- mode;
+  match
+    Sql_error.protect (fun () -> (Pipeline.run_sql p sql).Pipeline.out_rows)
+  with
+  | Ok rows -> Rows (canon rows)
+  | Error e -> Err (Sql_error.to_string e)
+
+(* Returns the number of mismatching queries, failing the test on the first
+   one with a readable diagnostic. *)
+let diff_corpus p (queries : (string * string) list) =
+  let mismatches = ref 0 in
+  List.iter
+    (fun (name, sql) ->
+      let row = run_mode p Backend.Row sql in
+      let batch = run_mode p Backend.Batch sql in
+      (match (row, batch) with
+      | Rows a, Rows b ->
+          if a <> b then begin
+            incr mismatches;
+            let show rows only =
+              List.filter (fun r -> not (List.mem r only)) rows
+              |> List.map (String.concat ", ")
+              |> String.concat " | "
+            in
+            Alcotest.failf
+              "%s: row/batch mismatch (%d vs %d rows); row-only: [%s] \
+               batch-only: [%s]"
+              name (List.length a) (List.length b) (show a b) (show b a)
+          end
+      | Err a, Err b ->
+          if a <> b then begin
+            incr mismatches;
+            Alcotest.failf "%s: different errors: %s / %s" name a b
+          end
+      | Rows _, Err e ->
+          incr mismatches;
+          Alcotest.failf "%s: batch path failed where row path succeeded: %s"
+            name e
+      | Err e, Rows _ ->
+          incr mismatches;
+          Alcotest.failf "%s: row path failed where batch path succeeded: %s"
+            name e);
+      ())
+    queries;
+  !mismatches
+
+let tpch_pipeline =
+  lazy
+    (let p = Pipeline.create () in
+     let _ = Tpch.setup ~sf:0.002 p in
+     p)
+
+let test_tpch_differential () =
+  let p = Lazy.force tpch_pipeline in
+  check ib "tpch mismatches" 0 (diff_corpus p Q.all)
+
+let test_customer_differential () =
+  List.iter
+    (fun (wl : Customer.workload) ->
+      let p = Pipeline.create () in
+      List.iter (fun sql -> ignore (Pipeline.run_sql p sql)) wl.Customer.wl_setup;
+      let queries =
+        List.mapi
+          (fun i (sql, _) ->
+            (Printf.sprintf "%s#%d" wl.Customer.wl_sector i, sql))
+          wl.Customer.wl_queries
+        (* HELP SESSION & co. are emulated without touching the executor and
+           answer with volatile session state — nothing to differentiate *)
+        |> List.filter (fun (_, sql) ->
+               not (String.length sql >= 4 && String.sub sql 0 4 = "HELP"))
+      in
+      check ib
+        (wl.Customer.wl_sector ^ " mismatches")
+        0 (diff_corpus p queries))
+    (Customer.all ())
+
+(* --- NULL semantics: join keys vs grouping ----------------------------- *)
+
+let null_fixture () =
+  let be = Backend.create () in
+  let run sql = Backend.execute_sql be sql in
+  List.iter
+    (fun sql -> ignore (run sql))
+    [
+      "CREATE TABLE JL (K INTEGER, V INTEGER)";
+      "CREATE TABLE JR (K INTEGER, V INTEGER)";
+      "INSERT INTO JL (K, V) VALUES (1, 10), (NULL, 20), (2, 30)";
+      "INSERT INTO JR (K, V) VALUES (1, 100), (NULL, 200), (3, 300)";
+    ];
+  (be, run)
+
+let rowcount_both be run sql =
+  be.Backend.exec_mode <- Backend.Batch;
+  let batch = (run sql).Backend.res_rowcount in
+  be.Backend.exec_mode <- Backend.Row;
+  let row = (run sql).Backend.res_rowcount in
+  check ib ("row/batch agree: " ^ sql) row batch;
+  batch
+
+let test_null_join_keys_never_match () =
+  let be, run = null_fixture () in
+  (* NULL = NULL is unknown: the NULL-keyed rows must not pair up *)
+  check ib "inner join drops NULL keys" 1
+    (rowcount_both be run
+       "SELECT L.V FROM JL AS L INNER JOIN JR AS R ON L.K = R.K");
+  (* ... but outer joins still emit the NULL-keyed rows, null-extended *)
+  check ib "left outer keeps them on the left" 3
+    (rowcount_both be run
+       "SELECT L.V FROM JL AS L LEFT OUTER JOIN JR AS R ON L.K = R.K");
+  check ib "full outer keeps both sides" 5
+    (rowcount_both be run
+       "SELECT L.V, R.V FROM JL AS L FULL OUTER JOIN JR AS R ON L.K = R.K")
+
+let test_null_group_keys_coalesce () =
+  let be, run = null_fixture () in
+  ignore (run "INSERT INTO JL (K, V) VALUES (NULL, 40)");
+  (* GROUP BY: the two NULL keys form ONE group *)
+  check ib "null group coalesces" 3
+    (rowcount_both be run "SELECT L.K, COUNT(*) FROM JL AS L GROUP BY L.K");
+  check ib "distinct coalesces nulls too" 3
+    (rowcount_both be run "SELECT DISTINCT L.K FROM JL AS L")
+
+(* --- compare_with_key totality ----------------------------------------- *)
+
+let sk dir nulls = { Xtra.key = Xtra.Const Value.Null; dir; nulls }
+
+let test_compare_with_key_nan () =
+  let k = sk Xtra.Asc Xtra.Nulls_last in
+  let nan = Value.Float Float.nan and one = Value.Float 1.0 in
+  let c1 = Executor.compare_with_key k nan one in
+  let c2 = Executor.compare_with_key k one nan in
+  (* NaN must participate in a total order: antisymmetric, reflexive *)
+  check ib "nan vs x antisymmetric" 0 (compare c1 (-c2));
+  check ib "nan = nan" 0 (Executor.compare_with_key k nan nan);
+  check bb "nan ordered somewhere" true (c1 <> 0);
+  (* and NULL ordering still dominates the value comparison *)
+  check ib "null after nan under NULLS LAST" 1
+    (Executor.compare_with_key k Value.Null nan)
+
+let test_compare_with_key_int_vs_decimal () =
+  let k = sk Xtra.Asc Xtra.Nulls_first in
+  let d s = Value.Decimal (Decimal.of_string s) in
+  (* numerically equal across representations *)
+  check ib "1 = 1.0" 0 (Executor.compare_with_key k (Value.Int 1L) (d "1.0"));
+  check ib "1.5 between 1 and 2" 1
+    (Executor.compare_with_key k (d "1.5") (Value.Int 1L));
+  check ib "1.5 < 2" (-1)
+    (Executor.compare_with_key k (d "1.5") (Value.Int 2L));
+  (* DESC flips the value comparison *)
+  let kd = sk Xtra.Desc Xtra.Nulls_first in
+  check ib "desc flips" 1
+    (Executor.compare_with_key kd (Value.Int 1L) (Value.Int 2L))
+
+(* --- batch executor bookkeeping ---------------------------------------- *)
+
+let test_batch_counters_move () =
+  Batch_exec.reset_counters ();
+  let be, run = null_fixture () in
+  be.Backend.exec_mode <- Backend.Batch;
+  ignore (run "SELECT L.K, COUNT(*) FROM JL AS L GROUP BY L.K");
+  let c = Batch_exec.counters () in
+  check bb "scan rows counted" true (List.assoc "scan_rows" c > 0);
+  check bb "groups counted" true (List.assoc "agg_groups" c > 0);
+  ignore (run "SELECT L.V FROM JL AS L INNER JOIN JR AS R ON L.K = R.K");
+  let c = Batch_exec.counters () in
+  check bb "probe rows counted" true (List.assoc "join_probe_rows" c > 0);
+  check bb "build rows counted" true (List.assoc "join_build_rows" c > 0)
+
+let suite =
+  [
+    ("tpch row/batch differential", `Slow, test_tpch_differential);
+    ("customer row/batch differential", `Slow, test_customer_differential);
+    ("null join keys never match", `Quick, test_null_join_keys_never_match);
+    ("null group keys coalesce", `Quick, test_null_group_keys_coalesce);
+    ("compare_with_key: NaN total order", `Quick, test_compare_with_key_nan);
+    ( "compare_with_key: Int vs Decimal",
+      `Quick,
+      test_compare_with_key_int_vs_decimal );
+    ("batch counters move", `Quick, test_batch_counters_move);
+  ]

@@ -11,6 +11,7 @@ let () =
       ("transformer", Test_transformer.suite);
       ("serializer", Test_serializer.suite);
       ("engine", Test_engine.suite);
+      ("exec_diff", Test_exec_diff.suite);
       ("optimizer", Test_optimizer.suite);
       ("tdf+wire", Test_tdf_wire.suite);
       ("pipeline", Test_pipeline.suite);
