@@ -9,6 +9,7 @@
      hyperq translate --target nimbus -e "SEL ..."   print target SQL only
      hyperq analyze FILE.sql [--json]     offline compatibility report
      hyperq targets                       list modeled target profiles
+     hyperq serve -p 10250                WP-A TCP front door (SIGTERM drains)
      hyperq tpch --sf 0.005               load TPC-H and drop into the repl *)
 
 open Hyperq_sqlvalue
@@ -335,6 +336,115 @@ let targets_cmd =
   in
   Cmd.v (Cmd.info "targets" ~doc:"List modeled target profiles") Term.(const run $ const ())
 
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt int 10250 & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Address to bind.")
+  in
+  let inflight_arg =
+    Arg.(value & opt int 32 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Statements executing concurrently; excess queues, then sheds.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Statements waiting for an execution slot.")
+  in
+  let queue_timeout_arg =
+    Arg.(value & opt float 2.0 & info [ "queue-timeout" ] ~docv:"SECONDS"
+           ~doc:"Longest a statement may wait for a slot before being shed.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 64 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker threads (= concurrently served connections).")
+  in
+  let drain_timeout_arg =
+    Arg.(value & opt float 30. & info [ "drain-timeout" ] ~docv:"SECONDS"
+           ~doc:"On SIGTERM/SIGINT: how long to wait for inflight statements.")
+  in
+  let latency_arg =
+    Arg.(value & opt float 0. & info [ "backend-latency" ] ~docv:"SECONDS"
+           ~doc:"Simulated backend round trip per request (load testing).")
+  in
+  let sf_arg =
+    Arg.(value & opt (some float) None & info [ "tpch" ] ~docv:"SF"
+           ~doc:"Load TPC-H at this scale factor before serving.")
+  in
+  let run port host inflight queue queue_timeout workers drain_timeout latency
+      sf =
+    let module Server = Hyperq_net.Server in
+    let module Admission = Hyperq_net.Admission in
+    let pipeline = Pipeline.create ~request_latency_s:latency () in
+    (match sf with
+    | None -> ()
+    | Some sf ->
+        Printf.printf "loading TPC-H at SF %.3f...\n%!" sf;
+        ignore (Hyperq_workload.Tpch.setup ~sf pipeline));
+    let server =
+      Server.start
+        ~config:
+          {
+            Server.default_config with
+            host;
+            port;
+            workers;
+            admission =
+              {
+                Admission.default_config with
+                max_inflight = inflight;
+                max_queue = queue;
+                queue_timeout_s = queue_timeout;
+              };
+          }
+        (Hyperq_core.Gateway.create pipeline)
+    in
+    Printf.printf
+      "hyperq front door listening on %s:%d (workers=%d, max-inflight=%d, \
+       queue=%d)\n%!"
+      host (Server.port server) workers inflight queue;
+    (* SIGTERM/SIGINT start the drain: stop accepting, shed queued work with
+       wire code 3897, finish and answer every admitted statement *)
+    let quit = Mutex.create () in
+    let quit_cond = Condition.create () in
+    let signalled = ref false in
+    let on_signal _ =
+      Mutex.lock quit;
+      signalled := true;
+      Condition.signal quit_cond;
+      Mutex.unlock quit
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Mutex.lock quit;
+    while not !signalled do
+      Condition.wait quit_cond quit
+    done;
+    Mutex.unlock quit;
+    Printf.printf "drain: waiting up to %gs for inflight statements...\n%!"
+      drain_timeout;
+    let dr = Server.shutdown ~drain:true ~timeout_s:drain_timeout server in
+    let st = Server.stats server in
+    Printf.printf
+      "drained=%b inflight_at_signal=%d statements=%d connections=%d \
+       shed=%d protocol_errors=%d\n%!"
+      dr.Server.dr_drained dr.Server.dr_inflight_at_signal
+      dr.Server.dr_completed st.Server.sv_connections
+      (Admission.shed_total st.Server.sv_admission)
+      st.Server.sv_protocol_errors;
+    if not dr.Server.dr_drained then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the WP-A TCP front door: real sockets, admission control, \
+             overload shedding with Teradata wire codes, SIGTERM drain.")
+    Term.(
+      const run $ port_arg $ host_arg $ inflight_arg $ queue_arg
+      $ queue_timeout_arg $ workers_arg $ drain_timeout_arg $ latency_arg
+      $ sf_arg)
+
 let tpch_cmd =
   let sf_arg =
     Arg.(value & opt float 0.005 & info [ "sf" ] ~docv:"SF" ~doc:"Scale factor.")
@@ -359,5 +469,5 @@ let () =
           (Cmd.info "hyperq" ~version:"1.0.0" ~doc)
           [
             repl_cmd; run_cmd; script_cmd; translate_cmd; analyze_cmd;
-            targets_cmd; tpch_cmd;
+            targets_cmd; serve_cmd; tpch_cmd;
           ]))

@@ -85,17 +85,27 @@ let executor t session ~sql :
   | Error e -> Error e
 
 (** Open a server-side connection endpoint. Feed it client bytes with
-    {!feed}. *)
-let connect t ?(username = "DBC") () =
+    {!feed}. [wrap] interposes on every statement execution — the network
+    front door uses it for admission control and queue-time deadline
+    stamping; it receives the SQL, the session, and a thunk running the
+    statement through the pipeline. [max_frame_bytes] is forwarded to the
+    protocol handler's framing guard. *)
+let connect t ?(username = "DBC") ?wrap ?max_frame_bytes () =
   let session =
     Session.create ~username
       ~created_at:((Obs.clock (Pipeline.obs t.pipeline)).Obs.now ())
       ()
   in
+  let exec =
+    match wrap with
+    | None -> executor t session
+    | Some w ->
+        fun ~sql -> w ~sql ~session (fun () -> executor t session ~sql)
+  in
   (* register only once the handler exists: if [Protocol_handler.create]
      raises, no entry is left behind in [t.sessions] (a session leak). *)
   let handler =
-    Protocol_handler.create ~users:t.users ~executor:(executor t session) ()
+    Protocol_handler.create ?max_frame_bytes ~users:t.users ~executor:exec ()
   in
   Mutex.lock t.lock;
   t.sessions <- (session.Session.session_id, session) :: t.sessions;
@@ -103,7 +113,11 @@ let connect t ?(username = "DBC") () =
   Obs.inc t.connections_total;
   { gateway = t; session; handler }
 
+let pipeline t = t.pipeline
 let feed conn bytes = Protocol_handler.feed conn.handler bytes
+let connection_closed conn = Protocol_handler.is_closed conn.handler
+let connection_protocol_errors conn = Protocol_handler.protocol_errors conn.handler
+let connection_session conn = conn.session
 
 let disconnect conn =
   Pipeline.end_session conn.gateway.pipeline conn.session;

@@ -322,6 +322,14 @@ let make_cc ?(tracer = Obs.no_tracer) t session params =
     | Some _ as d -> d
     | None -> (Resilience.policy t.resil).Resilience.deadline_s
   in
+  (* the budget clock starts at admission (front-door stamp), not at first
+     backend submit: work that sat in the accept/admission queue must not
+     silently exceed its budget *)
+  let deadline_start =
+    match Session.take_deadline_anchor session with
+    | Some at -> at
+    | None -> Resilience.now t.resil
+  in
   {
     pipeline = t;
     session;
@@ -335,8 +343,7 @@ let make_cc ?(tracer = Obs.no_tracer) t session params =
     last_no_op = false;
     cache_candidate = None;
     parse_s = 0.;
-    deadline_at =
-      Option.map (fun d -> Resilience.now t.resil +. d) deadline_s;
+    deadline_at = Option.map (fun d -> deadline_start +. d) deadline_s;
     trace = ref [];
     tracer;
   }

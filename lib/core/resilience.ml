@@ -78,6 +78,9 @@ type t = {
   mutable consecutive_failures : int;
   mutable opened_at : float;
   mutable half_open_successes : int;
+  mutable half_open_inflight : int;
+      (** probes admitted in Half_open whose outcome is not yet recorded;
+          concurrent callers beyond [half_open_probes] are shed *)
   (* counters, guarded by [lock] *)
   mutable attempts : int;
   mutable retries : int;
@@ -101,6 +104,7 @@ let create ?(policy = default_policy) ?(seed = 0x5EED) ?(clock = real_clock)
     consecutive_failures = 0;
     opened_at = 0.;
     half_open_successes = 0;
+    half_open_inflight = 0;
     attempts = 0;
     retries = 0;
     absorbed = 0;
@@ -141,24 +145,36 @@ let trip_open t =
   if t.state <> Open then t.breaker_opens <- t.breaker_opens + 1;
   t.state <- Open;
   t.opened_at <- t.clock.now ();
-  t.half_open_successes <- 0
+  t.half_open_successes <- 0;
+  t.half_open_inflight <- 0
 
 (* whether a request issued now would be admitted, without mutating state *)
 let would_admit_unlocked t =
   match t.state with
-  | Closed | Half_open -> true
+  | Closed -> true
+  | Half_open -> t.half_open_inflight < t.pol.breaker.half_open_probes
   | Open -> t.clock.now () -. t.opened_at >= t.pol.breaker.cooldown_s
 
 let would_admit t = locked t (fun () -> would_admit_unlocked t)
 
-(* admit one request: promotes Open -> Half_open once the cooldown elapses *)
+(* Admit one request: promotes Open -> Half_open once the cooldown elapses.
+   In Half_open, at most [half_open_probes] trial requests may be in flight
+   at once — concurrent callers beyond that are shed, so a recovering
+   backend sees a trickle of probes instead of a thundering herd. *)
 let admit_unlocked t =
   match t.state with
-  | Closed | Half_open -> true
+  | Closed -> true
+  | Half_open ->
+      if t.half_open_inflight < t.pol.breaker.half_open_probes then begin
+        t.half_open_inflight <- t.half_open_inflight + 1;
+        true
+      end
+      else false
   | Open ->
       if t.clock.now () -. t.opened_at >= t.pol.breaker.cooldown_s then begin
         t.state <- Half_open;
         t.half_open_successes <- 0;
+        t.half_open_inflight <- 1;
         true
       end
       else false
@@ -168,6 +184,7 @@ let record_success_unlocked t =
   match t.state with
   | Closed -> ()
   | Half_open ->
+      t.half_open_inflight <- max 0 (t.half_open_inflight - 1);
       t.half_open_successes <- t.half_open_successes + 1;
       if t.half_open_successes >= t.pol.breaker.half_open_probes then begin
         t.state <- Closed;
@@ -195,6 +212,8 @@ let breaker_state t = locked t (fun () -> t.state)
 
 let transient (e : Sql_error.t) = e.Sql_error.kind = Sql_error.Transient_error
 
+type denial = Denied_open of float | Denied_probe_race
+
 let call t ?deadline_at ?(on_retry = fun () -> ()) f =
   if not t.on then f ()
   else begin
@@ -203,24 +222,44 @@ let call t ?deadline_at ?(on_retry = fun () -> ()) f =
       | Some _ as d -> d
       | None -> Option.map (fun d -> t.clock.now () +. d) t.pol.deadline_s
     in
+    (* a statement whose budget elapsed before it ever reached the backend
+       (queued past its deadline at the front door) fails fast: no backend
+       attempt is spent on work nobody is waiting for *)
+    (match deadline_at with
+    | Some dl when t.clock.now () > dl ->
+        locked t (fun () -> t.deadline_exceeded <- t.deadline_exceeded + 1);
+        Sql_error.unavailable
+          "statement deadline exceeded before first attempt (%.3fs past \
+           budget at admission)"
+          (t.clock.now () -. dl)
+    | _ -> ());
     let rec attempt n =
-      let admitted, cooldown_left =
+      let verdict =
         locked t (fun () ->
+            let was_half_open = t.state = Half_open in
             if admit_unlocked t then begin
               t.attempts <- t.attempts + 1;
-              (true, 0.)
+              None
             end
             else begin
               t.rejected_open <- t.rejected_open + 1;
-              ( false,
-                t.pol.breaker.cooldown_s -. (t.clock.now () -. t.opened_at) )
+              if was_half_open then Some Denied_probe_race
+              else
+                Some
+                  (Denied_open
+                     (t.pol.breaker.cooldown_s
+                     -. (t.clock.now () -. t.opened_at)))
             end)
       in
-      if not admitted then
-        Sql_error.unavailable
-          "circuit breaker open: backend quarantined for another %.3fs"
-          (Float.max 0. cooldown_left)
-      else
+      match verdict with
+      | Some Denied_probe_race ->
+          Sql_error.unavailable
+            "circuit breaker half-open: recovery probe already in flight"
+      | Some (Denied_open cooldown_left) ->
+          Sql_error.unavailable
+            "circuit breaker open: backend quarantined for another %.3fs"
+            (Float.max 0. cooldown_left)
+      | None -> (
         match f () with
         | v ->
             locked t (fun () ->
@@ -250,7 +289,7 @@ let call t ?deadline_at ?(on_retry = fun () -> ()) f =
                      registry lock must never nest inside ours *)
                   on_retry ();
                   attempt (n + 1)
-            end
+            end)
     in
     attempt 1
   end

@@ -43,13 +43,17 @@ type breaker_config = {
       (** consecutive backend failures that trip the breaker open *)
   cooldown_s : float;  (** open -> half-open after this long *)
   half_open_probes : int;
-      (** successful half-open probes required to close again *)
+      (** successful half-open probes required to close again; also the
+          maximum number of trial requests allowed in flight at once while
+          half-open — concurrent callers beyond it are shed with
+          [Unavailable] so only the probe(s) reach the recovering backend *)
 }
 
 val default_breaker : breaker_config
 
 (** Closed: traffic flows. Open: fail fast, no backend calls. Half_open:
-    cooldown elapsed, probe requests are let through. *)
+    cooldown elapsed; at most [half_open_probes] trial requests are let
+    through at a time, everyone else is shed until a probe resolves. *)
 type breaker_state = Closed | Open | Half_open
 
 val breaker_state_to_string : breaker_state -> string
@@ -98,10 +102,12 @@ val backoff_delay : t -> attempt:int -> float
     deadline (absolute clock time) allows. [on_retry] fires once per
     backoff-then-retry cycle, after the sleep and outside the executor's
     lock (the pipeline uses it to count retries on the query trace). Raises
-    [Sql_error] [Unavailable] when the breaker is open, retries are
-    exhausted, or the deadline would be exceeded. Non-transient errors pass
-    through untouched and do not count against the breaker (a bind error is
-    the backend working fine). *)
+    [Sql_error] [Unavailable] when the breaker is open, a half-open probe is
+    already in flight, retries are exhausted, or the deadline is (or would
+    be) exceeded — including a deadline that already expired before the
+    first attempt, e.g. because the statement sat in an admission queue past
+    its budget. Non-transient errors pass through untouched and do not count
+    against the breaker (a bind error is the backend working fine). *)
 val call :
   t -> ?deadline_at:float -> ?on_retry:(unit -> unit) -> (unit -> 'a) -> 'a
 

@@ -16,6 +16,13 @@ type t = {
   mutable deadline_s : float option;
       (** per-statement time budget for backend retries (SET SESSION
           QUERY_DEADLINE); [None] falls back to the pipeline's policy *)
+  mutable deadline_anchor : float option;
+      (** absolute clock time at which the *next* statement's deadline
+          budget starts. The network front door stamps this at admission,
+          so time spent waiting in the accept/admission queue counts
+          against the statement's budget instead of silently extending it.
+          Consumed (and cleared) by the pipeline when the statement runs;
+          [None] means the budget starts when execution begins. *)
   created_at : float;
 }
 
@@ -43,9 +50,18 @@ let create ?(username = "HYPERQ") ?created_at () =
     volatile_tables = [];
     queries_run = 0;
     deadline_s = None;
+    deadline_anchor = None;
     created_at =
       (match created_at with Some c -> c | None -> Unix.gettimeofday ());
   }
+
+let set_deadline_anchor t at = t.deadline_anchor <- Some at
+
+(* one-shot: the anchor covers exactly the next statement *)
+let take_deadline_anchor t =
+  let a = t.deadline_anchor in
+  t.deadline_anchor <- None;
+  a
 
 let set_setting t name value =
   t.settings <-

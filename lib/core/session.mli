@@ -14,6 +14,10 @@ type t = {
   mutable deadline_s : float option;
       (** per-statement time budget for backend retries (SET SESSION
           QUERY_DEADLINE); [None] falls back to the pipeline's policy *)
+  mutable deadline_anchor : float option;
+      (** absolute clock time at which the next statement's deadline budget
+          starts (stamped at admission by the network front door; consumed
+          by the pipeline) *)
   created_at : float;
 }
 
@@ -22,6 +26,16 @@ type t = {
     timestamps are deterministic under fake time; bare callers fall back to
     the wall clock. *)
 val create : ?username:string -> ?created_at:float -> unit -> t
+
+(** Stamp the admission time of the next statement: its deadline budget
+    (session override or policy default) is measured from here, so queue
+    wait in the front door counts against the budget. *)
+val set_deadline_anchor : t -> float -> unit
+
+(** Consume (and clear) the pending anchor — used by the pipeline when the
+    statement starts executing. *)
+val take_deadline_anchor : t -> float option
+
 val set_setting : t -> string -> string -> unit
 val get_setting : t -> string -> string option
 val register_volatile : t -> string -> unit

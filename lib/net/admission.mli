@@ -1,0 +1,66 @@
+(** Admission control: max-inflight semaphore, bounded wait queue, overload
+    shedding, and drain mode for the TCP front door.
+
+    The front door admits at most [max_inflight] statements into the
+    pipeline at once; up to [max_queue] more wait at most [queue_timeout_s]
+    for a slot, and everything beyond that is shed {e immediately} with a
+    structured reason, so overload turns into fast retryable rejections
+    (wire code 2631/3897 upstream) instead of unbounded queueing. A
+    per-session concurrency cap keeps one chatty session from monopolizing
+    the pool. Drain mode sheds all new work while {!await_idle} waits for
+    admitted statements to finish — the SIGTERM path. *)
+
+type config = {
+  max_inflight : int;  (** statements executing concurrently *)
+  max_queue : int;  (** statements waiting for a slot *)
+  queue_timeout_s : float;  (** max time a statement may queue *)
+  max_per_session : int;  (** concurrent statements per session *)
+}
+
+val default_config : config
+
+type shed_reason = Queue_full | Queue_timeout | Draining | Session_limit
+
+val shed_reason_to_string : shed_reason -> string
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** Block until admitted (returns the queue wait in seconds) or shed.
+    Wake-ups are broadcast on every {!release}; a background ticker bounds
+    the wait even if no slot is ever released. *)
+val acquire : t -> session_id:int -> (float, shed_reason) result
+
+(** Release one admitted slot (must pair with a successful {!acquire}). *)
+val release : t -> session_id:int -> unit
+
+(** Enter drain mode: every queued and future {!acquire} is shed with
+    [Draining]; admitted statements run to completion. Irreversible. *)
+val begin_drain : t -> unit
+
+val draining : t -> bool
+val inflight : t -> int
+val queued : t -> int
+
+(** Wait (up to [timeout_s]) for all admitted statements to release;
+    [true] if the controller went idle. *)
+val await_idle : t -> timeout_s:float -> bool
+
+(** Stop the ticker thread; further acquires are shed with [Draining]. *)
+val close : t -> unit
+
+type stats = {
+  st_admitted : int;
+  st_shed_queue_full : int;
+  st_shed_queue_timeout : int;
+  st_shed_draining : int;
+  st_shed_session_limit : int;
+  st_peak_inflight : int;  (** never exceeds [max_inflight] *)
+  st_peak_queue : int;
+  st_queue_wait_total_s : float;
+  st_queue_wait_max_s : float;
+}
+
+val stats : t -> stats
+val shed_total : stats -> int

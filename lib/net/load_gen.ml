@@ -1,0 +1,344 @@
+(** Closed- and open-loop load generator for the WP-A front door (see
+    load_gen.mli).
+
+    Statements come from a caller-supplied corpus and are replayed over a
+    pool of real TCP sessions with Zipf-skewed session selection. Failures
+    are classified exactly as a production client would: wire code 2631 is
+    retried with seeded exponential backoff (the PR-2 retry contract), 3897
+    and other codes are terminal for the statement, and [Io_error] — a
+    connection reset or stream corruption, which a correct front door never
+    causes — is counted separately so the harness can assert it stayed at
+    zero. *)
+
+(* seeded LCG (numerical-recipes constants): deterministic load per seed *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (seed land 0x3FFFFFFF) }
+
+  let next t =
+    t.state <-
+      Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical t.state 17) land 0x3FFFFFFF
+
+  (* uniform in [0, 1) *)
+  let float t = float_of_int (next t) /. 1073741824.0
+
+  (* exponential with mean [mean_s]; inter-arrival gaps for open loop *)
+  let exp t ~mean_s = -.mean_s *. log (1. -. float t +. 1e-12)
+end
+
+(* Zipf over ranks 0..n-1: p(i) proportional to 1/(i+1)^s, sampled by binary
+   search on the precomputed CDF; s = 0 degenerates to uniform *)
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    let w = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+    let total = Array.fold_left ( +. ) 0. w in
+    let acc = ref 0. in
+    let cdf =
+      Array.map
+        (fun x ->
+          acc := !acc +. (x /. total);
+          !acc)
+        w
+    in
+    cdf.(n - 1) <- 1.0;
+    { cdf }
+
+  let sample t u =
+    let n = Array.length t.cdf in
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) < u then bs (mid + 1) hi else bs lo mid
+    in
+    bs 0 (n - 1)
+end
+
+type mode =
+  | Closed_loop  (** workers issue back-to-back *)
+  | Open_loop of { rate_qps : float }
+      (** exponential inter-arrival; latency measured from scheduled
+          arrival, so server queueing delay is visible *)
+
+type config = {
+  host : string;
+  port : int;
+  username : string;
+  password : string;
+  mode : mode;
+  workers : int;
+  sessions : int;  (** TCP connections in the pool *)
+  zipf_s : float;  (** session-skew exponent; 0 = uniform *)
+  total_queries : int;
+  retry_max : int;  (** client retries on wire code 2631 *)
+  retry_base_s : float;
+  timeout_s : float;  (** per-read/write client deadline *)
+  seed : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    username = "DBC";
+    password = "DBC";
+    mode = Closed_loop;
+    workers = 8;
+    sessions = 16;
+    zipf_s = 1.1;
+    total_queries = 1000;
+    retry_max = 3;
+    retry_base_s = 0.005;
+    timeout_s = 15.;
+    seed = 42;
+  }
+
+type report = {
+  lr_submitted : int;  (** statements attempted (excluding retries) *)
+  lr_ok : int;
+  lr_shed_transient : int;  (** terminal 2631 after retries exhausted *)
+  lr_shed_unavailable : int;  (** 3897: draining / breaker open *)
+  lr_other_failures : int;  (** non-shed Failure parcels (e.g. SQL errors) *)
+  lr_io_errors : int;  (** resets / timeouts / stream corruption *)
+  lr_retries : int;  (** 2631 answers absorbed by client backoff *)
+  lr_reconnects : int;
+  lr_wall_s : float;
+  lr_qps : float;  (** successful statements per wall second *)
+  lr_p50_ms : float;
+  lr_p90_ms : float;
+  lr_p99_ms : float;
+  lr_max_ms : float;
+  lr_latencies_ms : float array;  (** sorted, successful statements only *)
+}
+
+(* exact percentile over the sorted sample (nearest-rank) *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+(* one session slot: a connection plus a lock serializing its use — WP-A
+   conversations are strictly request/response, so two workers landing on
+   the same hot session queue behind each other (head-of-line blocking is
+   part of what skew measures) *)
+type slot = {
+  lock : Mutex.t;
+  mutable client : Wire_client.t option;
+}
+
+type shared = {
+  cfg : config;
+  corpus : string array;
+  slots : slot array;
+  zipf : Zipf.t;
+  counter : Mutex.t;
+  mutable next_query : int;
+  mutable started_at : float;
+  (* results, merged under [counter] *)
+  mutable ok : int;
+  mutable shed_transient : int;
+  mutable shed_unavailable : int;
+  mutable other_failures : int;
+  mutable io_errors : int;
+  mutable retries : int;
+  mutable reconnects : int;
+  mutable latencies_ms : float list;
+}
+
+let take_query sh =
+  Mutex.lock sh.counter;
+  let i = sh.next_query in
+  if i < sh.cfg.total_queries then sh.next_query <- i + 1;
+  Mutex.unlock sh.counter;
+  if i < sh.cfg.total_queries then Some i else None
+
+let record sh f =
+  Mutex.lock sh.counter;
+  f sh;
+  Mutex.unlock sh.counter
+
+let connect_client cfg =
+  Wire_client.connect ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port
+    ~username:cfg.username ~password:cfg.password ()
+
+(* run one statement on one slot with the 2631 retry loop; reconnects a
+   broken connection once per attempt *)
+let run_statement sh rng slot sql =
+  let cfg = sh.cfg in
+  let rec attempt n =
+    let client =
+      match slot.client with
+      | Some c -> Ok c
+      | None -> (
+          match connect_client cfg with
+          | Ok c ->
+              record sh (fun s -> s.reconnects <- s.reconnects + 1);
+              slot.client <- Some c;
+              Ok c
+          | Error e -> Error e)
+    in
+    match client with
+    | Error e -> Error e
+    | Ok c -> (
+        match Wire_client.run c sql with
+        | Ok r -> Ok r
+        | Error e when Wire_client.is_retryable e && n < cfg.retry_max ->
+            record sh (fun s -> s.retries <- s.retries + 1);
+            (* full-jitter exponential backoff, seeded *)
+            let cap = cfg.retry_base_s *. Float.pow 2. (float_of_int n) in
+            Thread.delay (Rng.float rng *. cap);
+            attempt (n + 1)
+        | Error (Wire_client.Io_error _ as e) ->
+            (* drop the broken connection; next use of this slot redials *)
+            Wire_client.close c;
+            slot.client <- None;
+            Error e
+        | Error e -> Error e)
+  in
+  attempt 0
+
+let classify sh = function
+  | Ok _ -> record sh (fun s -> s.ok <- s.ok + 1)
+  | Error e when Wire_client.is_retryable e ->
+      record sh (fun s -> s.shed_transient <- s.shed_transient + 1)
+  | Error e when Wire_client.is_unavailable e ->
+      record sh (fun s -> s.shed_unavailable <- s.shed_unavailable + 1)
+  | Error (Wire_client.Io_error _) ->
+      record sh (fun s -> s.io_errors <- s.io_errors + 1)
+  | Error (Wire_client.Failure_code _) ->
+      record sh (fun s -> s.other_failures <- s.other_failures + 1)
+
+(* take the Zipf-sampled slot if free, else probe forward: hot ranks still
+   receive most of the traffic, but a worker never parks behind a busy hot
+   session — offered concurrency stays at [workers], which is what makes
+   the overload phases actually offer overload *)
+let lock_slot sh rank =
+  let n = Array.length sh.slots in
+  let rec probe i =
+    if i >= n then begin
+      let slot = sh.slots.(rank) in
+      Mutex.lock slot.lock;
+      slot
+    end
+    else
+      let slot = sh.slots.((rank + i) mod n) in
+      if Mutex.try_lock slot.lock then slot else probe (i + 1)
+  in
+  probe 0
+
+let worker_loop sh widx =
+  let cfg = sh.cfg in
+  let rng = Rng.create (cfg.seed + (widx * 7919)) in
+  (* open-loop pacing state: each worker carries 1/workers of the target
+     rate on its own exponential arrival schedule *)
+  let next_arrival = ref sh.started_at in
+  let rec go () =
+    match take_query sh with
+    | None -> ()
+    | Some qi ->
+        let sql = sh.corpus.(qi mod Array.length sh.corpus) in
+        let rank = Zipf.sample sh.zipf (Rng.float rng) in
+        let t_start =
+          match cfg.mode with
+          | Closed_loop -> Unix.gettimeofday ()
+          | Open_loop { rate_qps } ->
+              let mean = float_of_int cfg.workers /. rate_qps in
+              next_arrival := !next_arrival +. Rng.exp rng ~mean_s:mean;
+              let now = Unix.gettimeofday () in
+              if !next_arrival > now then Thread.delay (!next_arrival -. now);
+              (* latency from *scheduled* arrival: lateness is queueing *)
+              !next_arrival
+        in
+        let slot = lock_slot sh rank in
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock slot.lock)
+            (fun () -> run_statement sh rng slot sql)
+        in
+        let elapsed_ms = (Unix.gettimeofday () -. t_start) *. 1000. in
+        classify sh r;
+        (match r with
+        | Ok _ ->
+            record sh (fun s -> s.latencies_ms <- elapsed_ms :: s.latencies_ms)
+        | Error _ -> ());
+        go ()
+  in
+  go ()
+
+let run ?(config = default_config) ~corpus () =
+  if corpus = [] then invalid_arg "Load_gen.run: empty corpus";
+  (* a server hanging up mid-request (drain) must read as EPIPE, not kill
+     the generator process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sessions = max 1 config.sessions in
+  let sh =
+    {
+      cfg = config;
+      corpus = Array.of_list corpus;
+      slots =
+        Array.init sessions (fun _ ->
+            { lock = Mutex.create (); client = None });
+      zipf = Zipf.create ~n:sessions ~s:(Float.max 0. config.zipf_s);
+      counter = Mutex.create ();
+      next_query = 0;
+      started_at = 0.;
+      ok = 0;
+      shed_transient = 0;
+      shed_unavailable = 0;
+      other_failures = 0;
+      io_errors = 0;
+      retries = 0;
+      reconnects = 0;
+      latencies_ms = [];
+    }
+  in
+  sh.started_at <- Unix.gettimeofday ();
+  let threads =
+    List.init (max 1 config.workers) (fun i ->
+        Thread.create (fun () -> worker_loop sh i) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. sh.started_at in
+  Array.iter
+    (fun slot ->
+      match slot.client with
+      | Some c ->
+          Wire_client.close c;
+          slot.client <- None
+      | None -> ())
+    sh.slots;
+  let lat = Array.of_list sh.latencies_ms in
+  Array.sort compare lat;
+  {
+    lr_submitted = sh.next_query;
+    lr_ok = sh.ok;
+    lr_shed_transient = sh.shed_transient;
+    lr_shed_unavailable = sh.shed_unavailable;
+    lr_other_failures = sh.other_failures;
+    lr_io_errors = sh.io_errors;
+    lr_retries = sh.retries;
+    lr_reconnects = sh.reconnects;
+    lr_wall_s = wall;
+    lr_qps = (if wall > 0. then float_of_int sh.ok /. wall else 0.);
+    lr_p50_ms = percentile lat 0.50;
+    lr_p90_ms = percentile lat 0.90;
+    lr_p99_ms = percentile lat 0.99;
+    lr_max_ms = (if Array.length lat = 0 then 0. else lat.(Array.length lat - 1));
+    lr_latencies_ms = lat;
+  }
+
+let report_to_string r =
+  Printf.sprintf
+    "submitted=%d ok=%d shed2631=%d shed3897=%d fail=%d io=%d retries=%d \
+     reconnects=%d wall=%.2fs qps=%.0f p50=%.2fms p90=%.2fms p99=%.2fms \
+     max=%.2fms"
+    r.lr_submitted r.lr_ok r.lr_shed_transient r.lr_shed_unavailable
+    r.lr_other_failures r.lr_io_errors r.lr_retries r.lr_reconnects r.lr_wall_s
+    r.lr_qps r.lr_p50_ms r.lr_p90_ms r.lr_p99_ms r.lr_max_ms

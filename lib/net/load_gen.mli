@@ -1,0 +1,63 @@
+(** Load generator replaying a SQL corpus against the TCP front door over
+    real sockets, in closed- or open-loop mode with Zipf session skew.
+
+    Closed loop: [workers] threads issue back-to-back — throughput adapts
+    to server speed (classic benchmark mode, hides queueing). Open loop:
+    arrivals follow a seeded exponential schedule at [rate_qps] regardless
+    of server speed, and latency is measured from the {e scheduled} arrival
+    — so when the server saturates, queueing delay shows up in p99 instead
+    of silently throttling the generator (the coordinated-omission trap).
+
+    Client behaviour matches the production retry contract: wire code 2631
+    (transient shed) is retried with seeded full-jitter backoff up to
+    [retry_max] times; 3897 (draining/unavailable) and other failures are
+    terminal; IO errors are counted separately because a correct front door
+    sheds with structured answers, never with connection resets. *)
+
+type mode =
+  | Closed_loop  (** workers issue back-to-back *)
+  | Open_loop of { rate_qps : float }  (** seeded exponential arrivals *)
+
+type config = {
+  host : string;
+  port : int;
+  username : string;
+  password : string;
+  mode : mode;
+  workers : int;
+  sessions : int;  (** TCP connections in the pool *)
+  zipf_s : float;  (** session-skew exponent; 0 = uniform *)
+  total_queries : int;
+  retry_max : int;  (** client retries on wire code 2631 *)
+  retry_base_s : float;
+  timeout_s : float;  (** per-read/write client deadline *)
+  seed : int;
+}
+
+val default_config : config
+
+type report = {
+  lr_submitted : int;  (** statements attempted (excluding retries) *)
+  lr_ok : int;
+  lr_shed_transient : int;  (** terminal 2631 after retries exhausted *)
+  lr_shed_unavailable : int;  (** 3897: draining / breaker open *)
+  lr_other_failures : int;  (** non-shed Failure parcels (e.g. SQL errors) *)
+  lr_io_errors : int;  (** resets / timeouts / stream corruption *)
+  lr_retries : int;  (** 2631 answers absorbed by client backoff *)
+  lr_reconnects : int;
+  lr_wall_s : float;
+  lr_qps : float;  (** successful statements per wall second *)
+  lr_p50_ms : float;
+  lr_p90_ms : float;
+  lr_p99_ms : float;
+  lr_max_ms : float;
+  lr_latencies_ms : float array;  (** sorted, successful statements only *)
+}
+
+(** Replay [corpus] (round-robin) until [total_queries] statements have been
+    issued; blocks until every worker finishes and connections are closed.
+    Raises [Invalid_argument] on an empty corpus. *)
+val run : ?config:config -> corpus:string list -> unit -> report
+
+(** One-line summary for logs. *)
+val report_to_string : report -> string

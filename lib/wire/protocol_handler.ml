@@ -33,19 +33,25 @@ type t = {
   mutable phase : phase;
   mutable inbox : string;  (** unconsumed raw bytes *)
   records_per_parcel : int;
+  max_frame_bytes : int;
   mutable messages_handled : int;
+  mutable protocol_errors : int;
 }
 
 let session_counter = ref 0
+let default_max_frame_bytes = 4 * 1024 * 1024
 
-let create ?(records_per_parcel = 128) ~users ~executor () =
+let create ?(records_per_parcel = 128)
+    ?(max_frame_bytes = default_max_frame_bytes) ~users ~executor () =
   {
     users;
     executor;
     phase = Awaiting_logon;
     inbox = "";
     records_per_parcel;
+    max_frame_bytes;
     messages_handled = 0;
+    protocol_errors = 0;
   }
 
 let rec chunk n = function
@@ -139,25 +145,68 @@ let handle_message t (m : Message.t) : Message.t list =
           };
       ]
 
+(* Peek at the length prefix of the frame starting at [pos]; [None] when
+   fewer than 6 header bytes are buffered. *)
+let peek_frame_len data pos =
+  if String.length data - pos < 6 then None
+  else
+    let b i = Char.code data.[pos + 2 + i] in
+    Some ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+
+(* A malformed stream cannot be resynchronized (framing is length-prefixed,
+   so one bad frame poisons every byte after it): report a structured
+   Failure parcel and close the conversation instead of raising into the
+   transport. *)
+let poison t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      t.protocol_errors <- t.protocol_errors + 1;
+      t.phase <- Closed;
+      Message.encode_frame (Message.Failure { code = 1000; message = msg }))
+    fmt
+
 (** Feed raw bytes; returns the raw response bytes generated by any complete
-    frames found. Partial frames remain buffered. *)
+    frames found. Partial frames remain buffered. Malformed input — a length
+    prefix beyond [max_frame_bytes] or a payload that fails to decode —
+    yields a structured [Failure] (code 1000) and closes the handler rather
+    than raising. *)
 let feed t (bytes : string) : string =
-  t.inbox <- t.inbox ^ bytes;
-  let out = Buffer.create 256 in
-  let rec loop pos =
-    match Message.decode_frame t.inbox pos with
-    | None -> pos
-    | Some (m, next) ->
-        List.iter
-          (fun resp -> Buffer.add_string out (Message.encode_frame resp))
-          (handle_message t m);
-        loop next
-  in
-  let consumed = loop 0 in
-  t.inbox <- String.sub t.inbox consumed (String.length t.inbox - consumed);
-  Buffer.contents out
+  if t.phase = Closed then ""
+  else begin
+    t.inbox <- t.inbox ^ bytes;
+    let out = Buffer.create 256 in
+    let rec loop pos =
+      match peek_frame_len t.inbox pos with
+      | Some len when len > t.max_frame_bytes ->
+          Buffer.add_string out
+            (poison t
+               "protocol error: frame length %d exceeds the %d-byte limit"
+               len t.max_frame_bytes);
+          `Poisoned
+      | _ -> (
+          match Message.decode_frame t.inbox pos with
+          | None -> `Consumed pos
+          | Some (m, next) ->
+              List.iter
+                (fun resp -> Buffer.add_string out (Message.encode_frame resp))
+                (handle_message t m);
+              if t.phase = Closed then `Poisoned (* logoff: drop the rest *)
+              else loop next
+          | exception Sql_error.Error e
+            when e.Sql_error.kind = Sql_error.Protocol_error ->
+              Buffer.add_string out (poison t "%s" e.Sql_error.message);
+              `Poisoned)
+    in
+    (match loop 0 with
+    | `Poisoned -> t.inbox <- "" (* closed: later bytes can't be framed *)
+    | `Consumed consumed ->
+        t.inbox <-
+          String.sub t.inbox consumed (String.length t.inbox - consumed));
+    Buffer.contents out
+  end
 
 let is_authenticated t =
   match t.phase with Authenticated _ -> true | _ -> false
 
 let is_closed t = t.phase = Closed
+let protocol_errors t = t.protocol_errors

@@ -17,19 +17,35 @@ type executor = sql:string -> (query_result, Sql_error.t) result
 
 type t
 
-(** [create ~records_per_parcel ~users ~executor ()] — results are split
-    into [Records] parcels of at most [records_per_parcel] rows (default
-    128). *)
+(** [create ~records_per_parcel ~max_frame_bytes ~users ~executor ()] —
+    results are split into [Records] parcels of at most [records_per_parcel]
+    rows (default 128). [max_frame_bytes] (default 4 MiB) bounds a single
+    inbound frame's declared payload length; a prefix beyond it is treated
+    as a protocol error rather than buffered forever. *)
 val create :
-  ?records_per_parcel:int -> users:Auth.user_db -> executor:executor -> unit -> t
+  ?records_per_parcel:int ->
+  ?max_frame_bytes:int ->
+  users:Auth.user_db ->
+  executor:executor ->
+  unit ->
+  t
+
+val default_max_frame_bytes : int
 
 (** Process one decoded client message; returns the response messages. Out-
     of-order messages yield a protocol-violation [Failure]. *)
 val handle_message : t -> Message.t -> Message.t list
 
 (** Feed raw bytes; returns the raw response bytes produced by any complete
-    frames. Partial frames stay buffered. *)
+    frames. Partial frames stay buffered. Malformed input — an oversized
+    length prefix or a payload that fails to decode — never raises: the
+    handler answers with a structured [Failure] (code 1000) and closes,
+    because a length-prefixed stream cannot be resynchronized past a bad
+    frame. Once closed, further bytes are ignored. *)
 val feed : t -> string -> string
 
 val is_authenticated : t -> bool
 val is_closed : t -> bool
+
+(** Malformed-input events seen by this handler. *)
+val protocol_errors : t -> int

@@ -19,6 +19,7 @@ let () =
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("resilience", Test_resilience.suite);
+      ("net", Test_net.suite);
       ("obs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
     ]

@@ -132,6 +132,85 @@ let test_deadline_budget () =
 (* Fault injection                                                      *)
 (* ------------------------------------------------------------------ *)
 
+let test_half_open_concurrent_probes () =
+  (* when the cooldown elapses, exactly one statement becomes the recovery
+     probe; statements racing it are shed with Unavailable instead of
+     stampeding the convalescing backend *)
+  let clock = R.fake_clock () in
+  let r = R.create ~policy:tiny_policy ~clock () in
+  let boom () = Sql_error.transient_error "down" in
+  check bb "tripped open" true
+    (err_kind (Sql_error.protect (fun () -> R.call r boom))
+    = Some Sql_error.Unavailable);
+  clock.R.sleep tiny_policy.R.breaker.R.cooldown_s;
+  (* gate the winning probe on a condition so the loser provably arrives
+     while the probe is still in flight *)
+  let m = Mutex.create () and c = Condition.create () in
+  let probe_started = ref false and release = ref false in
+  let probe () =
+    Mutex.lock m;
+    probe_started := true;
+    Condition.broadcast c;
+    while not !release do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    "recovered"
+  in
+  let winner = Thread.create (fun () -> ignore (R.call r probe)) () in
+  Mutex.lock m;
+  while not !probe_started do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  (* the probe slot is taken: the racing statement sheds and its backend
+     call never runs *)
+  let loser_ran = ref false in
+  check bb "loser shed with Unavailable" true
+    (err_kind
+       (Sql_error.protect (fun () ->
+            R.call r (fun () ->
+                loser_ran := true;
+                "must not run")))
+    = Some Sql_error.Unavailable);
+  check bb "loser never reached the backend" false !loser_ran;
+  Mutex.lock m;
+  release := true;
+  Condition.broadcast c;
+  Mutex.unlock m;
+  Thread.join winner;
+  check bb "winning probe closed the breaker" true
+    (R.breaker_state r = R.Closed);
+  check Alcotest.string "traffic admitted after recovery" "ok"
+    (R.call r (fun () -> "ok"))
+
+let test_deadline_anchor_at_admission () =
+  (* the per-statement budget is charged from admission, not first submit:
+     a statement that burned its budget queueing is failed immediately *)
+  let clock = R.fake_clock () in
+  let policy = { tiny_policy with R.deadline_s = Some 1.0 } in
+  let r = R.create ~policy ~clock () in
+  let p = Pipeline.create ~resil:r () in
+  ignore (Pipeline.run_sql p "CREATE TABLE DA (ID INTEGER)");
+  let session = Session.create () in
+  Session.set_deadline_anchor session (R.now r);
+  clock.R.sleep 2.0 (* the statement sat in an admission queue for 2 s *);
+  check bb "budget spent in the queue fails the statement" true
+    (err_kind
+       (Sql_error.protect (fun () ->
+            Pipeline.run_sql p ~session "SEL ID FROM DA"))
+    = Some Sql_error.Unavailable);
+  check ib "counted as deadline_exceeded" 1
+    (R.stats r).R.st_deadline_exceeded;
+  (* the anchor is one-shot: the next statement budgets from now and runs *)
+  check bb "next statement unaffected" true
+    (match
+       Sql_error.protect (fun () ->
+           Pipeline.run_sql p ~session "SEL ID FROM DA")
+     with
+    | Ok _ -> true
+    | Error _ -> false)
+
 let test_fault_schedule () =
   let slept = ref 0. in
   let f = Fault.create ~sleep:(fun s -> slept := !slept +. s) () in
@@ -444,6 +523,8 @@ let suite =
     ("call absorbs transients", `Quick, test_call_absorbs_transients);
     ("breaker state machine", `Quick, test_breaker_state_machine);
     ("deadline budget", `Quick, test_deadline_budget);
+    ("half-open concurrent probes", `Quick, test_half_open_concurrent_probes);
+    ("deadline anchored at admission", `Quick, test_deadline_anchor_at_admission);
     ("fault schedule", `Quick, test_fault_schedule);
     ("pipeline absorbs transients", `Quick, test_pipeline_absorbs_transients);
     ("pipeline persistent outage", `Quick, test_pipeline_persistent_outage);
