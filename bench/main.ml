@@ -8,7 +8,8 @@
    Scale factor:        HYPERQ_SF=0.02 dune exec bench/main.exe -- fig9a
 
    Experiment ids: table1 fig2 fig8a fig8b baseline table2 fig9a fig9b
-   targets ablation cache resilience telemetry analyze micro *)
+   targets ablation cache resilience telemetry analyze exec parallel
+   serving micro *)
 
 open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
@@ -22,6 +23,7 @@ module Tpch_queries = Hyperq_workload.Tpch_queries
 module Baseline = Hyperq_workload.Textual_baseline
 module Backend = Hyperq_engine.Backend
 module Batch_exec = Hyperq_engine.Batch_exec
+module Morsel = Hyperq_engine.Morsel
 
 let sf () =
   match Sys.getenv_opt "HYPERQ_SF" with
@@ -985,6 +987,181 @@ let exec_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel: morsel-driven scaling curve over OCaml domains             *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain-count scaling of the vectorized executor on the join/agg-heavy
+   TPC-H subset. Methodology (see EXPERIMENTS.md): phases are pinned — only
+   the execute stage is timed (translation is plan-cached, conversion
+   excluded), best-of-N per (query, domains) with a warm-up run first.
+   Correctness is a hard gate at any core count: every multi-domain run
+   must reproduce the 1-domain row list EXACTLY (order included). The
+   performance gates (monotone 1→4 curve, >=2x total speedup at 4 domains)
+   only apply when the host actually has >= 4 cores; below that the JSON
+   carries "insufficient_cores": true and CI's multi-core runners are the
+   enforcement point. *)
+let parallel_bench () =
+  hr "Parallel: morsel-driven scaling over OCaml domains (TPC-H join/agg)";
+  let pipeline = Pipeline.create () in
+  let _ = Tpch.setup ~sf:(sf ()) pipeline in
+  let iters =
+    match Sys.getenv_opt "HYPERQ_PAR_ITERS" with
+    | Some s -> int_of_string s
+    | None -> 5
+  in
+  let domain_counts =
+    match Sys.getenv_opt "HYPERQ_PAR_DOMAINS" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  let subset =
+    match Sys.getenv_opt "HYPERQ_PAR_QUERIES" with
+    | Some s -> String.split_on_char ',' s
+    | None -> [ "Q1"; "Q3"; "Q5"; "Q6"; "Q10"; "Q13"; "Q18" ]
+  in
+  let queries =
+    List.filter_map
+      (fun n -> Option.map (fun sql -> (n, sql)) (List.assoc_opt n Tpch_queries.all))
+      subset
+  in
+  let be = pipeline.Pipeline.backend in
+  be.Backend.exec_mode <- Backend.Batch;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "TPC-H at SF %.3f; best of %d runs; %d cores available\n\n"
+    (sf ()) iters cores;
+  let lit rows =
+    List.map
+      (fun (r : Value.t array) ->
+        Array.to_list (Array.map Value.to_sql_literal r))
+      rows
+  in
+  let one sql =
+    let o = Pipeline.run_sql pipeline sql in
+    (o.Pipeline.out_timings.Pipeline.execute_s, lit o.Pipeline.out_rows)
+  in
+  (* reference result per query: the sequential batch path *)
+  Pipeline.set_exec_domains pipeline 1;
+  let reference =
+    List.map (fun (name, sql) -> (name, snd (one sql))) queries
+  in
+  Morsel.reset_stats ();
+  let mismatches = ref 0 in
+  (* per domain count: best-of-N execute time per query, exact-order check *)
+  let curve =
+    List.map
+      (fun d ->
+        Pipeline.set_exec_domains pipeline d;
+        let per_query =
+          List.map
+            (fun (name, sql) ->
+              ignore (one sql) (* warm-up at this domain count *);
+              let best = ref infinity in
+              for _ = 1 to iters do
+                let t, rows = one sql in
+                if t < !best then best := t;
+                if rows <> List.assoc name reference then begin
+                  incr mismatches;
+                  Printf.eprintf "  %s@%d domains: RESULT MISMATCH\n" name d
+                end
+              done;
+              (name, !best))
+            queries
+        in
+        let total = List.fold_left (fun a (_, t) -> a +. t) 0. per_query in
+        (d, per_query, total))
+      domain_counts
+  in
+  let total_at d =
+    match List.find_opt (fun (d', _, _) -> d' = d) curve with
+    | Some (_, _, t) -> Some t
+    | None -> None
+  in
+  let base = match total_at 1 with Some t -> t | None -> nan in
+  List.iter
+    (fun (d, per_query, total) ->
+      Printf.printf "  %d domain%s: total %8.2f ms  speedup %5.2fx   [%s]\n" d
+        (if d = 1 then " " else "s")
+        (total *. 1000.) (base /. total)
+        (String.concat " "
+           (List.map
+              (fun (n, t) -> Printf.sprintf "%s %.1f" n (t *. 1000.))
+              per_query)))
+    curve;
+  let morsel_stats = Morsel.stats () in
+  Printf.printf "  morsel scheduler: %s\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) morsel_stats));
+  (* gates *)
+  let insufficient_cores = cores < 4 in
+  let speedup4 =
+    match total_at 4 with Some t -> base /. t | None -> nan
+  in
+  let monotone =
+    (* non-increasing totals from 1 to 4 domains, with 5% jitter headroom *)
+    let upto4 = List.filter (fun (d, _, _) -> d <= 4) curve in
+    let rec chk = function
+      | (_, _, a) :: ((_, _, b) :: _ as rest) ->
+          b <= a *. 1.05 && chk rest
+      | _ -> true
+    in
+    chk upto4
+  in
+  let perf_pass =
+    insufficient_cores || ((not (speedup4 < 2.0)) && monotone)
+  in
+  if !mismatches > 0 then Printf.printf "  RESULT MISMATCHES: %d\n" !mismatches
+  else Printf.printf "  result mismatches: 0\n";
+  if insufficient_cores then
+    Printf.printf
+      "  (%d core(s): scaling gates recorded but not enforced on this host)\n"
+      cores
+  else
+    Printf.printf "  speedup at 4 domains: %.2fx (gate >= 2.0) monotone: %b\n"
+      speedup4 monotone;
+  let curve_json =
+    String.concat ", "
+      (List.map
+         (fun (d, per_query, total) ->
+           Printf.sprintf
+             "{\"domains\": %d, \"total_s\": %.6f, \"speedup\": %.3f, \
+              \"queries\": {%s}}"
+             d total (base /. total)
+             (String.concat ", "
+                (List.map
+                   (fun (n, t) -> Printf.sprintf "\"%s\": %.6f" n t)
+                   per_query)))
+         curve)
+  in
+  let morsel_json =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %g" k v)
+         morsel_stats)
+  in
+  write_json "BENCH_parallel.json"
+    (Printf.sprintf
+       "{\"experiment\": \"parallel\", \"sf\": %g, \"iters\": %d, \
+        \"cores\": %d, \"insufficient_cores\": %b, \"mismatches\": %d, \
+        \"speedup_4_domains\": %s, \"monotone_1_to_4\": %b, \
+        \"curve\": [%s], \"morsel_stats\": {%s}, \"pass\": %b}"
+       (sf ()) iters cores insufficient_cores !mismatches
+       (if Float.is_nan speedup4 then "null"
+        else Printf.sprintf "%.3f" speedup4)
+       monotone curve_json morsel_json
+       (perf_pass && !mismatches = 0));
+  (* a multi-domain result divergence is a correctness bug on any host *)
+  if !mismatches > 0 then begin
+    Printf.eprintf "parallel: %d result mismatch(es)\n" !mismatches;
+    exit 1
+  end;
+  if not perf_pass then begin
+    Printf.eprintf
+      "parallel: scaling gate failed (speedup@4 %.2fx, monotone %b)\n"
+      speedup4 monotone;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Serving: the TCP front door under load (real sockets)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1238,6 +1415,7 @@ let experiments =
     ("telemetry", telemetry);
     ("analyze", analyze);
     ("exec", exec_bench);
+    ("parallel", parallel_bench);
     ("serving", serving);
     ("micro", micro);
   ]

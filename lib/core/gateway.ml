@@ -34,31 +34,29 @@ let create ?(users = [ ("DBC", "DBC") ]) pipeline =
           "hyperq_connections_total";
     }
   in
-  (* sampled at render time under the gateway lock; per-session rows keep
-     the paper's "per-session query counts" visible in \metrics *)
+  (* The session list is an immutable cons list only ever REPLACED under the
+     lock, so collectors take the lock just long enough to snapshot the list
+     pointer and do all row/stat construction outside the critical section —
+     a metrics scrape never stalls connect/disconnect on the hot path.
+     Per-session rows keep the paper's "per-session query counts" visible in
+     \metrics. *)
+  let snapshot_sessions () =
+    Mutex.lock t.lock;
+    let sessions = t.sessions in
+    Mutex.unlock t.lock;
+    sessions
+  in
   Obs.register_collector obs ~kind:`Gauge
     ~help:"Currently connected gateway sessions" "hyperq_active_sessions"
-    (fun () ->
-      Mutex.lock t.lock;
-      let n = List.length t.sessions in
-      Mutex.unlock t.lock;
-      [ ([], float_of_int n) ]);
+    (fun () -> [ ([], float_of_int (List.length (snapshot_sessions ()))) ]);
   Obs.register_collector obs ~kind:`Gauge
     ~help:"Statements run by each currently connected session"
     "hyperq_session_queries" (fun () ->
-      Mutex.lock t.lock;
-      let rows =
-        List.map
-          (fun (id, s) ->
-            ( [
-                ("session", string_of_int id);
-                ("user", s.Session.username);
-              ],
-              float_of_int s.Session.queries_run ))
-          t.sessions
-      in
-      Mutex.unlock t.lock;
-      rows);
+      List.map
+        (fun (id, s) ->
+          ( [ ("session", string_of_int id); ("user", s.Session.username) ],
+            float_of_int s.Session.queries_run ))
+        (snapshot_sessions ()));
   t
 
 type connection = {
@@ -130,6 +128,6 @@ let disconnect conn =
 
 let active_sessions t =
   Mutex.lock t.lock;
-  let n = List.length t.sessions in
+  let sessions = t.sessions in
   Mutex.unlock t.lock;
-  n
+  List.length sessions

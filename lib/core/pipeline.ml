@@ -250,6 +250,15 @@ let make_telemetry obs ~labels cache resil =
         (List.map
            (fun (k, v) -> ([ ("event", k) ], float_of_int v))
            (Hyperq_engine.Batch_exec.counters ())));
+  Obs.register_collector obs ~kind:`Counter
+    ~help:
+      "Morsel scheduler counters (parallel runs, bodies, barrier wait, \
+       per-domain morsel counts)"
+    "hyperq_exec_morsel_events_total" (fun () ->
+      pull
+        (List.map
+           (fun (k, v) -> ([ ("event", k) ], v))
+           (Hyperq_engine.Morsel.stats ())));
   tel
 
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
@@ -868,6 +877,11 @@ let cache_key ~cap sql =
 
 let cache_stats t = Plan_cache.stats t.cache
 let resilience_stats t = Resilience.stats t.resil
+
+let set_exec_domains t n =
+  t.backend.Backend.exec_domains <-
+    (let n = max 1 n in
+     min n Hyperq_engine.Morsel.max_domains)
 let breaker_state t = Resilience.breaker_state t.resil
 let health_to_string t = Resilience.stats_to_string t.resil
 

@@ -169,6 +169,12 @@ val cache_stats : t -> Plan_cache.stats
     and [hyperq_breaker_state] via pull collectors. *)
 val resilience_stats : t -> Resilience.stats
 
+(** Set the vectorized executor's intra-statement parallelism budget
+    (morsel-driven execution domains) for subsequent statements on this
+    pipeline's backend, clamped to [1 .. Morsel.max_domains]; 1 = fully
+    sequential. New pipelines start from [HYPERQ_EXEC_DOMAINS]. *)
+val set_exec_domains : t -> int -> unit
+
 (** Current state of the backend circuit breaker. *)
 val breaker_state : t -> Resilience.breaker_state
 

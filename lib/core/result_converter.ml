@@ -6,8 +6,10 @@
     processes where each process handles the conversion of a subset of the
     result rows."
 
-    Conversion fans out across OCaml domains when the result is large
-    enough to amortize the spawn cost. *)
+    Conversion fans out over the shared {!Hyperq_engine.Morsel} domain pool
+    when the result is large enough to amortize the coordination cost; the
+    degree follows the same [HYPERQ_EXEC_DOMAINS] budget as the vectorized
+    executor instead of a private worker count. *)
 
 open Hyperq_sqlvalue
 module Tdf = Hyperq_tdf.Tdf
@@ -31,25 +33,24 @@ let convert (columns : Tdf.column_desc list) (store : Result_store.t) :
   let cols = record_columns columns in
   let rows = Result_store.all_rows store in
   let n = List.length rows in
-  if n < parallel_threshold then convert_rows cols rows
+  let workers =
+    if n < parallel_threshold then 1
+    else Hyperq_engine.Morsel.configured_domains ()
+  in
+  if workers <= 1 then convert_rows cols rows
   else begin
-    let workers = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in
     let arr = Array.of_list rows in
+    let out = Array.make n "" in
     let per = (n + workers - 1) / workers in
-    let slices =
-      List.init workers (fun w ->
-          let lo = w * per in
-          let hi = min n (lo + per) in
-          if lo >= hi then [||] else Array.sub arr lo (hi - lo))
-    in
-    let domains =
-      List.map
-        (fun slice ->
-          Domain.spawn (fun () ->
-              Array.to_list (Array.map (Record.encode_row cols) slice)))
-        slices
-    in
-    List.concat_map Domain.join domains
+    (* contiguous slice per body: writes land in disjoint regions of [out],
+       published by the run barrier, so row order is preserved for free *)
+    Hyperq_engine.Morsel.run ~domains:workers (fun w ->
+        let lo = w * per in
+        let hi = min n (lo + per) in
+        for i = lo to hi - 1 do
+          out.(i) <- Record.encode_row cols arr.(i)
+        done);
+    Array.to_list out
   end
 
 (** Round-trip helper for tests: decode WP-A records back into rows. *)

@@ -19,6 +19,7 @@ type t = {
   mutable session_user : string;
   mutable queries_executed : int;
   mutable exec_mode : exec_mode;
+  mutable exec_domains : int;
 }
 
 and exec_mode = Row | Batch
@@ -44,6 +45,7 @@ let create () =
     session_user = "HYPERQ";
     queries_executed = 0;
     exec_mode = default_exec_mode ();
+    exec_domains = Morsel.configured_domains ();
   }
 
 let query_result schema rows =
@@ -249,7 +251,10 @@ let rec exec_statement t (st : Xtra.statement) : result =
      | _ -> ());
   match st with
   | Xtra.Query rel ->
-      let ctx = Executor.create_ctx ~session_user:t.session_user t.storage in
+      let ctx =
+        Executor.create_ctx ~session_user:t.session_user
+          ~domains:t.exec_domains t.storage
+      in
       let rows =
         match t.exec_mode with
         | Batch -> Batch_exec.exec_rows ctx rel

@@ -16,6 +16,11 @@ type t = {
   mutable exec_mode : exec_mode;
       (** which executor runs [Query] statements; DML always uses the row
           path. Defaults to [Batch] unless [HYPERQ_EXEC_MODE=row] is set. *)
+  mutable exec_domains : int;
+      (** intra-statement parallelism budget for the vectorized executor
+          (morsel-driven execution on OCaml domains). Defaults to
+          {!Morsel.configured_domains} ([HYPERQ_EXEC_DOMAINS], 1 = fully
+          sequential); only the [Batch] path uses it. *)
 }
 
 and exec_mode = Row | Batch  (** row interpreter vs vectorized executor *)

@@ -15,45 +15,76 @@
 open Hyperq_sqlvalue
 module Xtra = Hyperq_xtra.Xtra
 
-type op = { schema : Xtra.schema; next : unit -> Batch.t option }
+(* An operator: a pull-based batch stream, plus — when the statement's
+   parallelism budget allows and the subtree is morsel-splittable — a
+   parallel source. A parallel source is started once; it then hands each
+   worker domain a private puller over a SHARED atomic morsel cursor, so
+   domains claim morsels dynamically. Every batch is tagged with its morsel
+   sequence number; the driver reassembles outputs in sequence order, which
+   makes the parallel batch stream bit-identical to the sequential one.
+   [pm_tail] runs once on the caller after the barrier (outer-join unmatched
+   rows, and anything downstream of them). *)
+type op = {
+  schema : Xtra.schema;
+  next : unit -> Batch.t option;
+  par : par_source option;
+}
 
-(* --- per-operator batch counters (sampled by the obs registry) --------- *)
+and par_source = unit -> par_run
 
-let batch_counts : (string * int ref) list =
+and par_run = {
+  pm_total : int;  (** number of morsel sequence slots *)
+  pm_make : int -> unit -> (int * Batch.t) option;
+      (** [pm_make slot] builds the per-domain puller for body [slot]:
+          domain-private compiled closures over the shared cursor *)
+  pm_tail : unit -> Batch.t list;
+      (** caller-side epilogue after the barrier, ordered after all morsels *)
+}
+
+(* A morsel-tagged error: raised inside a puller chain so the driver can
+   attribute the failure to a morsel and re-raise the error of the EARLIEST
+   failing morsel — the one the sequential path would have hit first. *)
+exception Morsel_error of int * exn
+
+(* --- per-operator batch counters (sampled by the obs registry) ---------
+   Atomics: parallel morsel workers bump them concurrently. *)
+
+let batch_counts : (string * int Atomic.t) list =
   [
-    ("scan", ref 0);
-    ("filter", ref 0);
-    ("project", ref 0);
-    ("join", ref 0);
-    ("aggregate", ref 0);
-    ("limit", ref 0);
-    ("distinct", ref 0);
-    ("materialized", ref 0);
+    ("scan", Atomic.make 0);
+    ("filter", Atomic.make 0);
+    ("project", Atomic.make 0);
+    ("join", Atomic.make 0);
+    ("aggregate", Atomic.make 0);
+    ("limit", Atomic.make 0);
+    ("distinct", Atomic.make 0);
+    ("materialized", Atomic.make 0);
   ]
 
-let bump name = incr (List.assoc name batch_counts)
-let c_scan_rows = ref 0
-let c_join_build_rows = ref 0
-let c_join_probe_rows = ref 0
-let c_agg_groups = ref 0
-let c_fallback_ops = ref 0
-let c_fallback_scalars = ref 0
+let bump name = Atomic.incr (List.assoc name batch_counts)
+let c_scan_rows = Atomic.make 0
+let c_join_build_rows = Atomic.make 0
+let c_join_probe_rows = Atomic.make 0
+let c_agg_groups = Atomic.make 0
+let c_fallback_ops = Atomic.make 0
+let c_fallback_scalars = Atomic.make 0
+let add c n = ignore (Atomic.fetch_and_add c n)
 
 let counters () =
-  List.map (fun (k, r) -> ("batches_" ^ k, !r)) batch_counts
+  List.map (fun (k, r) -> ("batches_" ^ k, Atomic.get r)) batch_counts
   @ [
-      ("scan_rows", !c_scan_rows);
-      ("join_build_rows", !c_join_build_rows);
-      ("join_probe_rows", !c_join_probe_rows);
-      ("agg_groups", !c_agg_groups);
-      ("fallback_ops", !c_fallback_ops);
-      ("fallback_scalars", !c_fallback_scalars);
+      ("scan_rows", Atomic.get c_scan_rows);
+      ("join_build_rows", Atomic.get c_join_build_rows);
+      ("join_probe_rows", Atomic.get c_join_probe_rows);
+      ("agg_groups", Atomic.get c_agg_groups);
+      ("fallback_ops", Atomic.get c_fallback_ops);
+      ("fallback_scalars", Atomic.get c_fallback_scalars);
     ]
 
 let reset_counters () =
-  List.iter (fun (_, r) -> r := 0) batch_counts;
+  List.iter (fun (_, r) -> Atomic.set r 0) batch_counts;
   List.iter
-    (fun r -> r := 0)
+    (fun r -> Atomic.set r 0)
     [
       c_scan_rows;
       c_join_build_rows;
@@ -309,7 +340,7 @@ and compile_scalar_node ctx (index : (int, int) Hashtbl.t) (s : Xtra.scalar) :
    frame, and let {!Executor.eval} do the rest — including correlated
    subquery decorrelation, which reads outer columns through that frame. *)
 and fallback_scalar ctx index s =
-  incr c_fallback_scalars;
+  Atomic.incr c_fallback_scalars;
   let frame = { Executor.index; row = [||] } in
   fun b i ->
     frame.Executor.row <- Batch.to_row b i;
@@ -461,10 +492,11 @@ let op_of_lazy_rows label schema (rows : Executor.row list Lazy.t) =
           bump label;
           Some b
         end);
+    par = None;
   }
 
 let row_fallback ctx (r : Xtra.rel) =
-  incr c_fallback_ops;
+  Atomic.incr c_fallback_ops;
   op_of_lazy_rows "materialized" (Xtra.schema_of r)
     (lazy (Executor.exec ctx r))
 
@@ -490,6 +522,147 @@ let new_acc () =
     a_max = Value.Null;
     a_vals = [];
   }
+
+(* Fold row [i] of batch [b] into the accumulators — shared by the
+   sequential aggregation loop and the per-domain partial loops. *)
+let agg_update (aggs_a : Xtra.agg_def array)
+    (arg_fs : (Batch.t -> int -> Value.t) option array) (accs : agg_acc array)
+    b i =
+  Array.iteri
+    (fun j (a : Xtra.agg_def) ->
+      let acc = accs.(j) in
+      let arg () =
+        match arg_fs.(j) with Some f -> f b i | None -> Value.Bool true
+      in
+      if a.Xtra.adistinct then acc.a_vals <- arg () :: acc.a_vals
+      else
+        match a.Xtra.afunc with
+        | Xtra.Count_star -> acc.a_count_all <- acc.a_count_all + 1
+        | Xtra.Count ->
+            if not (Value.is_null (arg ())) then
+              acc.a_count_nn <- acc.a_count_nn + 1
+        | Xtra.Sum ->
+            let v = arg () in
+            if not (Value.is_null v) then
+              acc.a_sum <-
+                (if Value.is_null acc.a_sum then v
+                 else Value.arith Value.Add acc.a_sum v)
+        | Xtra.Avg ->
+            let v = arg () in
+            if not (Value.is_null v) then begin
+              acc.a_count_nn <- acc.a_count_nn + 1;
+              acc.a_sum <-
+                (if Value.is_null acc.a_sum then v
+                 else Value.arith Value.Add acc.a_sum v)
+            end
+        | Xtra.Min ->
+            let v = arg () in
+            if not (Value.is_null v) then
+              if Value.is_null acc.a_min then acc.a_min <- v
+              else (
+                match Value.compare_sql v acc.a_min with
+                | Some c when c < 0 -> acc.a_min <- v
+                | _ -> ())
+        | Xtra.Max ->
+            let v = arg () in
+            if not (Value.is_null v) then
+              if Value.is_null acc.a_max then acc.a_max <- v
+              else (
+                match Value.compare_sql v acc.a_max with
+                | Some c when c > 0 -> acc.a_max <- v
+                | _ -> ()))
+    aggs_a
+
+let agg_finalize_one (a : Xtra.agg_def) acc =
+  if a.Xtra.adistinct then Executor.finalize_agg a (List.rev acc.a_vals)
+  else
+    match a.Xtra.afunc with
+    | Xtra.Count_star -> Value.of_int acc.a_count_all
+    | Xtra.Count -> Value.of_int acc.a_count_nn
+    | Xtra.Sum -> acc.a_sum
+    | Xtra.Avg -> (
+        match acc.a_sum with
+        | Value.Null -> Value.Null
+        | Value.Int n ->
+            (* AVG over integers is exact, not integer division *)
+            Value.Decimal
+              (Decimal.div (Decimal.of_int64 n) (Decimal.of_int acc.a_count_nn))
+        | s -> Value.arith Value.Div s (Value.of_int acc.a_count_nn))
+    | Xtra.Min -> acc.a_min
+    | Xtra.Max -> acc.a_max
+
+let agg_finalized aggs_a accs =
+  Array.to_list
+    (Array.mapi (fun j acc -> agg_finalize_one aggs_a.(j) acc) accs)
+
+(* Aggregates a parallel two-phase plan may compute as per-domain partials
+   merged at the barrier. The merge must be EXACT and order-insensitive, or
+   the parallel answer could differ from the sequential one:
+   - COUNT and COUNT_star add integer counts — always safe.
+   - SUM/AVG only over Int/Decimal arguments (the output column type is Int
+     or Decimal exactly when the argument is): integer addition wraps
+     commutatively and decimal addition is exact, but float addition is not
+     associative, so a domain split would change rounding.
+   - MIN/MAX over types whose [Value.compare_sql] is total: a merge compares
+     the per-domain extrema.
+   - DISTINCT aggregates keep raw value LISTS whose global order a merge
+     cannot reconstruct — excluded. *)
+let par_safe_aggs (aggs : (Xtra.col * Xtra.agg_def) list) =
+  List.for_all
+    (fun ((c : Xtra.col), (a : Xtra.agg_def)) ->
+      (not a.Xtra.adistinct)
+      &&
+      match a.Xtra.afunc with
+      | Xtra.Count_star | Xtra.Count -> true
+      | Xtra.Sum | Xtra.Avg -> (
+          match c.Xtra.ty with
+          | Dtype.Int | Dtype.Decimal _ -> true
+          | _ -> false)
+      | Xtra.Min | Xtra.Max -> (
+          match c.Xtra.ty with
+          | Dtype.Int | Dtype.Decimal _ | Dtype.Date | Dtype.Varchar _
+          | Dtype.Bool ->
+              true
+          | _ -> false))
+    aggs
+
+(* Merge partial [src] into [dst], in body-slot order (0, 1, ..., tail), so
+   repeated merges fold exactly like the sequential row order would for the
+   [par_safe_aggs] subset. *)
+let merge_accs (aggs_a : Xtra.agg_def array) (dst : agg_acc array)
+    (src : agg_acc array) =
+  Array.iteri
+    (fun j (a : Xtra.agg_def) ->
+      let d = dst.(j) and s = src.(j) in
+      match a.Xtra.afunc with
+      | Xtra.Count_star -> d.a_count_all <- d.a_count_all + s.a_count_all
+      | Xtra.Count -> d.a_count_nn <- d.a_count_nn + s.a_count_nn
+      | Xtra.Sum ->
+          if not (Value.is_null s.a_sum) then
+            d.a_sum <-
+              (if Value.is_null d.a_sum then s.a_sum
+               else Value.arith Value.Add d.a_sum s.a_sum)
+      | Xtra.Avg ->
+          d.a_count_nn <- d.a_count_nn + s.a_count_nn;
+          if not (Value.is_null s.a_sum) then
+            d.a_sum <-
+              (if Value.is_null d.a_sum then s.a_sum
+               else Value.arith Value.Add d.a_sum s.a_sum)
+      | Xtra.Min ->
+          if not (Value.is_null s.a_min) then
+            if Value.is_null d.a_min then d.a_min <- s.a_min
+            else (
+              match Value.compare_sql s.a_min d.a_min with
+              | Some c when c < 0 -> d.a_min <- s.a_min
+              | _ -> ())
+      | Xtra.Max ->
+          if not (Value.is_null s.a_max) then
+            if Value.is_null d.a_max then d.a_max <- s.a_max
+            else (
+              match Value.compare_sql s.a_max d.a_max with
+              | Some c when c > 0 -> d.a_max <- s.a_max
+              | _ -> ()))
+    aggs_a
 
 (* Columns of [schema] that a conjunct-level comparison kernel will consume:
    these want flat unboxed vectors. Only conjuncts eligible for
@@ -526,7 +699,15 @@ let unbox_hint ctx (schema : Xtra.schema) (pred : Xtra.scalar) =
   hint
 
 let dbg_times : (string, float ref) Hashtbl.t = Hashtbl.create 8
-let dbg_enabled = lazy (Sys.getenv_opt "HYPERQ_EXEC_DEBUG" <> None)
+
+(* Re-read per call (not lazy) so tests can toggle the variable at runtime.
+   Parallel regions bypass the per-op timing wrapper — fragment work inside a
+   region is attributed to the op that drives the region — so [dbg_times]
+   stays a caller-thread-only structure. *)
+let dbg_enabled () =
+  match Sys.getenv_opt "HYPERQ_EXEC_DEBUG" with
+  | None | Some "" -> false (* empty = off, so tests can putenv it away *)
+  | Some _ -> true
 
 let dbg_report () =
   let all = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) dbg_times [] in
@@ -534,6 +715,124 @@ let dbg_report () =
     (fun (k, t) -> Printf.eprintf "      %-12s %8.2f ms (incl. inputs)\n" k (1000. *. t))
     (List.sort (fun (_, a) (_, b) -> compare b a) all);
   Hashtbl.reset dbg_times
+
+(* --- parallel region driver -------------------------------------------- *)
+
+(* Drive a started region across the domain pool and return its batches in
+   morsel order followed by the tail. Each body owns a private puller; morsel
+   outputs land in disjoint slots of [out], published by the run barrier.
+   A body that sees an error records it (tagged with its morsel) and stops
+   pulling; after the barrier the error of the EARLIEST morsel re-raises.
+   That choice is exactly the sequential error: the cursor hands out morsels
+   in ascending order, so every morsel before the earliest failing one was
+   fully processed without error. *)
+let run_par_source (run : par_run) ndom : Batch.t list =
+  let out = Array.make (max run.pm_total 1) None in
+  let errs = ref [] in
+  let errs_m = Mutex.create () in
+  let body d =
+    let pull = run.pm_make d in
+    let rec go () =
+      match
+        try `Batch (pull ()) with
+        | Morsel_error (k, e) -> `Err (k, e)
+        | e -> `Err (max_int, e)
+      with
+      | `Batch None -> ()
+      | `Batch (Some (k, b)) ->
+          out.(k) <- Some b;
+          Morsel.note_morsel d;
+          go ()
+      | `Err (k, e) ->
+          Mutex.lock errs_m;
+          errs := (k, e) :: !errs;
+          Mutex.unlock errs_m
+    in
+    go ()
+  in
+  Morsel.run ~domains:(max 1 (min ndom run.pm_total)) body;
+  (match List.sort (fun ((a : int), _) (b, _) -> compare a b) !errs with
+  | (_, e) :: _ -> raise e
+  | [] -> ());
+  let acc = ref (run.pm_tail ()) in
+  for k = run.pm_total - 1 downto 0 do
+    match out.(k) with Some b -> acc := b :: !acc | None -> ()
+  done;
+  !acc
+
+(* Wrap a region as an op. With a parallelism budget of 1 the sequential
+   [next] is used untouched (bit-identical to the pre-parallel code path);
+   otherwise the first pull collects the whole region and streams the
+   reassembled batches, skipping morsels that filtered down to zero rows
+   (the sequential path never emits empty batches). *)
+let op_of_region ctx schema ?seq_next (src : par_source) : op =
+  let ndom = ctx.Executor.domains in
+  match seq_next with
+  | Some f when ndom <= 1 -> { schema; next = f; par = None }
+  | _ ->
+      let state : Batch.t list ref option ref = ref None in
+      let next () =
+        let q =
+          match !state with
+          | Some q -> q
+          | None ->
+              let q = ref (run_par_source (src ()) ndom) in
+              state := Some q;
+              q
+        in
+        let rec pop () =
+          match !q with
+          | [] -> None
+          | b :: rest ->
+              q := rest;
+              if Batch.num_rows b = 0 then pop () else Some b
+        in
+        pop ()
+      in
+      { schema; next; par = Some src }
+
+(* Conjunct filters for [compile_filter], factored out so a parallel region
+   can compile a domain-private copy against a cloned ctx (compiled scalars
+   may push adapter frames on the ctx they captured). *)
+let make_conjs ctx index pred =
+  List.map
+    (fun conj ->
+      let f = compile_scalar ctx index conj in
+      let generic b i = Scalar_func.bool3_of_value (f b i) = Some true in
+      match fast_cmp_kernel ctx index conj with
+      | Some kern -> (
+          fun b -> match kern b with Some k -> k | None -> generic b)
+      | None -> fun b -> generic b)
+    (Executor.split_conjuncts pred)
+
+(* Narrow [b]'s selection vector through the conjuncts in place; the batch
+   may come out empty ([nsel = 0]). *)
+let apply_conjs conjs b =
+  let sel =
+    match b.Batch.sel with
+    | Some s -> s
+    | None -> Array.init b.Batch.nrows (fun i -> i)
+  in
+  let n =
+    ref (match b.Batch.sel with Some _ -> b.Batch.nsel | None -> b.Batch.nrows)
+  in
+  List.iter
+    (fun conj ->
+      if !n > 0 then begin
+        let keep = conj b in
+        let cnt = ref 0 in
+        for k = 0 to !n - 1 do
+          let i = sel.(k) in
+          if keep i then begin
+            sel.(!cnt) <- i;
+            incr cnt
+          end
+        done;
+        n := !cnt
+      end)
+    conjs;
+  b.Batch.sel <- Some sel;
+  b.Batch.nsel <- !n
 
 let rel_label : Xtra.rel -> string = function
   | Xtra.Get _ -> "get"
@@ -550,8 +849,417 @@ let rel_label : Xtra.rel -> string = function
   | Xtra.Cte_ref _ -> "cte_ref"
   | Xtra.With_cte _ -> "with_cte"
 
+(* Parallel equi-hash-join.
+
+   Build (runs once, on the caller, when the region starts):
+   1. drain the build side into the global row store (the build side's own
+      operators may parallelize internally — this loop is just the final
+      collection);
+   2. PARALLEL: evaluate join keys and hashes over build-row morsels into
+      disjoint slices of flat arrays (an empty key row marks a NULL join
+      key, which can match nothing);
+   3. sequential, cheap: bucket surviving row indices per radix partition,
+      preserving global row order within each partition;
+   4. PARALLEL: partition-per-worker insert into 2^radix_bits independent
+      tables — same-key rows always share a partition, so no table sees
+      writes from two domains, and per-partition duplicate chains come out
+      exactly as the sequential single-table build would have linked them.
+
+   Probe is a region over the left input: each domain probes whole left
+   morsels with domain-private key/residual closures against the shared
+   read-only tables. Outer-join bookkeeping ([matched]) uses idempotent
+   flag writes published by the run barrier; the unmatched-right sweep runs
+   in the region tail, after every probe morsel. *)
+let compile_join_par ctx (jnode : Xtra.rel) kind (lop : op)
+    (lsrc : par_source) (rop : op) equi residual : op =
+  let lindex = Executor.make_index lop.schema in
+  let rindex = Executor.make_index rop.schema in
+  let schema = Xtra.schema_of jnode in
+  let tys = tys_of schema in
+  let rtys = tys_of rop.schema in
+  let rwidth = List.length rop.schema and lwidth = List.length lop.schema in
+  let null_right = Array.make rwidth Value.Null in
+  let null_left = Array.make lwidth Value.Null in
+  let keep_left = kind = Xtra.Left_outer || kind = Xtra.Full_outer in
+  let keep_right = kind = Xtra.Right_outer || kind = Xtra.Full_outer in
+  let nparts = Hash_table.num_partitions in
+  let tables =
+    Array.init nparts (fun _ -> Hash_table.create ~null_equal:false 64)
+  in
+  let pheads = Array.init nparts (fun _ -> Vec.create (-1)) in
+  let rrows : Executor.row Vec.t = Vec.create [||] in
+  let nexts = ref [||] in
+  let hashes = ref [||] in
+  let keys : Value.t array array ref = ref [||] in
+  let matched = ref [||] in
+  let built = ref false in
+  let build () =
+    let rec collect () =
+      match rop.next () with
+      | None -> ()
+      | Some rb ->
+          Batch.iter (fun i -> ignore (Vec.push rrows (Batch.to_row rb i))) rb;
+          collect ()
+    in
+    collect ();
+    let n = Vec.length rrows in
+    add c_join_build_rows n;
+    nexts := Array.make (max n 1) (-1);
+    hashes := Array.make (max n 1) 0;
+    keys := Array.make (max n 1) [||];
+    let khashes = !hashes and kkeys = !keys in
+    let nm = (n + Batch.capacity - 1) / Batch.capacity in
+    let cursor = Atomic.make 0 in
+    let errs = ref [] in
+    let errs_m = Mutex.create () in
+    Morsel.run ~domains:(max 1 (min ctx.Executor.domains nm)) (fun d ->
+        let dctx = Executor.clone_for_domain ctx in
+        let rkey_fs =
+          Array.of_list
+            (List.map (fun (_, b) -> compile_scalar dctx rindex b) equi)
+        in
+        let rec go () =
+          let k = Atomic.fetch_and_add cursor 1 in
+          if k < nm then begin
+            let lo = k * Batch.capacity in
+            let len = min Batch.capacity (n - lo) in
+            (try
+               let b = Batch.of_rows rtys rrows.Vec.data lo len in
+               for i = 0 to len - 1 do
+                 let key = Array.map (fun f -> f b i) rkey_fs in
+                 if not (Array.exists Value.is_null key) then begin
+                   kkeys.(lo + i) <- key;
+                   khashes.(lo + i) <- Hash_table.hash_key key
+                 end
+               done
+             with e ->
+               Mutex.lock errs_m;
+               errs := (k, e) :: !errs;
+               Mutex.unlock errs_m);
+            Morsel.note_morsel d;
+            go ()
+          end
+        in
+        go ());
+    (match List.sort (fun ((a : int), _) (b, _) -> compare a b) !errs with
+    | (_, e) :: _ -> raise e
+    | [] -> ());
+    let part_rows = Array.init nparts (fun _ -> Vec.create 0) in
+    for ri = 0 to n - 1 do
+      if Array.length kkeys.(ri) > 0 then
+        ignore
+          (Vec.push part_rows.(Hash_table.partition_of_hash khashes.(ri)) ri)
+    done;
+    let pcursor = Atomic.make 0 in
+    Morsel.run ~domains:(max 1 (min ctx.Executor.domains nparts)) (fun d ->
+        let rec go () =
+          let p = Atomic.fetch_and_add pcursor 1 in
+          if p < nparts then begin
+            let pr = part_rows.(p) in
+            let tbl = tables.(p) and hd = pheads.(p) in
+            for q = 0 to Vec.length pr - 1 do
+              let ri = Vec.get pr q in
+              let e, inserted =
+                Hash_table.find_or_insert tbl kkeys.(ri) khashes.(ri)
+              in
+              if inserted then ignore (Vec.push hd ri)
+              else begin
+                !nexts.(ri) <- Vec.get hd e;
+                Vec.set hd e ri
+              end
+            done;
+            if Vec.length pr > 0 then Morsel.note_morsel d;
+            go ()
+          end
+        in
+        go ());
+    if keep_right then matched := Array.make (max n 1) false
+  in
+  (* Domain-private prober: key closures and residual adapter frames compile
+     against [pctx] so concurrent probes never share a frame stack. *)
+  let make_prober pctx =
+    let lkey_fs =
+      Array.of_list (List.map (fun (a, _) -> compile_scalar pctx lindex a) equi)
+    in
+    let lframe = { Executor.index = lindex; row = [||] } in
+    let rframe = { Executor.index = rindex; row = [||] } in
+    let residual_ok lrow rrow =
+      residual = []
+      || begin
+           lframe.Executor.row <- lrow;
+           rframe.Executor.row <- rrow;
+           Executor.push_frame pctx lframe;
+           Executor.push_frame pctx rframe;
+           let ok =
+             List.for_all
+               (fun c ->
+                 Scalar_func.bool3_of_value (Executor.eval pctx c) = Some true)
+               residual
+           in
+           Executor.pop_frame pctx;
+           Executor.pop_frame pctx;
+           ok
+         end
+    in
+    fun (buf : Executor.row Vec.t) lb ->
+      add c_join_probe_rows (Batch.num_rows lb);
+      Batch.iter
+        (fun i ->
+          let key = Array.map (fun f -> f lb i) lkey_fs in
+          let e, p =
+            if Array.exists Value.is_null key then (-1, 0)
+            else begin
+              let h = Hash_table.hash_key key in
+              let p = Hash_table.partition_of_hash h in
+              (Hash_table.find tables.(p) key h, p)
+            end
+          in
+          if e < 0 then begin
+            if keep_left then
+              ignore
+                (Vec.push buf (Array.append (Batch.to_row lb i) null_right))
+          end
+          else begin
+            let lrow = Batch.to_row lb i in
+            let any = ref false in
+            let j = ref (Vec.get pheads.(p) e) in
+            while !j >= 0 do
+              let rrow = Vec.get rrows !j in
+              if residual_ok lrow rrow then begin
+                any := true;
+                if keep_right then !matched.(!j) <- true;
+                ignore (Vec.push buf (Array.append lrow rrow))
+              end;
+              j := !nexts.(!j)
+            done;
+            if (not !any) && keep_left then
+              ignore (Vec.push buf (Array.append lrow null_right))
+          end)
+        lb
+  in
+  (* One output batch per probe morsel — possibly larger than
+     [Batch.capacity]; downstream operators size off [nrows], not the
+     capacity constant. *)
+  let batch_of_buf (buf : Executor.row Vec.t) =
+    if Vec.length buf > 0 then bump "join";
+    Batch.of_rows tys buf.Vec.data 0 (Vec.length buf)
+  in
+  let src () =
+    if not !built then begin
+      let t0 = Unix.gettimeofday () in
+      build ();
+      if dbg_enabled () then
+        Printf.eprintf "      join build (parallel): %.2f ms (%d rows)\n"
+          (1000. *. (Unix.gettimeofday () -. t0))
+          (Vec.length rrows);
+      built := true
+    end;
+    let lrun = lsrc () in
+    {
+      pm_total = lrun.pm_total;
+      pm_make =
+        (fun d ->
+          let prober = make_prober (Executor.clone_for_domain ctx) in
+          let pull = lrun.pm_make d in
+          fun () ->
+            match pull () with
+            | None -> None
+            | Some (k, lb) ->
+                let b =
+                  try
+                    let buf : Executor.row Vec.t = Vec.create [||] in
+                    prober buf lb;
+                    batch_of_buf buf
+                  with
+                  | Morsel_error _ as e -> raise e
+                  | e -> raise (Morsel_error (k, e))
+                in
+                Some (k, b));
+      pm_tail =
+        (fun () ->
+          let prober = make_prober ctx in
+          let out =
+            List.filter_map
+              (fun lb ->
+                let buf : Executor.row Vec.t = Vec.create [||] in
+                prober buf lb;
+                if Vec.length buf = 0 then None else Some (batch_of_buf buf))
+              (lrun.pm_tail ())
+          in
+          if not keep_right then out
+          else begin
+            let buf : Executor.row Vec.t = Vec.create [||] in
+            for j = 0 to Vec.length rrows - 1 do
+              if not !matched.(j) then
+                ignore
+                  (Vec.push buf (Array.append null_left (Vec.get rrows j)))
+            done;
+            if Vec.length buf = 0 then out else out @ [ batch_of_buf buf ]
+          end);
+    }
+  in
+  op_of_region ctx schema src
+
+(* Parallel two-phase aggregation: each domain folds its morsels into a
+   PRIVATE partial (hash table of per-group accumulators), and the caller
+   merges partials after the barrier, in body-slot order. Only
+   [par_safe_aggs] aggregates reach this path, so the merged accumulators
+   equal the sequential ones exactly. Output order: the sequential path
+   emits groups in first-seen order over the global row stream; each partial
+   tags a group with its first (morsel, position-in-morsel), the merge keeps
+   the minimum tag, and a final sort by tag reconstructs that exact order. *)
+let compile_agg_par ctx schema ischema (isrc : par_source) group_by
+    (aggs_a : Xtra.agg_def array) : op =
+  let rows =
+    lazy
+      (let index = Executor.make_index ischema in
+       let irun = isrc () in
+       let stride = 1 lsl 40 in
+       let nd = max 1 (min ctx.Executor.domains (max 1 irun.pm_total)) in
+       let errs = ref [] in
+       let errs_m = Mutex.create () in
+       let record k e =
+         Mutex.lock errs_m;
+         errs := (k, e) :: !errs;
+         Mutex.unlock errs_m
+       in
+       (* the standard region pull loop, with per-morsel error attribution *)
+       let pull_loop d pull consume =
+         let rec go () =
+           match
+             try `Batch (pull ()) with
+             | Morsel_error (k, e) -> `Err (k, e)
+             | e -> `Err (max_int, e)
+           with
+           | `Batch None -> ()
+           | `Batch (Some (k, b)) -> (
+               match
+                 try
+                   consume k b;
+                   `Ok
+                 with e -> `Err (k, e)
+               with
+               | `Ok ->
+                   Morsel.note_morsel d;
+                   go ()
+               | `Err (k, e) -> record k e)
+           | `Err (k, e) -> record k e
+         in
+         go ()
+       in
+       let raise_earliest () =
+         match
+           List.sort (fun ((a : int), _) (b, _) -> compare a b) !errs
+         with
+         | (_, e) :: _ -> raise e
+         | [] -> ()
+       in
+       let arg_plans pctx =
+         Array.map
+           (fun (a : Xtra.agg_def) ->
+             Option.map (compile_scalar pctx index) a.Xtra.aarg)
+           aggs_a
+       in
+       if group_by = [] then begin
+         (* global aggregate: one accumulator row per body slot, plus one
+            for the region tail; merged in slot order *)
+         let partials =
+           Array.init (nd + 1) (fun _ -> Array.map (fun _ -> new_acc ()) aggs_a)
+         in
+         let consume pctx accs =
+           let arg_fs = arg_plans pctx in
+           fun b -> Batch.iter (fun i -> agg_update aggs_a arg_fs accs b i) b
+         in
+         Morsel.run ~domains:nd (fun d ->
+             let consume1 = consume (Executor.clone_for_domain ctx) partials.(d) in
+             pull_loop d (irun.pm_make d) (fun _ b -> consume1 b));
+         raise_earliest ();
+         let consume_tail = consume ctx partials.(nd) in
+         List.iter consume_tail (irun.pm_tail ());
+         let acc = partials.(0) in
+         for s = 1 to nd do
+           merge_accs aggs_a acc partials.(s)
+         done;
+         [ Array.of_list (agg_finalized aggs_a acc) ]
+       end
+       else begin
+         let partials =
+           Array.init (nd + 1) (fun _ ->
+               ( Hash_table.create ~null_equal:true 64,
+                 (Vec.create [||] : agg_acc array Vec.t),
+                 Vec.create 0 ))
+         in
+         let consume pctx slot =
+           let ht, gaccs, firsts = partials.(slot) in
+           let key_fs =
+             Array.of_list
+               (List.map
+                  (fun ((_ : Xtra.col), e) -> compile_scalar pctx index e)
+                  group_by)
+           in
+           let arg_fs = arg_plans pctx in
+           fun k b ->
+             let pos = ref 0 in
+             Batch.iter
+               (fun i ->
+                 let key = Array.map (fun f -> f b i) key_fs in
+                 let h = Hash_table.hash_key key in
+                 let e, inserted = Hash_table.find_or_insert ht key h in
+                 if inserted then begin
+                   ignore
+                     (Vec.push gaccs (Array.map (fun _ -> new_acc ()) aggs_a));
+                   ignore (Vec.push firsts ((k * stride) + !pos))
+                 end;
+                 agg_update aggs_a arg_fs (Vec.get gaccs e) b i;
+                 incr pos)
+               b
+         in
+         Morsel.run ~domains:nd (fun d ->
+             let consume1 = consume (Executor.clone_for_domain ctx) d in
+             pull_loop d (irun.pm_make d) consume1);
+         raise_earliest ();
+         let consume_tail = consume ctx nd in
+         List.iteri
+           (fun i b -> consume_tail (irun.pm_total + i) b)
+           (irun.pm_tail ());
+         let mht = Hash_table.create ~null_equal:true 256 in
+         let maccs : agg_acc array Vec.t = Vec.create [||] in
+         let mfirst = Vec.create 0 in
+         Array.iter
+           (fun (ht, gaccs, firsts) ->
+             for g = 0 to Hash_table.count ht - 1 do
+               let key = Hash_table.entry_key ht g in
+               let h = Hash_table.hash_key key in
+               let e, inserted = Hash_table.find_or_insert mht key h in
+               if inserted then begin
+                 ignore (Vec.push maccs (Vec.get gaccs g));
+                 ignore (Vec.push mfirst (Vec.get firsts g))
+               end
+               else begin
+                 merge_accs aggs_a (Vec.get maccs e) (Vec.get gaccs g);
+                 if Vec.get firsts g < Vec.get mfirst e then
+                   Vec.set mfirst e (Vec.get firsts g)
+               end
+             done)
+           partials;
+         add c_agg_groups (Hash_table.count mht);
+         let order = Array.init (Hash_table.count mht) (fun g -> g) in
+         Array.sort
+           (fun a b -> compare (Vec.get mfirst a) (Vec.get mfirst b))
+           order;
+         Array.to_list
+           (Array.map
+              (fun g ->
+                Array.append
+                  (Hash_table.entry_key mht g)
+                  (Array.of_list (agg_finalized aggs_a (Vec.get maccs g))))
+              order)
+       end)
+  in
+  op_of_lazy_rows "aggregate" schema rows
+
 let rec compile ctx (r : Xtra.rel) : op =
-  if not (Lazy.force dbg_enabled) then compile_node ctx r
+  if not (dbg_enabled ()) then compile_node ctx r
   else begin
     let op = compile_node ctx r in
     let slot =
@@ -581,11 +1289,11 @@ and compile_node ctx (r : Xtra.rel) : op =
         (compile_get ctx g ~unbox:(unbox_hint ctx (Xtra.schema_of g) pred) ())
         pred
   | Xtra.Filter { input; pred } -> compile_filter ctx (compile ctx input) pred
-  | Xtra.Project { input; proj } ->
+  | Xtra.Project { input; proj } -> (
       let iop = compile ctx input in
       let index = Executor.make_index iop.schema in
       let schema = Xtra.schema_of r in
-      let plans =
+      let make_plans pctx =
         Array.of_list
           (List.map
              (fun ((_ : Xtra.col), e) ->
@@ -593,32 +1301,64 @@ and compile_node ctx (r : Xtra.rel) : op =
                | Xtra.Col_ref c -> (
                    match Hashtbl.find_opt index c.Xtra.id with
                    | Some pos -> `Share pos
-                   | None -> `Compute (compile_scalar ctx index e))
-               | e -> `Compute (compile_scalar ctx index e))
+                   | None -> `Compute (compile_scalar pctx index e))
+               | e -> `Compute (compile_scalar pctx index e))
              proj)
       in
-      {
-        schema;
-        next =
-          (fun () ->
-            match iop.next () with
-            | None -> None
-            | Some b ->
-                let cols =
-                  Array.map
-                    (function
-                      | `Share pos -> Batch.col b pos
-                      | `Compute f ->
-                          let a = Array.make b.Batch.nrows Value.Null in
-                          Batch.iter (fun i -> a.(i) <- f b i) b;
-                          Batch.V_any a)
-                    plans
-                in
-                bump "project";
-                Some
-                  (Batch.of_cols cols ~nrows:b.Batch.nrows ~sel:b.Batch.sel
-                     ~nsel:b.Batch.nsel));
-      }
+      let plans = make_plans ctx in
+      let apply plans b =
+        let cols =
+          Array.map
+            (function
+              | `Share pos -> Batch.col b pos
+              | `Compute f ->
+                  let a = Array.make b.Batch.nrows Value.Null in
+                  Batch.iter (fun i -> a.(i) <- f b i) b;
+                  Batch.V_any a)
+            plans
+        in
+        Batch.of_cols cols ~nrows:b.Batch.nrows ~sel:b.Batch.sel
+          ~nsel:b.Batch.nsel
+      in
+      let seq_next () =
+        match iop.next () with
+        | None -> None
+        | Some b ->
+            bump "project";
+            Some (apply plans b)
+      in
+      match iop.par with
+      | Some isrc when ctx.Executor.domains > 1 ->
+          let src () =
+            let irun = isrc () in
+            {
+              irun with
+              pm_make =
+                (fun d ->
+                  let dplans = make_plans (Executor.clone_for_domain ctx) in
+                  let pull = irun.pm_make d in
+                  fun () ->
+                    match pull () with
+                    | None -> None
+                    | Some (k, b) ->
+                        let pb =
+                          try apply dplans b with
+                          | Morsel_error _ as e -> raise e
+                          | e -> raise (Morsel_error (k, e))
+                        in
+                        if Batch.num_rows pb > 0 then bump "project";
+                        Some (k, pb));
+              pm_tail =
+                (fun () ->
+                  List.map
+                    (fun b ->
+                      bump "project";
+                      apply plans b)
+                    (irun.pm_tail ()));
+            }
+          in
+          op_of_region ctx schema ~seq_next src
+      | _ -> { schema; next = seq_next; par = None })
   | Xtra.Join { kind; left; right; pred } -> compile_join ctx r kind left right pred
   | Xtra.Aggregate { grouping_sets = Some _; _ } -> row_fallback ctx r
   | Xtra.Aggregate { input; group_by; aggs; grouping_sets = None } ->
@@ -689,6 +1429,7 @@ and compile_node ctx (r : Xtra.rel) : op =
                     end
             in
             loop ());
+        par = None;
       }
   | Xtra.Distinct { input } ->
       let iop = compile ctx input in
@@ -722,6 +1463,7 @@ and compile_node ctx (r : Xtra.rel) : op =
                   end
             in
             loop ());
+        par = None;
       }
   | Xtra.Set_operation { op; all; left; right } ->
       op_of_lazy_rows "materialized" (Xtra.schema_of r)
@@ -748,21 +1490,43 @@ and compile_get ctx (r : Xtra.rel) ?unbox () : op =
            Array.of_list rows)
       in
       let pos = ref 0 in
-      {
-        schema;
-        next =
-          (fun () ->
-            let a = Lazy.force arr in
-            if !pos >= Array.length a then None
-            else begin
-              let n = min Batch.capacity (Array.length a - !pos) in
-              let b = Batch.of_rows ?unbox tys a !pos n in
-              pos := !pos + n;
-              bump "scan";
-              c_scan_rows := !c_scan_rows + n;
-              Some b
-            end);
-      }
+      let seq_next () =
+        let a = Lazy.force arr in
+        if !pos >= Array.length a then None
+        else begin
+          let n = min Batch.capacity (Array.length a - !pos) in
+          let b = Batch.of_rows ?unbox tys a !pos n in
+          pos := !pos + n;
+          bump "scan";
+          add c_scan_rows n;
+          Some b
+        end
+      in
+      (* Scan region: one morsel per [Batch.capacity]-row window — the same
+         windows the sequential path cuts — claimed off an atomic cursor. *)
+      let src () =
+        let a = Lazy.force arr in
+        let n = Array.length a in
+        let total = (n + Batch.capacity - 1) / Batch.capacity in
+        let cursor = Atomic.make 0 in
+        {
+          pm_total = total;
+          pm_make =
+            (fun _ () ->
+              let k = Atomic.fetch_and_add cursor 1 in
+              if k >= total then None
+              else begin
+                let lo = k * Batch.capacity in
+                let len = min Batch.capacity (n - lo) in
+                let b = Batch.of_rows ?unbox tys a lo len in
+                bump "scan";
+                add c_scan_rows len;
+                Some (k, b)
+              end);
+          pm_tail = (fun () -> []);
+        }
+      in
+      op_of_region ctx schema ~seq_next src
   | _ -> Sql_error.internal_error "compile_get expects a Get node"
 
 (* Conjunct-at-a-time filtering: each AND-conjunct narrows the selection
@@ -773,56 +1537,60 @@ and compile_get ctx (r : Xtra.rel) ?unbox () : op =
    short-circuit. *)
 and compile_filter ctx iop pred : op =
   let index = Executor.make_index iop.schema in
-  let conjs =
-    List.map
-      (fun conj ->
-        let f = compile_scalar ctx index conj in
-        let generic b i = Scalar_func.bool3_of_value (f b i) = Some true in
-        match fast_cmp_kernel ctx index conj with
-        | Some kern -> (
-            fun b -> match kern b with Some k -> k | None -> generic b)
-        | None -> fun b -> generic b)
-      (Executor.split_conjuncts pred)
+  let conjs = make_conjs ctx index pred in
+  let seq_next () =
+    let rec loop () =
+      match iop.next () with
+      | None -> None
+      | Some b ->
+          apply_conjs conjs b;
+          if b.Batch.nsel = 0 then loop ()
+          else begin
+            bump "filter";
+            Some b
+          end
+    in
+    loop ()
   in
-  {
-    schema = iop.schema;
-    next =
-      (fun () ->
-        let rec loop () =
-          match iop.next () with
-          | None -> None
-          | Some b ->
-              let sel =
-                match b.Batch.sel with
-                | Some s -> s
-                | None -> Array.init b.Batch.nrows (fun i -> i)
-              in
-              let n = ref (match b.Batch.sel with Some _ -> b.Batch.nsel | None -> b.Batch.nrows) in
-              List.iter
-                (fun conj ->
-                  if !n > 0 then begin
-                    let keep = conj b in
-                    let cnt = ref 0 in
-                    for k = 0 to !n - 1 do
-                      let i = sel.(k) in
-                      if keep i then begin
-                        sel.(!cnt) <- i;
-                        incr cnt
-                      end
-                    done;
-                    n := !cnt
+  match iop.par with
+  | Some isrc when ctx.Executor.domains > 1 ->
+      (* Region composition: filter each input morsel in place on whichever
+         domain pulled it, with domain-private conjunct closures. Morsels
+         that filter to zero rows stay in the stream (their sequence slot
+         must be filled) and are skipped by the region driver. *)
+      let src () =
+        let irun = isrc () in
+        {
+          irun with
+          pm_make =
+            (fun d ->
+              let dctx = Executor.clone_for_domain ctx in
+              let dconjs = make_conjs dctx index pred in
+              let pull = irun.pm_make d in
+              fun () ->
+                match pull () with
+                | None -> None
+                | Some (k, b) ->
+                    (try apply_conjs dconjs b with
+                    | Morsel_error _ as e -> raise e
+                    | e -> raise (Morsel_error (k, e)));
+                    if b.Batch.nsel > 0 then bump "filter";
+                    Some (k, b));
+          pm_tail =
+            (fun () ->
+              List.filter_map
+                (fun b ->
+                  apply_conjs conjs b;
+                  if b.Batch.nsel = 0 then None
+                  else begin
+                    bump "filter";
+                    Some b
                   end)
-                conjs;
-              if !n = 0 then loop ()
-              else begin
-                b.Batch.sel <- Some sel;
-                b.Batch.nsel <- !n;
-                bump "filter";
-                Some b
-              end
-        in
-        loop ());
-  }
+                (irun.pm_tail ()));
+        }
+      in
+      op_of_region ctx iop.schema ~seq_next src
+  | _ -> { schema = iop.schema; next = seq_next; par = None }
 
 (* Equi-hash-join on the radix-partitioned table. Build drains the right
    side into a row store plus per-entry duplicate chains ([heads]/[nexts]);
@@ -859,6 +1627,10 @@ and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
   if not vectorizable then row_fallback ctx jnode
   else begin
     let lop = compile ctx left and rop = compile ctx right in
+    match lop.par with
+    | Some lsrc when ctx.Executor.domains > 1 ->
+        compile_join_par ctx jnode kind lop lsrc rop equi residual
+    | _ ->
     let lindex = Executor.make_index lop.schema in
     let rindex = Executor.make_index rop.schema in
     (* Residual conjuncts check each candidate pair on the row path, exactly
@@ -932,7 +1704,7 @@ and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
             go ()
       in
       go ();
-      c_join_build_rows := !c_join_build_rows + Vec.length rrows;
+      add c_join_build_rows (Vec.length rrows);
       if keep_right then matched := Array.make (Vec.length rrows) false
     in
     (* output rows buffered between pulls: one probe batch can produce more
@@ -941,9 +1713,9 @@ and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
     let emit_pos = ref 0 in
     let exhausted = ref false in
     let probe_batch lb =
+      add c_join_probe_rows (Batch.num_rows lb);
       Batch.iter
         (fun i ->
-          incr c_join_probe_rows;
           let key = Array.map (fun f -> f lb i) lkey_fs in
           let e =
             if Array.exists Value.is_null key then -1
@@ -1000,7 +1772,7 @@ and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
           if not !built then begin
             let t0 = Unix.gettimeofday () in
             build ();
-            if Lazy.force dbg_enabled then
+            if dbg_enabled () then
               Printf.eprintf "      join build: %.2f ms (%d rows)\n"
                 (1000. *. (Unix.gettimeofday () -. t0))
                 (Vec.length rrows);
@@ -1021,6 +1793,7 @@ and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
                   loop ()
           in
           loop ());
+      par = None;
     }
   end
 
@@ -1030,132 +1803,68 @@ and compile_join ctx (jnode : Xtra.rel) kind left right pred : op =
 and compile_agg ctx (anode : Xtra.rel) input group_by aggs : op =
   let schema = Xtra.schema_of anode in
   let aggs_a = Array.of_list (List.map snd aggs) in
-  let rows =
-    lazy
-      (let iop = compile ctx input in
-       let index = Executor.make_index iop.schema in
-       let key_fs =
-         Array.of_list
-           (List.map
-              (fun ((_ : Xtra.col), e) -> compile_scalar ctx index e)
-              group_by)
-       in
-       let arg_fs =
-         Array.map
-           (fun (a : Xtra.agg_def) ->
-             Option.map (compile_scalar ctx index) a.Xtra.aarg)
-           aggs_a
-       in
-       let update accs b i =
-         Array.iteri
-           (fun j (a : Xtra.agg_def) ->
-             let acc = accs.(j) in
-             let arg () =
-               match arg_fs.(j) with
-               | Some f -> f b i
-               | None -> Value.Bool true
+  let iop = compile ctx input in
+  match iop.par with
+  | Some isrc when ctx.Executor.domains > 1 && par_safe_aggs aggs ->
+      compile_agg_par ctx schema iop.schema isrc group_by aggs_a
+  | _ ->
+      let rows =
+        lazy
+          (let index = Executor.make_index iop.schema in
+           let key_fs =
+             Array.of_list
+               (List.map
+                  (fun ((_ : Xtra.col), e) -> compile_scalar ctx index e)
+                  group_by)
+           in
+           let arg_fs =
+             Array.map
+               (fun (a : Xtra.agg_def) ->
+                 Option.map (compile_scalar ctx index) a.Xtra.aarg)
+               aggs_a
+           in
+           if group_by = [] then begin
+             (* global aggregate: exactly one output row *)
+             let accs = Array.map (fun _ -> new_acc ()) aggs_a in
+             let rec go () =
+               match iop.next () with
+               | None -> ()
+               | Some b ->
+                   Batch.iter (fun i -> agg_update aggs_a arg_fs accs b i) b;
+                   go ()
              in
-             if a.Xtra.adistinct then acc.a_vals <- arg () :: acc.a_vals
-             else
-               match a.Xtra.afunc with
-               | Xtra.Count_star -> acc.a_count_all <- acc.a_count_all + 1
-               | Xtra.Count ->
-                   if not (Value.is_null (arg ())) then
-                     acc.a_count_nn <- acc.a_count_nn + 1
-               | Xtra.Sum ->
-                   let v = arg () in
-                   if not (Value.is_null v) then
-                     acc.a_sum <-
-                       (if Value.is_null acc.a_sum then v
-                        else Value.arith Value.Add acc.a_sum v)
-               | Xtra.Avg ->
-                   let v = arg () in
-                   if not (Value.is_null v) then begin
-                     acc.a_count_nn <- acc.a_count_nn + 1;
-                     acc.a_sum <-
-                       (if Value.is_null acc.a_sum then v
-                        else Value.arith Value.Add acc.a_sum v)
-                   end
-               | Xtra.Min ->
-                   let v = arg () in
-                   if not (Value.is_null v) then
-                     if Value.is_null acc.a_min then acc.a_min <- v
-                     else (
-                       match Value.compare_sql v acc.a_min with
-                       | Some c when c < 0 -> acc.a_min <- v
-                       | _ -> ())
-               | Xtra.Max ->
-                   let v = arg () in
-                   if not (Value.is_null v) then
-                     if Value.is_null acc.a_max then acc.a_max <- v
-                     else (
-                       match Value.compare_sql v acc.a_max with
-                       | Some c when c > 0 -> acc.a_max <- v
-                       | _ -> ()))
-           aggs_a
-       in
-       let finalize (a : Xtra.agg_def) acc =
-         if a.Xtra.adistinct then Executor.finalize_agg a (List.rev acc.a_vals)
-         else
-           match a.Xtra.afunc with
-           | Xtra.Count_star -> Value.of_int acc.a_count_all
-           | Xtra.Count -> Value.of_int acc.a_count_nn
-           | Xtra.Sum -> acc.a_sum
-           | Xtra.Avg -> (
-               match acc.a_sum with
-               | Value.Null -> Value.Null
-               | Value.Int n ->
-                   (* AVG over integers is exact, not integer division *)
-                   Value.Decimal
-                     (Decimal.div (Decimal.of_int64 n)
-                        (Decimal.of_int acc.a_count_nn))
-               | s -> Value.arith Value.Div s (Value.of_int acc.a_count_nn))
-           | Xtra.Min -> acc.a_min
-           | Xtra.Max -> acc.a_max
-       in
-       let finalized accs =
-         Array.to_list (Array.mapi (fun j acc -> finalize aggs_a.(j) acc) accs)
-       in
-       if group_by = [] then begin
-         (* global aggregate: exactly one output row *)
-         let accs = Array.map (fun _ -> new_acc ()) aggs_a in
-         let rec go () =
-           match iop.next () with
-           | None -> ()
-           | Some b ->
-               Batch.iter (fun i -> update accs b i) b;
-               go ()
-         in
-         go ();
-         [ Array.of_list (finalized accs) ]
-       end
-       else begin
-         let ht = Hash_table.create ~null_equal:true 256 in
-         let gaccs : agg_acc array Vec.t = Vec.create [||] in
-         let rec go () =
-           match iop.next () with
-           | None -> ()
-           | Some b ->
-               Batch.iter
-                 (fun i ->
-                   let key = Array.map (fun f -> f b i) key_fs in
-                   let h = Hash_table.hash_key key in
-                   let e, inserted = Hash_table.find_or_insert ht key h in
-                   if inserted then
-                     ignore (Vec.push gaccs (Array.map (fun _ -> new_acc ()) aggs_a));
-                   update (Vec.get gaccs e) b i)
-                 b;
-               go ()
-         in
-         go ();
-         c_agg_groups := !c_agg_groups + Hash_table.count ht;
-         List.init (Hash_table.count ht) (fun g ->
-             Array.append
-               (Hash_table.entry_key ht g)
-               (Array.of_list (finalized (Vec.get gaccs g))))
-       end)
-  in
-  op_of_lazy_rows "aggregate" schema rows
+             go ();
+             [ Array.of_list (agg_finalized aggs_a accs) ]
+           end
+           else begin
+             let ht = Hash_table.create ~null_equal:true 256 in
+             let gaccs : agg_acc array Vec.t = Vec.create [||] in
+             let rec go () =
+               match iop.next () with
+               | None -> ()
+               | Some b ->
+                   Batch.iter
+                     (fun i ->
+                       let key = Array.map (fun f -> f b i) key_fs in
+                       let h = Hash_table.hash_key key in
+                       let e, inserted = Hash_table.find_or_insert ht key h in
+                       if inserted then
+                         ignore
+                           (Vec.push gaccs
+                              (Array.map (fun _ -> new_acc ()) aggs_a));
+                       agg_update aggs_a arg_fs (Vec.get gaccs e) b i)
+                     b;
+                   go ()
+             in
+             go ();
+             add c_agg_groups (Hash_table.count ht);
+             List.init (Hash_table.count ht) (fun g ->
+                 Array.append
+                   (Hash_table.entry_key ht g)
+                   (Array.of_list (agg_finalized aggs_a (Vec.get gaccs g))))
+           end)
+      in
+      op_of_lazy_rows "aggregate" schema rows
 
 (* --- entry point -------------------------------------------------------- *)
 
@@ -1163,5 +1872,5 @@ and compile_agg ctx (anode : Xtra.rel) input group_by aggs : op =
    backend's result representation). *)
 let exec_rows ctx (rel : Xtra.rel) : Executor.row list =
   let rows = drain (compile ctx rel) in
-  if Lazy.force dbg_enabled then dbg_report ();
+  if dbg_enabled () then dbg_report ();
   rows

@@ -52,6 +52,9 @@ type ctx = {
   hashed_subqueries : hashed_subquery option Rel_tbl.t;
   session_user : string;
   current_date : Sql_date.t;
+  domains : int;
+      (** intra-statement parallelism budget for the vectorized executor
+          (1 = sequential); the row interpreter ignores it *)
 }
 
 (* Decorrelation support: a correlated subquery whose correlation enters
@@ -68,7 +71,7 @@ and hashed_subquery = {
   hs_inner_keys : Xtra.scalar list;  (** evaluated against input rows *)
 }
 
-let create_ctx ?(session_user = "HYPERQ") ?(current_date = Sql_date.make ~year:2018 ~month:6 ~day:10) storage =
+let create_ctx ?(session_user = "HYPERQ") ?(current_date = Sql_date.make ~year:2018 ~month:6 ~day:10) ?(domains = 1) storage =
   {
     storage;
     frames = [];
@@ -79,6 +82,22 @@ let create_ctx ?(session_user = "HYPERQ") ?(current_date = Sql_date.make ~year:2
     hashed_subqueries = Rel_tbl.create 16;
     session_user;
     current_date;
+    domains;
+  }
+
+(* A context for one worker domain of a parallel morsel region: same storage
+   and session state, but private frame stack and per-statement caches (the
+   originals are unsynchronized), and [domains = 1] so nothing nested ever
+   goes parallel again. The CTE environment is shared by reference — it is
+   immutable between rebinds, and parallel regions never span a rebind. *)
+let clone_for_domain ctx =
+  {
+    ctx with
+    frames = [];
+    subquery_cache = Rel_tbl.create 64;
+    correlated = Rel_tbl.create 64;
+    hashed_subqueries = Rel_tbl.create 16;
+    domains = 1;
   }
 
 (* Every CTE-environment rebind goes through here so the subquery memo can

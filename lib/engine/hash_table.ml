@@ -74,6 +74,12 @@ let mix h =
   let h = h * 0x9E3779B97F4A7C1 in
   h lxor (h lsr 29)
 
+(* Stable partition selector, exposed so a parallel join build can bucket
+   rows by partition BEFORE inserting: rows of one partition go to one
+   worker (partition-per-worker build), and a probe recomputes the same
+   selector to find the right per-partition table. *)
+let num_partitions = num_parts
+let partition_of_hash h = (mix h lsr 55) land (num_parts - 1)
 let part_of t mixed = t.parts.((mixed lsr 55) land (num_parts - 1))
 let tag_of mixed = Char.unsafe_chr (((mixed lsr 45) land 0x7f) lor 0x80)
 

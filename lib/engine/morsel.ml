@@ -1,0 +1,212 @@
+(* Domain-pool scheduler for morsel-driven parallel execution.
+
+   Design notes:
+
+   - One process-wide pool. Worker domains are spawned lazily (up to the
+     largest parallelism degree ever requested, capped at [max_domains - 1])
+     and live for the rest of the process; [at_exit] stops and joins them so
+     a binary never hangs on pool teardown.
+
+   - A run posts ONE job record with an atomic body cursor; each queued copy
+     of the job lets one worker claim bodies off that cursor. The caller
+     executes body 0 itself and then claims whatever bodies no worker has
+     picked up yet, so forward progress never depends on pool capacity:
+     with every worker busy (or a pool of zero workers) the caller simply
+     runs all bodies sequentially. Bodies must therefore never wait on each
+     other — they are independent work loops over shared atomic cursors.
+
+   - Errors: the first exception a body raises is stored in the job and
+     re-raised by [run] after the barrier. The pool survives; callers that
+     need a deterministic CHOICE of error (the vectorized executor must
+     surface the same error the sequential path would) handle that
+     themselves by recording per-morsel errors and re-raising the earliest.
+
+   - Memory model: job state mutated by workers is published to the caller
+     by the mutex/condvar barrier handshake, so plain mutable fields written
+     by bodies (batch arrays, matched flags, partial aggregates) are safely
+     visible after [run] returns. *)
+
+let max_domains = 32
+
+(* --- configuration ------------------------------------------------------ *)
+
+let override : int option ref = ref None
+let clamp n = if n < 1 then 1 else if n > max_domains then max_domains else n
+
+let configured_domains () =
+  match !override with
+  | Some n -> clamp n
+  | None -> (
+      match Sys.getenv_opt "HYPERQ_EXEC_DOMAINS" with
+      | None -> 1
+      | Some s -> ( match int_of_string_opt (String.trim s) with
+                    | Some n -> clamp n
+                    | None -> 1))
+
+let set_domains n = override := n
+
+(* --- stats -------------------------------------------------------------- *)
+
+let morsel_counts = Array.init max_domains (fun _ -> Atomic.make 0)
+let note_morsel i =
+  if i >= 0 && i < max_domains then Atomic.incr morsel_counts.(i)
+
+let stats_m = Mutex.create ()
+let s_runs = ref 0
+let s_bodies = ref 0
+let s_barrier_wait = ref 0.
+
+let reset_stats () =
+  Mutex.lock stats_m;
+  s_runs := 0;
+  s_bodies := 0;
+  s_barrier_wait := 0.;
+  Mutex.unlock stats_m;
+  Array.iter (fun c -> Atomic.set c 0) morsel_counts
+
+(* --- pool --------------------------------------------------------------- *)
+
+type job = {
+  j_body : int -> unit;
+  j_domains : int;
+  j_next : int Atomic.t;  (** next body slot to claim; slot 0 is the caller's *)
+  j_m : Mutex.t;
+  j_cv : Condition.t;
+  mutable j_done : int;  (** completed bodies among slots 1 .. domains-1 *)
+  mutable j_err : exn option;
+}
+
+let q_m = Mutex.create ()
+let q_cv = Condition.create ()
+let jobs : job Queue.t = Queue.create ()
+let stopping = ref false
+let workers : unit Domain.t list ref = ref []
+let nworkers = ref 0
+let teardown_registered = ref false
+
+(* Execute one body, recording the first error in the job. *)
+let exec_body j slot ~count_done =
+  (try j.j_body slot
+   with e ->
+     Mutex.lock j.j_m;
+     if j.j_err = None then j.j_err <- Some e;
+     Mutex.unlock j.j_m);
+  if count_done then begin
+    Mutex.lock j.j_m;
+    j.j_done <- j.j_done + 1;
+    Condition.signal j.j_cv;
+    Mutex.unlock j.j_m
+  end
+
+(* Claim and run bodies of [j] until its cursor is exhausted. *)
+let exec_claimable j =
+  let rec go () =
+    let slot = Atomic.fetch_and_add j.j_next 1 in
+    if slot < j.j_domains then begin
+      exec_body j slot ~count_done:true;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker_main () =
+  Mutex.lock q_m;
+  while Queue.is_empty jobs && not !stopping do
+    Condition.wait q_cv q_m
+  done;
+  if Queue.is_empty jobs then Mutex.unlock q_m (* stopping: exit the domain *)
+  else begin
+    let j = Queue.pop jobs in
+    Mutex.unlock q_m;
+    exec_claimable j;
+    worker_main ()
+  end
+
+let teardown () =
+  Mutex.lock q_m;
+  stopping := true;
+  Condition.broadcast q_cv;
+  let ws = !workers in
+  workers := [];
+  Mutex.unlock q_m;
+  List.iter Domain.join ws
+
+let ensure_workers want =
+  let want = min want (max_domains - 1) in
+  Mutex.lock q_m;
+  if not !teardown_registered then begin
+    teardown_registered := true;
+    at_exit teardown
+  end;
+  while !nworkers < want && not !stopping do
+    incr nworkers;
+    workers := Domain.spawn worker_main :: !workers
+  done;
+  Mutex.unlock q_m
+
+let run ~domains body =
+  let n = clamp domains in
+  if n <= 1 then body 0
+  else begin
+    ensure_workers (n - 1);
+    let j =
+      {
+        j_body = body;
+        j_domains = n;
+        j_next = Atomic.make 1;
+        j_m = Mutex.create ();
+        j_cv = Condition.create ();
+        j_done = 0;
+        j_err = None;
+      }
+    in
+    Mutex.lock q_m;
+    for _ = 1 to n - 1 do
+      Queue.push j jobs
+    done;
+    Condition.broadcast q_cv;
+    Mutex.unlock q_m;
+    (* the caller IS body 0, then steals any body not yet claimed *)
+    exec_body j 0 ~count_done:false;
+    exec_claimable j;
+    (* barrier: wait for bodies claimed by workers *)
+    Mutex.lock j.j_m;
+    let waited =
+      if j.j_done >= n - 1 then 0.
+      else begin
+        let t0 = Unix.gettimeofday () in
+        while j.j_done < n - 1 do
+          Condition.wait j.j_cv j.j_m
+        done;
+        Unix.gettimeofday () -. t0
+      end
+    in
+    let err = j.j_err in
+    Mutex.unlock j.j_m;
+    Mutex.lock stats_m;
+    incr s_runs;
+    s_bodies := !s_bodies + n;
+    s_barrier_wait := !s_barrier_wait +. waited;
+    Mutex.unlock stats_m;
+    match err with Some e -> raise e | None -> ()
+  end
+
+let stats () =
+  Mutex.lock stats_m;
+  let base =
+    [
+      ("parallel_runs", float_of_int !s_runs);
+      ("bodies_run", float_of_int !s_bodies);
+      ("barrier_wait_s", !s_barrier_wait);
+      ("pool_workers", float_of_int !nworkers);
+    ]
+  in
+  Mutex.unlock stats_m;
+  let per_domain = ref [] in
+  for i = max_domains - 1 downto 0 do
+    let n = Atomic.get morsel_counts.(i) in
+    if n > 0 then
+      per_domain :=
+        (Printf.sprintf "morsels_domain_%d" i, float_of_int n) :: !per_domain
+  done;
+  base @ !per_domain

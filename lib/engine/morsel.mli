@@ -1,0 +1,47 @@
+(** Domain-pool scheduler for morsel-driven parallel execution.
+
+    One process-wide pool of worker {!Domain}s executes "bodies" — per-domain
+    work loops that pull morsel-sized work units off shared atomic cursors.
+    The calling thread always participates as body 0 and additionally steals
+    any body a busy worker has not claimed, so a run degrades gracefully to
+    sequential execution when every worker is occupied (or when the pool is
+    empty) instead of deadlocking or queueing behind other statements.
+
+    The pool is shared by the vectorized executor ({!Batch_exec}) and the
+    Result Converter; both size their runs from {!configured_domains}, the
+    one knob ([HYPERQ_EXEC_DOMAINS]) controlling intra-statement
+    parallelism. *)
+
+(** Parallelism degree from [HYPERQ_EXEC_DOMAINS] (clamped to [1 ..
+    {!max_domains}]; unset, unparsable or [< 1] means 1 = sequential), unless
+    overridden by {!set_domains}. Read on every call so tests and the REPL
+    can re-point it at runtime. *)
+val configured_domains : unit -> int
+
+(** Process-local override of [HYPERQ_EXEC_DOMAINS]; [None] returns to the
+    environment value. *)
+val set_domains : int option -> unit
+
+(** Hard cap on the parallelism degree (and on pool size). *)
+val max_domains : int
+
+(** [run ~domains body] executes [body 0 .. body (domains-1)] concurrently —
+    body 0 on the caller, the rest on pool workers (the caller steals
+    unclaimed bodies) — and returns after ALL bodies finish (a full barrier).
+    If any body raises, the first exception observed is re-raised after the
+    barrier; the pool itself survives and remains usable. [domains] is
+    clamped to [1 .. max_domains]; [domains <= 1] runs [body 0] inline. *)
+val run : domains:int -> (int -> unit) -> unit
+
+(** Record one morsel processed by body slot [i] (per-domain counters
+    surfaced by {!stats}). *)
+val note_morsel : int -> unit
+
+(** Cumulative scheduler counters for observability:
+    [parallel_runs], [bodies_run], [barrier_wait_s] (time the caller spent
+    blocked at barriers after exhausting claimable work), [pool_workers],
+    and one [morsels_domain_<i>] entry per body slot that processed at
+    least one morsel. *)
+val stats : unit -> (string * float) list
+
+val reset_stats : unit -> unit

@@ -1,9 +1,13 @@
 (* Differential tests for the vectorized executor: every query of the TPC-H
    and customer corpora runs through BOTH executors (row interpreter and
-   batch path) and must produce the same multiset of rows. Plus targeted
-   unit tests for the semantic corners the batch path must preserve:
-   NULL join keys never match while GROUP BY coalesces NULLs, and
-   [compare_with_key] totality over NaN and mixed Int/Decimal keys. *)
+   batch path) and must produce the same multiset of rows — and the batch
+   path at 2 and 4 morsel domains must reproduce the 1-domain result
+   EXACTLY, row order included (morsel-driven execution is designed to be
+   bit-identical to sequential). Plus targeted unit tests for the semantic
+   corners the batch path must preserve: NULL join keys never match while
+   GROUP BY coalesces NULLs, [compare_with_key] totality over NaN and mixed
+   Int/Decimal keys, and the Morsel domain-pool scheduler itself (barrier,
+   exception propagation, pool survival, counters). *)
 
 open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
@@ -19,34 +23,53 @@ let check = Alcotest.check
 let ib = Alcotest.int
 let bb = Alcotest.bool
 
-(* Orderless multiset fingerprint: render every cell as a SQL literal and
-   sort the rows. Both executors evaluate scalar expressions in the same
-   per-row order, so even float-valued aggregates match exactly. *)
-let canon (rows : Value.t array list) =
-  List.sort compare
-    (List.map
-       (fun (r : Value.t array) ->
-         Array.to_list (Array.map Value.to_sql_literal r))
-       rows)
+(* Render every cell as a SQL literal, keeping row order. Both executors
+   evaluate scalar expressions in the same per-row order, so even
+   float-valued aggregates match exactly. *)
+let lit (rows : Value.t array list) =
+  List.map
+    (fun (r : Value.t array) ->
+      Array.to_list (Array.map Value.to_sql_literal r))
+    rows
 
 type outcome = Rows of string list list | Err of string
 
-let run_mode p mode sql =
+(* Orderless multiset fingerprint, for the row-vs-batch comparison (the two
+   executors may legitimately order unsorted results differently). *)
+let canon = function Rows rows -> Rows (List.sort compare rows) | e -> e
+
+let run_mode p ?(domains = 1) mode sql =
   p.Pipeline.backend.Backend.exec_mode <- mode;
+  Pipeline.set_exec_domains p domains;
   match
     Sql_error.protect (fun () -> (Pipeline.run_sql p sql).Pipeline.out_rows)
   with
-  | Ok rows -> Rows (canon rows)
+  | Ok rows -> Rows (lit rows)
   | Error e -> Err (Sql_error.to_string e)
 
 (* Returns the number of mismatching queries, failing the test on the first
-   one with a readable diagnostic. *)
+   one with a readable diagnostic. Row vs batch@1 compares multisets;
+   batch@2 and batch@4 must equal batch@1 exactly (row order and errors
+   included). *)
 let diff_corpus p (queries : (string * string) list) =
   let mismatches = ref 0 in
   List.iter
     (fun (name, sql) ->
-      let row = run_mode p Backend.Row sql in
-      let batch = run_mode p Backend.Batch sql in
+      let row = canon (run_mode p Backend.Row sql) in
+      let batch1 = run_mode p ~domains:1 Backend.Batch sql in
+      List.iter
+        (fun d ->
+          let bd = run_mode p ~domains:d Backend.Batch sql in
+          if bd <> batch1 then begin
+            incr mismatches;
+            let count = function Rows r -> List.length r | Err _ -> -1 in
+            Alcotest.failf
+              "%s: batch@%d diverges from batch@1 (%d vs %d rows)" name d
+              (count bd) (count batch1)
+          end)
+        [ 2; 4 ];
+      Pipeline.set_exec_domains p 1;
+      let batch = canon batch1 in
       (match (row, batch) with
       | Rows a, Rows b ->
           if a <> b then begin
@@ -200,6 +223,101 @@ let test_batch_counters_move () =
   check bb "probe rows counted" true (List.assoc "join_probe_rows" c > 0);
   check bb "build rows counted" true (List.assoc "join_build_rows" c > 0)
 
+(* --- morsel-driven parallel execution ---------------------------------- *)
+
+(* The per-op debug instrumentation (HYPERQ_EXEC_DEBUG) wraps operators in
+   timing closures; parallel regions must stay bit-identical under it. *)
+let test_parallel_debug_determinism () =
+  let p = Lazy.force tpch_pipeline in
+  Unix.putenv "HYPERQ_EXEC_DEBUG" "1";
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; the executor treats empty as off *)
+      Unix.putenv "HYPERQ_EXEC_DEBUG" "";
+      Pipeline.set_exec_domains p 1)
+    (fun () ->
+      List.iteri
+        (fun i (name, sql) ->
+          if i < 3 then begin
+            let b1 = run_mode p ~domains:1 Backend.Batch sql in
+            let b4 = run_mode p ~domains:4 Backend.Batch sql in
+            check bb (name ^ ": debug batch@4 = batch@1") true (b1 = b4)
+          end)
+        Q.all)
+
+(* An expression raising inside a morsel must surface as the same Sql_error
+   the sequential path reports (earliest-morsel error wins), and the domain
+   pool must survive to run the next statement. *)
+let test_morsel_error_propagation () =
+  let be = Backend.create () in
+  let run sql = Backend.execute_sql be sql in
+  ignore (run "CREATE TABLE BIG (ID INTEGER, V INTEGER)");
+  (* ~5000 rows = several 2048-row morsels; a single zero near the middle *)
+  let values =
+    String.concat ", "
+      (List.init 5000 (fun i ->
+           Printf.sprintf "(%d, %d)" i (if i = 3000 then 0 else 1)))
+  in
+  ignore (run ("INSERT INTO BIG (ID, V) VALUES " ^ values));
+  be.Backend.exec_mode <- Backend.Batch;
+  let err d =
+    be.Backend.exec_domains <- d;
+    match
+      Sql_error.protect (fun () -> run "SELECT 10 / B.V FROM BIG AS B")
+    with
+    | Ok _ -> Alcotest.fail "expected a division-by-zero error"
+    | Error e -> Sql_error.to_string e
+  in
+  let e1 = err 1 in
+  let e4 = err 4 in
+  Alcotest.(check string) "same error at 1 and 4 domains" e1 e4;
+  (* pool survived the in-morsel exception: the next parallel statement
+     runs to completion with correct results *)
+  be.Backend.exec_domains <- 4;
+  check ib "pool survives for the next statement" 5000
+    (run "SELECT B.ID FROM BIG AS B").Backend.res_rowcount
+
+let test_morsel_pool_runs_all_bodies () =
+  let n = 4 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Hyperq_engine.Morsel.run ~domains:n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i h ->
+      check ib (Printf.sprintf "body %d ran exactly once" i) 1 (Atomic.get h))
+    hits
+
+let test_morsel_pool_survives_exception () =
+  (try
+     Hyperq_engine.Morsel.run ~domains:3 (fun i ->
+         if i > 0 then failwith "boom");
+     Alcotest.fail "expected the body exception to propagate"
+   with Failure msg -> Alcotest.(check string) "propagated" "boom" msg);
+  (* pool usable again after the failed run *)
+  let total = Atomic.make 0 in
+  Hyperq_engine.Morsel.run ~domains:4 (fun _ -> Atomic.incr total);
+  check ib "pool reusable after a raising body" 4 (Atomic.get total)
+
+let test_morsel_stats_move () =
+  let module Morsel = Hyperq_engine.Morsel in
+  Morsel.reset_stats ();
+  Morsel.run ~domains:2 (fun i ->
+      Morsel.note_morsel i;
+      Morsel.note_morsel i);
+  let s = Morsel.stats () in
+  check bb "parallel_runs moved" true (List.assoc "parallel_runs" s >= 1.);
+  check bb "bodies_run counts both bodies" true
+    (List.assoc "bodies_run" s >= 2.);
+  check bb "per-domain morsel counters present" true
+    (List.exists
+       (fun (k, v) ->
+         String.length k > 15
+         && String.sub k 0 15 = "morsels_domain_"
+         && v >= 1.)
+       s);
+  Morsel.reset_stats ();
+  check bb "reset clears run counters" true
+    (List.assoc "parallel_runs" (Morsel.stats ()) = 0.)
+
 let suite =
   [
     ("tpch row/batch differential", `Slow, test_tpch_differential);
@@ -211,4 +329,13 @@ let suite =
       `Quick,
       test_compare_with_key_int_vs_decimal );
     ("batch counters move", `Quick, test_batch_counters_move);
+    ( "parallel determinism under exec debug",
+      `Slow,
+      test_parallel_debug_determinism );
+    ("morsel error propagation + pool survival", `Quick, test_morsel_error_propagation);
+    ("morsel pool runs all bodies", `Quick, test_morsel_pool_runs_all_bodies);
+    ( "morsel pool survives exceptions",
+      `Quick,
+      test_morsel_pool_survives_exception );
+    ("morsel stats move", `Quick, test_morsel_stats_move);
   ]
