@@ -9,7 +9,7 @@
 
    Experiment ids: table1 fig2 fig8a fig8b baseline table2 fig9a fig9b
    targets ablation cache resilience telemetry analyze exec parallel
-   serving micro *)
+   serving rules micro *)
 
 open Hyperq_sqlvalue
 module Pipeline = Hyperq_core.Pipeline
@@ -1395,6 +1395,175 @@ let serving () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Rule packs: screening cost, no-match overhead, antipattern speedup   *)
+(* ------------------------------------------------------------------ *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* cwd is bench/ under `dune runtest` but the workspace root under exec *)
+let example_pack name =
+  let rel = "examples/rules/" ^ name in
+  read_file (if Sys.file_exists rel then rel else "../" ^ rel)
+
+let rules_bench () =
+  hr "Rule packs: screening cost, loaded-but-idle overhead, antipattern speedup";
+  let module RC = Hyperq_workload.Rules_corpus in
+  let module Diag = Hyperq_analyze.Diag in
+  let iters =
+    match Sys.getenv_opt "HYPERQ_RULES_ITERS" with
+    | Some s -> int_of_string s
+    | None -> 20
+  in
+  (* 1. mandatory screening: full corpus + differential, both example packs *)
+  let screen_p = Pipeline.create () in
+  let t0 = Unix.gettimeofday () in
+  let screened =
+    List.map
+      (fun file ->
+        match RC.load_pack screen_p (example_pack file) with
+        | Ok r -> r
+        | Error ds ->
+            List.iter (fun d -> Printf.eprintf "%s\n" (Diag.to_string d)) ds;
+            Printf.eprintf "FAIL: %s rejected by screening\n" file;
+            exit 1)
+      [ "teradata_cleanup.rules"; "predicate_normalization.rules" ]
+  in
+  let screen_s = Unix.gettimeofday () -. t0 in
+  let screened_stmts =
+    List.fold_left (fun a r -> a + r.Pipeline.rr_screened) 0 screened
+  in
+  Printf.printf
+    "screening: 2 packs over %d corpus statements + %d differential queries \
+     in %.3f s (%.0f stmts/s)\n"
+    screened_stmts
+    (List.fold_left (fun a r -> a + r.Pipeline.rr_diff_queries) 0 screened)
+    screen_s
+    (float_of_int screened_stmts /. screen_s);
+  (* 2. loaded-but-idle overhead: 8 packs whose rules can never match the
+     TPC-H text vs no packs at all, translate-only, cache disabled *)
+  let idle_rules =
+    [ "REVERSE"; "LOWER"; "LTRIM"; "RTRIM"; "FLOOR"; "CEILING"; "ROUND";
+      "LAST_DAY" ]
+  in
+  let translate_total p =
+    (* one warmup sweep, then the timed sweeps *)
+    List.iter (fun (_, sql) -> ignore (Pipeline.translate p sql)) Tpch_queries.all;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      List.iter
+        (fun (_, sql) -> ignore (Pipeline.translate p sql))
+        Tpch_queries.all
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let bare_p = Pipeline.create ~plan_cache_capacity:0 () in
+  let _ = Tpch.setup ~sf:(sf ()) bare_p in
+  let idle_p = Pipeline.create ~plan_cache_capacity:0 () in
+  let _ = Tpch.setup ~sf:(sf ()) idle_p in
+  List.iter
+    (fun f ->
+      let text =
+        Printf.sprintf "pack idle_%s version 1\nrule collapse : %s(%s(?x)) => %s(?x)"
+          (String.lowercase_ascii f) f f f
+      in
+      match RC.load_pack ~diff:false idle_p text with
+      | Ok _ -> ()
+      | Error ds ->
+          List.iter (fun d -> Printf.eprintf "%s\n" (Diag.to_string d)) ds;
+          exit 1)
+    idle_rules;
+  let bare_s = translate_total bare_p in
+  let idle_s = translate_total idle_p in
+  let overhead_pct = (idle_s -. bare_s) /. bare_s *. 100. in
+  Printf.printf
+    "translate with %d idle packs: %.4f s vs %.4f s bare over %dx%d queries \
+     (%+.1f%%)\n"
+    (List.length idle_rules) idle_s bare_s iters
+    (List.length Tpch_queries.all) overhead_pct;
+  (* 3. antipattern speedup: generated-SQL shape, engine work saved by the
+     rewrite (4 UPPER passes per row collapse to 1, tautology dropped) *)
+  let anti_q =
+    "SELECT COUNT(*) FROM LINEITEM WHERE 1=1 AND \
+     UPPER(UPPER(UPPER(UPPER(L_COMMENT)))) LIKE '%SPECIAL%'"
+  in
+  let packed_p = Pipeline.create () in
+  let _ = Tpch.setup ~sf:(sf ()) packed_p in
+  List.iter
+    (fun file ->
+      match RC.load_pack ~diff:false packed_p (example_pack file) with
+      | Ok _ -> ()
+      | Error _ -> exit 1)
+    [ "teradata_cleanup.rules"; "predicate_normalization.rules" ];
+  let exec_total p =
+    let session = Session.create () in
+    let ex = ref 0. in
+    for _ = 1 to iters do
+      let o = Pipeline.run_sql p ~session anti_q in
+      ex := !ex +. o.Pipeline.out_timings.Pipeline.execute_s
+    done;
+    !ex
+  in
+  let base_exec = exec_total bare_p in
+  let packed_exec = exec_total packed_p in
+  let packed_sql =
+    match (Pipeline.run_sql packed_p anti_q).Pipeline.out_sql with
+    | [ s ] -> s
+    | _ -> ""
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  if contains packed_sql "UPPER(UPPER" then begin
+    Printf.eprintf "FAIL: antipattern query not rewritten: %s\n" packed_sql;
+    exit 1
+  end;
+  Printf.printf
+    "antipattern execute: %.4f s baseline vs %.4f s packed (%.2fx) over %d \
+     runs\n"
+    base_exec packed_exec (base_exec /. packed_exec) iters;
+  (* 4. the gate must bite: a type-breaking pack is rejected with V201 *)
+  let broken_rejected =
+    match RC.load_pack screen_p (example_pack "broken_nonbool.rules") with
+    | Ok _ ->
+        Printf.eprintf "FAIL: broken_nonbool passed screening\n";
+        exit 1
+    | Error ds ->
+        let d = List.hd ds in
+        if d.Diag.code <> "R201" || not (contains d.Diag.message "V201") then begin
+          Printf.eprintf "FAIL: expected R201/V201, got %s\n" (Diag.to_string d);
+          exit 1
+        end;
+        Printf.printf "broken pack rejected at load: %s\n" (Diag.to_string d);
+        true
+  in
+  write_json "BENCH_rules.json"
+    (Printf.sprintf
+       "{\"experiment\": \"rules\", \"iterations\": %d, \"screen_packs\": 2, \
+        \"screen_statements\": %d, \"screen_s\": %.6f, \
+        \"screen_stmts_per_s\": %.1f, \"idle_packs\": %d, \
+        \"bare_translate_s\": %.6f, \"idle_translate_s\": %.6f, \
+        \"idle_overhead_pct\": %.2f, \"anti_baseline_exec_s\": %.6f, \
+        \"anti_packed_exec_s\": %.6f, \"anti_speedup\": %.3f, \
+        \"broken_pack_rejected\": %b}"
+       iters screened_stmts screen_s
+       (float_of_int screened_stmts /. screen_s)
+       (List.length idle_rules) bare_s idle_s overhead_pct base_exec
+       packed_exec (base_exec /. packed_exec) broken_rejected);
+  (* acceptance gates: idle packs must stay ~free; the broken pack check
+     above already exited on failure *)
+  if overhead_pct > 50. then begin
+    Printf.eprintf "FAIL: idle-pack translate overhead %.1f%% > 50%%\n"
+      overhead_pct;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1417,6 +1586,7 @@ let experiments =
     ("exec", exec_bench);
     ("parallel", parallel_bench);
     ("serving", serving);
+    ("rules", rules_bench);
     ("micro", micro);
   ]
 

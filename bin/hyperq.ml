@@ -10,6 +10,7 @@
      hyperq analyze FILE.sql [--json]     offline compatibility report
      hyperq targets                       list modeled target profiles
      hyperq serve -p 10250                WP-A TCP front door (SIGTERM drains)
+     hyperq rules load PACK.rules         screen + install a rewrite-rule pack
      hyperq tpch --sf 0.005               load TPC-H and drop into the repl *)
 
 open Hyperq_sqlvalue
@@ -18,6 +19,11 @@ module Session = Hyperq_core.Session
 module Capability = Hyperq_transform.Capability
 module Obs = Hyperq_obs.Obs
 module Analyzer = Hyperq_analyze.Analyzer
+module Diag = Hyperq_analyze.Diag
+module Rules_dsl = Hyperq_rules.Dsl
+module Rules_compile = Hyperq_rules.Compile
+module Registry = Hyperq_rules.Registry
+module Rules_corpus = Hyperq_workload.Rules_corpus
 
 let read_file file =
   let ic = open_in_bin file in
@@ -25,6 +31,54 @@ let read_file file =
   let text = really_input_string ic n in
   close_in ic;
   text
+
+(* ---- rewrite-rule packs --------------------------------------------- *)
+
+let print_rule_diags out file ds =
+  List.iter (fun d -> Printf.fprintf out "%s: %s\n%!" file (Diag.to_string d)) ds
+
+let print_pack_report file (r : Pipeline.rules_report) =
+  let p = r.Pipeline.rr_pack in
+  Printf.printf
+    "loaded %s v%d from %s: %d rule(s), screened %d statement(s) (%d \
+     skipped, %d fire(s)), %d differential quer%s%s\n"
+    p.Registry.pi_name p.Registry.pi_version file
+    (List.length p.Registry.pi_rules)
+    r.Pipeline.rr_screened r.Pipeline.rr_skipped r.Pipeline.rr_screen_fires
+    r.Pipeline.rr_diff_queries
+    (if r.Pipeline.rr_diff_queries = 1 then "y" else "ies")
+    (if r.Pipeline.rr_activated then "" else " (not activated)");
+  List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) r.Pipeline.rr_warnings
+
+(* Screen + install each pack file; any rejection exits 1 (CLI contract:
+   a pack that fails the validator or differential gate never activates). *)
+let load_rule_files ?diff pipeline files =
+  List.iter
+    (fun file ->
+      match Rules_corpus.load_pack ?diff pipeline (read_file file) with
+      | Ok r -> print_pack_report file r
+      | Error ds ->
+          print_rule_diags stderr file ds;
+          exit 1)
+    files
+
+let print_loaded_packs pipeline =
+  let packs = Registry.list_packs (Pipeline.rules_registry pipeline) in
+  if packs = [] then print_endline "no rule packs loaded"
+  else
+    List.iter
+      (fun (pi : Registry.pack_info) ->
+        Printf.printf "%s v%d (gen %d, screened over %d statements for %s)%s\n"
+          pi.Registry.pi_name pi.Registry.pi_version pi.Registry.pi_gen
+          pi.Registry.pi_screened pi.Registry.pi_cap
+          (if List.mem pi.Registry.pi_name (Pipeline.default_rule_packs pipeline)
+           then " [active]"
+           else "");
+        List.iter
+          (fun (r : Registry.rule_info) ->
+            Printf.printf "  %-28s %d fire(s)\n" r.Registry.ri_id r.Registry.ri_fires)
+          pi.Registry.pi_rules)
+      packs
 
 let analyze_file ?targets file =
   Analyzer.analyze_script ?targets ~script_name:file (read_file file)
@@ -83,7 +137,8 @@ let repl pipeline verbose =
      stats, \\health for breaker/retry counters, \\metrics for Prometheus \
      exposition, \\trace [n] for recent query traces, \\slow [ms] for the \
      slow-query log/threshold, \\analyze FILE.sql for an offline \
-     compatibility report";
+     compatibility report, \\rules [load FILE | drop NAME] for rewrite-rule \
+     packs";
   let timing = ref verbose in
   let buffer = Buffer.create 256 in
   let obs = Pipeline.obs pipeline in
@@ -120,6 +175,27 @@ let repl pipeline verbose =
             | _ -> 5
         in
         print_traces (Obs.recent_traces ~n obs);
+        loop ()
+    | line when line = "\\rules" || String.length line > 7
+                                    && String.sub line 0 7 = "\\rules " ->
+        (match
+           List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+         with
+        | [ "\\rules" ] -> print_loaded_packs pipeline
+        | [ "\\rules"; "load"; file ] ->
+            if not (Sys.file_exists file) then Printf.printf "no such file: %s\n" file
+            else (
+              match Rules_corpus.load_pack pipeline (read_file file) with
+              | Ok r -> print_pack_report file r
+              | Error ds ->
+                  List.iter
+                    (fun d -> Printf.printf "!! %s\n" (Diag.to_string d))
+                    ds)
+        | [ "\\rules"; "drop"; name ] ->
+            if Pipeline.drop_rule_pack pipeline name then
+              Printf.printf "dropped %s\n" name
+            else Printf.printf "pack %s is not loaded\n" name
+        | _ -> print_endline "usage: \\rules | \\rules load FILE | \\rules drop NAME");
         loop ()
     | line when String.length line > 9 && String.sub line 0 9 = "\\analyze " ->
         let file = String.trim (String.sub line 9 (String.length line - 9)) in
@@ -179,32 +255,43 @@ let target_arg =
     & opt string "ansi-engine"
     & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Target profile name.")
 
+let rules_files_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "rules" ] ~docv:"FILE.rules"
+        ~doc:"Rewrite-rule pack to screen against the bundled corpus and \
+              activate before starting (repeatable; a rejected pack aborts \
+              with exit 1).")
+
 let repl_cmd =
-  let run verbose =
+  let run verbose rules =
     let pipeline = Pipeline.create () in
+    load_rule_files pipeline rules;
     repl pipeline verbose
   in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive Teradata session against the engine")
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ rules_files_arg)
 
 let run_cmd =
-  let run verbose sql =
+  let run verbose rules sql =
     let pipeline = Pipeline.create () in
+    load_rule_files pipeline rules;
     exec_one pipeline (Session.create ()) verbose sql
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one statement")
-    Term.(const run $ verbose_arg $ sql_arg)
+    Term.(const run $ verbose_arg $ rules_files_arg $ sql_arg)
 
 let script_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.sql")
   in
-  let run verbose file =
+  let run verbose rules file =
     let ic = open_in file in
     let n = in_channel_length ic in
     let text = really_input_string ic n in
     close_in ic;
     let pipeline = Pipeline.create () in
+    load_rule_files pipeline rules;
     let session = Session.create () in
     (match
        Sql_error.protect (fun () ->
@@ -229,7 +316,7 @@ let script_cmd =
     Pipeline.end_session pipeline session
   in
   Cmd.v (Cmd.info "script" ~doc:"Run a ;-separated SQL script file")
-    Term.(const run $ verbose_arg $ file_arg)
+    Term.(const run $ verbose_arg $ rules_files_arg $ file_arg)
 
 let translate_cmd =
   let ddl_arg =
@@ -374,10 +461,11 @@ let serve_cmd =
            ~doc:"Load TPC-H at this scale factor before serving.")
   in
   let run port host inflight queue queue_timeout workers drain_timeout latency
-      sf =
+      sf rules =
     let module Server = Hyperq_net.Server in
     let module Admission = Hyperq_net.Admission in
     let pipeline = Pipeline.create ~request_latency_s:latency () in
+    load_rule_files pipeline rules;
     (match sf with
     | None -> ()
     | Some sf ->
@@ -443,14 +531,114 @@ let serve_cmd =
     Term.(
       const run $ port_arg $ host_arg $ inflight_arg $ queue_arg
       $ queue_timeout_arg $ workers_arg $ drain_timeout_arg $ latency_arg
-      $ sf_arg)
+      $ sf_arg $ rules_files_arg)
+
+let rules_cmd =
+  let no_diff_arg =
+    Arg.(
+      value & flag
+      & info [ "no-diff" ]
+          ~doc:"Skip the differential-execution phase (parser, compiler and \
+                corpus screening still gate the pack).")
+  in
+  let load_cmd =
+    let files_arg =
+      Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.rules")
+    in
+    let run no_diff files =
+      let pipeline = Pipeline.create () in
+      load_rule_files ~diff:(not no_diff) pipeline files;
+      Printf.printf "%d pack(s) active: %s\n"
+        (List.length (Pipeline.default_rule_packs pipeline))
+        (String.concat ", " (Pipeline.default_rule_packs pipeline))
+    in
+    Cmd.v
+      (Cmd.info "load"
+         ~doc:"Screen pack file(s) against the bundled analyzer corpus plus \
+               a differential execution sample, and install the survivors. \
+               Any validator violation or result mismatch prints a spanned \
+               diagnostic and exits 1.")
+      Term.(const run $ no_diff_arg $ files_arg)
+  in
+  let list_cmd =
+    let files_arg =
+      Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.rules")
+    in
+    let run files =
+      let ok = ref true in
+      List.iter
+        (fun file ->
+          let compiled =
+            match Rules_dsl.parse (read_file file) with
+            | Error ds -> Error ds
+            | Ok p -> Rules_compile.compile p
+          in
+          match compiled with
+          | Error ds ->
+              ok := false;
+              print_rule_diags stderr file ds
+          | Ok cp ->
+              Printf.printf "%s v%d (%s): %d rule(s)\n"
+                cp.Rules_compile.cp_name cp.Rules_compile.cp_version file
+                (List.length cp.Rules_compile.cp_rules);
+              List.iter
+                (fun (r : Rules_compile.crule) ->
+                  Printf.printf "  %-28s %s\n" r.Rules_compile.cr_id
+                    (if r.Rules_compile.cr_rel <> None then "relational"
+                     else "scalar"))
+                cp.Rules_compile.cp_rules)
+        files;
+      if not !ok then exit 1
+    in
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:"Parse and statically check pack file(s) without screening: \
+               print each pack's rules, or the rejection diagnostics \
+               (exit 1).")
+      Term.(const run $ files_arg)
+  in
+  let drop_cmd =
+    let name_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"PACK")
+    in
+    let files_arg =
+      Arg.(value & pos_right 0 file [] & info [] ~docv:"FILE.rules")
+    in
+    let run name files =
+      let pipeline = Pipeline.create () in
+      load_rule_files pipeline files;
+      if Pipeline.drop_rule_pack pipeline name then begin
+        let reg = Pipeline.rules_registry pipeline in
+        Printf.printf "dropped %s; %d pack(s) remain (registry epoch %d)\n"
+          name
+          (List.length (Registry.list_packs reg))
+          (Registry.epoch reg)
+      end
+      else begin
+        Printf.eprintf "pack %s is not loaded\n" name;
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "drop"
+         ~doc:"Load the given pack file(s), then drop PACK by name — \
+               demonstrates deactivation and the registry epoch bump that \
+               invalidates cached plans. Exits 1 if PACK was not loaded.")
+      Term.(const run $ name_arg $ files_arg)
+  in
+  Cmd.group
+    (Cmd.info "rules"
+       ~doc:"Manage runtime-loadable rewrite-rule packs: validator-gated \
+             load, static listing, drop.")
+    [ load_cmd; list_cmd; drop_cmd ]
 
 let tpch_cmd =
   let sf_arg =
     Arg.(value & opt float 0.005 & info [ "sf" ] ~docv:"SF" ~doc:"Scale factor.")
   in
-  let run verbose sf =
+  let run verbose rules sf =
     let pipeline = Pipeline.create () in
+    load_rule_files pipeline rules;
     Printf.printf "loading TPC-H at SF %.3f...\n%!" sf;
     let _ = Hyperq_workload.Tpch.setup ~sf pipeline in
     List.iter
@@ -459,7 +647,7 @@ let tpch_cmd =
     repl pipeline verbose
   in
   Cmd.v (Cmd.info "tpch" ~doc:"Load TPC-H through Hyper-Q and start a repl")
-    Term.(const run $ verbose_arg $ sf_arg)
+    Term.(const run $ verbose_arg $ rules_files_arg $ sf_arg)
 
 let () =
   let doc = "Adaptive Data Virtualization: Teradata applications on a different backend" in
@@ -469,5 +657,5 @@ let () =
           (Cmd.info "hyperq" ~version:"1.0.0" ~doc)
           [
             repl_cmd; run_cmd; script_cmd; translate_cmd; analyze_cmd;
-            targets_cmd; serve_cmd; tpch_cmd;
+            targets_cmd; serve_cmd; rules_cmd; tpch_cmd;
           ]))

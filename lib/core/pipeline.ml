@@ -25,6 +25,10 @@ module Tdf = Hyperq_tdf.Tdf
 module Obs = Hyperq_obs.Obs
 module Validator = Hyperq_analyze.Validator
 module Diag = Hyperq_analyze.Diag
+module Rules_dsl = Hyperq_rules.Dsl
+module Rules_compile = Hyperq_rules.Compile
+module Rules_screen = Hyperq_rules.Screen
+module Rules_registry = Hyperq_rules.Registry
 
 type timings = {
   mutable translate_s : float;
@@ -110,6 +114,11 @@ type t = {
   odbc : Odbc_server.t;
   cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
   resil : Resilience.t;  (** retry/backoff + circuit breaker for the backend *)
+  rules : Rules_registry.t;
+      (** runtime-loaded rewrite-rule packs, shared by every session *)
+  mutable default_rule_packs : string list;
+      (** gateway-default pack layer, applied before each session's own
+          [Session.rule_packs] (set via [load_rule_pack ~activate:true]) *)
   tel : telemetry;  (** metric handles into the pipeline's registry *)
   clock : Obs.clock;  (** time source for stage timing and session stamps *)
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
@@ -147,7 +156,7 @@ let error_kind_label kind =
    replicas sharing one registry. Collector closures take subsystem locks
    under the registry lock, so *record* calls must never run while holding
    a subsystem lock (see [bump_counters]). *)
-let make_telemetry obs ~labels cache resil =
+let make_telemetry obs ~labels cache resil rules =
   let tel =
     {
       obs;
@@ -259,6 +268,25 @@ let make_telemetry obs ~labels cache resil =
         (List.map
            (fun (k, v) -> ([ ("event", k) ], v))
            (Hyperq_engine.Morsel.stats ())));
+  Obs.register_collector obs ~kind:`Gauge
+    ~help:"Rewrite-rule packs currently loaded in the registry"
+    "hyperq_rules_packs_loaded" (fun () ->
+      pull [ ([], float_of_int (List.length (Rules_registry.list_packs rules))) ]);
+  Obs.register_collector obs ~kind:`Counter
+    ~help:"Rule-pack registry events (loads, drops, screening rejections)"
+    "hyperq_rules_events_total" (fun () ->
+      pull
+        (List.map
+           (fun (event, n) -> ([ ("event", event) ], float_of_int n))
+           (Rules_registry.counters rules)));
+  Obs.register_collector obs ~kind:`Counter
+    ~help:"Per-rule fire counts of loaded rule packs (since load)"
+    "hyperq_rules_fires_total" (fun () ->
+      pull
+        (List.map
+           (fun (pack, rule, n) ->
+             ([ ("pack", pack); ("rule", rule) ], float_of_int n))
+           (Rules_registry.fire_counts rules)));
   tel
 
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
@@ -270,6 +298,7 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
   in
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let cache = Plan_cache.create ~capacity:plan_cache_capacity in
+  let rules = Rules_registry.create () in
   {
     vcatalog = Catalog.create ();
     backend;
@@ -279,7 +308,9 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
         (Odbc_server.engine_driver backend);
     cache;
     resil;
-    tel = make_telemetry obs ~labels:obs_labels cache resil;
+    rules;
+    default_rule_packs = [];
+    tel = make_telemetry obs ~labels:obs_labels cache resil rules;
     clock = Obs.clock obs;
     lock = Mutex.create ();
     validate;
@@ -321,11 +352,21 @@ type call_ctx = {
   deadline_at : float option;
       (** absolute clock time by which backend retries for this statement
           must stop (session override, else the resilience policy) *)
+  rules_active : Rules_registry.active;
+      (** resolved rule-pack set (gateway defaults + session layer) whose
+          closures ride along into every Transformer run of this call *)
   trace : string list ref;
   tracer : Obs.tracer;  (** span sink for this statement's query trace *)
 }
 
-let make_cc ?(tracer = Obs.no_tracer) t session params =
+(* Resolve the pack layers once per statement: gateway defaults first, then
+   the session's own packs. The result also carries the set id the plan
+   cache folds into its key. *)
+let active_rule_set t (session : Session.t) =
+  Rules_registry.active t.rules
+    ~packs:(t.default_rule_packs @ session.Session.rule_packs)
+
+let make_cc ?(tracer = Obs.no_tracer) ?rules_active t session params =
   let deadline_s =
     match session.Session.deadline_s with
     | Some _ as d -> d
@@ -353,6 +394,10 @@ let make_cc ?(tracer = Obs.no_tracer) t session params =
     cache_candidate = None;
     parse_s = 0.;
     deadline_at = Option.map (fun d -> deadline_start +. d) deadline_s;
+    rules_active =
+      (match rules_active with
+      | Some a -> a
+      | None -> active_rule_set t session);
     trace = ref [];
     tracer;
   }
@@ -537,7 +582,10 @@ let run_bound cc (bound : Xtra.statement) : Backend.result =
   in
   let transformed, applied =
     timed Transform cc (fun () ->
-        Transformer.transform ?on_pass ~cap:t.cap ~counter bound)
+        Transformer.transform ?on_pass
+          ~extra_scalar_rules:cc.rules_active.Rules_registry.act_scalar
+          ~extra_rel_rules:cc.rules_active.Rules_registry.act_rel ~cap:t.cap
+          ~counter bound)
   in
   cc.transformer_rules <-
     List.map fst applied @ cc.transformer_rules;
@@ -770,6 +818,26 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
              | _ ->
                  Sql_error.unsupported
                    "SET SESSION QUERY_DEADLINE expects seconds or OFF"));
+      (* RULE_PACKS 'a,b' layers loaded rewrite-rule packs onto this session
+         (after the gateway defaults); OFF/NONE clears the session layer *)
+      (if String.uppercase_ascii name = "RULE_PACKS" then
+         match String.uppercase_ascii value with
+         | "OFF" | "NONE" | "" -> cc.session.Session.rule_packs <- []
+         | _ ->
+             let packs =
+               List.filter
+                 (fun s -> s <> "")
+                 (List.map String.trim (String.split_on_char ',' value))
+             in
+             List.iter
+               (fun p ->
+                 if Rules_registry.find t.rules p = None then
+                   Sql_error.unsupported
+                     "rule pack %s is not loaded (load it with 'hyperq rules \
+                      load' or \\rules load first)"
+                     p)
+               packs;
+             cc.session.Session.rule_packs <- packs);
       { Backend.res_schema = []; res_rows = []; res_rowcount = 0; res_message = "SET SESSION" }
   (* ---- DML on views --------------------------------------------------- *)
   | (Ast.S_update { table; _ } | Ast.S_delete { table; _ } | Ast.S_insert { table; _ })
@@ -870,8 +938,8 @@ let bump_counters t (session : Session.t) =
      so nesting the other way around would invert the lock order) *)
   Obs.inc t.tel.queries_total
 
-let cache_key ~cap sql =
-  Plan_cache.key ~sql
+let cache_key ?(rules = "") ~cap sql =
+  Plan_cache.key ~rules ~sql
     ~dialect:(Dialect.to_string Dialect.Teradata)
     ~cap:cap.Capability.name
 
@@ -963,10 +1031,10 @@ let with_query_telemetry t ~session ~sql f =
    fresh bindings into the stored bound form and re-run only
    transform + serialize. [lookup_s] (the cache probe) is all that remains
    of the translate bucket on the fast path. *)
-let run_cached t ~tracer ~session ~params ~sql_text ~lookup_s
+let run_cached t ~tracer ~session ~params ~sql_text ~lookup_s ~act
     (entry : Plan_cache.entry) : outcome =
   bump_counters t session;
-  let cc = make_cc ~tracer t session params in
+  let cc = make_cc ~tracer ~rules_active:act t session params in
   cc.timing.translate_s <- lookup_s;
   cc.binder_features <- entry.Plan_cache.e_binder_features;
   let result =
@@ -993,15 +1061,17 @@ let run_cached t ~tracer ~session ~params ~sql_text ~lookup_s
 (* The uncached path: run the statement and store any captured translation
    under the catalog version observed before the statement ran (a concurrent
    DDL then simply leaves a stale entry that the next lookup invalidates). *)
-let run_uncached t ~tracer ~session ~params ~sql_text ~parse_s ~version ast :
-    outcome =
-  let cc = make_cc ~tracer t session params in
+let run_uncached t ~tracer ~session ~params ~sql_text ~parse_s ~version ~act
+    ast : outcome =
+  let cc = make_cc ~tracer ~rules_active:act t session params in
   cc.parse_s <- parse_s;
   cc.timing.translate_s <- parse_s;
   let result = run_ast_statement cc ast in
   (match cc.cache_candidate with
   | Some entry when Plan_cache.enabled t.cache ->
-      Plan_cache.add t.cache ~version (cache_key ~cap:t.cap sql_text) entry
+      Plan_cache.add t.cache ~version
+        (cache_key ~rules:act.Rules_registry.act_set_id ~cap:t.cap sql_text)
+        entry
   | _ -> ());
   finish_outcome cc ~sql_text result
 
@@ -1018,19 +1088,22 @@ let run_statement_ast t ?session ?(params = []) ?(parse_s = 0.) ~sql_text ast
   in
   with_query_telemetry t ~session ~sql:sql_text @@ fun tracer ->
   let version = Catalog.version t.vcatalog in
+  let act = active_rule_set t session in
   let t0 = now t in
   match
     stage_timed t tracer Cache_lookup (fun () ->
-        Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql_text))
+        Plan_cache.find t.cache ~version
+          (cache_key ~rules:act.Rules_registry.act_set_id ~cap:t.cap sql_text))
   with
   | Some entry ->
       Obs.trace_set_cache_hit tracer true;
       let lookup_s = now t -. t0 in
       run_cached t ~tracer ~session ~params ~sql_text
-        ~lookup_s:(parse_s +. lookup_s) entry
+        ~lookup_s:(parse_s +. lookup_s) ~act entry
   | None ->
       bump_counters t session;
-      run_uncached t ~tracer ~session ~params ~sql_text ~parse_s ~version ast
+      run_uncached t ~tracer ~session ~params ~sql_text ~parse_s ~version ~act
+        ast
 
 (** Run one source-dialect SQL statement end to end. [params] binds
     positional [?] markers, left to right. On a plan-cache hit the parse is
@@ -1043,15 +1116,17 @@ let run_sql t ?session ?(params = []) sql : outcome =
   in
   with_query_telemetry t ~session ~sql @@ fun tracer ->
   let version = Catalog.version t.vcatalog in
+  let act = active_rule_set t session in
   let t0 = now t in
   match
     stage_timed t tracer Cache_lookup (fun () ->
-        Plan_cache.find t.cache ~version (cache_key ~cap:t.cap sql))
+        Plan_cache.find t.cache ~version
+          (cache_key ~rules:act.Rules_registry.act_set_id ~cap:t.cap sql))
   with
   | Some entry ->
       Obs.trace_set_cache_hit tracer true;
       let lookup_s = now t -. t0 in
-      run_cached t ~tracer ~session ~params ~sql_text:sql ~lookup_s entry
+      run_cached t ~tracer ~session ~params ~sql_text:sql ~lookup_s ~act entry
   | None ->
       bump_counters t session;
       let t0 = now t in
@@ -1062,7 +1137,7 @@ let run_sql t ?session ?(params = []) sql : outcome =
       in
       let parse_s = now t -. t0 in
       run_uncached t ~tracer ~session ~params ~sql_text:sql ~parse_s ~version
-        ast
+        ~act ast
 
 (** Run a [;]-separated script; returns one outcome per statement. Each
     statement's own source text (not the whole script) is attributed to its
@@ -1151,12 +1226,18 @@ let run_script_batched t ?session sql : outcome list * int =
     form and re-runs only transform + serialize. *)
 let translate t ?(cap = t.cap) sql : string =
   let version = Catalog.version t.vcatalog in
-  let key = cache_key ~cap sql in
+  let act = Rules_registry.active t.rules ~packs:t.default_rule_packs in
+  let extra_scalar = act.Rules_registry.act_scalar in
+  let extra_rel = act.Rules_registry.act_rel in
+  let key = cache_key ~rules:act.Rules_registry.act_set_id ~cap sql in
   match Plan_cache.find t.cache ~version key with
   | Some { Plan_cache.e_plan = Some plan; _ } -> plan.Plan_cache.p_target_sql
   | Some { Plan_cache.e_plan = None; e_bound; _ } ->
       let counter = ref 1_000_000 in
-      let transformed, _ = Transformer.transform ~cap ~counter e_bound in
+      let transformed, _ =
+        Transformer.transform ~extra_scalar_rules:extra_scalar
+          ~extra_rel_rules:extra_rel ~cap ~counter e_bound
+      in
       Serializer.serialize ~cap transformed
   | None ->
       let t0 = now t in
@@ -1184,7 +1265,8 @@ let translate t ?(cap = t.cap) sql : string =
         else None
       in
       let transformed, applied =
-        Transformer.transform ?on_pass ~cap ~counter bound
+        Transformer.transform ?on_pass ~extra_scalar_rules:extra_scalar
+          ~extra_rel_rules:extra_rel ~cap ~counter bound
       in
       let target_sql = Serializer.serialize ~cap transformed in
       let translate_s = now t -. t0 in
@@ -1217,10 +1299,11 @@ let translate t ?(cap = t.cap) sql : string =
     track a selection of 27 commonly used non-standard features") and lets
     the Figure 8 study run over hundreds of thousands of queries quickly. *)
 let observe_sql t sql : Feature_tracker.observation =
+  let act = Rules_registry.active t.rules ~packs:t.default_rule_packs in
   match
     Plan_cache.find t.cache
       ~version:(Catalog.version t.vcatalog)
-      (cache_key ~cap:t.cap sql)
+      (cache_key ~rules:act.Rules_registry.act_set_id ~cap:t.cap sql)
   with
   | Some entry ->
       (* cached entries are never emulation-routed, so tags are empty *)
@@ -1270,7 +1353,12 @@ let observe_sql t sql : Feature_tracker.observation =
             && List.mem "recursive_query" bctx.Binder.features
          then tag "recursive_query");
         let counter = ref 1_000_000 in
-        let _, applied = Transformer.transform ~cap:t.cap ~counter bound in
+        let _, applied =
+          Transformer.transform
+            ~extra_scalar_rules:act.Rules_registry.act_scalar
+            ~extra_rel_rules:act.Rules_registry.act_rel ~cap:t.cap ~counter
+            bound
+        in
         transformer_rules := List.map fst applied
       with Sql_error.Error _ ->
         (* emulation-only statements reject binding; the tags above carry
@@ -1295,3 +1383,173 @@ let end_session t (session : Session.t) =
       with Sql_error.Error _ -> ())
     session.Session.volatile_tables;
   session.Session.volatile_tables <- []
+
+(* ------------------------------------------------------------------ *)
+(* Runtime-loadable rewrite-rule packs                                 *)
+(* ------------------------------------------------------------------ *)
+
+type rules_report = {
+  rr_pack : Rules_registry.pack_info;  (** as installed in the registry *)
+  rr_screened : int;  (** corpus statements screened *)
+  rr_skipped : int;  (** emulation-class / unbindable statements skipped *)
+  rr_screen_fires : int;  (** pack-rule fires during screening *)
+  rr_warnings : Diag.t list;  (** R301 never-fired warnings *)
+  rr_diff_queries : int;  (** differential queries compared *)
+  rr_activated : bool;  (** added to the gateway-default layer *)
+}
+
+let rules_registry t = t.rules
+let default_rule_packs t = t.default_rule_packs
+let set_default_rule_packs t packs = t.default_rule_packs <- packs
+
+(* First fired rule's span (falling back to the pack's first rule) so a
+   rejection diagnostic points back into the pack source text. *)
+let rule_span (pack : Rules_compile.pack) names =
+  match
+    List.find_opt
+      (fun (r : Rules_compile.crule) -> List.mem r.Rules_compile.cr_name names)
+      pack.Rules_compile.cp_rules
+  with
+  | Some r -> Some r.Rules_compile.cr_span
+  | None -> (
+      match pack.Rules_compile.cp_rules with
+      | r :: _ -> Some r.Rules_compile.cr_span
+      | [] -> None)
+
+(* Comparable form of an outcome: schema types plus an order-insensitive
+   multiset of rendered rows (engine results are compared, not row order —
+   a rewrite is free to change an unordered result's physical order). *)
+let diff_render (o : outcome) =
+  ( List.map snd o.out_schema,
+    List.sort compare
+      (List.map
+         (fun row ->
+           String.concat "|" (Array.to_list (Array.map Value.to_string row)))
+         o.out_rows) )
+
+(* Differential screening: run every sample query through two scratch
+   pipelines — identical except that one has the candidate pack active —
+   and reject on any divergence in results or error status. [diff_setup]
+   populates both (DDL + data) before the comparison. *)
+let run_differential t ~cert ?diff_setup ~diff_queries () =
+  match diff_queries with
+  | [] -> Ok 0
+  | queries -> (
+      let pack = Rules_screen.pack cert in
+      let scratch with_pack =
+        let p = create ~cap:t.cap ~plan_cache_capacity:0 () in
+        if with_pack then begin
+          let info = Rules_registry.load p.rules cert in
+          p.default_rule_packs <- [ info.Rules_registry.pi_name ]
+        end;
+        (match diff_setup with Some f -> f p | None -> ());
+        p
+      in
+      let base = scratch false in
+      let packed = scratch true in
+      let fires () =
+        List.map
+          (fun (r : Rules_compile.crule) ->
+            (r.Rules_compile.cr_name, Atomic.get r.Rules_compile.cr_fires))
+          pack.Rules_compile.cp_rules
+      in
+      let mismatch = ref None in
+      List.iter
+        (fun q ->
+          if !mismatch = None then begin
+            let before = fires () in
+            let rb = Sql_error.protect (fun () -> run_sql base q) in
+            let rp = Sql_error.protect (fun () -> run_sql packed q) in
+            let fired_rules =
+              List.filter_map
+                (fun (n, c) ->
+                  match List.assoc_opt n before with
+                  | Some c0 when c > c0 -> Some n
+                  | _ -> None)
+                (fires ())
+            in
+            let span = rule_span pack fired_rules in
+            let rule =
+              match fired_rules with
+              | [] -> None
+              | names -> Some (String.concat "," names)
+            in
+            let reject fmt =
+              Printf.ksprintf
+                (fun m ->
+                  mismatch := Some (Diag.make ?span ?rule ~code:"R202" "%s" m))
+                fmt
+            in
+            match (rb, rp) with
+            | Ok ob, Ok op ->
+                if diff_render ob <> diff_render op then
+                  reject
+                    "differential mismatch: pack %s changes engine results on \
+                     \"%s\" (rules fired: %s)"
+                    pack.Rules_compile.cp_name q
+                    (match fired_rules with
+                    | [] -> "none"
+                    | names -> String.concat "," names)
+            | Error _, Error _ -> () (* same failure with and without *)
+            | Ok _, Error e ->
+                reject
+                  "differential mismatch: \"%s\" fails with pack %s loaded: %s"
+                  q pack.Rules_compile.cp_name (Sql_error.to_string e)
+            | Error e, Ok _ ->
+                reject
+                  "differential mismatch: \"%s\" fails without pack %s (%s) \
+                   but succeeds with it"
+                  q pack.Rules_compile.cp_name (Sql_error.to_string e)
+          end)
+        queries;
+      match !mismatch with
+      | None -> Ok (List.length queries)
+      | Some d -> Error [ d ])
+
+(** Load a rule pack from its source text: parse → compile → corpus
+    screening under this pipeline's capability → differential sample →
+    install in the registry. Any failure rejects the pack (counted in
+    hyperq_rules_events_total{event="rejection"}) with spanned
+    diagnostics; nothing is installed. [activate] (default true) appends
+    the pack to the gateway-default layer so it applies to every session;
+    with [~activate:false] the pack is only available to sessions that
+    opt in via SET SESSION RULE_PACKS. *)
+let load_rule_pack t ?(activate = true) ~corpus ?diff_setup
+    ?(diff_queries = []) text : (rules_report, Diag.t list) result =
+  let reject diags =
+    Rules_registry.note_rejection t.rules;
+    Error diags
+  in
+  match Rules_dsl.parse text with
+  | Error ds -> reject ds
+  | Ok parsed -> (
+      match Rules_compile.compile parsed with
+      | Error ds -> reject ds
+      | Ok pack -> (
+          match Rules_screen.screen ~cap:t.cap ~corpus pack with
+          | Error ds -> reject ds
+          | Ok (cert, stats) -> (
+              match run_differential t ~cert ?diff_setup ~diff_queries () with
+              | Error ds -> reject ds
+              | Ok diffn ->
+                  let info = Rules_registry.load t.rules cert in
+                  let name = info.Rules_registry.pi_name in
+                  if activate && not (List.mem name t.default_rule_packs) then
+                    t.default_rule_packs <- t.default_rule_packs @ [ name ];
+                  Ok
+                    {
+                      rr_pack = info;
+                      rr_screened = stats.Rules_screen.sc_statements;
+                      rr_skipped = stats.Rules_screen.sc_skipped;
+                      rr_screen_fires = stats.Rules_screen.sc_fires;
+                      rr_warnings = stats.Rules_screen.sc_warnings;
+                      rr_diff_queries = diffn;
+                      rr_activated = activate;
+                    })))
+
+(** Drop a pack from the registry and the gateway-default layer. Sessions
+    still naming it in SET SESSION RULE_PACKS silently stop applying it
+    (and their plan-cache keys change, so no stale plan survives). *)
+let drop_rule_pack t name =
+  t.default_rule_packs <- List.filter (fun n -> n <> name) t.default_rule_packs;
+  Rules_registry.drop t.rules name

@@ -57,6 +57,11 @@ type t = {
   odbc : Odbc_server.t;
   cache : Plan_cache.t;  (** versioned translation cache, shared by sessions *)
   resil : Resilience.t;  (** retry/backoff + circuit breaker for the backend *)
+  rules : Hyperq_rules.Registry.t;
+      (** runtime-loaded rewrite-rule packs, shared by every session *)
+  mutable default_rule_packs : string list;
+      (** gateway-default pack layer, applied before each session's own
+          [Session.rule_packs] *)
   tel : telemetry;  (** metric handles into the pipeline's registry *)
   clock : Hyperq_obs.Obs.clock;
       (** time source for stage timing and session stamps (the registry's) *)
@@ -188,3 +193,53 @@ val observe_sql : t -> string -> Feature_tracker.observation
 
 (** Logoff cleanup: drop the session's volatile tables. *)
 val end_session : t -> Session.t -> unit
+
+(** {1 Runtime-loadable rewrite-rule packs}
+
+    Rule packs are text files ({!Hyperq_rules.Dsl}) compiled to extra
+    Transformer rules at load time, screened over a corpus plus a
+    differential sample before they can reach traffic, and layered
+    per-gateway (the default layer) or per-session
+    ([SET SESSION RULE_PACKS 'a,b']). The active pack-set id is part of
+    every plan-cache key, so load/reload/drop can never serve a stale
+    plan. *)
+
+(** What {!load_rule_pack} accepted. *)
+type rules_report = {
+  rr_pack : Hyperq_rules.Registry.pack_info;  (** as installed *)
+  rr_screened : int;  (** corpus statements screened *)
+  rr_skipped : int;  (** emulation-class / unbindable statements skipped *)
+  rr_screen_fires : int;  (** pack-rule fires during screening *)
+  rr_warnings : Hyperq_analyze.Diag.t list;  (** R301 never-fired warnings *)
+  rr_diff_queries : int;  (** differential queries compared *)
+  rr_activated : bool;  (** added to the gateway-default layer *)
+}
+
+(** Parse, compile, screen (over [corpus], a list of
+    [(script_name, sql_text)] pairs) and differentially test a pack from
+    its source text, then install it. [diff_setup] populates the two
+    scratch pipelines (base and packed) that run [diff_queries]; any
+    result divergence rejects the pack with R202. All rejections are
+    spanned diagnostics into the pack text and bump
+    [hyperq_rules_events_total{event="rejection"}]. [activate] (default
+    true) adds the pack to the gateway-default layer. *)
+val load_rule_pack :
+  t ->
+  ?activate:bool ->
+  corpus:(string * string) list ->
+  ?diff_setup:(t -> unit) ->
+  ?diff_queries:string list ->
+  string ->
+  (rules_report, Hyperq_analyze.Diag.t list) result
+
+(** Remove a pack from the registry and the default layer; true if it was
+    loaded. Cached plans translated under it are keyed by the old set id
+    and simply never hit again. *)
+val drop_rule_pack : t -> string -> bool
+
+val rules_registry : t -> Hyperq_rules.Registry.t
+val default_rule_packs : t -> string list
+
+(** Replace the gateway-default pack layer (names resolved per statement;
+    unloaded names are ignored). *)
+val set_default_rule_packs : t -> string list -> unit

@@ -26,10 +26,12 @@ type key = {
   k_sql : string;  (** exact source text *)
   k_dialect : string;  (** source dialect name *)
   k_cap : string;  (** target capability-profile name *)
+  k_rules : string;  (** active rule-pack set id ("" when no packs) *)
 }
 [@@warning "-69"]
 
-let key ~sql ~dialect ~cap = { k_sql = sql; k_dialect = dialect; k_cap = cap }
+let key ~rules ~sql ~dialect ~cap =
+  { k_sql = sql; k_dialect = dialect; k_cap = cap; k_rules = rules }
 
 (** The fully-translated, param-free tail of a plan. *)
 type plan = {

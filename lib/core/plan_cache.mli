@@ -16,9 +16,13 @@
 
 type key
 
-(** [key ~sql ~dialect ~cap] — exact source text, source dialect name,
-    target capability-profile name. *)
-val key : sql:string -> dialect:string -> cap:string -> key
+(** [key ~rules ~sql ~dialect ~cap] — the active rule-pack set id (from
+    [Rules.Registry.active]; [""] = no packs), exact source text, source
+    dialect name, target capability-profile name. Including the set id —
+    pack names plus their load generations — means loading, reloading or
+    dropping a pack changes the key, so a plan translated under a
+    different pack set can never be served stale. *)
+val key : rules:string -> sql:string -> dialect:string -> cap:string -> key
 
 type plan = {
   p_target_sql : string;  (** serialized target SQL *)

@@ -23,6 +23,10 @@ type t = {
           against the statement's budget instead of silently extending it.
           Consumed (and cleared) by the pipeline when the statement runs;
           [None] means the budget starts when execution begins. *)
+  mutable rule_packs : string list;
+      (** session-layer rewrite-rule packs (SET SESSION RULE_PACKS),
+          applied after the pipeline's gateway-default packs; resolved
+          against the pipeline's rule registry per statement *)
   created_at : float;
 }
 
@@ -51,6 +55,7 @@ let create ?(username = "HYPERQ") ?created_at () =
     queries_run = 0;
     deadline_s = None;
     deadline_anchor = None;
+    rule_packs = [];
     created_at =
       (match created_at with Some c -> c | None -> Unix.gettimeofday ());
   }

@@ -18,6 +18,9 @@ type t = {
       (** absolute clock time at which the next statement's deadline budget
           starts (stamped at admission by the network front door; consumed
           by the pipeline) *)
+  mutable rule_packs : string list;
+      (** session-layer rewrite-rule packs (SET SESSION RULE_PACKS),
+          applied after the pipeline's gateway-default packs *)
   created_at : float;
 }
 

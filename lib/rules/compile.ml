@@ -1,0 +1,339 @@
+(* Compiler from parsed rule packs (Dsl.pack) to Transformer extra-rule
+   closures.  Static checks happen here with stable R1xx codes:
+
+     R103  duplicate rule id within a pack
+     R104  metavariable used on the RHS (or in a guard) but never bound
+           on the LHS
+     R105  unknown function, non-scalar function (aggregate/window), or
+           wrong arity
+     R106  unknown target profile in a guard
+     R108  metavariable bound as a scalar but used as a relation (or
+           vice versa)
+     R110  bare-metavariable LHS (would match every node)
+
+   A compiled rule carries an atomic fire counter (exported through the
+   registry as hyperq_rules_fires_total) and reports each application to
+   the Transformer ctx under the name "pack:rule", so loaded rules show
+   up in `fired`/validator attribution exactly like built-ins. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+module Capability = Hyperq_transform.Capability
+module Transformer = Hyperq_transform.Transformer
+module Builtins = Hyperq_binder.Builtins
+module Diag = Hyperq_analyze.Diag
+
+type crule = {
+  cr_id : string;
+  cr_name : string; (* "pack:rule" — the fired-attribution name *)
+  cr_span : Dsl.span;
+  cr_fires : int Atomic.t;
+  cr_scalar : (Transformer.ctx -> Xtra.scalar -> Xtra.scalar option) option;
+  cr_rel : (Transformer.ctx -> Xtra.rel -> Xtra.rel option) option;
+}
+
+type pack = { cp_name : string; cp_version : int; cp_rules : crule list }
+
+let scalar_rules p = List.filter_map (fun r -> r.cr_scalar) p.cp_rules
+let rel_rules p = List.filter_map (fun r -> r.cr_rel) p.cp_rules
+let owns_rule p fired_name = String.starts_with ~prefix:(p.cp_name ^ ":") fired_name
+
+(* ------------------------------------------------------------------ *)
+(* Static checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type kind = K_scalar | K_rel
+
+let rec scalar_vars acc (p : Dsl.sp) =
+  match p.Dsl.sn with
+  | Dsl.S_meta v -> (v, K_scalar, p.Dsl.ssp) :: acc
+  | Dsl.S_const _ -> acc
+  | Dsl.S_arith (_, a, b) | Dsl.S_cmp (_, a, b) | Dsl.S_and (a, b) | Dsl.S_or (a, b) ->
+      scalar_vars (scalar_vars acc a) b
+  | Dsl.S_not a | Dsl.S_is_null (a, _) | Dsl.S_cast (a, _) -> scalar_vars acc a
+  | Dsl.S_func (_, args) -> List.fold_left scalar_vars acc args
+
+let rec rel_vars acc (r : Dsl.rp) =
+  match r.Dsl.rn with
+  | Dsl.R_meta v -> (v, K_rel, r.Dsl.rsp) :: acc
+  | Dsl.R_filter (input, pred) -> rel_vars (scalar_vars acc pred) input
+  | Dsl.R_distinct input -> rel_vars acc input
+
+let rec scalar_funcs acc (p : Dsl.sp) =
+  match p.Dsl.sn with
+  | Dsl.S_func (f, args) ->
+      List.fold_left scalar_funcs ((f, List.length args, p.Dsl.ssp) :: acc) args
+  | Dsl.S_meta _ | Dsl.S_const _ -> acc
+  | Dsl.S_arith (_, a, b) | Dsl.S_cmp (_, a, b) | Dsl.S_and (a, b) | Dsl.S_or (a, b) ->
+      scalar_funcs (scalar_funcs acc a) b
+  | Dsl.S_not a | Dsl.S_is_null (a, _) | Dsl.S_cast (a, _) -> scalar_funcs acc a
+
+let rec rel_funcs acc (r : Dsl.rp) =
+  match r.Dsl.rn with
+  | Dsl.R_meta _ -> acc
+  | Dsl.R_filter (input, pred) -> rel_funcs (scalar_funcs acc pred) input
+  | Dsl.R_distinct input -> rel_funcs acc input
+
+let body_vars = function
+  | Dsl.B_scalar (lhs, rhs) -> (scalar_vars [] lhs, scalar_vars [] rhs)
+  | Dsl.B_rel (lhs, rhs) -> (rel_vars [] lhs, rel_vars [] rhs)
+
+let body_funcs = function
+  | Dsl.B_scalar (lhs, rhs) -> scalar_funcs (scalar_funcs [] lhs) rhs
+  | Dsl.B_rel (lhs, rhs) -> rel_funcs (rel_funcs [] lhs) rhs
+
+let kind_name = function K_scalar -> "a scalar expression" | K_rel -> "a relation"
+
+let check_rule pack_name add (r : Dsl.rule) =
+  let attr = pack_name ^ ":" ^ r.Dsl.rule_id in
+  let addf ~code ~span fmt =
+    Printf.ksprintf (fun m -> add (Diag.make ~rule:attr ~span ~code "%s" m)) fmt
+  in
+  (* R110: a bare metavariable on the LHS would match every node. *)
+  (match r.Dsl.body with
+  | Dsl.B_scalar ({ Dsl.sn = Dsl.S_meta _; ssp }, _) ->
+      addf ~code:"R110" ~span:ssp
+        "rule %s: the left-hand side is a bare metavariable and would match every expression"
+        r.Dsl.rule_id
+  | Dsl.B_rel ({ Dsl.rn = Dsl.R_meta _; rsp }, _) ->
+      addf ~code:"R110" ~span:rsp
+        "rule %s: the left-hand side is a bare metavariable and would match every relation"
+        r.Dsl.rule_id
+  | _ -> ());
+  let lhs_vars, rhs_vars = body_vars r.Dsl.body in
+  (* Consistent kinds on the LHS itself. *)
+  let lhs_kind v = List.find_map (fun (n, k, _) -> if n = v then Some k else None) lhs_vars in
+  List.iter
+    (fun (v, k, span) ->
+      match lhs_kind v with
+      | Some k0 when k0 <> k ->
+          addf ~code:"R108" ~span "metavariable ?%s is bound as %s but also used as %s" v
+            (kind_name k0) (kind_name k)
+      | _ -> ())
+    (* lhs_kind returns the first (deepest-last) binding; compare each
+       occurrence against it *)
+    lhs_vars;
+  (* R104/R108: every RHS metavariable must be LHS-bound with the same kind. *)
+  List.iter
+    (fun (v, k, span) ->
+      match lhs_kind v with
+      | None ->
+          addf ~code:"R104" ~span
+            "metavariable ?%s appears in the replacement but is not bound by the pattern" v
+      | Some k0 when k0 <> k ->
+          addf ~code:"R108" ~span "metavariable ?%s is bound as %s but used as %s in the replacement"
+            v (kind_name k0) (kind_name k)
+      | Some _ -> ())
+    rhs_vars;
+  (* R105: all functions must be known scalar builtins with a legal arity. *)
+  List.iter
+    (fun (f, arity, span) ->
+      match Builtins.lookup f with
+      | Some (Builtins.Scalar _, lo, hi) ->
+          if arity < lo || (hi >= 0 && arity > hi) then
+            addf ~code:"R105" ~span "function %s called with %d argument(s); expected %s" f arity
+              (if hi < 0 then Printf.sprintf "at least %d" lo
+               else if lo = hi then string_of_int lo
+               else Printf.sprintf "%d..%d" lo hi)
+      | Some _ ->
+          addf ~code:"R105" ~span
+            "%s is not a scalar function; aggregates and window functions cannot appear in rule patterns"
+            f
+      | None -> addf ~code:"R105" ~span "unknown function %s" f)
+    (body_funcs r.Dsl.body);
+  (* Guards: targets must name a known capability profile; type guards must
+     reference an LHS scalar metavariable. *)
+  List.iter
+    (fun g ->
+      match g with
+      | Dsl.G_target (t, span) ->
+          if Capability.find t = None then
+            addf ~code:"R106" ~span "unknown target profile '%s' in guard (known: %s)" t
+              (String.concat ", " (List.map (fun c -> c.Capability.name) Capability.all_targets))
+      | Dsl.G_type (v, _, span) -> (
+          match lhs_kind v with
+          | Some K_scalar -> ()
+          | Some K_rel ->
+              addf ~code:"R108" ~span
+                "type guard on ?%s, but ?%s is bound as a relation" v v
+          | None ->
+              addf ~code:"R104" ~span
+                "type guard references metavariable ?%s, which is not bound by the pattern" v))
+    r.Dsl.guards
+
+(* ------------------------------------------------------------------ *)
+(* Matching and instantiation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type bnd = B_s of Xtra.scalar | B_r of Xtra.rel
+
+let canon f = Builtins.canonical_name f
+
+let bind_var binds v b =
+  match List.assoc_opt v binds with
+  | None -> Some ((v, b) :: binds)
+  | Some prev -> (
+      (* Repeated metavariables require structurally equal occurrences. *)
+      match (prev, b) with
+      | B_s a, B_s b when a = b -> Some binds
+      | B_r a, B_r b when a = b -> Some binds
+      | _ -> None)
+
+let rec match_scalar binds (p : Dsl.sp) (s : Xtra.scalar) =
+  match (p.Dsl.sn, s) with
+  | Dsl.S_meta v, _ -> bind_var binds v (B_s s)
+  | Dsl.S_const c, Xtra.Const c' -> if c = c' then Some binds else None
+  | Dsl.S_arith (op, a, b), Xtra.Arith (op', x, y) when op = op' -> match2 binds a x b y
+  | Dsl.S_cmp (op, a, b), Xtra.Cmp (op', x, y) when op = op' -> match2 binds a x b y
+  | Dsl.S_and (a, b), Xtra.Logic_and (x, y) -> match2 binds a x b y
+  | Dsl.S_or (a, b), Xtra.Logic_or (x, y) -> match2 binds a x b y
+  | Dsl.S_not a, Xtra.Logic_not x -> match_scalar binds a x
+  | Dsl.S_is_null (a, neg), Xtra.Is_null (x, neg') when neg = neg' -> match_scalar binds a x
+  | Dsl.S_func (f, args), Xtra.Func { name; args = xs; _ }
+    when canon f = name && List.length args = List.length xs ->
+      List.fold_left2
+        (fun acc a x -> match acc with None -> None | Some bs -> match_scalar bs a x)
+        (Some binds) args xs
+  | Dsl.S_cast (a, ty), Xtra.Cast (x, t) when Dtype.same_family ty t -> match_scalar binds a x
+  | _ -> None
+
+and match2 binds a x b y =
+  match match_scalar binds a x with None -> None | Some bs -> match_scalar bs b y
+
+let rec match_rel binds (p : Dsl.rp) (r : Xtra.rel) =
+  match (p.Dsl.rn, r) with
+  | Dsl.R_meta v, _ -> bind_var binds v (B_r r)
+  | Dsl.R_filter (rp, sp), Xtra.Filter { input; pred } -> (
+      match match_rel binds rp input with
+      | None -> None
+      | Some bs -> match_scalar bs sp pred)
+  | Dsl.R_distinct rp, Xtra.Distinct { input } -> match_rel binds rp input
+  | _ -> None
+
+let rec inst_scalar binds (p : Dsl.sp) : Xtra.scalar =
+  match p.Dsl.sn with
+  | Dsl.S_meta v -> (
+      match List.assoc v binds with
+      | B_s s -> s
+      | B_r _ -> invalid_arg "rule instantiation: relation bound where scalar expected")
+  | Dsl.S_const c -> Xtra.Const c
+  | Dsl.S_arith (op, a, b) -> Xtra.Arith (op, inst_scalar binds a, inst_scalar binds b)
+  | Dsl.S_cmp (op, a, b) -> Xtra.Cmp (op, inst_scalar binds a, inst_scalar binds b)
+  | Dsl.S_and (a, b) -> Xtra.Logic_and (inst_scalar binds a, inst_scalar binds b)
+  | Dsl.S_or (a, b) -> Xtra.Logic_or (inst_scalar binds a, inst_scalar binds b)
+  | Dsl.S_not a -> Xtra.Logic_not (inst_scalar binds a)
+  | Dsl.S_is_null (a, neg) -> Xtra.Is_null (inst_scalar binds a, neg)
+  | Dsl.S_cast (a, ty) -> Xtra.Cast (inst_scalar binds a, ty)
+  | Dsl.S_func (f, args) ->
+      let args = List.map (inst_scalar binds) args in
+      let name = canon f in
+      let ty =
+        match Builtins.lookup name with
+        | Some (Builtins.Scalar ty_fn, _, _) -> ty_fn (List.map Xtra.type_of_scalar args)
+        | _ -> Dtype.Unknown (* rejected by check_rule; unreachable *)
+      in
+      Xtra.Func { name; args; ty }
+
+let rec inst_rel binds (p : Dsl.rp) : Xtra.rel =
+  match p.Dsl.rn with
+  | Dsl.R_meta v -> (
+      match List.assoc v binds with
+      | B_r r -> r
+      | B_s _ -> invalid_arg "rule instantiation: scalar bound where relation expected")
+  | Dsl.R_filter (rp, sp) ->
+      Xtra.Filter { input = inst_rel binds rp; pred = inst_scalar binds sp }
+  | Dsl.R_distinct rp -> Xtra.Distinct { input = inst_rel binds rp }
+
+(* ------------------------------------------------------------------ *)
+(* Rule compilation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let compile_rule pack_name (r : Dsl.rule) : crule =
+  let cr_name = pack_name ^ ":" ^ r.Dsl.rule_id in
+  let fires = Atomic.make 0 in
+  let targets =
+    List.filter_map
+      (function Dsl.G_target (t, _) -> Some (String.lowercase_ascii t) | _ -> None)
+      r.Dsl.guards
+  in
+  let type_guards =
+    List.filter_map (function Dsl.G_type (v, ty, _) -> Some (v, ty) | _ -> None) r.Dsl.guards
+  in
+  let target_ok (ctx : Transformer.ctx) =
+    List.for_all (fun t -> t = ctx.Transformer.cap.Capability.name) targets
+  in
+  let type_ok binds =
+    List.for_all
+      (fun (v, ty) ->
+        match List.assoc_opt v binds with
+        | Some (B_s s) -> Dtype.same_family (Xtra.type_of_scalar s) ty
+        | _ -> false)
+      type_guards
+  in
+  let record ctx = Transformer.fired ctx cr_name; Atomic.incr fires in
+  match r.Dsl.body with
+  | Dsl.B_scalar (lhs, rhs) ->
+      let apply ctx s =
+        if not (target_ok ctx) then None
+        else
+          match match_scalar [] lhs s with
+          | None -> None
+          | Some binds ->
+              if not (type_ok binds) then None
+              else
+                let s' = inst_scalar binds rhs in
+                (* An identity result would loop the fixed point's fired
+                   accounting without changing the plan; treat as no match. *)
+                if s' = s then None else (record ctx; Some s')
+      in
+      {
+        cr_id = r.Dsl.rule_id;
+        cr_name;
+        cr_span = r.Dsl.rule_span;
+        cr_fires = fires;
+        cr_scalar = Some apply;
+        cr_rel = None;
+      }
+  | Dsl.B_rel (lhs, rhs) ->
+      let apply ctx rel =
+        if not (target_ok ctx) then None
+        else
+          match match_rel [] lhs rel with
+          | None -> None
+          | Some binds ->
+              if not (type_ok binds) then None
+              else
+                let r' = inst_rel binds rhs in
+                if r' = rel then None else (record ctx; Some r')
+      in
+      {
+        cr_id = r.Dsl.rule_id;
+        cr_name;
+        cr_span = r.Dsl.rule_span;
+        cr_fires = fires;
+        cr_scalar = None;
+        cr_rel = Some apply;
+      }
+
+let compile (p : Dsl.pack) : (pack, Diag.t list) result =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Dsl.rule) ->
+      (if Hashtbl.mem seen r.Dsl.rule_id then
+         add
+           (Diag.make ~rule:(p.Dsl.pack_name ^ ":" ^ r.Dsl.rule_id) ~span:r.Dsl.rule_span
+              ~code:"R103" "duplicate rule id %s in pack %s" r.Dsl.rule_id p.Dsl.pack_name)
+       else Hashtbl.add seen r.Dsl.rule_id ());
+      check_rule p.Dsl.pack_name add r)
+    p.Dsl.prules;
+  match !diags with
+  | [] ->
+      Ok
+        {
+          cp_name = p.Dsl.pack_name;
+          cp_version = p.Dsl.pack_version;
+          cp_rules = List.map (compile_rule p.Dsl.pack_name) p.Dsl.prules;
+        }
+  | ds -> Error (Diag.sort (List.rev ds))

@@ -1,0 +1,600 @@
+(* Rule-pack DSL: a small text language declaring rewrite rules over scalar
+   expressions and relational XTRA shapes.
+
+     pack NAME version INT
+     rule ID [target = 'ansi-engine', type(?x) = int] : PATTERN => REPLACEMENT
+
+   Metavariables (`?x`) match arbitrary sub-expressions; a repeated
+   metavariable must match structurally-equal occurrences.  Scalar patterns
+   cover literals, arithmetic, comparisons, AND/OR/NOT, IS [NOT] NULL,
+   CAST, and builtin scalar functions; relational patterns cover
+   FILTER(rel, pred) and DISTINCT(rel).  `#` starts a line comment.
+
+   Parse errors are reported as spanned [Diag.t] values with stable R1xx
+   codes (R101 lexical, R102 syntax, R107 unknown type name) so `hyperq
+   rules load` can print file:offset diagnostics instead of raising. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+module Diag = Hyperq_analyze.Diag
+
+type span = int * int
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Error_diag of Diag.t
+
+let fail ?rule ~code ~span fmt =
+  Printf.ksprintf
+    (fun m -> raise (Error_diag (Diag.make ?rule ~span ~code "%s" m)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type tok =
+  | T_ident of string
+  | T_meta of string (* ?x *)
+  | T_int of int64
+  | T_number of string (* decimal literal, kept textual *)
+  | T_string of string
+  | T_lparen
+  | T_rparen
+  | T_lbracket
+  | T_rbracket
+  | T_comma
+  | T_colon
+  | T_arrow (* => *)
+  | T_eq
+  | T_neq
+  | T_lt
+  | T_lte
+  | T_gt
+  | T_gte
+  | T_plus
+  | T_minus
+  | T_star
+  | T_slash
+  | T_percent
+  | T_eof
+
+let describe = function
+  | T_ident s -> Printf.sprintf "identifier '%s'" s
+  | T_meta s -> Printf.sprintf "metavariable ?%s" s
+  | T_int n -> Printf.sprintf "integer %Ld" n
+  | T_number s -> Printf.sprintf "number %s" s
+  | T_string s -> Printf.sprintf "string '%s'" s
+  | T_lparen -> "'('"
+  | T_rparen -> "')'"
+  | T_lbracket -> "'['"
+  | T_rbracket -> "']'"
+  | T_comma -> "','"
+  | T_colon -> "':'"
+  | T_arrow -> "'=>'"
+  | T_eq -> "'='"
+  | T_neq -> "'<>'"
+  | T_lt -> "'<'"
+  | T_lte -> "'<='"
+  | T_gt -> "'>'"
+  | T_gte -> "'>='"
+  | T_plus -> "'+'"
+  | T_minus -> "'-'"
+  | T_star -> "'*'"
+  | T_slash -> "'/'"
+  | T_percent -> "'%'"
+  | T_eof -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : (tok * span) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t a b = toks := (t, (a, b)) :: !toks in
+  while !i < n do
+    let start = !i in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (T_ident (String.sub src start (!i - start))) start !i
+    end
+    else if c = '?' && start + 1 < n && is_ident_start src.[start + 1] then begin
+      incr i;
+      let vstart = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (T_meta (String.lowercase_ascii (String.sub src vstart (!i - vstart)))) start !i
+    end
+    else if is_digit c then begin
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let fractional = !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] in
+      if fractional then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push (T_number (String.sub src start (!i - start))) start !i
+      end
+      else begin
+        let text = String.sub src start (!i - start) in
+        match Int64.of_string_opt text with
+        | Some v -> push (T_int v) start !i
+        | None ->
+            raise
+              (Error_diag
+                 (Diag.make ~span:(start, !i) ~code:"R101"
+                    "integer literal %s out of range" text))
+      end
+    end
+    else if c = '\'' then begin
+      (* SQL-style string: '' is an escaped quote *)
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then
+        raise
+          (Error_diag
+             (Diag.make ~span:(start, n) ~code:"R101"
+                "unterminated string literal"));
+      push (T_string (Buffer.contents buf)) start !i
+    end
+    else begin
+      let two = if start + 1 < n then String.sub src start 2 else "" in
+      let simple t len = push t start (start + len); i := start + len in
+      match two with
+      | "=>" -> simple T_arrow 2
+      | ">=" -> simple T_gte 2
+      | "<=" -> simple T_lte 2
+      | "<>" -> simple T_neq 2
+      | "!=" -> simple T_neq 2
+      | _ -> (
+          match c with
+          | '(' -> simple T_lparen 1
+          | ')' -> simple T_rparen 1
+          | '[' -> simple T_lbracket 1
+          | ']' -> simple T_rbracket 1
+          | ',' -> simple T_comma 1
+          | ':' -> simple T_colon 1
+          | '=' -> simple T_eq 1
+          | '<' -> simple T_lt 1
+          | '>' -> simple T_gt 1
+          | '+' -> simple T_plus 1
+          | '-' -> simple T_minus 1
+          | '*' -> simple T_star 1
+          | '/' -> simple T_slash 1
+          | '%' -> simple T_percent 1
+          | _ ->
+              raise
+                (Error_diag
+                   (Diag.make ~span:(start, start + 1) ~code:"R101"
+                      "unexpected character %C" c)))
+    end
+  done;
+  List.rev ((T_eof, (n, n)) :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern AST                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type sp = { sn : sp_node; ssp : span }
+
+and sp_node =
+  | S_meta of string
+  | S_const of Value.t
+  | S_arith of Xtra.arith_op * sp * sp
+  | S_cmp of Xtra.cmp_op * sp * sp
+  | S_and of sp * sp
+  | S_or of sp * sp
+  | S_not of sp
+  | S_is_null of sp * bool (* negated? (IS NOT NULL) *)
+  | S_func of string * sp list
+  | S_cast of sp * Dtype.t
+
+type rp = { rn : rp_node; rsp : span }
+
+and rp_node =
+  | R_meta of string
+  | R_filter of rp * sp
+  | R_distinct of rp
+
+type guard =
+  | G_target of string * span (* target = 'teradata' *)
+  | G_type of string * Dtype.t * span (* type(?x) = int *)
+
+type body = B_scalar of sp * sp | B_rel of rp * rp
+
+type rule = {
+  rule_id : string;
+  rule_span : span;
+  guards : guard list;
+  body : body;
+}
+
+type pack = { pack_name : string; pack_version : int; prules : rule list }
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ts = { toks : (tok * span) array; mutable pos : int }
+
+let peek ts = fst ts.toks.(ts.pos)
+let cur_span ts = snd ts.toks.(ts.pos)
+let advance ts = ts.pos <- ts.pos + 1
+
+(* Keywords are case-insensitive identifiers. *)
+let at_kw ts kw =
+  match peek ts with
+  | T_ident id -> String.uppercase_ascii id = kw
+  | _ -> false
+
+let err ts what =
+  let span = cur_span ts in
+  match peek ts with
+  | T_eof ->
+      fail ~code:"R102" ~span "unterminated pattern or pack: expected %s, got end of input" what
+  | t -> fail ~code:"R102" ~span "expected %s, found %s" what (describe t)
+
+let expect ts tok what =
+  if peek ts = tok then advance ts else err ts what
+
+let expect_kw ts kw = if at_kw ts kw then advance ts else err ts (Printf.sprintf "keyword %s" kw)
+
+let ident ts what =
+  match peek ts with
+  | T_ident id ->
+      let sp = cur_span ts in
+      advance ts;
+      (id, sp)
+  | _ -> err ts what
+
+let dtype_of_typename ~span name =
+  match String.uppercase_ascii name with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "BYTEINT" -> Dtype.Int
+  | "DECIMAL" | "NUMERIC" -> Dtype.default_decimal
+  | "FLOAT" | "DOUBLE" | "REAL" -> Dtype.Float
+  | "VARCHAR" | "CHAR" | "CHARACTER" -> Dtype.varchar ()
+  | "DATE" -> Dtype.Date
+  | "TIME" -> Dtype.Time
+  | "TIMESTAMP" -> Dtype.Timestamp
+  | "BOOL" | "BOOLEAN" -> Dtype.Bool
+  | other ->
+      fail ~code:"R107" ~span
+        "unknown type name %s (expected int, decimal, float, varchar, date, time, timestamp or bool)"
+        other
+
+(* Scalar patterns: precedence-climbing OR > AND > NOT > comparison >
+   additive > multiplicative > unary minus > primary. *)
+
+let rec parse_or ts =
+  let l = ref (parse_and ts) in
+  while at_kw ts "OR" do
+    advance ts;
+    let r = parse_and ts in
+    l := { sn = S_or (!l, r); ssp = (fst !l.ssp, snd r.ssp) }
+  done;
+  !l
+
+and parse_and ts =
+  let l = ref (parse_not ts) in
+  while at_kw ts "AND" do
+    advance ts;
+    let r = parse_not ts in
+    l := { sn = S_and (!l, r); ssp = (fst !l.ssp, snd r.ssp) }
+  done;
+  !l
+
+and parse_not ts =
+  if at_kw ts "NOT" then begin
+    let start = fst (cur_span ts) in
+    advance ts;
+    let inner = parse_not ts in
+    { sn = S_not inner; ssp = (start, snd inner.ssp) }
+  end
+  else parse_cmp ts
+
+and parse_cmp ts =
+  let l = parse_add ts in
+  if at_kw ts "IS" then begin
+    advance ts;
+    let negated = at_kw ts "NOT" in
+    if negated then advance ts;
+    let stop = snd (cur_span ts) in
+    expect_kw ts "NULL";
+    { sn = S_is_null (l, negated); ssp = (fst l.ssp, stop) }
+  end
+  else
+    let op =
+      match peek ts with
+      | T_eq -> Some Xtra.Eq
+      | T_neq -> Some Xtra.Neq
+      | T_lt -> Some Xtra.Lt
+      | T_lte -> Some Xtra.Lte
+      | T_gt -> Some Xtra.Gt
+      | T_gte -> Some Xtra.Gte
+      | _ -> None
+    in
+    match op with
+    | None -> l
+    | Some op ->
+        advance ts;
+        let r = parse_add ts in
+        { sn = S_cmp (op, l, r); ssp = (fst l.ssp, snd r.ssp) }
+
+and parse_add ts =
+  let l = ref (parse_mul ts) in
+  let continue_ = ref true in
+  while !continue_ do
+    let op =
+      match peek ts with
+      | T_plus -> Some Xtra.Add
+      | T_minus -> Some Xtra.Sub
+      | _ -> None
+    in
+    match op with
+    | None -> continue_ := false
+    | Some op ->
+        advance ts;
+        let r = parse_mul ts in
+        l := { sn = S_arith (op, !l, r); ssp = (fst !l.ssp, snd r.ssp) }
+  done;
+  !l
+
+and parse_mul ts =
+  let l = ref (parse_unary ts) in
+  let continue_ = ref true in
+  while !continue_ do
+    let op =
+      match peek ts with
+      | T_star -> Some Xtra.Mul
+      | T_slash -> Some Xtra.Div
+      | T_percent -> Some Xtra.Modulo
+      | T_ident id when String.uppercase_ascii id = "MOD" -> Some Xtra.Modulo
+      | _ -> None
+    in
+    match op with
+    | None -> continue_ := false
+    | Some op ->
+        advance ts;
+        let r = parse_unary ts in
+        l := { sn = S_arith (op, !l, r); ssp = (fst !l.ssp, snd r.ssp) }
+  done;
+  !l
+
+and parse_unary ts =
+  match peek ts with
+  | T_minus -> (
+      let start = fst (cur_span ts) in
+      advance ts;
+      (* Unary minus folds into a numeric literal only. *)
+      match peek ts with
+      | T_int v ->
+          let stop = snd (cur_span ts) in
+          advance ts;
+          { sn = S_const (Value.Int (Int64.neg v)); ssp = (start, stop) }
+      | T_number s ->
+          let stop = snd (cur_span ts) in
+          advance ts;
+          { sn = S_const (Value.Decimal (Decimal.of_string ("-" ^ s))); ssp = (start, stop) }
+      | _ -> err ts "numeric literal after unary '-'")
+  | _ -> parse_primary ts
+
+and parse_primary ts =
+  let span = cur_span ts in
+  match peek ts with
+  | T_meta v ->
+      advance ts;
+      { sn = S_meta v; ssp = span }
+  | T_int v ->
+      advance ts;
+      { sn = S_const (Value.Int v); ssp = span }
+  | T_number s ->
+      advance ts;
+      { sn = S_const (Value.Decimal (Decimal.of_string s)); ssp = span }
+  | T_string s ->
+      advance ts;
+      { sn = S_const (Value.Varchar s); ssp = span }
+  | T_lparen ->
+      advance ts;
+      let inner = parse_or ts in
+      expect ts T_rparen "')'";
+      inner
+  | T_ident id -> (
+      match String.uppercase_ascii id with
+      | "NULL" ->
+          advance ts;
+          { sn = S_const Value.Null; ssp = span }
+      | "TRUE" ->
+          advance ts;
+          { sn = S_const (Value.Bool true); ssp = span }
+      | "FALSE" ->
+          advance ts;
+          { sn = S_const (Value.Bool false); ssp = span }
+      | "CAST" ->
+          advance ts;
+          expect ts T_lparen "'(' after CAST";
+          let inner = parse_or ts in
+          expect_kw ts "AS";
+          let tyname, tyspan = ident ts "type name after AS" in
+          let ty = dtype_of_typename ~span:tyspan tyname in
+          let stop = snd (cur_span ts) in
+          expect ts T_rparen "')' closing CAST";
+          { sn = S_cast (inner, ty); ssp = (fst span, stop) }
+      | up -> (
+          advance ts;
+          match peek ts with
+          | T_lparen ->
+              advance ts;
+              let args = ref [] in
+              if peek ts = T_rparen then advance ts
+              else begin
+                args := [ parse_or ts ];
+                while peek ts = T_comma do
+                  advance ts;
+                  args := parse_or ts :: !args
+                done;
+                expect ts T_rparen "')' closing argument list"
+              end;
+              let stop = snd ts.toks.(ts.pos - 1) |> snd in
+              { sn = S_func (up, List.rev !args); ssp = (fst span, stop) }
+          | _ ->
+              fail ~code:"R102" ~span
+                "bare identifier %s in pattern; use a metavariable (?%s) to match arbitrary expressions"
+                id (String.lowercase_ascii id)))
+  | _ -> err ts "a pattern (metavariable, literal, function call, CAST or parenthesis)"
+
+(* Relational patterns. *)
+let rec parse_rel ts =
+  let span = cur_span ts in
+  if at_kw ts "FILTER" then begin
+    advance ts;
+    expect ts T_lparen "'(' after FILTER";
+    let input = parse_rel ts in
+    expect ts T_comma "',' between FILTER input and predicate";
+    let pred = parse_or ts in
+    let stop = snd (cur_span ts) in
+    expect ts T_rparen "')' closing FILTER";
+    { rn = R_filter (input, pred); rsp = (fst span, stop) }
+  end
+  else if at_kw ts "DISTINCT" then begin
+    advance ts;
+    expect ts T_lparen "'(' after DISTINCT";
+    let input = parse_rel ts in
+    let stop = snd (cur_span ts) in
+    expect ts T_rparen "')' closing DISTINCT";
+    { rn = R_distinct input; rsp = (fst span, stop) }
+  end
+  else
+    match peek ts with
+    | T_meta v ->
+        advance ts;
+        { rn = R_meta v; rsp = span }
+    | _ -> err ts "a relational pattern (FILTER, DISTINCT or a metavariable)"
+
+let starts_rel ts = at_kw ts "FILTER" || at_kw ts "DISTINCT"
+
+let parse_guards ts =
+  if peek ts <> T_lbracket then []
+  else begin
+    advance ts;
+    let guards = ref [] in
+    let parse_guard () =
+      if at_kw ts "TARGET" then begin
+        let gstart = fst (cur_span ts) in
+        advance ts;
+        expect ts T_eq "'=' in target guard";
+        match peek ts with
+        | T_ident t | T_string t ->
+            let stop = snd (cur_span ts) in
+            advance ts;
+            guards := G_target (t, (gstart, stop)) :: !guards
+        | _ -> err ts "a target profile name"
+      end
+      else if at_kw ts "TYPE" then begin
+        let gstart = fst (cur_span ts) in
+        advance ts;
+        expect ts T_lparen "'(' after type";
+        let v =
+          match peek ts with
+          | T_meta v ->
+              advance ts;
+              v
+          | _ -> err ts "a metavariable inside type(...)"
+        in
+        expect ts T_rparen "')' closing type(...)";
+        expect ts T_eq "'=' in type guard";
+        let tyname, tyspan = ident ts "a type name" in
+        let ty = dtype_of_typename ~span:tyspan tyname in
+        guards := G_type (v, ty, (gstart, snd tyspan)) :: !guards
+      end
+      else err ts "a guard (target = NAME or type(?x) = TYPENAME)"
+    in
+    parse_guard ();
+    while peek ts = T_comma do
+      advance ts;
+      parse_guard ()
+    done;
+    expect ts T_rbracket "']' closing guard list";
+    List.rev !guards
+  end
+
+let parse_rule ts =
+  expect_kw ts "RULE";
+  let id, id_span = ident ts "a rule id after 'rule'" in
+  let guards = parse_guards ts in
+  expect ts T_colon "':' before the rule pattern";
+  let body =
+    if starts_rel ts then begin
+      let lhs = parse_rel ts in
+      expect ts T_arrow "'=>' between pattern and replacement";
+      let rhs = parse_rel ts in
+      B_rel (lhs, rhs)
+    end
+    else begin
+      let lhs = parse_or ts in
+      expect ts T_arrow "'=>' between pattern and replacement";
+      let rhs = parse_or ts in
+      B_scalar (lhs, rhs)
+    end
+  in
+  { rule_id = String.lowercase_ascii id; rule_span = id_span; guards; body }
+
+let parse_pack ts =
+  expect_kw ts "PACK";
+  let name, _ = ident ts "a pack name after 'pack'" in
+  expect_kw ts "VERSION";
+  let version =
+    match peek ts with
+    | T_int v ->
+        advance ts;
+        Int64.to_int v
+    | _ -> err ts "an integer pack version"
+  in
+  let rules = ref [] in
+  while at_kw ts "RULE" do
+    rules := parse_rule ts :: !rules
+  done;
+  if peek ts <> T_eof then err ts "'rule' or end of pack";
+  {
+    pack_name = String.lowercase_ascii name;
+    pack_version = version;
+    prules = List.rev !rules;
+  }
+
+let parse (text : string) : (pack, Diag.t list) result =
+  match
+    let toks = Array.of_list (tokenize text) in
+    parse_pack { toks; pos = 0 }
+  with
+  | pack -> Ok pack
+  | exception Error_diag d -> Error [ d ]

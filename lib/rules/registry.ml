@@ -1,0 +1,166 @@
+(* Pack registry: named, versioned, screened rule packs layered in load
+   order.  The registry is shared by every session of a pipeline; a
+   session (or the gateway default) names the packs it wants and
+   {!active} resolves them to the concatenated extra-rule closures plus
+   a stable set id ("name@generation" joined with '+') that the plan
+   cache folds into its key — so loading, reloading or dropping a pack
+   can never let a stale plan be served.
+
+   Loading demands a {!Screen.certificate}: screening is not optional.
+   Fire counters are reset at install so screening/differential fires
+   do not pollute the traffic-facing hyperq_rules_fires_total series. *)
+
+module Transformer = Hyperq_transform.Transformer
+module Xtra = Hyperq_xtra.Xtra
+
+type rule_info = { ri_id : string; ri_name : string; ri_fires : int }
+
+type pack_info = {
+  pi_name : string;
+  pi_version : int;
+  pi_gen : int;  (** registry epoch at (re)load; part of the cache key *)
+  pi_screened : int;  (** corpus statements screened at load *)
+  pi_cap : string;  (** capability profile the pack was screened for *)
+  pi_rules : rule_info list;
+}
+
+type loaded = { l_pack : Compile.pack; l_gen : int; l_screened : int; l_cap : string }
+
+type t = {
+  lock : Mutex.t;
+  mutable packs : (string * loaded) list; (* insertion order = layering order *)
+  mutable epoch : int;
+  mutable loads : int;
+  mutable drops : int;
+  mutable rejections : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    packs = [];
+    epoch = 0;
+    loads = 0;
+    drops = 0;
+    rejections = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let info_of name (l : loaded) =
+  {
+    pi_name = name;
+    pi_version = l.l_pack.Compile.cp_version;
+    pi_gen = l.l_gen;
+    pi_screened = l.l_screened;
+    pi_cap = l.l_cap;
+    pi_rules =
+      List.map
+        (fun (r : Compile.crule) ->
+          {
+            ri_id = r.Compile.cr_id;
+            ri_name = r.Compile.cr_name;
+            ri_fires = Atomic.get r.Compile.cr_fires;
+          })
+        l.l_pack.Compile.cp_rules;
+  }
+
+(** Install (or replace, keeping its layer position) a screened pack. *)
+let load t cert =
+  let pack = Screen.pack cert in
+  locked t (fun () ->
+      t.epoch <- t.epoch + 1;
+      t.loads <- t.loads + 1;
+      List.iter (fun (r : Compile.crule) -> Atomic.set r.Compile.cr_fires 0) pack.Compile.cp_rules;
+      let name = pack.Compile.cp_name in
+      let l =
+        {
+          l_pack = pack;
+          l_gen = t.epoch;
+          l_screened = Screen.statements cert;
+          l_cap = Screen.cap_name cert;
+        }
+      in
+      if List.mem_assoc name t.packs then
+        t.packs <- List.map (fun (n, old) -> if n = name then (n, l) else (n, old)) t.packs
+      else t.packs <- t.packs @ [ (name, l) ];
+      info_of name l)
+
+let drop t name =
+  locked t (fun () ->
+      if List.mem_assoc name t.packs then begin
+        t.packs <- List.remove_assoc name t.packs;
+        t.epoch <- t.epoch + 1;
+        t.drops <- t.drops + 1;
+        true
+      end
+      else false)
+
+let list_packs t = locked t (fun () -> List.map (fun (n, l) -> info_of n l) t.packs)
+
+let find t name =
+  locked t (fun () -> Option.map (info_of name) (List.assoc_opt name t.packs))
+
+let epoch t = locked t (fun () -> t.epoch)
+let note_rejection t = locked t (fun () -> t.rejections <- t.rejections + 1)
+
+(** [(event, count)] pairs for hyperq_rules_events_total. *)
+let counters t =
+  locked t (fun () ->
+      [ ("load", t.loads); ("drop", t.drops); ("rejection", t.rejections) ])
+
+(** [(pack, rule, fires)] triples for hyperq_rules_fires_total. *)
+let fire_counts t =
+  locked t (fun () ->
+      List.concat_map
+        (fun (n, l) ->
+          List.map
+            (fun (r : Compile.crule) -> (n, r.Compile.cr_id, Atomic.get r.Compile.cr_fires))
+            l.l_pack.Compile.cp_rules)
+        t.packs)
+
+(* ------------------------------------------------------------------ *)
+(* Active-set resolution                                               *)
+(* ------------------------------------------------------------------ *)
+
+type active = {
+  act_packs : string list;  (** resolved pack names, layering order *)
+  act_set_id : string;  (** "" when empty; folded into plan-cache keys *)
+  act_scalar : (Transformer.ctx -> Xtra.scalar -> Xtra.scalar option) list;
+  act_rel : (Transformer.ctx -> Xtra.rel -> Xtra.rel option) list;
+}
+
+let empty_active = { act_packs = []; act_set_id = ""; act_scalar = []; act_rel = [] }
+
+(** Resolve pack names (dedicated first occurrence wins; names that are
+    not currently loaded are skipped, so a dropped pack silently stops
+    applying) to concatenated closures + the cache-key set id. *)
+let active t ~packs =
+  match packs with
+  | [] -> empty_active
+  | packs ->
+      locked t (fun () ->
+          let seen = Hashtbl.create 4 in
+          let resolved =
+            List.filter_map
+              (fun n ->
+                if Hashtbl.mem seen n then None
+                else begin
+                  Hashtbl.add seen n ();
+                  Option.map (fun l -> (n, l)) (List.assoc_opt n t.packs)
+                end)
+              packs
+          in
+          match resolved with
+          | [] -> empty_active
+          | rs ->
+              {
+                act_packs = List.map fst rs;
+                act_set_id =
+                  String.concat "+"
+                    (List.map (fun (n, l) -> Printf.sprintf "%s@%d" n l.l_gen) rs);
+                act_scalar = List.concat_map (fun (_, l) -> Compile.scalar_rules l.l_pack) rs;
+                act_rel = List.concat_map (fun (_, l) -> Compile.rel_rules l.l_pack) rs;
+              })

@@ -1,0 +1,42 @@
+(** Mandatory load-time screening for rule packs.
+
+    A candidate pack is applied over a corpus of scripts (parse → bind →
+    transform with the pack's extra rules); every statement where a pack
+    rule fired is re-checked with the plan validator and re-serialized.
+    Any V-code violation or serialization regression that the baseline
+    (pack-less) transform does not exhibit rejects the pack with a
+    spanned R2xx diagnostic pointing back into the pack source:
+
+      R201  validator violation (message carries the V-code)
+      R203  transform raised where the baseline did not
+      R204  serialization regression
+
+    Screening cannot be skipped: {!certificate} is abstract and only
+    {!screen} constructs it, and [Registry.load] demands one. *)
+
+module Capability = Hyperq_transform.Capability
+module Diag = Hyperq_analyze.Diag
+
+(** Proof that a pack survived corpus screening for some capability. *)
+type certificate
+
+type stats = {
+  sc_statements : int;  (** statements bound + transformed under the pack *)
+  sc_skipped : int;  (** emulation-class / unbindable statements skipped *)
+  sc_fires : int;  (** total pack-rule fires during screening *)
+  sc_warnings : Diag.t list;  (** R301 rule-never-fired warnings *)
+}
+
+val pack : certificate -> Compile.pack
+val cap_name : certificate -> string
+val statements : certificate -> int
+
+(** [screen ~cap ~corpus pack] applies [pack] over [corpus] (a list of
+    [(script_name, sql_text)] pairs, split on statements) under target
+    [cap]. Returns the certificate and stats, or the rejection
+    diagnostics (fails fast after 3). *)
+val screen :
+  cap:Capability.t ->
+  corpus:(string * string) list ->
+  Compile.pack ->
+  (certificate * stats, Diag.t list) result

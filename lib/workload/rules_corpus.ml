@@ -1,0 +1,75 @@
+(** The bundled screening corpus and differential sample used when rule
+    packs are loaded (bin `hyperq rules load`, repl [\rules load], the
+    `rules` bench and the tests all share this, so a pack accepted in one
+    place is accepted everywhere).
+
+    Screening scripts are the analyzer corpus: the health-insurance and
+    telco customer workloads plus TPC-H DDL and the 22 queries — the same
+    ~14.3k statements `bench analyze` classifies. The differential sample
+    executes a TPC-H subset plus synthetic antipattern queries (the shapes
+    the example packs rewrite) on a small scale factor and compares engine
+    results with and without the candidate pack. *)
+
+module Pipeline = Hyperq_core.Pipeline
+
+(* Generated-SQL antipattern shapes (tautologies, double negation, nested
+   idempotent functions). The customer workloads are too clean to contain
+   these, so without this script a cleanup pack would fire zero times
+   during screening — and a pack whose rewrites only ever trigger on
+   antipattern shapes would reach the engine unvalidated. *)
+let antipattern_script =
+  String.concat ";\n"
+    [
+      "CREATE TABLE AP_EVENTS (EVENT_ID INTEGER, LABEL VARCHAR(30), \
+       SCORE DECIMAL(9,2), SEEN_DT DATE)";
+      "SELECT UPPER(UPPER(LABEL)), TRIM(TRIM(LABEL)) FROM AP_EVENTS WHERE 1=1";
+      "SELECT EVENT_ID + 0, COALESCE(LABEL, LABEL) FROM AP_EVENTS WHERE 1=1 \
+       AND NOT (NOT (EVENT_ID > 10))";
+      "SELECT ABS(ABS(SCORE)) FROM AP_EVENTS WHERE NOT (LABEL = 'noise')";
+      "SELECT ADD_DAYS(SEEN_DT, 0) FROM AP_EVENTS WHERE \
+       UPPER(UPPER(UPPER(LABEL))) = 'CRITICAL'";
+      "SELECT DISTINCT LABEL FROM AP_EVENTS WHERE 1=1 AND SCORE = 0.0";
+      "SELECT COUNT(*) FROM AP_EVENTS WHERE EVENT_ID = 42";
+    ]
+
+let screening_scripts () =
+  [
+    ("health", String.concat ";\n" (Customer.health_setup @ Customer.health_queries ()));
+    ("telco", String.concat ";\n" (Customer.telco_setup @ Customer.telco_queries ()));
+    ("tpch", String.concat ";\n" (Tpch.ddl @ List.map snd Tpch_queries.all));
+    ("antipatterns", antipattern_script);
+  ]
+
+(** Populate a scratch differential pipeline: TPC-H at a tiny scale factor
+    (deterministic generator, so the base and packed pipelines hold
+    identical data). *)
+let differential_setup ?(sf = 0.002) (pipeline : Pipeline.t) =
+  ignore (Tpch.setup ~sf pipeline)
+
+(** Queries compared between the base and packed pipelines. A mix of real
+    TPC-H and synthetic antipattern shapes that exercise the example
+    packs' rules (so a wrong rewrite of those shapes is caught by results,
+    not just by the validator). *)
+let differential_queries () =
+  List.filter_map
+    (fun n -> List.assoc_opt n Tpch_queries.all)
+    [ "Q1"; "Q3"; "Q6"; "Q12" ]
+  @ [
+      "SELECT L_ORDERKEY, UPPER(UPPER(L_SHIPMODE)) FROM LINEITEM WHERE 1=1 \
+       AND NOT (NOT (L_QUANTITY > 30))";
+      "SELECT COUNT(*) FROM ORDERS WHERE 1=1 AND TRIM(TRIM(O_ORDERPRIORITY)) \
+       = '1-URGENT'";
+      "SELECT O_ORDERKEY + 0, COALESCE(O_CLERK, O_CLERK) FROM ORDERS WHERE \
+       NOT (O_SHIPPRIORITY = 0)";
+      "SELECT DISTINCT L_RETURNFLAG FROM LINEITEM WHERE \
+       UPPER(UPPER(UPPER(L_RETURNFLAG))) = 'R'";
+    ]
+
+(** Load a pack with the full bundled screening + differential gate — the
+    standard entry point for bin/bench/tests. [diff:false] skips the
+    differential phase (parser/compiler/corpus screening still run). *)
+let load_pack ?(diff = true) pipeline text =
+  Pipeline.load_rule_pack pipeline ~corpus:(screening_scripts ())
+    ?diff_setup:(if diff then Some (fun p -> differential_setup p) else None)
+    ~diff_queries:(if diff then differential_queries () else [])
+    text

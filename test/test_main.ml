@@ -22,4 +22,5 @@ let () =
       ("net", Test_net.suite);
       ("obs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
+      ("rules", Test_rules.suite);
     ]

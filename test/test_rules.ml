@@ -1,0 +1,472 @@
+(* Runtime rule-pack tests: the DSL parser's spanned error paths, the
+   compiler's static checks, validator + differential screening at load
+   time, registry layering (gateway defaults vs SET SESSION RULE_PACKS),
+   the plan-cache staleness regression across load/drop, and end-to-end
+   rewrite attribution through the pipeline and its telemetry. *)
+
+open Hyperq_sqlvalue
+module Pipeline = Hyperq_core.Pipeline
+module Plan_cache = Hyperq_core.Plan_cache
+module Session = Hyperq_core.Session
+module Dsl = Hyperq_rules.Dsl
+module Compile = Hyperq_rules.Compile
+module Screen = Hyperq_rules.Screen
+module Registry = Hyperq_rules.Registry
+module Capability = Hyperq_transform.Capability
+module Transformer = Hyperq_transform.Transformer
+module Xtra = Hyperq_xtra.Xtra
+module Diag = Hyperq_analyze.Diag
+module Obs = Hyperq_obs.Obs
+
+let check = Alcotest.check
+let ib = Alcotest.int
+let bb = Alcotest.bool
+let sb = Alcotest.string
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* dune copies examples/rules into the build tree (test deps glob); cwd is
+   test/ under `dune runtest` but the workspace root under `dune exec`. *)
+let example name =
+  let rel = "examples/rules/" ^ name in
+  read_file (if Sys.file_exists rel then rel else "../" ^ rel)
+
+let show_diags ds =
+  String.concat "; " (List.map (fun d -> d.Diag.code ^ ": " ^ d.Diag.message) ds)
+
+let parse_ok text =
+  match Dsl.parse text with
+  | Ok p -> p
+  | Error ds -> Alcotest.failf "parse failed: %s" (show_diags ds)
+
+let compile_ok text =
+  match Compile.compile (parse_ok text) with
+  | Ok p -> p
+  | Error ds -> Alcotest.failf "compile failed: %s" (show_diags ds)
+
+(* Parse-then-compile, returning whichever stage's diagnostics reject. *)
+let diags_of text =
+  match Dsl.parse text with
+  | Error ds -> ds
+  | Ok p -> ( match Compile.compile p with Ok _ -> [] | Error ds -> ds)
+
+let assert_diag ?(substring = "") ~code text =
+  match diags_of text with
+  | [] -> Alcotest.failf "expected %s, pack was accepted" code
+  | d :: _ ->
+      check sb (code ^ " is the first code") code d.Diag.code;
+      check bb (code ^ " carries a span") true (d.Diag.span <> None);
+      if substring <> "" then
+        check bb
+          (Printf.sprintf "%s message mentions %S (got %S)" code substring
+             d.Diag.message)
+          true
+          (contains d.Diag.message substring)
+
+(* A tiny screening corpus that exercises the example packs' shapes. *)
+let small_corpus =
+  [
+    ( "unit",
+      "CREATE TABLE RT (A INTEGER, B VARCHAR(10));\n\
+       SELECT UPPER(UPPER(B)) FROM RT WHERE 1=1 AND A + 0 > 2;\n\
+       SELECT COUNT(*) FROM RT WHERE NOT (NOT (A > 1));\n\
+       SELECT TRIM(TRIM(B)), COALESCE(B, B), ABS(ABS(A)) FROM RT WHERE NOT (A = 2);\n\
+       SELECT B FROM RT WHERE A = 2"
+    );
+  ]
+
+let fresh () =
+  let p = Pipeline.create () in
+  ignore (Pipeline.run_sql p "CREATE TABLE RT (A INTEGER, B VARCHAR(10))");
+  ignore (Pipeline.run_sql p "INSERT INTO RT (1, 'x')");
+  ignore (Pipeline.run_sql p "INSERT INTO RT (2, 'y')");
+  p
+
+let load_ok ?activate p text =
+  match
+    match activate with
+    | None -> Pipeline.load_rule_pack p ~corpus:small_corpus text
+    | Some a -> Pipeline.load_rule_pack p ~activate:a ~corpus:small_corpus text
+  with
+  | Ok r -> r
+  | Error ds -> Alcotest.failf "load rejected: %s" (show_diags ds)
+
+let sql1 (o : Pipeline.outcome) =
+  match o.Pipeline.out_sql with
+  | [ s ] -> s
+  | ss -> Alcotest.failf "expected one backend statement, got %d" (List.length ss)
+
+(* ------------------------------------------------------------------ *)
+(* DSL parser + compiler                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_examples () =
+  let td = parse_ok (example "teradata_cleanup.rules") in
+  check sb "pack name" "teradata_cleanup" td.Dsl.pack_name;
+  check ib "pack version" 1 td.Dsl.pack_version;
+  check ib "five rules" 5 (List.length td.Dsl.prules);
+  let ctd = match Compile.compile td with Ok p -> p | Error ds -> Alcotest.failf "%s" (show_diags ds) in
+  check ib "all scalar" 5 (List.length (Compile.scalar_rules ctd));
+  check ib "no rel" 0 (List.length (Compile.rel_rules ctd));
+  let pn = parse_ok (example "predicate_normalization.rules") in
+  check sb "pack name" "predicate_normalization" pn.Dsl.pack_name;
+  check ib "eight rules" 8 (List.length pn.Dsl.prules);
+  let cpn = match Compile.compile pn with Ok p -> p | Error ds -> Alcotest.failf "%s" (show_diags ds) in
+  check ib "six scalar" 6 (List.length (Compile.scalar_rules cpn));
+  check ib "two rel" 2 (List.length (Compile.rel_rules cpn));
+  (* the broken pack parses and compiles: only screening rejects it *)
+  let bn = compile_ok (example "broken_nonbool.rules") in
+  check sb "broken pack compiles" "broken_nonbool" bn.Compile.cp_name
+
+let test_parser_error_paths () =
+  (* unterminated pattern: EOF mid-rule *)
+  assert_diag ~code:"R102" ~substring:"end of input"
+    "pack p version 1\nrule r : UPPER(?x";
+  (* unterminated string literal *)
+  assert_diag ~code:"R101" ~substring:"unterminated"
+    "pack p version 1\nrule r : TRIM(?x) => 'abc";
+  (* metavariable bound on the LHS only *)
+  assert_diag ~code:"R104" ~substring:"?y"
+    "pack p version 1\nrule r : UPPER(?x) => LOWER(?y)";
+  (* duplicate rule id within the pack *)
+  assert_diag ~code:"R103" ~substring:"duplicate"
+    "pack p version 1\n\
+     rule r : UPPER(UPPER(?x)) => UPPER(?x)\n\
+     rule r : TRIM(TRIM(?x)) => TRIM(?x)";
+  (* guard naming a target profile that does not exist *)
+  assert_diag ~code:"R106" ~substring:"klingon"
+    "pack p version 1\nrule r [target = klingon] : UPPER(UPPER(?x)) => UPPER(?x)";
+  (* bare identifier in a pattern suggests a metavariable *)
+  assert_diag ~code:"R102" ~substring:"metavariable"
+    "pack p version 1\nrule r : UPPER(name) => name"
+
+let test_compile_static_checks () =
+  (* a bare metavariable LHS would fire on every node *)
+  assert_diag ~code:"R110" "pack p version 1\nrule r : ?x => UPPER(?x)";
+  (* unknown function *)
+  assert_diag ~code:"R105" ~substring:"FROBNICATE"
+    "pack p version 1\nrule r : FROBNICATE(?x) => ?x";
+  (* aggregates are not scalar patterns *)
+  assert_diag ~code:"R105" "pack p version 1\nrule r : SUM(?x) => ?x";
+  (* wrong arity for a known builtin *)
+  assert_diag ~code:"R105" "pack p version 1\nrule r : UPPER(?x, ?y) => ?x";
+  (* unknown type name in a guard *)
+  assert_diag ~code:"R107" ~substring:"BLOB"
+    "pack p version 1\nrule r [type(?x) = blob] : UPPER(UPPER(?x)) => UPPER(?x)";
+  (* one metavariable used as both relation and scalar *)
+  assert_diag ~code:"R108"
+    "pack p version 1\nrule r : FILTER(?r, UPPER(?r) = 'A') => ?r";
+  (* type guard over a metavariable the pattern never binds *)
+  assert_diag ~code:"R104"
+    "pack p version 1\nrule r [type(?z) = int] : UPPER(UPPER(?x)) => UPPER(?x)"
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-rule matching at the XTRA level                            *)
+(* ------------------------------------------------------------------ *)
+
+let leaf = Xtra.Values_rel { rows = []; values_schema = [] }
+
+let apply_rel rules ctx r = List.find_map (fun rule -> rule ctx r) rules
+let apply_scalar rules ctx s = List.find_map (fun rule -> rule ctx s) rules
+
+let test_rel_rule_matching () =
+  let pack =
+    compile_ok
+      "pack m version 1\n\
+       rule dd : DISTINCT(DISTINCT(?r)) => DISTINCT(?r)\n\
+       rule ft : FILTER(?r, TRUE) => ?r"
+  in
+  let rules = Compile.rel_rules pack in
+  let ctx = Transformer.create_ctx ~cap:Capability.ansi_engine ~counter:(ref 0) in
+  let dd = Xtra.Distinct { input = Xtra.Distinct { input = leaf } } in
+  (match apply_rel rules ctx dd with
+  | Some (Xtra.Distinct { input }) -> check bb "inner layer peeled" true (input = leaf)
+  | _ -> Alcotest.fail "distinct_distinct should fire");
+  let ft = Xtra.Filter { input = leaf; pred = Xtra.Const (Value.Bool true) } in
+  (match apply_rel rules ctx ft with
+  | Some r -> check bb "filter TRUE removed" true (r = leaf)
+  | None -> Alcotest.fail "filter_true should fire");
+  (* FALSE is not TRUE: no rule may touch it *)
+  let keep = Xtra.Filter { input = leaf; pred = Xtra.Const (Value.Bool false) } in
+  check bb "filter FALSE kept" true (apply_rel rules ctx keep = None);
+  (* fires were attributed under pack:rule names *)
+  check bb "dd attributed" true (List.mem_assoc "m:dd" ctx.Transformer.applied);
+  check bb "ft attributed" true (List.mem_assoc "m:ft" ctx.Transformer.applied)
+
+let test_guards_gate_matching () =
+  let pack =
+    compile_ok
+      "pack g version 1\n\
+       rule td_only [target = 'teradata'] : UPPER(UPPER(?x)) => UPPER(?x)\n\
+       rule int_only [type(?x) = int] : ?x + 0 => ?x"
+  in
+  let rules = Compile.scalar_rules pack in
+  let upper x = Xtra.Func { name = "UPPER"; args = [ x ]; ty = Dtype.Varchar { max_len = None; case_sensitive = false } } in
+  let uu = upper (upper (Xtra.Const (Value.Varchar "a"))) in
+  let ansi = Transformer.create_ctx ~cap:Capability.ansi_engine ~counter:(ref 0) in
+  check bb "target guard blocks other profiles" true (apply_scalar rules ansi uu = None);
+  let td = Transformer.create_ctx ~cap:Capability.teradata ~counter:(ref 0) in
+  check bb "target guard admits teradata" true (apply_scalar rules td uu <> None);
+  let plus z = Xtra.Arith (Xtra.Add, z, Xtra.Const (Value.Int 0L)) in
+  (match apply_scalar rules ansi (plus (Xtra.Const (Value.Int 5L))) with
+  | Some (Xtra.Const (Value.Int 5L)) -> ()
+  | _ -> Alcotest.fail "int_only should strip + 0 from an integer");
+  let dec = Xtra.Const (Value.Decimal (Decimal.of_string "5.0")) in
+  check bb "type guard blocks non-int" true (apply_scalar rules ansi (plus dec) = None);
+  (* repeated metavariables demand structurally equal bindings *)
+  let co =
+    compile_ok "pack c version 1\nrule cs : COALESCE(?x, ?x) => ?x"
+  in
+  let crules = Compile.scalar_rules co in
+  let vty = Dtype.Varchar { max_len = None; case_sensitive = false } in
+  let col id = Xtra.Col_ref { Xtra.id; name = "b"; ty = vty } in
+  let same = Xtra.Func { name = "COALESCE"; args = [ col 1; col 1 ]; ty = vty } in
+  check bb "equal bindings fire" true (apply_scalar crules ansi same <> None);
+  let diff = Xtra.Func { name = "COALESCE"; args = [ col 1; col 2 ]; ty = vty } in
+  check bb "unequal bindings do not" true (apply_scalar crules ansi diff = None)
+
+(* ------------------------------------------------------------------ *)
+(* Screening                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_screen_accepts () =
+  let pack = compile_ok (example "teradata_cleanup.rules") in
+  match Screen.screen ~cap:Capability.ansi_engine ~corpus:small_corpus pack with
+  | Error ds -> Alcotest.failf "screening rejected a sound pack: %s" (show_diags ds)
+  | Ok (cert, stats) ->
+      check sb "certificate carries the pack" "teradata_cleanup"
+        (Screen.pack cert).Compile.cp_name;
+      check sb "screened under the cap" "ansi-engine" (Screen.cap_name cert);
+      check bb "statements screened" true (stats.Screen.sc_statements > 0);
+      check bb "pack rules fired on the corpus" true (stats.Screen.sc_fires > 0);
+      (* add_days_zero never fires on this corpus: a warning, not an error *)
+      check bb "never-fired rule warned (R301)" true
+        (List.exists (fun d -> d.Diag.code = "R301") stats.Screen.sc_warnings);
+      check bb "warnings are not errors" false (Diag.has_errors stats.Screen.sc_warnings)
+
+let test_screen_rejects_broken () =
+  let pack = compile_ok (example "broken_nonbool.rules") in
+  match Screen.screen ~cap:Capability.ansi_engine ~corpus:small_corpus pack with
+  | Ok _ -> Alcotest.fail "type-breaking pack must not screen clean"
+  | Error ds ->
+      check bb "rejection is an error" true (Diag.has_errors ds);
+      let d = List.hd ds in
+      check sb "validator violation code" "R201" d.Diag.code;
+      check bb "message names the V-code" true (contains d.Diag.message "V");
+      check bb "diagnostic is spanned" true (d.Diag.span <> None);
+      check bb "attributed to the rule" true
+        (match d.Diag.rule with
+        | Some r -> contains r "eq_to_int"
+        | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_end_to_end_rewrite () =
+  let p = fresh () in
+  let r = load_ok p (example "teradata_cleanup.rules") in
+  check bb "activated into the gateway layer" true r.Pipeline.rr_activated;
+  check bb "screening fired" true (r.Pipeline.rr_screen_fires > 0);
+  check Alcotest.(list string) "gateway default layer" [ "teradata_cleanup" ]
+    (Pipeline.default_rule_packs p);
+  let o = Pipeline.run_sql p "SELECT UPPER(UPPER(B)) FROM RT WHERE COALESCE(B, B) = 'x'" in
+  let sql = sql1 o in
+  check bb "nested UPPER collapsed" false (contains sql "UPPER(UPPER");
+  check bb "UPPER kept once" true (contains sql "UPPER(");
+  check bb "COALESCE(b, b) collapsed" false (contains sql "COALESCE");
+  check ib "result rows" 1 (List.length o.Pipeline.out_rows);
+  (* fires are attributed per pack:rule in the registry... *)
+  let fires = Registry.fire_counts (Pipeline.rules_registry p) in
+  let count id =
+    List.fold_left
+      (fun acc (pk, rid, n) -> if pk = "teradata_cleanup" && rid = id then acc + n else acc)
+      0 fires
+  in
+  check bb "collapse_upper fired" true (count "collapse_upper" >= 1);
+  check bb "coalesce_self fired" true (count "coalesce_self" >= 1);
+  (* ...and surface in the Prometheus exposition *)
+  let prom = Obs.render_prometheus (Pipeline.obs p) in
+  check bb "packs-loaded gauge exported" true (contains prom "hyperq_rules_packs_loaded 1");
+  check bb "fires counter exported" true (contains prom "hyperq_rules_fires_total");
+  check bb "fires labelled by pack" true (contains prom "teradata_cleanup");
+  check bb "load event counted" true (contains prom "hyperq_rules_events_total")
+
+let test_load_rejects_broken () =
+  let p = fresh () in
+  match Pipeline.load_rule_pack p ~corpus:small_corpus (example "broken_nonbool.rules") with
+  | Ok _ -> Alcotest.fail "broken pack must be rejected at load"
+  | Error ds ->
+      check sb "R201 at load" "R201" (List.hd ds).Diag.code;
+      check bb "pack not installed" true
+        (Registry.find (Pipeline.rules_registry p) "broken_nonbool" = None);
+      check Alcotest.(list string) "not activated" [] (Pipeline.default_rule_packs p);
+      let rej = List.assoc "rejection" (Registry.counters (Pipeline.rules_registry p)) in
+      check ib "rejection counted" 1 rej
+
+let test_differential_rejects () =
+  let p = fresh () in
+  (* type-correct but semantics-flipping: only the differential catches it *)
+  let flip = "pack flip version 1\nrule flip : ?a = ?b => ?a <> ?b" in
+  let setup scratch =
+    ignore (Pipeline.run_sql scratch "CREATE TABLE DT (X INTEGER)");
+    ignore (Pipeline.run_sql scratch "INSERT INTO DT (1)");
+    ignore (Pipeline.run_sql scratch "INSERT INTO DT (2)");
+    ignore (Pipeline.run_sql scratch "INSERT INTO DT (3)")
+  in
+  match
+    Pipeline.load_rule_pack p ~corpus:small_corpus ~diff_setup:setup
+      ~diff_queries:[ "SELECT COUNT(*) FROM DT WHERE X = 1" ] flip
+  with
+  | Ok _ -> Alcotest.fail "result-changing pack must fail the differential"
+  | Error ds ->
+      let d = List.hd ds in
+      check sb "differential mismatch code" "R202" d.Diag.code;
+      check bb "diagnostic is spanned" true (d.Diag.span <> None);
+      check bb "pack not installed" true
+        (Registry.find (Pipeline.rules_registry p) "flip" = None)
+
+let test_plan_cache_staleness () =
+  let p = fresh () in
+  let q = "SELECT B FROM RT WHERE 1=1 AND A = 1" in
+  let o1 = Pipeline.run_sql p q in
+  ignore (Pipeline.run_sql p q);
+  check bb "baseline keeps the tautology" true (contains (sql1 o1) "1 = 1");
+  let s0 = Pipeline.cache_stats p in
+  check bb "baseline plan cached" true (s0.Plan_cache.hits >= 1);
+  (* load: the pre-pack plan must not be replayed for the same text *)
+  ignore (load_ok p (example "predicate_normalization.rules"));
+  let o2 = Pipeline.run_sql p q in
+  check bb "no stale pre-pack plan after rules load" false
+    (contains (sql1 o2) "1 = 1");
+  let h = (Pipeline.cache_stats p).Plan_cache.hits in
+  let o3 = Pipeline.run_sql p q in
+  check ib "packed plan caches under its own key" (h + 1)
+    (Pipeline.cache_stats p).Plan_cache.hits;
+  check bb "packed replay stays rewritten" false (contains (sql1 o3) "1 = 1");
+  (* drop: the packed plan must not be replayed either *)
+  check bb "drop succeeds" true (Pipeline.drop_rule_pack p "predicate_normalization");
+  check Alcotest.(list string) "drop deactivates" [] (Pipeline.default_rule_packs p);
+  let o4 = Pipeline.run_sql p q in
+  check bb "no stale packed plan after rules drop" true (contains (sql1 o4) "1 = 1");
+  (* same rows throughout: the rewrite is semantics-preserving *)
+  List.iter
+    (fun o ->
+      check ib "row count stable" (List.length o1.Pipeline.out_rows)
+        (List.length o.Pipeline.out_rows))
+    [ o2; o3; o4 ]
+
+let test_session_layering () =
+  let p = fresh () in
+  let r = load_ok ~activate:false p (example "predicate_normalization.rules") in
+  check bb "not activated globally" false r.Pipeline.rr_activated;
+  check Alcotest.(list string) "gateway layer untouched" []
+    (Pipeline.default_rule_packs p);
+  let q = "SELECT B FROM RT WHERE 1=1 AND A = 1" in
+  let s1 = Session.create () and s2 = Session.create () in
+  ignore (Pipeline.run_sql p ~session:s1 "SET SESSION RULE_PACKS 'predicate_normalization'");
+  let o1 = Pipeline.run_sql p ~session:s1 q in
+  check bb "opted-in session is rewritten" false (contains (sql1 o1) "1 = 1");
+  let o2 = Pipeline.run_sql p ~session:s2 q in
+  check bb "other session is not" true (contains (sql1 o2) "1 = 1");
+  check ib "both sessions agree on rows" (List.length o1.Pipeline.out_rows)
+    (List.length o2.Pipeline.out_rows);
+  (* OFF clears the session layer *)
+  ignore (Pipeline.run_sql p ~session:s1 "SET SESSION RULE_PACKS OFF");
+  let o3 = Pipeline.run_sql p ~session:s1 q in
+  check bb "OFF restores baseline" true (contains (sql1 o3) "1 = 1");
+  (* naming an unloaded pack is an error, and leaves the layer unchanged *)
+  (try
+     ignore (Pipeline.run_sql p ~session:s1 "SET SESSION RULE_PACKS 'nope'");
+     Alcotest.fail "unknown pack must be rejected"
+   with Sql_error.Error _ -> ());
+  check Alcotest.(list string) "failed SET leaves no layer" []
+    s1.Session.rule_packs
+
+let test_registry_basics () =
+  let reg = Registry.create () in
+  let cert pack_text =
+    match Screen.screen ~cap:Capability.ansi_engine ~corpus:small_corpus
+            (compile_ok pack_text)
+    with
+    | Ok (c, _) -> c
+    | Error ds -> Alcotest.failf "screen: %s" (show_diags ds)
+  in
+  let c1 = cert (example "teradata_cleanup.rules") in
+  let e0 = Registry.epoch reg in
+  let info = Registry.load reg c1 in
+  check sb "installed name" "teradata_cleanup" info.Registry.pi_name;
+  check ib "load bumps the epoch" (e0 + 1) (Registry.epoch reg);
+  check bb "fire counters reset at install" true
+    (List.for_all (fun r -> r.Registry.ri_fires = 0) info.Registry.pi_rules);
+  let c2 = cert (example "predicate_normalization.rules") in
+  ignore (Registry.load reg c2);
+  check ib "both listed" 2 (List.length (Registry.list_packs reg));
+  (* active-set resolution: order kept, duplicates and unknowns dropped *)
+  let act =
+    Registry.active reg
+      ~packs:[ "predicate_normalization"; "teradata_cleanup";
+               "predicate_normalization"; "ghost" ]
+  in
+  check Alcotest.(list string) "layering order, deduped"
+    [ "predicate_normalization"; "teradata_cleanup" ] act.Registry.act_packs;
+  check bb "set id names both generations" true
+    (contains act.Registry.act_set_id "teradata_cleanup@"
+    && contains act.Registry.act_set_id "predicate_normalization@");
+  check ib "all scalar closures concatenated" 11
+    (List.length act.Registry.act_scalar);
+  check ib "rel closures concatenated" 2 (List.length act.Registry.act_rel);
+  (* reload replaces in place with a fresh generation *)
+  let before = act.Registry.act_set_id in
+  ignore (Registry.load reg (cert (example "teradata_cleanup.rules")));
+  let act2 = Registry.active reg ~packs:[ "teradata_cleanup" ] in
+  check bb "reload changes the set id" false (contains before act2.Registry.act_set_id);
+  (* drop *)
+  check bb "drop known" true (Registry.drop reg "teradata_cleanup");
+  check bb "drop unknown" false (Registry.drop reg "teradata_cleanup");
+  check bb "dropped pack unresolvable" true
+    (Registry.find reg "teradata_cleanup" = None);
+  check ib "dropped pack leaves the active set"
+    0 (List.length (Registry.active reg ~packs:[ "teradata_cleanup" ]).Registry.act_packs)
+
+let test_rel_rules_via_sql () =
+  let p = fresh () in
+  ignore (load_ok p (example "predicate_normalization.rules"));
+  (* the scalar chain 1=1 -> TRUE feeds filter_true, which deletes the
+     filter operator entirely: the serialized statement has no WHERE *)
+  let o = Pipeline.run_sql p "SELECT B FROM RT WHERE 1=1" in
+  check bb "WHERE 1=1 removed entirely" false (contains (sql1 o) "WHERE");
+  check ib "all rows back" 2 (List.length o.Pipeline.out_rows);
+  let fires = Registry.fire_counts (Pipeline.rules_registry p) in
+  check bb "filter_true attributed" true
+    (List.exists (fun (_, id, n) -> id = "filter_true" && n >= 1) fires)
+
+let suite =
+  [
+    Alcotest.test_case "example packs parse + compile." `Quick test_parse_examples;
+    Alcotest.test_case "parser error paths are spanned." `Quick test_parser_error_paths;
+    Alcotest.test_case "compiler static checks." `Quick test_compile_static_checks;
+    Alcotest.test_case "relational rules match XTRA." `Quick test_rel_rule_matching;
+    Alcotest.test_case "target + type guards gate firing." `Quick test_guards_gate_matching;
+    Alcotest.test_case "screening accepts a sound pack." `Quick test_screen_accepts;
+    Alcotest.test_case "screening rejects a type-breaking pack." `Quick
+      test_screen_rejects_broken;
+    Alcotest.test_case "loaded pack rewrites end-to-end." `Quick test_end_to_end_rewrite;
+    Alcotest.test_case "load rejection leaves no trace." `Quick test_load_rejects_broken;
+    Alcotest.test_case "differential catches result changes." `Quick
+      test_differential_rejects;
+    Alcotest.test_case "plan cache never serves stale plans." `Quick
+      test_plan_cache_staleness;
+    Alcotest.test_case "per-session pack layering." `Quick test_session_layering;
+    Alcotest.test_case "registry load/list/drop/epoch." `Quick test_registry_basics;
+    Alcotest.test_case "rel rules fire through SQL." `Quick test_rel_rules_via_sql;
+  ]
