@@ -700,6 +700,17 @@ let telemetry () =
 (* Offline workload compatibility analysis (lib/analyze)                *)
 (* ------------------------------------------------------------------ *)
 
+let read_file file =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* cwd is bench/ under `dune runtest` but the workspace root under exec *)
+let example_pack name =
+  let rel = "examples/rules/" ^ name in
+  read_file (if Sys.file_exists rel then rel else "../" ^ rel)
+
 let analyze () =
   hr "Analyze: offline workload compatibility (no execution)";
   let module Analyzer = Hyperq_analyze.Analyzer in
@@ -756,16 +767,72 @@ let analyze () =
                (Analyzer.all_diags r)))
       0 reports
   in
+  (* property inference: the static rule-soundness screen must reject the
+     type-breaking example pack without executing a single corpus
+     statement, and the inference passes riding along in the Transformer
+     must stay cheap on the translate path. *)
+  let module Soundness = Hyperq_rules.Soundness in
+  let module Rules_dsl = Hyperq_rules.Dsl in
+  let static_codes =
+    match Rules_dsl.parse (example_pack "broken_nonbool.rules") with
+    | Error ds -> List.map (fun d -> d.Hyperq_analyze.Diag.code) ds
+    | Ok parsed ->
+        List.map (fun d -> d.Hyperq_analyze.Diag.code) (Soundness.check parsed)
+  in
+  if not (List.mem "R112" static_codes) then begin
+    Printf.eprintf
+      "FAIL: broken_nonbool not rejected by the static soundness screen\n";
+    exit 1
+  end;
+  Printf.printf
+    "static rule screening rejects broken_nonbool (%s) with 0 corpus \
+     executions\n"
+    (String.concat "," static_codes);
+  let overhead_queries = List.map snd Tpch_queries.all in
+  (* best-of-sweeps: the min is the noise-resistant estimator of the
+     intrinsic per-sweep cost (GC and scheduler jitter only ever add) *)
+  let time_translate ~infer =
+    let p = Pipeline.create ~plan_cache_capacity:0 ~infer () in
+    List.iter (fun ddl -> ignore (Pipeline.run_sql p ddl)) Tpch.ddl;
+    let sweep () =
+      List.iter
+        (fun q -> try ignore (Pipeline.translate p q) with _ -> ())
+        overhead_queries
+    in
+    sweep ();
+    let best = ref infinity in
+    for _ = 1 to 10 do
+      let t0 = Unix.gettimeofday () in
+      sweep ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let infer_off_s = time_translate ~infer:false in
+  let infer_on_s = time_translate ~infer:true in
+  let infer_overhead_pct = (infer_on_s -. infer_off_s) /. infer_off_s *. 100. in
+  Printf.printf
+    "translate with inference passes: %.4f s vs %.4f s without (best of 10 \
+     sweeps over %d queries, %+.1f%%)\n"
+    infer_on_s infer_off_s
+    (List.length overhead_queries)
+    infer_overhead_pct;
   write_json "BENCH_analyze.json"
     (Printf.sprintf
        "{\"experiment\": \"analyze\", \"statements\": %d, \"targets\": %d, \
         \"elapsed_s\": %.6f, \"statements_per_s\": %.1f, \"error_diags\": \
-        %d, \"reports\": [%s]}"
+        %d, \"props\": {\"static_broken_rejected\": true, \"static_codes\": \
+        [%s], \"static_corpus_executions\": 0, \"translate_off_s\": %.6f, \
+        \"translate_on_s\": %.6f, \"infer_overhead_pct\": %.2f}, \
+        \"reports\": [%s]}"
        stmts
        (List.length Analyzer.default_targets)
        elapsed
        (float_of_int stmts /. elapsed)
        errors
+       (String.concat ","
+          (List.map (fun c -> "\"" ^ c ^ "\"") static_codes))
+       infer_off_s infer_on_s infer_overhead_pct
        (String.concat ","
           (List.map
              (fun rep ->
@@ -783,6 +850,11 @@ let analyze () =
                            ts.Analyzer.ts_unsupported ts.Analyzer.ts_compat_pct)
                        (Analyzer.summarize rep))))
              reports)));
+  if infer_overhead_pct > 15. then begin
+    Printf.eprintf "FAIL: inference translate overhead %.1f%% > 15%%\n"
+      infer_overhead_pct;
+    exit 1
+  end;
   if errors > 0 then Printf.printf "!! %d error diagnostic(s)\n" errors
   else Printf.printf "(all statements parse, bind, and validate clean)\n"
 
@@ -1398,17 +1470,6 @@ let serving () =
 (* Rule packs: screening cost, no-match overhead, antipattern speedup   *)
 (* ------------------------------------------------------------------ *)
 
-let read_file file =
-  let ic = open_in_bin file in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  text
-
-(* cwd is bench/ under `dune runtest` but the workspace root under exec *)
-let example_pack name =
-  let rel = "examples/rules/" ^ name in
-  read_file (if Sys.file_exists rel then rel else "../" ^ rel)
-
 let rules_bench () =
   hr "Rule packs: screening cost, loaded-but-idle overhead, antipattern speedup";
   let module RC = Hyperq_workload.Rules_corpus in
@@ -1527,7 +1588,8 @@ let rules_bench () =
     "antipattern execute: %.4f s baseline vs %.4f s packed (%.2fx) over %d \
      runs\n"
     base_exec packed_exec (base_exec /. packed_exec) iters;
-  (* 4. the gate must bite: a type-breaking pack is rejected with V201 *)
+  (* 4. the gate must bite: a type-breaking pack is rejected by the static
+     soundness screen (R112) before any corpus statement executes *)
   let broken_rejected =
     match RC.load_pack screen_p (example_pack "broken_nonbool.rules") with
     | Ok _ ->
@@ -1535,8 +1597,9 @@ let rules_bench () =
         exit 1
     | Error ds ->
         let d = List.hd ds in
-        if d.Diag.code <> "R201" || not (contains d.Diag.message "V201") then begin
-          Printf.eprintf "FAIL: expected R201/V201, got %s\n" (Diag.to_string d);
+        if d.Diag.code <> "R112" then begin
+          Printf.eprintf "FAIL: expected static R112, got %s\n"
+            (Diag.to_string d);
           exit 1
         end;
         Printf.printf "broken pack rejected at load: %s\n" (Diag.to_string d);

@@ -41,12 +41,16 @@ let print_pack_report file (r : Pipeline.rules_report) =
   let p = r.Pipeline.rr_pack in
   Printf.printf
     "loaded %s v%d from %s: %d rule(s), screened %d statement(s) (%d \
-     skipped, %d fire(s)), %d differential quer%s%s\n"
+     skipped, %d fire(s)), %d differential quer%s%s%s\n"
     p.Registry.pi_name p.Registry.pi_version file
     (List.length p.Registry.pi_rules)
     r.Pipeline.rr_screened r.Pipeline.rr_skipped r.Pipeline.rr_screen_fires
     r.Pipeline.rr_diff_queries
     (if r.Pipeline.rr_diff_queries = 1 then "y" else "ies")
+    (if r.Pipeline.rr_diff_nondet_skipped = 0 then ""
+     else
+       Printf.sprintf " (%d nondeterministic skipped)"
+         r.Pipeline.rr_diff_nondet_skipped)
     (if r.Pipeline.rr_activated then "" else " (not activated)");
   List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) r.Pipeline.rr_warnings
 
@@ -372,13 +376,23 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
   in
+  let props_arg =
+    Arg.(
+      value & flag
+      & info [ "props" ]
+          ~doc:
+            "Emit the statically inferred plan properties (per-column \
+             nullability, value intervals, determinism, candidate keys, \
+             cardinality bounds, contradictory filters) as JSON instead of \
+             the compatibility report.")
+  in
   let targets_arg =
     Arg.(
       value & opt_all string []
       & info [ "t"; "target" ] ~docv:"TARGET"
           ~doc:"Target profile(s) to assess (repeatable; default: all).")
   in
-  let run json target_names file =
+  let run json props target_names file =
     let targets =
       match target_names with
       | [] -> None
@@ -397,14 +411,25 @@ let analyze_cmd =
                      exit 1)
                names)
     in
-    match Sql_error.protect (fun () -> analyze_file ?targets file) with
-    | Error e ->
-        Printf.eprintf "!! %s\n" (Sql_error.to_string e);
-        exit 1
-    | Ok rep ->
-        print_string
-          (if json then Analyzer.render_json rep else Analyzer.render_text rep);
-        if Analyzer.has_errors rep then exit 1
+    if props then
+      match
+        Sql_error.protect (fun () ->
+            Analyzer.props_json ~script_name:file (read_file file))
+      with
+      | Error e ->
+          Printf.eprintf "!! %s\n" (Sql_error.to_string e);
+          exit 1
+      | Ok s -> print_string s
+    else
+      match Sql_error.protect (fun () -> analyze_file ?targets file) with
+      | Error e ->
+          Printf.eprintf "!! %s\n" (Sql_error.to_string e);
+          exit 1
+      | Ok rep ->
+          print_string
+            (if json then Analyzer.render_json rep
+             else Analyzer.render_text rep);
+          if Analyzer.has_errors rep then exit 1
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -412,8 +437,9 @@ let analyze_cmd =
              statement of a SQL script (direct / rewrite / emulate / \
              unsupported) per target, with lint and plan-validator \
              diagnostics — no execution. Exits 1 if any statement fails to \
-             parse, bind, or validate.")
-    Term.(const run $ json_arg $ targets_arg $ file_arg)
+             parse, bind, or validate. With --props, emit the statically \
+             inferred plan properties instead.")
+    Term.(const run $ json_arg $ props_arg $ targets_arg $ file_arg)
 
 let targets_cmd =
   let run () =

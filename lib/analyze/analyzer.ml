@@ -23,6 +23,7 @@ module Parser = Hyperq_sqlparser.Parser
 module Xtra = Hyperq_xtra.Xtra
 module Catalog = Hyperq_catalog.Catalog
 module Binder = Hyperq_binder.Binder
+module Builtins = Hyperq_binder.Builtins
 module Transformer = Hyperq_transform.Transformer
 module Capability = Hyperq_transform.Capability
 module Serializer = Hyperq_serialize.Serializer
@@ -151,6 +152,69 @@ let lint ~span add (ast : Ast.statement) =
         "SET table %s relies on automatic row deduplication; inserts need \
          emulation on targets without SET semantics"
         (List.nth name (List.length name - 1))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Inference-derived lints (bound-plan level)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* L006/L007 need the bound XTRA plan and the property inference: a
+   predicate is "always false" only under 3VL + interval reasoning, and
+   the NOT IN trap depends on the inferred nullability of the subquery's
+   output column. Inference failures are swallowed here — the validator
+   reports them as V610. *)
+let lint_bound ~span ~catalog add (bound : Xtra.statement) =
+  let warn code fmt =
+    Printf.ksprintf
+      (fun m -> add (Diag.make ~severity:Diag.Warning ~span ~code "%s" m))
+      fmt
+  in
+  let check_filter input pred =
+    try
+      let env = Infer.env_of ~catalog input in
+      let t = Infer.predicate_truth ~catalog ~env pred in
+      if not t.Infer.can_true then
+        warn "L006"
+          "predicate is always false; this part of the query returns no rows"
+    with _ -> ()
+  in
+  let check_not_in subquery =
+    try
+      let rp = Infer.rel_props ~catalog subquery in
+      let nullable =
+        List.exists
+          (fun (c : Xtra.col) ->
+            (Infer.lookup rp.Infer.cols c).Infer.null <> Infer.Not_null)
+          (Xtra.schema_of subquery)
+      in
+      if nullable then
+        warn "L007"
+          "NOT IN over a nullable subquery column silently yields no rows \
+           whenever the subquery produces a NULL; use NOT EXISTS"
+    with _ -> ()
+  in
+  ignore
+    (Xtra.rewrite_statement
+       ~frel:(fun r ->
+         (match r with
+         | Xtra.Filter { input; pred } -> check_filter input pred
+         | _ -> ());
+         r)
+       ~fscalar:(fun s ->
+         (match s with
+         | Xtra.In_subquery { negated = true; subquery; _ } ->
+             check_not_in subquery
+         | _ -> ());
+         s)
+       bound);
+  match bound with
+  | Xtra.Update { upd_pred = Some p; _ } | Xtra.Delete { del_pred = Some p; _ }
+    -> (
+      try
+        let t = Infer.predicate_truth ~catalog ~env:Infer.Imap.empty p in
+        if not t.Infer.can_true then
+          warn "L006" "predicate is always false; the statement affects no rows"
+      with _ -> ())
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -406,6 +470,7 @@ let analyze_statement ~dialect ~targets catalog index (l : Parser.located) :
               (Diag.make ~severity:Diag.Warning ~span ~code:"L003"
                  "DATE/INT comparison relies on Teradata's integer date \
                   encoding; rewritten via the \xc2\xa75.2 arithmetic");
+          lint_bound ~span ~catalog add bound;
           let emu = emulation_need catalog bound in
           let per_target =
             List.map
@@ -600,4 +665,126 @@ let render_json (rep : report) =
     rep.rep_statements;
   pr "],%s:[%s]}" (str "script_diagnostics")
     (String.concat "," (List.map Diag.to_json rep.rep_script_diags));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Inferred-property report (hyperq analyze --props)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* JSON dump of what {!Infer} can prove about each statement: per
+   output-column nullability / interval / determinism, candidate keys,
+   cardinality bound, and how many filters are statically contradictory.
+   DDL maintains the same virtual catalog as [analyze_script], so NOT
+   NULL columns declared earlier in the script seed later inferences. *)
+let props_json ?(dialect = Dialect.Teradata) ?catalog ~script_name sql =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let str s = "\"" ^ Diag.json_escape s ^ "\"" in
+  let catalog =
+    match catalog with Some c -> Catalog.copy c | None -> Catalog.create ()
+  in
+  let bound_json (bound : Xtra.statement) =
+    let rel_of = function
+      | Xtra.Query r -> Some r
+      | Xtra.Insert { source; _ } -> Some source
+      | Xtra.Create_table_as { cta_source; _ } -> Some cta_source
+      | _ -> None
+    in
+    let contradictions = ref 0 in
+    ignore
+      (Xtra.rewrite_statement
+         ~frel:(fun r ->
+           (match r with
+           | Xtra.Filter { input; pred } -> (
+               try
+                 let env = Infer.env_of ~catalog input in
+                 let t = Infer.predicate_truth ~catalog ~env pred in
+                 if not t.Infer.can_true then incr contradictions
+               with _ -> ())
+           | _ -> ());
+           r)
+         ~fscalar:(fun s -> s)
+         bound);
+    let det =
+      try Infer.det_of_statement bound with _ -> Builtins.Volatile
+    in
+    let cols_json =
+      match rel_of bound with
+      | None -> Printf.sprintf "%s:null,%s:null" (str "columns") (str "keys")
+      | Some r -> (
+          try
+            let rp = Infer.rel_props ~catalog r in
+            let schema = Xtra.schema_of r in
+            let col_json (c : Xtra.col) =
+              let p = Infer.lookup rp.Infer.cols c in
+              let bnd = function
+                | None -> "null"
+                | Some (bd : Infer.bound) ->
+                    Printf.sprintf "{%s:%s,%s:%b}" (str "value")
+                      (str (Value.to_sql_literal bd.Infer.bval))
+                      (str "inclusive") bd.Infer.incl
+              in
+              Printf.sprintf "{%s:%s,%s:%s,%s:%s,%s:{%s:%s,%s:%s},%s:%s}"
+                (str "name") (str c.Xtra.name) (str "type")
+                (str (Dtype.to_string c.Xtra.ty))
+                (str "nullability")
+                (str (Infer.nullability_name p.Infer.null))
+                (str "interval") (str "lo")
+                (bnd p.Infer.ival.Infer.lo)
+                (str "hi")
+                (bnd p.Infer.ival.Infer.hi)
+                (str "determinism")
+                (str (Builtins.determinism_name p.Infer.det))
+            in
+            let name_of id =
+              match
+                List.find_opt (fun (c : Xtra.col) -> c.Xtra.id = id) schema
+              with
+              | Some c -> c.Xtra.name
+              | None -> Printf.sprintf "#%d" id
+            in
+            let key_json ids =
+              "[" ^ String.concat "," (List.map (fun id -> str (name_of id)) ids)
+              ^ "]"
+            in
+            Printf.sprintf "%s:[%s],%s:[%s],%s:%s" (str "columns")
+              (String.concat "," (List.map col_json schema))
+              (str "keys")
+              (String.concat "," (List.map key_json rp.Infer.keys))
+              (str "card_max")
+              (match rp.Infer.card_max with
+              | Some n -> string_of_int n
+              | None -> "null")
+          with e ->
+            Printf.sprintf "%s:null,%s:null,%s:%s" (str "columns") (str "keys")
+              (str "infer_error")
+              (str (Printexc.to_string e)))
+    in
+    Printf.sprintf "%s,%s:%s,%s:%d" cols_json (str "determinism")
+      (str (Builtins.determinism_name det))
+      (str "contradictory_filters") !contradictions
+  in
+  pr "{%s:%s,%s:[" (str "script") (str script_name) (str "statements");
+  (match
+     Sql_error.protect (fun () -> Parser.parse_many_located ~dialect sql)
+   with
+  | Error e -> pr "],%s:%s}" (str "error") (str (Sql_error.to_string e))
+  | Ok located ->
+      List.iteri
+        (fun i (l : Parser.located) ->
+          if i > 0 then pr ",";
+          let ast = l.Parser.loc_stmt in
+          pr "{%s:%d,%s:%s," (str "index") i (str "kind")
+            (str (Ast.statement_kind ast));
+          (match
+             let bctx = Binder.create_ctx ~dialect catalog in
+             Sql_error.protect (fun () -> Binder.bind_statement bctx ast)
+           with
+          | Error e -> pr "%s:%s" (str "bind_error") (str (Sql_error.to_string e))
+          | Ok bound ->
+              pr "%s" (bound_json bound);
+              apply_ddl catalog ast bound);
+          pr "}")
+        located;
+      pr "]}");
   Buffer.contents b

@@ -36,7 +36,13 @@
     - V502 UPDATE/MERGE assignment targets an unknown column
     - V503 CREATE TABLE declares a duplicate column name
     - V504 MERGE insert column/value arity mismatch
-    - V505 assignment expression type incompatible with the target column *)
+    - V505 assignment expression type incompatible with the target column
+
+    Inference-consistency codes (from {!Infer}, warnings except V610):
+    - V601 filter predicate can never be TRUE (statically contradictory)
+    - V602 filter predicate is statically always TRUE (redundant filter)
+    - V603 null-rejecting predicate above an outer join (strengthenable)
+    - V610 property inference raised (inference bug — error severity) *)
 
 open Hyperq_sqlvalue
 module Xtra = Hyperq_xtra.Xtra
@@ -180,6 +186,49 @@ and check_pred buf env visible ~where pred =
       (Diag.make ~code:"V201" "%s predicate has type %s, expected BOOLEAN" where
          (Dtype.to_string t))
 
+(* V6xx: re-run the property inference over the filter's input and check
+   the 3VL verdict of the predicate. All verdicts are warnings — they flag
+   statically-provable redundancies, not structural breakage — except a
+   crash of the inference itself (V610), which is an analysis bug. *)
+and check_filter_inference buf input pred =
+  try
+    let ienv = Infer.env_of input in
+    let t = Infer.predicate_truth ~env:ienv pred in
+    if not t.Infer.can_true then
+      emit buf
+        (Diag.make ~severity:Diag.Warning ~code:"V601"
+           "filter predicate can never be TRUE (statically contradictory)")
+    else if (not t.Infer.can_false) && (not t.Infer.can_null) && pred <> Xtra.ctrue
+    then
+      emit buf
+        (Diag.make ~severity:Diag.Warning ~code:"V602"
+           "filter predicate is statically always TRUE (redundant filter)");
+    match input with
+    | Xtra.Join { kind; left; right; _ }
+      when kind = Xtra.Left_outer || kind = Xtra.Right_outer
+           || kind = Xtra.Full_outer ->
+        let ids side =
+          List.map (fun (c : Xtra.col) -> c.Xtra.id) (Xtra.schema_of side)
+        in
+        let rejects side = Infer.null_rejected ~env:ienv (ids side) pred in
+        let strengthenable =
+          match kind with
+          | Xtra.Left_outer -> rejects right
+          | Xtra.Right_outer -> rejects left
+          | Xtra.Full_outer -> rejects left || rejects right
+          | _ -> false
+        in
+        if strengthenable then
+          emit buf
+            (Diag.make ~severity:Diag.Warning ~code:"V603"
+               "null-rejecting predicate above an outer join: the join can \
+                be strengthened toward INNER")
+    | _ -> ()
+  with e ->
+    emit buf
+      (Diag.make ~code:"V610" "property inference failed: %s"
+         (Printexc.to_string e))
+
 and check_agg buf env visible ~out (a : Xtra.agg_def) =
   Option.iter (check_scalar buf env visible) a.Xtra.aarg;
   let arg_ty =
@@ -229,7 +278,8 @@ and check_rel buf env r =
         rows
   | Xtra.Filter { input; pred } ->
       check_rel buf env input;
-      check_pred buf env (Xtra.schema_of input) ~where:"filter" pred
+      check_pred buf env (Xtra.schema_of input) ~where:"filter" pred;
+      check_filter_inference buf input pred
   | Xtra.Project { input; proj } ->
       check_rel buf env input;
       check_dup_ids buf ~where:"Project" (List.map fst proj);

@@ -27,6 +27,33 @@ type kind =
   | Aggregate of Hyperq_xtra.Xtra.agg_func
   | Window_rank of Hyperq_xtra.Xtra.window_func
 
+(** Determinism class of a built-in, in Postgres' vocabulary: [Immutable]
+    functions always return the same value for the same arguments,
+    [Stable] ones are fixed within a statement but drift across statements
+    (CURRENT_TIMESTAMP and friends), [Volatile] ones may differ per call
+    even within one statement (RANDOM-alikes). The rules differential gate
+    uses this to skip statements whose results legitimately differ between
+    two executions, and the property-inference layer refuses to treat
+    non-[Immutable] expressions as foldable. *)
+type determinism = Immutable | Stable | Volatile
+
+let determinism name =
+  match canonical_name name with
+  | "CURRENT_DATE" | "CURRENT_TIME" | "CURRENT_TIMESTAMP" | "CURRENT_USER" ->
+      Stable
+  | "RANDOM" | "RAND" | "SAMPLEID" | "NEWID" | "UUID" | "HASHROW" -> Volatile
+  | _ -> Immutable
+
+let determinism_rank = function Immutable -> 0 | Stable -> 1 | Volatile -> 2
+
+(** Least upper bound: the weaker (less deterministic) of the two. *)
+let determinism_join a b = if determinism_rank a >= determinism_rank b then a else b
+
+let determinism_name = function
+  | Immutable -> "immutable"
+  | Stable -> "stable"
+  | Volatile -> "volatile"
+
 let numeric_result tys =
   match tys with
   | [ t ] when Dtype.is_numeric t -> t

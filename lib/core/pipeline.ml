@@ -25,9 +25,11 @@ module Tdf = Hyperq_tdf.Tdf
 module Obs = Hyperq_obs.Obs
 module Validator = Hyperq_analyze.Validator
 module Diag = Hyperq_analyze.Diag
+module Infer = Hyperq_analyze.Infer
 module Rules_dsl = Hyperq_rules.Dsl
 module Rules_compile = Hyperq_rules.Compile
 module Rules_screen = Hyperq_rules.Screen
+module Rules_soundness = Hyperq_rules.Soundness
 module Rules_registry = Hyperq_rules.Registry
 
 type timings = {
@@ -124,6 +126,10 @@ type t = {
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   validate : bool;
       (** run the plan validator after bind and after each transform pass *)
+  infer_rel_rules : (Transformer.ctx -> Xtra.rel -> Xtra.rel option) list;
+      (** inference-driven relational passes (contradiction pruning,
+          outer-join strengthening) appended to every Transformer run;
+          empty when the pipeline was created with [~infer:false] *)
   mutable validator_diags : Diag.t list;
       (** most recent validator diagnostics, newest first (capped) *)
   mutable temp_counter : int;
@@ -291,7 +297,7 @@ let make_telemetry obs ~labels cache resil rules =
 
 let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
     ?(plan_cache_capacity = 512) ?fault ?resil ?obs ?(obs_labels = [])
-    ?(validate = false) () =
+    ?(validate = false) ?(infer = true) () =
   let backend = Backend.create () in
   let resil =
     match resil with Some r -> r | None -> Resilience.create ()
@@ -299,8 +305,9 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let cache = Plan_cache.create ~capacity:plan_cache_capacity in
   let rules = Rules_registry.create () in
+  let vcatalog = Catalog.create () in
   {
-    vcatalog = Catalog.create ();
+    vcatalog;
     backend;
     cap;
     odbc =
@@ -314,6 +321,7 @@ let create ?(cap = Capability.ansi_engine) ?(request_latency_s = 0.)
     clock = Obs.clock obs;
     lock = Mutex.create ();
     validate;
+    infer_rel_rules = (if infer then Infer.rel_passes ~catalog:vcatalog () else []);
     validator_diags = [];
     temp_counter = 0;
     queries_translated = 0;
@@ -584,8 +592,9 @@ let run_bound cc (bound : Xtra.statement) : Backend.result =
     timed Transform cc (fun () ->
         Transformer.transform ?on_pass
           ~extra_scalar_rules:cc.rules_active.Rules_registry.act_scalar
-          ~extra_rel_rules:cc.rules_active.Rules_registry.act_rel ~cap:t.cap
-          ~counter bound)
+          ~extra_rel_rules:
+            (cc.rules_active.Rules_registry.act_rel @ t.infer_rel_rules)
+          ~cap:t.cap ~counter bound)
   in
   cc.transformer_rules <-
     List.map fst applied @ cc.transformer_rules;
@@ -746,7 +755,8 @@ let rec run_ast_statement cc (ast : Ast.statement) : Backend.result =
                 | Ok bound ->
                     let counter = ref 1_000_000 in
                     let transformed, applied =
-                      Transformer.transform ~cap:t.cap ~counter bound
+                      Transformer.transform ~extra_rel_rules:t.infer_rel_rules
+                        ~cap:t.cap ~counter bound
                     in
                     let plan =
                       String.split_on_char '\n'
@@ -1236,7 +1246,8 @@ let translate t ?(cap = t.cap) sql : string =
       let counter = ref 1_000_000 in
       let transformed, _ =
         Transformer.transform ~extra_scalar_rules:extra_scalar
-          ~extra_rel_rules:extra_rel ~cap ~counter e_bound
+          ~extra_rel_rules:(extra_rel @ t.infer_rel_rules) ~cap ~counter
+          e_bound
       in
       Serializer.serialize ~cap transformed
   | None ->
@@ -1266,7 +1277,7 @@ let translate t ?(cap = t.cap) sql : string =
       in
       let transformed, applied =
         Transformer.transform ?on_pass ~extra_scalar_rules:extra_scalar
-          ~extra_rel_rules:extra_rel ~cap ~counter bound
+          ~extra_rel_rules:(extra_rel @ t.infer_rel_rules) ~cap ~counter bound
       in
       let target_sql = Serializer.serialize ~cap transformed in
       let translate_s = now t -. t0 in
@@ -1356,8 +1367,8 @@ let observe_sql t sql : Feature_tracker.observation =
         let _, applied =
           Transformer.transform
             ~extra_scalar_rules:act.Rules_registry.act_scalar
-            ~extra_rel_rules:act.Rules_registry.act_rel ~cap:t.cap ~counter
-            bound
+            ~extra_rel_rules:(act.Rules_registry.act_rel @ t.infer_rel_rules)
+            ~cap:t.cap ~counter bound
         in
         transformer_rules := List.map fst applied
       with Sql_error.Error _ ->
@@ -1395,6 +1406,9 @@ type rules_report = {
   rr_screen_fires : int;  (** pack-rule fires during screening *)
   rr_warnings : Diag.t list;  (** R301 never-fired warnings *)
   rr_diff_queries : int;  (** differential queries compared *)
+  rr_diff_nondet_skipped : int;
+      (** differential queries skipped because they call non-immutable
+          built-ins (their results legitimately differ between runs) *)
   rr_activated : bool;  (** added to the gateway-default layer *)
 }
 
@@ -1433,7 +1447,7 @@ let diff_render (o : outcome) =
    populates both (DDL + data) before the comparison. *)
 let run_differential t ~cert ?diff_setup ~diff_queries () =
   match diff_queries with
-  | [] -> Ok 0
+  | [] -> Ok (0, 0)
   | queries -> (
       let pack = Rules_screen.pack cert in
       let scratch with_pack =
@@ -1454,9 +1468,29 @@ let run_differential t ~cert ?diff_setup ~diff_queries () =
           pack.Rules_compile.cp_rules
       in
       let mismatch = ref None in
+      (* A statement calling a non-immutable built-in (CURRENT_TIMESTAMP,
+         RANDOM, ...) legitimately differs between the two executions, so
+         comparing it would reject sound packs; such statements are
+         skipped and counted instead of compared. *)
+      let skipped = ref 0 in
+      let nondeterministic q =
+        match
+          Sql_error.protect (fun () ->
+              let ast = Parser.parse_statement ~dialect:Dialect.Teradata q in
+              let bctx =
+                Binder.create_ctx ~dialect:Dialect.Teradata base.vcatalog
+              in
+              Binder.bind_statement bctx ast)
+        with
+        | Ok bound ->
+            Infer.det_of_statement bound <> Hyperq_binder.Builtins.Immutable
+        | Error _ -> false
+      in
       List.iter
         (fun q ->
-          if !mismatch = None then begin
+          if !mismatch <> None then ()
+          else if nondeterministic q then incr skipped
+          else begin
             let before = fires () in
             let rb = Sql_error.protect (fun () -> run_sql base q) in
             let rp = Sql_error.protect (fun () -> run_sql packed q) in
@@ -1503,7 +1537,7 @@ let run_differential t ~cert ?diff_setup ~diff_queries () =
           end)
         queries;
       match !mismatch with
-      | None -> Ok (List.length queries)
+      | None -> Ok (List.length queries - !skipped, !skipped)
       | Some d -> Error [ d ])
 
 (** Load a rule pack from its source text: parse → compile → corpus
@@ -1523,29 +1557,39 @@ let load_rule_pack t ?(activate = true) ~corpus ?diff_setup
   match Rules_dsl.parse text with
   | Error ds -> reject ds
   | Ok parsed -> (
-      match Rules_compile.compile parsed with
+      (* Static soundness first: a pack whose rules provably change types,
+         nullability, determinism, or row semantics is rejected before a
+         single corpus statement is executed. *)
+      match Rules_soundness.screen parsed with
       | Error ds -> reject ds
-      | Ok pack -> (
-          match Rules_screen.screen ~cap:t.cap ~corpus pack with
+      | Ok () -> (
+          match Rules_compile.compile parsed with
           | Error ds -> reject ds
-          | Ok (cert, stats) -> (
-              match run_differential t ~cert ?diff_setup ~diff_queries () with
+          | Ok pack -> (
+              match Rules_screen.screen ~cap:t.cap ~corpus pack with
               | Error ds -> reject ds
-              | Ok diffn ->
-                  let info = Rules_registry.load t.rules cert in
-                  let name = info.Rules_registry.pi_name in
-                  if activate && not (List.mem name t.default_rule_packs) then
-                    t.default_rule_packs <- t.default_rule_packs @ [ name ];
-                  Ok
-                    {
-                      rr_pack = info;
-                      rr_screened = stats.Rules_screen.sc_statements;
-                      rr_skipped = stats.Rules_screen.sc_skipped;
-                      rr_screen_fires = stats.Rules_screen.sc_fires;
-                      rr_warnings = stats.Rules_screen.sc_warnings;
-                      rr_diff_queries = diffn;
-                      rr_activated = activate;
-                    })))
+              | Ok (cert, stats) -> (
+                  match
+                    run_differential t ~cert ?diff_setup ~diff_queries ()
+                  with
+                  | Error ds -> reject ds
+                  | Ok (diffn, diff_skipped) ->
+                      let info = Rules_registry.load t.rules cert in
+                      let name = info.Rules_registry.pi_name in
+                      if activate && not (List.mem name t.default_rule_packs)
+                      then
+                        t.default_rule_packs <- t.default_rule_packs @ [ name ];
+                      Ok
+                        {
+                          rr_pack = info;
+                          rr_screened = stats.Rules_screen.sc_statements;
+                          rr_skipped = stats.Rules_screen.sc_skipped;
+                          rr_screen_fires = stats.Rules_screen.sc_fires;
+                          rr_warnings = stats.Rules_screen.sc_warnings;
+                          rr_diff_queries = diffn;
+                          rr_diff_nondet_skipped = diff_skipped;
+                          rr_activated = activate;
+                        }))))
 
 (** Drop a pack from the registry and the gateway-default layer. Sessions
     still naming it in SET SESSION RULE_PACKS silently stop applying it

@@ -68,6 +68,14 @@ type t = {
   lock : Mutex.t;  (** serializes backend access and catalog mutation *)
   validate : bool;
       (** run the plan validator after bind and after each transform pass *)
+  infer_rel_rules :
+    (Hyperq_transform.Transformer.ctx ->
+    Hyperq_xtra.Xtra.rel ->
+    Hyperq_xtra.Xtra.rel option)
+    list;
+      (** inference-driven relational passes (contradiction pruning,
+          outer-join strengthening) appended to every Transformer run;
+          empty when the pipeline was created with [~infer:false] *)
   mutable validator_diags : Hyperq_analyze.Diag.t list;
       (** most recent validator diagnostics, newest first (capped);
           guarded by [lock] *)
@@ -100,7 +108,9 @@ type outcome = {
     (default: a fresh enabled one; pass {!Hyperq_obs.Obs.noop} to disable
     telemetry); [obs_labels] is baked into every metric this pipeline
     registers (scale-out passes [("replica", i)]). The pipeline's stage
-    timing runs on the registry's clock. *)
+    timing runs on the registry's clock. [infer] (default true) appends
+    the {!Hyperq_analyze.Infer} relational passes (contradiction pruning,
+    outer-join strengthening) to every Transformer run. *)
 val create :
   ?cap:Hyperq_transform.Capability.t ->
   ?request_latency_s:float ->
@@ -110,6 +120,7 @@ val create :
   ?obs:Hyperq_obs.Obs.t ->
   ?obs_labels:(string * string) list ->
   ?validate:bool ->
+  ?infer:bool ->
   unit ->
   t
 
@@ -212,15 +223,21 @@ type rules_report = {
   rr_screen_fires : int;  (** pack-rule fires during screening *)
   rr_warnings : Hyperq_analyze.Diag.t list;  (** R301 never-fired warnings *)
   rr_diff_queries : int;  (** differential queries compared *)
+  rr_diff_nondet_skipped : int;
+      (** differential queries skipped because they call non-immutable
+          built-ins (their results legitimately differ between runs) *)
   rr_activated : bool;  (** added to the gateway-default layer *)
 }
 
-(** Parse, compile, screen (over [corpus], a list of
-    [(script_name, sql_text)] pairs) and differentially test a pack from
-    its source text, then install it. [diff_setup] populates the two
-    scratch pipelines (base and packed) that run [diff_queries]; any
-    result divergence rejects the pack with R202. All rejections are
-    spanned diagnostics into the pack text and bump
+(** Parse, statically screen ({!Hyperq_rules.Soundness}, codes R111–R114
+    — rejected packs never execute a single corpus statement), compile,
+    screen (over [corpus], a list of [(script_name, sql_text)] pairs) and
+    differentially test a pack from its source text, then install it.
+    [diff_setup] populates the two scratch pipelines (base and packed)
+    that run [diff_queries]; any result divergence rejects the pack with
+    R202 (statements calling non-immutable built-ins are skipped and
+    counted in [rr_diff_nondet_skipped] instead of compared). All
+    rejections are spanned diagnostics into the pack text and bump
     [hyperq_rules_events_total{event="rejection"}]. [activate] (default
     true) adds the pack to the gateway-default layer. *)
 val load_rule_pack :

@@ -145,3 +145,68 @@ let optimize_statement st =
       | r -> r)
     ~fscalar:(fun s -> s)
     st
+
+(* ------------------------------------------------------------------ *)
+(* Inferred plan statistics (cost-model hooks)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A passive view over {!Hyperq_analyze.Infer} for the upcoming cost-based
+   join ordering: candidate keys bound uniqueness (a join on a key side is
+   at worst 1:N), intervals bound selectivity estimates, and [rs_card_max]
+   caps build-side size. Never raises: an inference failure degrades to
+   the empty stats. *)
+
+module Infer = Hyperq_analyze.Infer
+module Value = Hyperq_sqlvalue.Value
+
+type col_stats = {
+  cs_col : Xtra.col;
+  cs_not_null : bool;  (** proven to never be NULL *)
+  cs_lo : (Value.t * bool) option;  (** lower bound, inclusive? *)
+  cs_hi : (Value.t * bool) option;  (** upper bound, inclusive? *)
+}
+
+type rel_stats = {
+  rs_cols : col_stats list;  (** one entry per output column, in order *)
+  rs_keys : Xtra.col list list;  (** candidate keys (unique column sets) *)
+  rs_card_max : int option;  (** proven upper bound on the row count *)
+}
+
+let empty_stats schema =
+  {
+    rs_cols =
+      List.map
+        (fun c -> { cs_col = c; cs_not_null = false; cs_lo = None; cs_hi = None })
+        schema;
+    rs_keys = [];
+    rs_card_max = None;
+  }
+
+let stats_of ?catalog rel =
+  let schema = Xtra.schema_of rel in
+  try
+    let rp = Infer.rel_props ?catalog rel in
+    let bound = function
+      | None -> None
+      | Some (b : Infer.bound) -> Some (b.Infer.bval, b.Infer.incl)
+    in
+    let col c =
+      let p = Infer.lookup rp.Infer.cols c in
+      {
+        cs_col = c;
+        cs_not_null = p.Infer.null = Infer.Not_null;
+        cs_lo = bound p.Infer.ival.Infer.lo;
+        cs_hi = bound p.Infer.ival.Infer.hi;
+      }
+    in
+    let key_cols ids =
+      List.filter_map
+        (fun id -> List.find_opt (fun (c : Xtra.col) -> c.Xtra.id = id) schema)
+        ids
+    in
+    {
+      rs_cols = List.map col schema;
+      rs_keys = List.map key_cols rp.Infer.keys;
+      rs_card_max = rp.Infer.card_max;
+    }
+  with _ -> empty_stats schema

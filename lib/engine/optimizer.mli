@@ -16,3 +16,28 @@ val factor_common_or : Xtra.scalar -> Xtra.scalar list
 
 val optimize_rel : Xtra.rel -> Xtra.rel
 val optimize_statement : Xtra.statement -> Xtra.statement
+
+(** {1 Inferred plan statistics}
+
+    Passive cost-model hooks over {!Hyperq_analyze.Infer}: what the static
+    property inference can prove about a plan's output — per-column
+    nullability and value intervals, candidate keys, and a cardinality
+    upper bound. Consumed by the (upcoming) cost-based join ordering;
+    never raises. *)
+
+type col_stats = {
+  cs_col : Xtra.col;
+  cs_not_null : bool;  (** proven to never be NULL *)
+  cs_lo : (Hyperq_sqlvalue.Value.t * bool) option;
+      (** lower bound, inclusive? *)
+  cs_hi : (Hyperq_sqlvalue.Value.t * bool) option;
+      (** upper bound, inclusive? *)
+}
+
+type rel_stats = {
+  rs_cols : col_stats list;  (** one entry per output column, in order *)
+  rs_keys : Xtra.col list list;  (** candidate keys (unique column sets) *)
+  rs_card_max : int option;  (** proven upper bound on the row count *)
+}
+
+val stats_of : ?catalog:Hyperq_catalog.Catalog.t -> Xtra.rel -> rel_stats

@@ -1,0 +1,184 @@
+(* Static soundness screening of rule packs.
+
+   Runs between Compile.compile and the dynamic corpus screen: both sides
+   of every rule are instantiated over *symbolic* columns (one fresh
+   column per LHS metavariable, typed by its [type(?x) = t] guard when
+   present) and compared with the property inference from
+   {!Hyperq_analyze.Infer}.  A pack that fails here is rejected before a
+   single corpus statement is executed, with stable codes:
+
+     R111  the replacement changes the statically inferred nullability
+           class (a NOT NULL expression becomes nullable, or a guaranteed
+           NULL stops being one)
+     R112  the replacement changes the expression's type family (e.g. a
+           boolean predicate rewritten to an integer)
+     R113  the replacement introduces a non-immutable built-in call the
+           pattern does not contain (CURRENT_*/RANDOM-alikes), so two
+           evaluations of the "same" expression could disagree
+     R114  a relational rule changes row semantics: it drops or adds a
+           filter predicate that is not statically always-TRUE, or it
+           changes whether duplicate rows are eliminated
+
+   The checks are deliberately conservative in one direction only: an RHS
+   that the inference proves *less* nullable than the LHS is allowed
+   (inference imprecision on the pattern side is common — e.g.
+   [?p OR TRUE => TRUE]); any drift toward more-nullable, NULL-dropping,
+   other type families, or weaker determinism is rejected. *)
+
+open Hyperq_sqlvalue
+module Xtra = Hyperq_xtra.Xtra
+module Builtins = Hyperq_binder.Builtins
+module Diag = Hyperq_analyze.Diag
+module Infer = Hyperq_analyze.Infer
+
+(* One fresh symbolic column per LHS scalar metavariable. Ids start high
+   enough that they can never collide with binder- or transformer-made
+   columns inside the same instantiated expression. *)
+let symbolic_binds (r : Dsl.rule) =
+  let lhs_vars, _ = Compile.body_vars r.Dsl.body in
+  let type_guards =
+    List.filter_map
+      (function Dsl.G_type (v, ty, _) -> Some (v, ty) | _ -> None)
+      r.Dsl.guards
+  in
+  let seen = Hashtbl.create 8 in
+  let next = ref 0 in
+  List.filter_map
+    (fun (v, k, _) ->
+      if Hashtbl.mem seen v then None
+      else begin
+        Hashtbl.add seen v ();
+        match k with
+        | Compile.K_scalar ->
+            incr next;
+            let ty =
+              match List.assoc_opt v type_guards with
+              | Some t -> t
+              | None -> Dtype.Unknown
+            in
+            Some
+              ( v,
+                Compile.B_s
+                  (Xtra.Col_ref
+                     { Xtra.id = 9_000_000 + !next; name = "?" ^ v; ty }) )
+        | Compile.K_rel -> None
+      end)
+    lhs_vars
+
+let symbolic_env binds =
+  List.fold_left
+    (fun env (_, b) ->
+      match b with
+      | Compile.B_s (Xtra.Col_ref c) ->
+          Infer.Imap.add c.Xtra.id Infer.unknown_props env
+      | _ -> env)
+    Infer.Imap.empty binds
+
+let null_rank = function
+  | Infer.Not_null -> 0
+  | Infer.Maybe_null -> 1
+  | Infer.Always_null -> 2
+
+(* Flatten the (Filter/Distinct)* spine of a relational pattern. Filters
+   commute with Distinct, so position in the spine does not matter. *)
+let rec decompose preds distinct (p : Dsl.rp) =
+  match p.Dsl.rn with
+  | Dsl.R_meta _ -> (preds, distinct)
+  | Dsl.R_filter (input, pred) -> decompose (pred :: preds) distinct input
+  | Dsl.R_distinct input -> decompose preds (distinct + 1) input
+
+let always_true (t : Infer.truth) =
+  t.Infer.can_true && (not t.Infer.can_false) && not t.Infer.can_null
+
+let check_rule pack_name add (r : Dsl.rule) =
+  let attr = pack_name ^ ":" ^ r.Dsl.rule_id in
+  let addf ~code fmt =
+    Printf.ksprintf
+      (fun m ->
+        add (Diag.make ~rule:attr ~span:r.Dsl.rule_span ~code "%s" m))
+      fmt
+  in
+  let binds = symbolic_binds r in
+  let env = symbolic_env binds in
+  match r.Dsl.body with
+  | Dsl.B_scalar (lhs, rhs) -> (
+      match
+        ( (try Some (Compile.inst_scalar binds lhs) with _ -> None),
+          try Some (Compile.inst_scalar binds rhs) with _ -> None )
+      with
+      | Some l, Some rr ->
+          let lt = Xtra.type_of_scalar l and rt = Xtra.type_of_scalar rr in
+          (match (lt, rt) with
+          | Dtype.Unknown, _ | _, Dtype.Unknown -> ()
+          | _ ->
+              if not (Dtype.same_family lt rt) then
+                addf ~code:"R112"
+                  "rule %s: the replacement changes the expression type from \
+                   %s to %s"
+                  r.Dsl.rule_id (Dtype.to_string lt) (Dtype.to_string rt));
+          (try
+             let lp = Infer.scalar_props ~env l
+             and rp = Infer.scalar_props ~env rr in
+             let ln = lp.Infer.null and rn = rp.Infer.null in
+             if
+               null_rank rn > null_rank ln
+               || (ln = Infer.Always_null && rn <> Infer.Always_null)
+             then
+               addf ~code:"R111"
+                 "rule %s: the replacement changes nullability from %s to %s"
+                 r.Dsl.rule_id
+                 (Infer.nullability_name ln)
+                 (Infer.nullability_name rn)
+           with _ -> ());
+          let ld = Infer.det_of_scalar l and rd = Infer.det_of_scalar rr in
+          if Builtins.determinism_rank rd > Builtins.determinism_rank ld then
+            addf ~code:"R113"
+              "rule %s: the replacement introduces a %s built-in the pattern \
+               does not contain"
+              r.Dsl.rule_id
+              (Builtins.determinism_name rd)
+      | _ -> () (* unbound metavariables: Compile.check_rule reports R104 *))
+  | Dsl.B_rel (lhs, rhs) -> (
+      let lpreds, ldistinct = decompose [] 0 lhs
+      and rpreds, rdistinct = decompose [] 0 rhs in
+      if ldistinct > 0 <> (rdistinct > 0) then
+        addf ~code:"R114"
+          "rule %s: the replacement %s duplicate elimination, changing row \
+           multiplicities"
+          r.Dsl.rule_id
+          (if ldistinct > 0 then "drops" else "adds");
+      let inst ps =
+        try Some (List.map (Compile.inst_scalar binds) ps) with _ -> None
+      in
+      match (inst lpreds, inst rpreds) with
+      | Some li, Some ri ->
+          let check verb only other =
+            List.iter
+              (fun p ->
+                if not (List.mem p other) then
+                  let droppable =
+                    try always_true (Infer.predicate_truth ~env p)
+                    with _ -> false
+                  in
+                  if not droppable then
+                    addf ~code:"R114"
+                      "rule %s: the replacement %s a filter predicate that is \
+                       not statically always TRUE, changing which rows survive"
+                      r.Dsl.rule_id verb)
+              only
+          in
+          check "drops" li ri;
+          check "adds" ri li
+      | _ -> ())
+
+(* [check] never raises: an inference failure inside a rule simply leaves
+   that rule unflagged (the dynamic screen still guards it). *)
+let check (p : Dsl.pack) : Diag.t list =
+  let diags = ref [] in
+  List.iter
+    (fun r -> check_rule p.Dsl.pack_name (fun d -> diags := d :: !diags) r)
+    p.Dsl.prules;
+  Diag.sort (List.rev !diags)
+
+let screen (p : Dsl.pack) : (unit, Diag.t list) result =
+  match check p with [] -> Ok () | ds -> Error ds

@@ -437,6 +437,22 @@ and build ctx (r : Xtra.rel) : block =
       let b = new_block () in
       b.b_select <- [ ("1", "DUMMY") ];
       b
+  | Xtra.Values_rel { rows = []; values_schema } ->
+      (* constant-empty relation (e.g. contradiction pruning): a one-row
+         VALUES of typed NULLs under an always-false WHERE keeps the schema
+         and column types while returning no rows on any target — a bare
+         `(VALUES )` is not legal SQL anywhere *)
+      let null_row =
+        List.map
+          (fun (c : Xtra.col) ->
+            match c.Xtra.ty with
+            | Dtype.Unknown -> Xtra.cnull
+            | ty -> Xtra.Cast (Xtra.cnull, ty))
+          values_schema
+      in
+      let b = build ctx (Xtra.Values_rel { rows = [ null_row ]; values_schema }) in
+      b.b_where <- [ "1 = 0" ];
+      b
   | Xtra.Values_rel { rows; values_schema } ->
       let alias = fresh_alias ctx in
       let b = new_block () in

@@ -22,5 +22,6 @@ let () =
       ("net", Test_net.suite);
       ("obs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
+      ("infer", Test_infer.suite);
       ("rules", Test_rules.suite);
     ]

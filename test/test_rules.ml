@@ -306,7 +306,8 @@ let test_load_rejects_broken () =
   match Pipeline.load_rule_pack p ~corpus:small_corpus (example "broken_nonbool.rules") with
   | Ok _ -> Alcotest.fail "broken pack must be rejected at load"
   | Error ds ->
-      check sb "R201 at load" "R201" (List.hd ds).Diag.code;
+      (* the static soundness stage rejects it before any corpus execution *)
+      check sb "static R112 at load" "R112" (List.hd ds).Diag.code;
       check bb "pack not installed" true
         (Registry.find (Pipeline.rules_registry p) "broken_nonbool" = None);
       check Alcotest.(list string) "not activated" [] (Pipeline.default_rule_packs p);
